@@ -1,0 +1,86 @@
+//! Functor dispatch and registry-matching microbenchmarks.
+//!
+//! Measures (a) the per-launch overhead of each execution space (the
+//! paper's `athread_spawn` + preset-function matching path vs direct
+//! host dispatch), and (b) the linked-list registry lookup vs the
+//! SIMD-accelerated key scan (paper §V-B: "we leveraged Sunway
+//! architecture features such as LDM ... and SIMD vectorization, for
+//! accelerated kernel matching"), as the registry grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kokkos_rs::{parallel_for_1d, registry, Functor1D, RangePolicy, Space, View, View1};
+
+struct Axpy {
+    a: f64,
+    x: View1<f64>,
+    y: View1<f64>,
+}
+impl Functor1D for Axpy {
+    fn operator(&self, i: usize) {
+        self.y.set_at(i, self.a * self.x.at(i) + self.y.at(i));
+    }
+}
+kokkos_rs::register_for_1d!(bench_axpy, Axpy);
+
+// Pad the registry with distinct functor types to measure O(n) matching.
+macro_rules! pad_functor {
+    ($($name:ident),*) => {
+        $(
+            struct $name;
+            impl Functor1D for $name {
+                fn operator(&self, _i: usize) {}
+            }
+        )*
+        fn register_pad() {
+            $(registry::register_1d::<$name>(stringify!($name));)*
+        }
+    };
+}
+pad_functor!(
+    P00, P01, P02, P03, P04, P05, P06, P07, P08, P09, P10, P11, P12, P13, P14, P15, P16, P17, P18,
+    P19, P20, P21, P22, P23, P24, P25, P26, P27, P28, P29, P30, P31, P32, P33, P34, P35, P36, P37,
+    P38, P39, P40, P41, P42, P43, P44, P45, P46, P47, P48, P49, P50, P51, P52, P53, P54, P55, P56,
+    P57, P58, P59, P60, P61, P62, P63
+);
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    bench_axpy();
+    let mut g = c.benchmark_group("launch_axpy_4096");
+    let n = 4096;
+    for (label, space) in [
+        ("Serial", Space::serial()),
+        ("Threads", Space::threads()),
+        ("DeviceSim", Space::device_sim()),
+        (
+            "SwAthread",
+            Space::sw_athread_with(sunway_sim::CgConfig::test_small()),
+        ),
+    ] {
+        let x: View1<f64> = View::host("x", [n]);
+        let y: View1<f64> = View::host("y", [n]);
+        x.fill(1.0);
+        let f = Axpy { a: 1.000001, x, y };
+        g.bench_function(label, |b| {
+            b.iter(|| parallel_for_1d(&space, RangePolicy::new(n), &f))
+        });
+    }
+    g.finish();
+}
+
+fn bench_registry_matching(c: &mut Criterion) {
+    bench_axpy();
+    register_pad();
+    let key = registry::key_of::<Axpy>();
+    let mut g = c.benchmark_group("registry_lookup");
+    let (len, _, _) = registry::stats();
+    g.bench_with_input(BenchmarkId::new("linked_list", len), &key, |b, &k| {
+        b.iter(|| registry::lookup(k, registry::KernelKind::For1D))
+    });
+    g.bench_with_input(BenchmarkId::new("simd_scan", len), &key, |b, &k| {
+        b.iter(|| registry::lookup_simd(k, registry::KernelKind::For1D))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_launch_overhead, bench_registry_matching);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Halo engine microbenchmarks: the Fig. 5 transposes (naive vs tiled),
+//! full 2-D/3-D exchanges per strategy, and batched vs separate
+//! multi-field updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halo_exchange::{transpose, FoldKind, Halo2D, Halo3D, Strategy3D};
+use kokkos_rs::{View, View3};
+use mpi_sim::{CartComm, World};
+use std::time::Duration;
+
+fn bench_transpose(c: &mut Criterion) {
+    // A realistic east-edge halo strip: 80 levels x 100 rows x 2 cols.
+    let (nz, nj, ni) = (80, 100, 2);
+    let strip: Vec<f64> = (0..nz * nj * ni).map(|x| x as f64).collect();
+    let mut g = c.benchmark_group("halo_transpose_80x100x2");
+    g.bench_function("h2v_naive", |b| {
+        b.iter(|| transpose::h2v(&strip, nz, nj, ni))
+    });
+    g.bench_function("h2v_tiled16", |b| {
+        b.iter(|| transpose::h2v_tiled(&strip, nz, nj, ni, 16))
+    });
+    g.bench_function("v2h", |b| {
+        let v = transpose::h2v(&strip, nz, nj, ni);
+        b.iter(|| transpose::v2h(&v, nz, nj, ni))
+    });
+    g.finish();
+}
+
+fn bench_exchange_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("halo3d_exchange_1rank");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for (label, strategy) in [
+        ("horizontal_major", Strategy3D::HorizontalMajor),
+        ("transpose", Strategy3D::Transpose),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                World::run(1, |comm| {
+                    let cart = CartComm::new(comm.clone(), 1, 1, true);
+                    let h = Halo3D::new(Halo2D::new(&cart, 64, 32), 20, strategy);
+                    let f: View3<f64> = View::host("f", h.shape());
+                    f.fill(1.0);
+                    for tag in 0..4 {
+                        h.exchange(&f, FoldKind::Scalar, tag * 100);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("halo3d_two_fields_2ranks");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("separate", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 1, true);
+                let h = Halo3D::new(Halo2D::new(&cart, 64, 32), 20, Strategy3D::Transpose);
+                let u: View3<f64> = View::host("u", h.shape());
+                let v: View3<f64> = View::host("v", h.shape());
+                h.exchange(&u, FoldKind::Vector, 0);
+                h.exchange(&v, FoldKind::Scalar, 50);
+            })
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 1, true);
+                let h = Halo3D::new(Halo2D::new(&cart, 64, 32), 20, Strategy3D::Transpose);
+                let u: View3<f64> = View::host("u", h.shape());
+                let v: View3<f64> = View::host("v", h.shape());
+                h.exchange_many(&[(&u, FoldKind::Vector), (&v, FoldKind::Scalar)], 0);
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transpose,
+    bench_exchange_strategies,
+    bench_batched
+);
+criterion_main!(benches);

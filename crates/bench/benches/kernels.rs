@@ -1,0 +1,81 @@
+//! Hotspot kernel benchmarks: one Criterion group per paper table/figure
+//! hotspot — `advection_tracer` (the §V-C2 bottleneck), the canuto
+//! column kernel (rect vs packed list), the momentum stencil, and one
+//! barotropic substep — each on Serial vs Threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kokkos_rs::Space;
+use licom::model::{CanutoMode, Model, ModelOptions};
+use mpi_sim::World;
+use ocean_grid::Resolution;
+use std::time::Duration;
+
+/// Build a single-rank model once and time `steps` of the full step loop
+/// under the given options/space (the model's own GPTL timers then give
+/// the per-kernel split; here we let Criterion time whole steps).
+fn run_steps(space: Space, opts: ModelOptions, steps: usize) {
+    let cfg = Resolution::Coarse100km.config().scaled_down(6, 10);
+    World::run(1, move |comm| {
+        let mut m = Model::new(comm, cfg.clone(), space.clone(), opts.clone());
+        m.run_steps(steps);
+    });
+}
+
+fn bench_full_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_step_60x36x10");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for (label, space) in [("Serial", Space::serial()), ("Threads", Space::threads())] {
+        let space2 = space.clone();
+        g.bench_function(label, |b| {
+            b.iter(|| run_steps(space2.clone(), ModelOptions::default(), 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_canuto_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("canuto_mode_60x36x10");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for mode in [CanutoMode::Rect, CanutoMode::List] {
+        let mut opts = ModelOptions::default();
+        opts.canuto_mode = mode;
+        g.bench_function(format!("{mode:?}"), |b| {
+            let opts = opts.clone();
+            b.iter(|| run_steps(Space::serial(), opts.clone(), 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_advection_limiters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("advection_60x36x10");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for limited in [false, true] {
+        let mut opts = ModelOptions::default();
+        opts.limiter = limited;
+        let label = if limited {
+            "two_step_shape_preserving"
+        } else {
+            "upstream_only"
+        };
+        g.bench_function(label, |b| {
+            let opts = opts.clone();
+            b.iter(|| run_steps(Space::serial(), opts.clone(), 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_step,
+    bench_canuto_modes,
+    bench_advection_limiters
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! View abstraction overhead: indexed access vs raw slices, layout
+//! conversion (`deep_copy` across layouts) and host↔device staging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kokkos_rs::{deep_copy, Layout, MemSpace, View, View3};
+
+fn bench_indexing(c: &mut Criterion) {
+    let (nz, ny, nx) = (16, 64, 64);
+    let v: View3<f64> = View::host("v", [nz, ny, nx]);
+    let mut g = c.benchmark_group("indexing_16x64x64");
+    g.bench_function("view_at", |b| {
+        b.iter(|| {
+            let mut s = 0.0;
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        s += v.at(k, j, i);
+                    }
+                }
+            }
+            criterion::black_box(s)
+        })
+    });
+    g.bench_function("raw_slice", |b| {
+        let raw = v.as_slice();
+        b.iter(|| {
+            let mut s = 0.0;
+            for &x in raw {
+                s += x;
+            }
+            criterion::black_box(s)
+        })
+    });
+    g.finish();
+}
+
+fn bench_deep_copy(c: &mut Criterion) {
+    let dims = [16usize, 64, 64];
+    let right: View3<f64> = View::new("r", dims, Layout::Right, MemSpace::Host);
+    let left: View3<f64> = View::new("l", dims, Layout::Left, MemSpace::Host);
+    let device: View3<f64> = right.mirror(MemSpace::Device);
+    let mut g = c.benchmark_group("deep_copy_16x64x64");
+    g.bench_function("same_layout_memcpy", |b| {
+        let dst: View3<f64> = View::new("d", dims, Layout::Right, MemSpace::Host);
+        b.iter(|| deep_copy(&dst, &right))
+    });
+    g.bench_function("layout_conversion", |b| b.iter(|| deep_copy(&left, &right)));
+    g.bench_function("host_to_device_staged", |b| {
+        b.iter(|| deep_copy(&device, &right))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_indexing, bench_deep_copy);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Fig. 3 — "Schematic of a high-level overview of LICOMK++, the
+//! architecture of SW26010 Pro, and their relationship."
+//!
+//! The paper's Fig. 3 is a diagram, so this binary prints the live
+//! equivalent: the layer stack from primitive equations down to the
+//! simulated hardware, introspected from the running build (registered
+//! kernels, execution spaces, CPE cluster geometry), with one kernel
+//! actually launched through every layer as proof of the wiring.
+
+use kokkos_rs::{parallel_for_1d, Functor1D, RangePolicy, Space, View, View1};
+
+struct Probe {
+    x: View1<f64>,
+}
+impl Functor1D for Probe {
+    fn operator(&self, i: usize) {
+        self.x.set_at(i, 2.0 * i as f64);
+    }
+}
+kokkos_rs::register_for_1d!(fig3_probe, Probe);
+
+fn main() {
+    fig3_probe();
+    licom::register_all_kernels();
+    bench::banner("Fig. 3: LICOMK++ layer stack (live introspection)");
+    println!(
+        r#"
+  +--------------------------------------------------------------+
+  |  primitive equations: momentum + tracers, split-explicit     |
+  |  leapfrog (barotropic / baroclinic / tracer sub-stepping)    |
+  +--------------------------------------------------------------+
+  |  LICOMK++ kernels: registered Kokkos-style functors          |
+  +--------------------------------------------------------------+
+  |  kokkos-rs: Views - policies (Eq.1/Eq.2 tiling) - registry   |
+  +-------------+-------------+-------------+--------------------+
+  |   Serial    |  Threads    |  DeviceSim  |  SwAthread         |
+  |  (Fortran   |  (OpenMP/   |  (CUDA/HIP  |  (Athread,         |
+  |   baseline) |   rayon)    |   analogue) |   this work)       |
+  +-------------+-------------+-------------+--------------------+
+                                            |  SW26010 Pro CG:   |
+                                            |  MPE + 8x8 CPEs    |
+                                            |  256 kB LDM / CPE  |
+                                            |  DMA <-> 16 GB DDR4|
+                                            +--------------------+
+"#
+    );
+
+    let kernels = kokkos_rs::registry::registered_kernels();
+    println!("registered model kernels ({} total):", kernels.len());
+    let mut by_kind: std::collections::BTreeMap<String, Vec<&str>> = Default::default();
+    for (name, kind) in &kernels {
+        by_kind.entry(format!("{kind:?}")).or_default().push(name);
+    }
+    for (kind, names) in &by_kind {
+        println!("  {kind:<10} {}", names.join(", "));
+    }
+
+    let cg = sunway_sim::CgConfig::default();
+    println!(
+        "\nSW26010 Pro core group: {} CPEs x {} kB LDM, {:.1} GB/s, {:.2} GHz",
+        cg.num_cpes,
+        cg.ldm_bytes / 1024,
+        cg.mem_bandwidth_bps / 1e9,
+        cg.clock_hz / 1e9
+    );
+
+    // Drive one kernel through every layer of the stack.
+    println!("\nlaunch path proof (same functor through all four backends):");
+    for name in ["Serial", "Threads", "DeviceSim", "SwAthread"] {
+        let space = if name == "SwAthread" {
+            Space::sw_athread_with(sunway_sim::CgConfig::test_small())
+        } else {
+            Space::from_name(name).unwrap()
+        };
+        let x: View1<f64> = View::host("x", [64]);
+        parallel_for_1d(&space, RangePolicy::new(64), &Probe { x: x.clone() });
+        assert!((0..64).all(|i| x.at(i) == 2.0 * i as f64));
+        println!("  {name:<10} OK (64/64 elements verified)");
+    }
+    println!("\nevery layer of the Fig. 3 stack is wired and live.");
+}

@@ -1,0 +1,86 @@
+//! Fig. 6 — Rossby number vs horizontal resolution: submesoscale
+//! emergence.
+//!
+//! The paper shows |Ro| = |ζ/f| snapshots in the Kuroshio-extension
+//! region at 10-, 2- and 1-km resolution: finer grids develop much
+//! richer submesoscale structure (|Ro| ~ O(1)). We run the same physical
+//! basin (a mid-latitude wind-driven domain) at three grid spacings for
+//! the same simulated time and report the |Ro| distribution: the
+//! quantiles must grow monotonically as the grid refines — the same
+//! *shape* as Fig. 6, on laptop-sized grids.
+
+use bench::banner;
+use kokkos_rs::{View, View2};
+use licom::diag::rossby_quantiles;
+use licom::model::{Model, ModelOptions};
+use mpi_sim::World;
+use ocean_grid::{Bathymetry, ModelConfig};
+
+fn run_case(nx: usize, ny: usize, days: f64) -> (f64, f64, f64, f64, f64) {
+    let cfg = ModelConfig {
+        name: format!("rossby-{nx}"),
+        nx,
+        ny,
+        nz: 8,
+        dt_barotropic: 2.0,
+        dt_baroclinic: 20.0,
+        dt_tracer: 20.0,
+        full_depth: false,
+    };
+    // Mid-latitude basin: strong wind-driven gyres, western boundary
+    // current — the Kuroshio-analogue playground.
+    let opts = ModelOptions {
+        bathymetry: Bathymetry::Basin {
+            lon0: 120.0,
+            lon1: 200.0,
+            lat0: 15.0,
+            lat1: 50.0,
+            depth: 3000.0,
+        },
+        ..ModelOptions::default()
+    };
+    World::run(1, move |comm| {
+        let mut m = Model::new(comm, cfg.clone(), kokkos_rs::Space::threads(), opts.clone());
+        let steps = (days * 86_400.0 / cfg.dt_baroclinic) as usize;
+        m.run_steps(steps);
+        assert!(!m.state.has_nan(), "blow-up at nx={nx}");
+        let out: View2<f64> = View::host("ro", [m.grid.pj, m.grid.pi]);
+        let c = m.state.cur();
+        let (q50, q90, q99, max) =
+            rossby_quantiles(&m.space, &m.grid, &m.state.u[c], &m.state.v[c], &out);
+        let dx_km = m.grid.dxt.at(m.grid.pj / 2) / 1000.0;
+        (dx_km, q50, q90, q99, max)
+    })
+    .pop()
+    .unwrap()
+}
+
+fn main() {
+    banner("Fig. 6: |Rossby number| distribution vs resolution (same basin, same day)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "grid", "dx (km)", "|Ro| q50", "|Ro| q90", "|Ro| q99", "|Ro| max"
+    );
+    let days = 2.0;
+    let mut q99s = Vec::new();
+    for (nx, ny) in [(40usize, 18usize), (80, 36), (160, 72)] {
+        let (dx, q50, q90, q99, max) = run_case(nx, ny, days);
+        println!(
+            "{:>10} {:>10.1} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            format!("{nx}x{ny}"),
+            dx,
+            q50,
+            q90,
+            q99,
+            max
+        );
+        q99s.push(q99);
+    }
+    assert!(
+        q99s.windows(2).all(|w| w[1] > w[0]),
+        "finer grids must show stronger submesoscale |Ro| tails: {q99s:?}"
+    );
+    println!("\nThe |Ro| tail grows monotonically with resolution — the Fig. 6");
+    println!("signature: kilometre-scale grids resolve submesoscale vorticity");
+    println!("(|Ro| ~ O(1)) that coarse grids cannot.");
+}

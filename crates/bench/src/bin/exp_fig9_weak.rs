@@ -1,0 +1,155 @@
+//! Fig. 9 — weak scaling from 10 km to 1 km (Table IV series).
+//!
+//! Projected at paper scale on both systems (paper result: 85.6 %
+//! efficiency on ORISE with 15,360 GPUs; 91.2 % on Sunway with
+//! 38,366,250 cores), plus a measured local weak-scaling run of the real
+//! model (fixed per-rank block, 1→6 ranks).
+
+use bench::banner;
+use licom::model::{Model, ModelOptions};
+use mpi_sim::World;
+use ocean_grid::config::weak_scaling_series;
+use ocean_grid::ModelConfig;
+use perf_model::{project, Machine, ProblemSpec, SunwayVariant};
+
+fn spec_of(nx: usize, ny: usize, nz: usize) -> ProblemSpec {
+    // Table IV keeps km-scale time steps (2/20/20 s) at every resolution.
+    ProblemSpec {
+        name: format!("{nx}x{ny}x{nz}"),
+        nx,
+        ny,
+        nz,
+        ocean_frac: 0.67,
+        substeps: 20,
+        steps_per_day: 4320,
+        cost_multiplier: 1.0,
+    }
+}
+
+fn main() {
+    banner("Fig. 9 (projected): weak scaling, Table IV series");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} | {:>10} {:>12} {:>12}",
+        "res (km)", "GPUs", "ORISE SYPD", "ORISE eff", "Sunway CGs", "Sunway SYPD", "Sunway eff"
+    );
+    let series = weak_scaling_series();
+    let mut orise_base: Option<f64> = None;
+    let mut sunway_base: Option<f64> = None;
+    for p in &series {
+        let spec = spec_of(p.nx, p.ny, p.nz);
+        let cgs = p.sunway_cores / 65;
+        let o = project(
+            &spec,
+            &Machine::orise(),
+            p.orise_gpus,
+            SunwayVariant::Optimized,
+        );
+        let s = project(&spec, &Machine::sunway_cg(), cgs, SunwayVariant::Optimized);
+        // Weak-scaling efficiency: time per step relative to the first
+        // scale (equal per-device work → ideal is constant time).
+        let ob = *orise_base.get_or_insert(o.t_step);
+        let sb = *sunway_base.get_or_insert(s.t_step);
+        println!(
+            "{:>10.2} {:>10} {:>12.3} {:>11.1}% | {:>10} {:>12.3} {:>11.1}%",
+            p.resolution_km,
+            p.orise_gpus,
+            o.sypd,
+            100.0 * ob / o.t_step,
+            cgs,
+            s.sypd,
+            100.0 * sb / s.t_step
+        );
+    }
+    println!("\npaper: ORISE 85.6% at 15,360 GPUs; Sunway 91.2% at 38,366,250 cores");
+
+    // Fig. 9 shape: flat SYPD across the 95x scale-up.
+    let mut orise_pts = Vec::new();
+    let mut sunway_pts = Vec::new();
+    for p in &series {
+        let spec = spec_of(p.nx, p.ny, p.nz);
+        orise_pts.push((
+            p.orise_gpus as f64,
+            project(&spec, &Machine::orise(), p.orise_gpus, SunwayVariant::Optimized).sypd,
+        ));
+        sunway_pts.push((
+            (p.sunway_cores / 65) as f64,
+            project(&spec, &Machine::sunway_cg(), p.sunway_cores / 65, SunwayVariant::Optimized)
+                .sypd,
+        ));
+    }
+    print!(
+        "\n{}",
+        bench::ascii_chart(
+            "Fig. 9 shape: SYPD vs devices (weak scaling; flat = ideal)",
+            &[("ORISE", orise_pts), ("Sunway", sunway_pts)],
+            64,
+            10,
+        )
+    );
+
+    banner("Measured local weak scaling (real model, fixed per-rank block)");
+    // Per-rank block ~30x25x8; grow the global grid with the rank count.
+    println!(
+        "{:>8} {:>14} {:>12} {:>14} {:>12}",
+        "ranks", "global grid", "SYPD", "t/step (ms)", "weak eff"
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("(host has {cores} cores; rank counts beyond that are oversubscribed)");
+    let rank_counts: Vec<usize> = [1usize, 2, 4, 6]
+        .into_iter()
+        .filter(|&r| r <= cores.max(2))
+        .collect();
+    let mut base: Option<f64> = None;
+    for ranks in rank_counts {
+        let (px, py) = match ranks {
+            1 => (1, 1),
+            2 => (2, 1),
+            4 => (2, 2),
+            6 => (3, 2),
+            _ => unreachable!(),
+        };
+        let cfg = ModelConfig {
+            name: format!("weak-{ranks}"),
+            nx: 30 * px,
+            ny: 25 * py,
+            nz: 8,
+            dt_barotropic: 2.0,
+            dt_baroclinic: 20.0,
+            dt_tracer: 20.0,
+            full_depth: false,
+        };
+        let steps = 40;
+        let wall = World::run(ranks, {
+            let cfg = cfg.clone();
+            move |comm| {
+                let mut m = Model::new(
+                    comm,
+                    cfg.clone(),
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                m.run_steps(5);
+                let t0 = std::time::Instant::now();
+                m.run_steps(steps);
+                t0.elapsed().as_secs_f64()
+            }
+        })
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        let t_step = wall / steps as f64;
+        let sypd = (cfg.dt_baroclinic / 86_400.0) / 365.0 * 86_400.0 / t_step;
+        let b = *base.get_or_insert(t_step);
+        println!(
+            "{:>8} {:>14} {:>12.3} {:>14.2} {:>11.1}%",
+            ranks,
+            format!("{}x{}x{}", cfg.nx, cfg.ny, cfg.nz),
+            sypd,
+            t_step * 1e3,
+            100.0 * b / t_step
+        );
+    }
+    println!("\n(Local ranks share memory bandwidth; distributed weak scaling is the");
+    println!("projection above.)");
+}

@@ -1,0 +1,99 @@
+//! Table II — critical hardware configurations of the four systems,
+//! printed from the `perf-model` machine descriptions (plus the simulated
+//! SW26010 Pro core-group parameters used by the `SwAthread` backend).
+
+use perf_model::Machine;
+use sunway_sim::CgConfig;
+
+fn gb(x: f64) -> String {
+    format!("{:.1} GB/s", x / 1e9)
+}
+
+fn main() {
+    bench::banner("Table II: node hardware of the four computing systems");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14} {:>16}",
+        "System", "GPU workstation", "ORISE", "New Sunway", "Taishan server"
+    );
+    let v = Machine::v100();
+    let o = Machine::orise();
+    let s = Machine::sunway_cg();
+    let t = Machine::taishan();
+    let rows: Vec<(&str, [String; 4])> = vec![
+        (
+            "Accelerator",
+            [
+                "4x Tesla V100".into(),
+                "4x HIP GPU".into(),
+                "SW26010 Pro".into(),
+                "(CPU only)".into(),
+            ],
+        ),
+        (
+            "Back-end",
+            [
+                "CUDA".into(),
+                "HIP".into(),
+                "Athread".into(),
+                "OpenMP".into(),
+            ],
+        ),
+        (
+            "Device peak DP",
+            [
+                format!("{:.1} TF", v.peak_flops / 1e12),
+                format!("{:.1} TF", o.peak_flops / 1e12),
+                format!("{:.1} TF/CG", s.peak_flops / 1e12),
+                format!("{:.1} TF", t.peak_flops / 1e12),
+            ],
+        ),
+        (
+            "Device mem BW",
+            [gb(v.mem_bw), gb(o.mem_bw), gb(s.mem_bw), gb(t.mem_bw)],
+        ),
+        (
+            "Devices/node",
+            [
+                v.devices_per_node.to_string(),
+                o.devices_per_node.to_string(),
+                format!("{} CGs", s.devices_per_node),
+                t.devices_per_node.to_string(),
+            ],
+        ),
+        (
+            "PCIe (staging)",
+            [
+                gb(v.pcie_bw),
+                gb(o.pcie_bw),
+                "unified".into(),
+                "unified".into(),
+            ],
+        ),
+        (
+            "Network",
+            [gb(v.nic_bw), gb(o.nic_bw), gb(s.nic_bw), gb(t.nic_bw)],
+        ),
+    ];
+    for (name, cells) in rows {
+        println!(
+            "{:<18} {:>14} {:>14} {:>14} {:>16}",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    bench::banner("Simulated SW26010 Pro core group (SwAthread backend substrate)");
+    let cg = CgConfig::default();
+    println!("CPEs per core group      {}", cg.num_cpes);
+    println!("LDM per CPE              {} kB", cg.ldm_bytes / 1024);
+    println!("CPE clock                {:.2} GHz", cg.clock_hz / 1e9);
+    println!("CG memory bandwidth      {}", gb(cg.mem_bandwidth_bps));
+    println!("SIMD width               {} x f64", cg.simd_f64_lanes);
+    println!(
+        "Cores per processor      {} (6 MPEs + 384 CPEs)",
+        sunway_sim::CGS_PER_PROCESSOR * (sunway_sim::CPES_PER_CG + 1)
+    );
+    println!(
+        "Paper headline           38,366,250 cores = {} core groups",
+        38_366_250 / 65
+    );
+}

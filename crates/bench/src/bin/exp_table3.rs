@@ -1,0 +1,45 @@
+//! Table III — the four LICOMK++ configurations, printed from
+//! `ocean_grid::config` and validated against the paper's exact numbers.
+
+use ocean_grid::Resolution;
+
+fn main() {
+    bench::banner("Table III: four configurations of LICOMK++");
+    println!(
+        "{:<18} {:>18} {:>10} {:>26} {:>14}",
+        "Resolution", "Horizontal grid", "Levels", "dt barotropic/clinic/tracer", "Grid points"
+    );
+    for r in Resolution::ALL {
+        let c = r.config();
+        println!(
+            "{:<18} {:>18} {:>10} {:>26} {:>14.3e}",
+            c.name,
+            format!("{} x {}", c.nx, c.ny),
+            format!("{} eta", c.nz),
+            format!("{}/{}/{} s", c.dt_barotropic, c.dt_baroclinic, c.dt_tracer),
+            c.grid_points() as f64,
+        );
+    }
+    let k1 = Resolution::Km1.config();
+    println!(
+        "\n1-km configuration: {} total grid points (paper: \">63 billion\"), \
+         {} barotropic substeps per baroclinic step, {} steps/day",
+        k1.grid_points(),
+        k1.barotropic_substeps(),
+        k1.steps_per_day()
+    );
+    assert!(k1.grid_points() > 63_000_000_000);
+
+    bench::banner("Scaled-down analogues used for local measured runs");
+    for (r, div, nz) in [
+        (Resolution::Coarse100km, 4, 15),
+        (Resolution::Eddy10km, 40, 15),
+        (Resolution::Km1, 400, 10),
+    ] {
+        let s = r.config().scaled_down(div, nz);
+        println!(
+            "{:<22} {:>5} x {:<5} x {:<3}  dt = {}/{}/{} s",
+            s.name, s.nx, s.ny, s.nz, s.dt_barotropic, s.dt_baroclinic, s.dt_tracer
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Table V + Fig. 8 — strong scaling of LICOMK++.
+//!
+//! Two parts:
+//!
+//! 1. **Full-scale projection** (perf-model): the six series of Table V —
+//!    10 km / 2 km / 1 km on ORISE and the new Sunway — with the paper's
+//!    published SYPD and efficiency next to the model's, plus the
+//!    optimized-vs-original Sunway speedup the paper quotes (2.7× at
+//!    2 km, 3.9× at 1 km).
+//! 2. **Measured local strong scaling**: the real `licom` model on a
+//!    scaled-down 1-km analogue over 1/2/4/8 in-process ranks, wall-clock
+//!    measured exactly as the paper measures SYPD (daily loop only).
+
+use bench::{banner, deviation_pct};
+use licom::model::{Model, ModelOptions};
+use mpi_sim::World;
+use ocean_grid::Resolution;
+use perf_model::{calibration, project, Machine, ProblemSpec, SunwayVariant};
+
+struct Series {
+    label: &'static str,
+    res: Resolution,
+    machine: Machine,
+    /// (devices, paper SYPD); Sunway device = core group (65 cores).
+    points: Vec<(usize, f64)>,
+}
+
+fn paper_series() -> Vec<Series> {
+    vec![
+        Series {
+            label: "10 km  ORISE",
+            res: Resolution::Eddy10km,
+            machine: Machine::orise(),
+            points: vec![
+                (40, 1.009),
+                (160, 3.984),
+                (320, 6.880),
+                (640, 10.794),
+                (1000, 13.543),
+            ],
+        },
+        Series {
+            label: "10 km  New Sunway",
+            res: Resolution::Eddy10km,
+            machine: Machine::sunway_cg(),
+            points: vec![
+                (160, 0.437),
+                (300, 0.780),
+                (480, 1.165),
+                (780, 1.761),
+                (1560, 3.312),
+            ],
+        },
+        Series {
+            label: "2 km   ORISE",
+            res: Resolution::Km2FullDepth,
+            machine: Machine::orise(),
+            points: vec![(4000, 0.912), (8000, 1.386), (12000, 1.577), (16000, 1.779)],
+        },
+        Series {
+            label: "2 km   New Sunway",
+            res: Resolution::Km2FullDepth,
+            machine: Machine::sunway_cg(),
+            points: vec![
+                (78000, 0.264),
+                (159480, 0.456),
+                (288000, 0.692),
+                (576000, 0.992),
+            ],
+        },
+        Series {
+            label: "1 km   ORISE",
+            res: Resolution::Km1,
+            machine: Machine::orise(),
+            points: vec![(4000, 0.765), (8000, 1.248), (12000, 1.486), (16000, 1.701)],
+        },
+        Series {
+            label: "1 km   New Sunway",
+            res: Resolution::Km1,
+            machine: Machine::sunway_cg(),
+            points: vec![
+                (77750, 0.252),
+                (155520, 0.426),
+                (307800, 0.709),
+                (590250, 1.047),
+            ],
+        },
+    ]
+}
+
+fn main() {
+    banner("Table V / Fig. 8 (projected): strong scaling at paper scale");
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "series", "devices", "paper SYPD", "model SYPD", "dev %", "paper eff", "model eff"
+    );
+    for s in paper_series() {
+        let spec = ProblemSpec::from_config(&s.res.config()).with_multiplier(
+            calibration::cost_multiplier(&s.res.config().name, s.machine.name),
+        );
+        let base_dev = s.points[0].0;
+        let base_paper = s.points[0].1;
+        let base_model = project(&spec, &s.machine, base_dev, SunwayVariant::Optimized).sypd;
+        for &(devices, paper_sypd) in &s.points {
+            let p = project(&spec, &s.machine, devices, SunwayVariant::Optimized);
+            let scale = devices as f64 / base_dev as f64;
+            let paper_eff = paper_sypd / (base_paper * scale);
+            let model_eff = p.sypd / (base_model * scale);
+            println!(
+                "{:<20} {:>10} {:>12.3} {:>12.3} {:>7.0}% {:>11.1}% {:>11.1}%",
+                s.label,
+                devices,
+                paper_sypd,
+                p.sypd,
+                deviation_pct(p.sypd, paper_sypd),
+                100.0 * paper_eff,
+                100.0 * model_eff
+            );
+        }
+        println!();
+    }
+
+    banner("Fig. 8 (shape): model strong-scaling curves");
+    let mut chart_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for s in paper_series() {
+        let spec = ProblemSpec::from_config(&s.res.config()).with_multiplier(
+            calibration::cost_multiplier(&s.res.config().name, s.machine.name),
+        );
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .map(|&(d, _)| {
+                (
+                    d as f64,
+                    project(&spec, &s.machine, d, SunwayVariant::Optimized).sypd,
+                )
+            })
+            .collect();
+        chart_series.push((s.label.trim().to_string(), pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> = chart_series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
+    print!("{}", bench::ascii_chart("SYPD vs devices", &refs, 64, 16));
+
+    banner("Optimized vs original on Sunway (paper: 2.7x at 2 km, 3.9x at 1 km)");
+    for (res, devices, paper_speedup) in [
+        (Resolution::Km2FullDepth, 576_000usize, 2.7),
+        (Resolution::Km1, 590_250, 3.9),
+    ] {
+        let spec = ProblemSpec::from_config(&res.config());
+        let m = Machine::sunway_cg();
+        let opt = project(&spec, &m, devices, SunwayVariant::Optimized);
+        let orig = project(&spec, &m, devices, SunwayVariant::Original);
+        println!(
+            "{:<10} optimized {:.3} SYPD, original {:.3} SYPD -> speedup {:.2}x (paper {:.1}x)",
+            res.config().name,
+            opt.sypd,
+            orig.sypd,
+            opt.sypd / orig.sypd,
+            paper_speedup
+        );
+    }
+
+    banner("Measured local strong scaling (real model, scaled 1-km analogue)");
+    // 90 x 55 x 10, km-scale time steps; px must divide 90.
+    let cfg = Resolution::Km1.config().scaled_down(400, 10);
+    println!(
+        "grid {} x {} x {}, dt {}/{} s, space = Threads per rank",
+        cfg.nx, cfg.ny, cfg.nz, cfg.dt_barotropic, cfg.dt_baroclinic
+    );
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "ranks", "SYPD", "vs 1 rank", "efficiency"
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("(host has {cores} cores; rank counts beyond that are oversubscribed)");
+    let rank_counts: Vec<usize> = [1usize, 2, 3, 6]
+        .into_iter()
+        .filter(|&r| r <= cores.max(2))
+        .collect();
+    let mut base = None;
+    for ranks in rank_counts {
+        let cfg = cfg.clone();
+        let stats = World::run(ranks, move |comm| {
+            let mut m = Model::new(
+                comm,
+                cfg.clone(),
+                kokkos_rs::Space::serial(),
+                ModelOptions::default(),
+            );
+            m.run_steps(5); // warm-up
+            m.run_days(0.05)
+        })
+        .pop()
+        .unwrap();
+        let b = *base.get_or_insert(stats.sypd);
+        println!(
+            "{:>8} {:>12.2} {:>13.2}x {:>11.1}%",
+            ranks,
+            stats.sypd,
+            stats.sypd / b,
+            100.0 * stats.sypd / (b * ranks as f64)
+        );
+    }
+    println!("\n(In-process ranks share one machine's memory bandwidth, so measured");
+    println!("local scaling is bandwidth-bound; the projection above models the");
+    println!("paper's distributed-memory scaling.)");
+}

@@ -1,0 +1,159 @@
+//! Consistency guard: the performance model's kernel census
+//! (`perf_model::workload::PASSES_3D`) must match the `IterCost` hooks of
+//! the actual `licom` functors — otherwise the projection describes a
+//! different model than the one we run.
+
+use kokkos_rs::{View, View1, View2, View3};
+use perf_model::workload::PASSES_3D;
+
+fn census(name: &str) -> (f64, f64) {
+    let k = PASSES_3D
+        .iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("census entry '{name}' missing"));
+    (k.flops_per_pt, k.bytes_per_pt)
+}
+
+fn v3(nz: usize) -> View3<f64> {
+    View::host("v", [nz, 8, 8])
+}
+
+fn v2i(v: i32) -> View2<i32> {
+    let x: View2<i32> = View::host("m", [8, 8]);
+    x.fill(v);
+    x
+}
+
+fn v1(n: usize) -> View1<f64> {
+    View::host("d", [n])
+}
+
+#[test]
+fn eos_census_matches_functor_cost() {
+    let f = licom::eos::FunctorEos {
+        t: v3(4),
+        s: v3(4),
+        rho: v3(4),
+    };
+    use kokkos_rs::Functor3D;
+    let c = f.cost();
+    let (flops, bytes) = census("eos");
+    assert_eq!((c.flops as f64, c.bytes as f64), (flops, bytes));
+}
+
+#[test]
+fn momentum_census_matches_functor_cost() {
+    let f = licom::baroclinic::FunctorMomentumTend {
+        u_cur: v3(4),
+        v_cur: v3(4),
+        u_old: v3(4),
+        v_old: v3(4),
+        pressure: v3(4),
+        ut: v3(4),
+        vt: v3(4),
+        kmu: v2i(4),
+        fcor: v1(8),
+        dxt: v1(8),
+        dyt: 1.0e5,
+        dz: v1(4),
+        visc: 1.0e3,
+    };
+    use kokkos_rs::Functor3D;
+    let c = f.cost();
+    let (flops, bytes) = census("momentum_tend");
+    assert_eq!((c.flops as f64, c.bytes as f64), (flops, bytes));
+}
+
+#[test]
+fn advection_census_matches_summed_pass_costs() {
+    use kokkos_rs::Functor3D;
+    // Census entry "advection_tracer" = 2 tracers x (flux_x + apply_x +
+    // flux_y + apply_y + z-pass).
+    let nz = 4;
+    let fx = licom::advect::FunctorFluxX {
+        q: v3(nz),
+        u: v3(nz),
+        flux: v3(nz),
+        kmt: v2i(nz as i32),
+        dxt: v1(8),
+        dyt: 1.0e5,
+        dt: 20.0,
+        limited: true,
+    };
+    let ax = licom::advect::FunctorApplyX {
+        q: v3(nz),
+        q1: v3(nz),
+        flux: v3(nz),
+        kmt: v2i(nz as i32),
+        dxt: v1(8),
+        dyt: 1.0e5,
+        dt: 20.0,
+    };
+    let fy = licom::advect::FunctorFluxY {
+        q: v3(nz),
+        v: v3(nz),
+        flux: v3(nz),
+        kmt: v2i(nz as i32),
+        dxt: v1(8),
+        dyt: 1.0e5,
+        dt: 20.0,
+        limited: true,
+    };
+    let ay = licom::advect::FunctorApplyY {
+        q: v3(nz),
+        q1: v3(nz),
+        flux: v3(nz),
+        kmt: v2i(nz as i32),
+        dxt: v1(8),
+        dyt: 1.0e5,
+        dt: 20.0,
+    };
+    // z-pass is a column functor: per-point share = cost / nz.
+    let az = licom::advect::FunctorAdvectZ {
+        q: v3(nz),
+        q1: v3(nz),
+        w: v3(nz + 1),
+        kmt: v2i(nz as i32),
+        dz: v1(nz),
+        dt: 20.0,
+        nz,
+        limited: true,
+    };
+    use kokkos_rs::Functor2D;
+    let per_point_flops = (fx.cost().flops
+        + ax.cost().flops
+        + fy.cost().flops
+        + ay.cost().flops) as f64
+        + az.cost().flops as f64 / nz as f64;
+    let per_point_bytes = (fx.cost().bytes
+        + ax.cost().bytes
+        + fy.cost().bytes
+        + ay.cost().bytes) as f64
+        + az.cost().bytes as f64 / nz as f64;
+    let (flops, bytes) = census("advection_tracer");
+    assert_eq!(flops, 2.0 * per_point_flops, "flops census drifted");
+    assert_eq!(bytes, 2.0 * per_point_bytes, "bytes census drifted");
+}
+
+#[test]
+fn canuto_census_matches_column_share() {
+    use kokkos_rs::Functor2D;
+    let nz = 4;
+    let f = licom::canuto::FunctorCanutoRect {
+        f: licom::canuto::CanutoFields {
+            rho: v3(nz),
+            u: v3(nz),
+            v: v3(nz),
+            km: v3(nz + 1),
+            kh: v3(nz + 1),
+            kmt: v2i(nz as i32),
+            z_t: v1(nz),
+            nz,
+        },
+    };
+    let c = f.cost();
+    let (flops, bytes) = census("canuto");
+    // Column cost is nz x the per-point census entry.
+    assert_eq!(c.flops as f64, flops * nz as f64);
+    assert_eq!(c.bytes as f64, bytes * nz as f64);
+}

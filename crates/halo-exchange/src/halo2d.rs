@@ -1,0 +1,472 @@
+//! 2-D halo update on the tripolar block decomposition.
+//!
+//! Layout of a local field (padded views, `H = 2`):
+//!
+//! ```text
+//! rows    [0, H)            south ghost (closed wall or neighbor data)
+//! rows    [H, H+ny)         owned; of these [H, H+2) and [H+ny-2, H+ny)
+//!                           are the *real halo* sent to neighbors
+//! rows    [H+ny, H+ny+2H?)  north ghost (neighbor or fold data)
+//! ```
+//! and likewise in `i`. The update is two-phase — east/west over owned
+//! rows first, then north/south over the **full padded width** — which
+//! fills the four corner blocks without diagonal messages (the standard
+//! trick; LICOM does the same).
+//!
+//! The **north fold**: the tripolar seam maps the ghost row above global
+//! row `nyg-1-…` onto row `nyg-1-d` *mirrored in longitude*; vector
+//! fields additionally flip sign. The fold partner of the block at column
+//! `cx` is the block at `px-1-cx` (possibly itself). A clean mirror
+//! requires equal block widths, so fold exchanges assert `nxg % px == 0`.
+
+use kokkos_rs::View2;
+use mpi_sim::{CartComm, Dir, Neighbor};
+
+use crate::HALO as H;
+
+/// Tag offsets by direction of travel.
+const T_WEST: u64 = 0;
+const T_EAST: u64 = 1;
+const T_SOUTH: u64 = 2;
+const T_NORTH: u64 = 3;
+const T_FOLD: u64 = 4;
+
+/// How a field transforms across the north fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldKind {
+    /// Tracers, SSH: copied as-is (mirrored in `i`).
+    Scalar,
+    /// Velocity components on the B grid: mirrored and sign-flipped.
+    Vector,
+}
+
+impl FoldKind {
+    fn sign(self) -> f64 {
+        match self {
+            FoldKind::Scalar => 1.0,
+            FoldKind::Vector => -1.0,
+        }
+    }
+}
+
+/// Per-rank halo exchange context for one decomposition.
+#[derive(Clone)]
+pub struct Halo2D {
+    cart: CartComm,
+    /// Global grid extents.
+    pub nxg: usize,
+    pub nyg: usize,
+    /// This rank's owned block.
+    pub x0: usize,
+    pub y0: usize,
+    pub nx: usize,
+    pub ny: usize,
+}
+
+impl Halo2D {
+    /// Build the context from the topology. Panics if any block is too
+    /// small to carry a 2-wide real halo, or if a fold is present with
+    /// unequal block widths.
+    pub fn new(cart: &CartComm, nxg: usize, nyg: usize) -> Self {
+        let (x0, nx) = cart.local_x(nxg);
+        let (y0, ny) = cart.local_y(nyg);
+        assert!(nx >= H && ny >= H, "block {nx}x{ny} smaller than halo {H}");
+        if matches!(cart.neighbor(Dir::North), Neighbor::Fold(_)) {
+            assert_eq!(
+                nxg % cart.px(),
+                0,
+                "north-fold exchange requires equal block widths (nxg % px == 0)"
+            );
+        }
+        Self {
+            cart: cart.clone(),
+            nxg,
+            nyg,
+            x0,
+            y0,
+            nx,
+            ny,
+        }
+    }
+
+    /// Padded local extents `(ny_pad, nx_pad)` a field must have.
+    pub fn padded(&self) -> (usize, usize) {
+        (self.ny + 2 * H, self.nx + 2 * H)
+    }
+
+    /// The underlying Cartesian topology.
+    pub fn cart(&self) -> &CartComm {
+        &self.cart
+    }
+
+    /// Zonal offset of the fold partner's block (equal widths enforced).
+    pub fn fold_partner_x0_pub(&self) -> usize {
+        self.fold_partner_x0()
+    }
+
+    fn check(&self, field: &View2<f64>) {
+        let (pj, pi) = self.padded();
+        assert_eq!(field.dims(), [pj, pi], "field shape != padded block");
+    }
+
+    // -- packing helpers ----------------------------------------------------
+
+    /// Columns `[c0, c0+H)` over owned rows, row-major.
+    fn pack_cols(&self, f: &View2<f64>, c0: usize) -> Vec<f64> {
+        let mut buf = Vec::with_capacity(self.ny * H);
+        for j in H..H + self.ny {
+            for c in 0..H {
+                buf.push(f.at(j, c0 + c));
+            }
+        }
+        buf
+    }
+
+    fn unpack_cols(&self, f: &View2<f64>, c0: usize, buf: &[f64]) {
+        assert_eq!(buf.len(), self.ny * H);
+        let mut it = buf.iter();
+        for j in H..H + self.ny {
+            for c in 0..H {
+                f.set_at(j, c0 + c, *it.next().unwrap());
+            }
+        }
+    }
+
+    /// Rows `[r0, r0+H)` over the full padded width, row-major.
+    fn pack_rows(&self, f: &View2<f64>, r0: usize) -> Vec<f64> {
+        let (_, pi) = self.padded();
+        let mut buf = Vec::with_capacity(H * pi);
+        for r in 0..H {
+            for i in 0..pi {
+                buf.push(f.at(r0 + r, i));
+            }
+        }
+        buf
+    }
+
+    fn unpack_rows(&self, f: &View2<f64>, r0: usize, buf: &[f64]) {
+        let (_, pi) = self.padded();
+        assert_eq!(buf.len(), H * pi);
+        let mut it = buf.iter();
+        for r in 0..H {
+            for i in 0..pi {
+                f.set_at(r0 + r, i, *it.next().unwrap());
+            }
+        }
+    }
+
+    /// Fold pack: rows global `nyg-1-d` (d = 0..H) over full padded width.
+    fn pack_fold(&self, f: &View2<f64>) -> Vec<f64> {
+        let (_, pi) = self.padded();
+        let mut buf = Vec::with_capacity(H * pi);
+        for d in 0..H {
+            let jl = H + self.ny - 1 - d; // local row of global nyg-1-d
+            for i in 0..pi {
+                buf.push(f.at(jl, i));
+            }
+        }
+        buf
+    }
+
+    /// Fold unpack into ghost rows `H+ny+d` with zonal mirroring.
+    fn unpack_fold(&self, f: &View2<f64>, buf: &[f64], kind: FoldKind, partner_x0: usize) {
+        let (_, pi) = self.padded();
+        assert_eq!(buf.len(), H * pi);
+        let sign = kind.sign();
+        for d in 0..H {
+            for il in 0..pi {
+                // Global (unwrapped) column of this ghost cell.
+                let ig = self.x0 as i64 + il as i64 - H as i64;
+                // Mirror across the seam.
+                let src = self.nxg as i64 - 1 - ig;
+                // Column inside the partner's padded buffer.
+                let bc = src - (partner_x0 as i64 - H as i64);
+                debug_assert!((0..pi as i64).contains(&bc), "fold column out of range");
+                f.set_at(H + self.ny + d, il, sign * buf[d * pi + bc as usize]);
+            }
+        }
+    }
+
+    fn fold_partner_x0(&self) -> usize {
+        // Equal widths guaranteed by the constructor assert.
+        self.nxg - self.x0 - self.nx
+    }
+
+    // -- the update ---------------------------------------------------------
+
+    /// Blocking 2-layer halo update of `field`.
+    ///
+    /// `tag_base` namespaces the messages so several fields can be updated
+    /// back to back; callers use distinct bases per field per step.
+    pub fn exchange(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
+        self.check(field);
+        self.exchange_ew(field, tag_base);
+        self.exchange_ns(field, kind, tag_base);
+    }
+
+    /// Overlapped variant: posts the east/west messages, runs `interior`
+    /// (which must not read or write any halo or real-halo cell), then
+    /// completes the update. Bitwise identical to [`Halo2D::exchange`].
+    pub fn exchange_overlap(
+        &self,
+        field: &View2<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+        interior: impl FnOnce(),
+    ) {
+        self.check(field);
+        let comm = self.cart.comm();
+        let (Neighbor::Interior(w), Neighbor::Interior(e)) =
+            (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
+        else {
+            unreachable!("zonal neighbors always exist")
+        };
+        if w == comm.rank() {
+            // Single zonal block: no overlap possible; do it directly.
+            self.exchange_ew(field, tag_base);
+            interior();
+        } else {
+            comm.isend(w, tag_base + T_WEST, self.pack_cols(field, H));
+            comm.isend(e, tag_base + T_EAST, self.pack_cols(field, self.nx));
+            interior();
+            let from_e = comm.recv::<f64>(e, tag_base + T_WEST);
+            self.unpack_cols(field, H + self.nx, &from_e);
+            let from_w = comm.recv::<f64>(w, tag_base + T_EAST);
+            self.unpack_cols(field, 0, &from_w);
+        }
+        self.exchange_ns(field, kind, tag_base);
+    }
+
+    fn exchange_ew(&self, field: &View2<f64>, tag_base: u64) {
+        let comm = self.cart.comm();
+        let (Neighbor::Interior(w), Neighbor::Interior(e)) =
+            (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
+        else {
+            unreachable!("zonal neighbors always exist")
+        };
+        if w == comm.rank() {
+            // px == 1: periodic wrap within the block.
+            let west_real = self.pack_cols(field, H);
+            let east_real = self.pack_cols(field, self.nx);
+            self.unpack_cols(field, H + self.nx, &west_real);
+            self.unpack_cols(field, 0, &east_real);
+            return;
+        }
+        comm.isend(w, tag_base + T_WEST, self.pack_cols(field, H));
+        comm.isend(e, tag_base + T_EAST, self.pack_cols(field, self.nx));
+        let from_e = comm.recv::<f64>(e, tag_base + T_WEST);
+        self.unpack_cols(field, H + self.nx, &from_e);
+        let from_w = comm.recv::<f64>(w, tag_base + T_EAST);
+        self.unpack_cols(field, 0, &from_w);
+    }
+
+    fn exchange_ns(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
+        let comm = self.cart.comm();
+        // Send southward (fills south neighbor's north ghost).
+        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+            comm.isend(s, tag_base + T_SOUTH, self.pack_rows(field, H));
+        }
+        // Send northward / foldward.
+        match self.cart.neighbor(Dir::North) {
+            Neighbor::Interior(n) => {
+                comm.isend(n, tag_base + T_NORTH, self.pack_rows(field, self.ny));
+            }
+            Neighbor::Fold(p) if p != comm.rank() => {
+                comm.isend(p, tag_base + T_FOLD, self.pack_fold(field));
+            }
+            _ => {}
+        }
+        // Receive from north (their southward message fills my north ghost).
+        match self.cart.neighbor(Dir::North) {
+            Neighbor::Interior(n) => {
+                let buf = comm.recv::<f64>(n, tag_base + T_SOUTH);
+                self.unpack_rows(field, H + self.ny, &buf);
+            }
+            Neighbor::Fold(p) => {
+                let buf = if p == comm.rank() {
+                    self.pack_fold(field)
+                } else {
+                    comm.recv::<f64>(p, tag_base + T_FOLD)
+                };
+                self.unpack_fold(field, &buf, kind, self.fold_partner_x0());
+            }
+            Neighbor::Closed => {}
+        }
+        // Receive from south (their northward message fills my south ghost).
+        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+            let buf = comm.recv::<f64>(s, tag_base + T_NORTH);
+            self.unpack_rows(field, 0, &buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kokkos_rs::View;
+    use mpi_sim::World;
+
+    /// Global reference field, defined on owned cells.
+    fn g(j: usize, i: usize) -> f64 {
+        (j * 10_000 + i) as f64 + 0.25
+    }
+
+    /// Fill a rank's owned cells from the global function.
+    fn fill_owned(h: &Halo2D, f: &View2<f64>) {
+        for j in 0..h.ny {
+            for i in 0..h.nx {
+                f.set_at(H + j, H + i, g(h.y0 + j, h.x0 + i));
+            }
+        }
+    }
+
+    /// Expected value of any padded cell after a full exchange (None =
+    /// unspecified: closed southern ghost).
+    fn expected(h: &Halo2D, jl: usize, il: usize, kind: FoldKind) -> Option<f64> {
+        let nxg = h.nxg as i64;
+        let nyg = h.nyg as i64;
+        let jg = h.y0 as i64 + jl as i64 - H as i64;
+        let ig = h.x0 as i64 + il as i64 - H as i64;
+        let iw = ig.rem_euclid(nxg) as usize;
+        if jg < 0 {
+            return None; // closed southern wall
+        }
+        if jg < nyg {
+            return Some(g(jg as usize, iw));
+        }
+        // North fold: ghost row nyg+d mirrors row nyg-1-d, i -> nxg-1-i.
+        let d = jg - nyg;
+        if d >= H as i64 {
+            return None;
+        }
+        let src_j = (nyg - 1 - d) as usize;
+        let src_i = (nxg - 1 - ig).rem_euclid(nxg) as usize;
+        Some(kind.sign() * g(src_j, src_i))
+    }
+
+    fn check_all(h: &Halo2D, f: &View2<f64>, kind: FoldKind) {
+        let (pj, pi) = h.padded();
+        for jl in 0..pj {
+            for il in 0..pi {
+                if let Some(want) = expected(h, jl, il, kind) {
+                    let got = f.at(jl, il);
+                    assert_eq!(
+                        got, want,
+                        "rank block ({},{}) cell (jl={jl}, il={il}) got {got} want {want}",
+                        h.x0, h.y0
+                    );
+                }
+            }
+        }
+    }
+
+    fn run_case(nranks: usize, px: usize, py: usize, nxg: usize, nyg: usize, kind: FoldKind) {
+        World::run(nranks, |comm| {
+            let cart = CartComm::new(comm.clone(), px, py, true);
+            let h = Halo2D::new(&cart, nxg, nyg);
+            let (pj, pi) = h.padded();
+            let f: View2<f64> = View::host("f", [pj, pi]);
+            f.fill(-1e30); // poison ghosts
+            fill_owned(&h, &f);
+            h.exchange(&f, kind, 100);
+            check_all(&h, &f, kind);
+        });
+    }
+
+    #[test]
+    fn single_rank_periodic_and_fold() {
+        run_case(1, 1, 1, 12, 8, FoldKind::Scalar);
+    }
+
+    #[test]
+    fn single_rank_vector_fold_flips_sign() {
+        run_case(1, 1, 1, 12, 8, FoldKind::Vector);
+    }
+
+    #[test]
+    fn four_zonal_ranks() {
+        run_case(4, 4, 1, 16, 6, FoldKind::Scalar);
+    }
+
+    #[test]
+    fn two_by_two() {
+        run_case(4, 2, 2, 12, 10, FoldKind::Scalar);
+    }
+
+    #[test]
+    fn four_by_three_vector() {
+        run_case(12, 4, 3, 24, 12, FoldKind::Vector);
+    }
+
+    #[test]
+    fn uneven_rows_ok_without_fold_constraint_violation() {
+        // ny not divisible by py is fine; only nx % px matters for the fold.
+        run_case(6, 2, 3, 8, 11, FoldKind::Scalar);
+    }
+
+    #[test]
+    fn overlap_matches_blocking() {
+        World::run(4, |comm| {
+            let cart = CartComm::new(comm.clone(), 2, 2, true);
+            let h = Halo2D::new(&cart, 12, 10);
+            let (pj, pi) = h.padded();
+            let a: View2<f64> = View::host("a", [pj, pi]);
+            let b: View2<f64> = View::host("b", [pj, pi]);
+            a.fill(0.0);
+            b.fill(0.0);
+            fill_owned(&h, &a);
+            fill_owned(&h, &b);
+            h.exchange(&a, FoldKind::Scalar, 200);
+            let mut interior_ran = false;
+            h.exchange_overlap(&b, FoldKind::Scalar, 300, || {
+                interior_ran = true;
+            });
+            assert!(interior_ran);
+            assert_eq!(a.to_vec(), b.to_vec(), "overlap must be bitwise equal");
+        });
+    }
+
+    #[test]
+    fn south_ghost_untouched() {
+        World::run(2, |comm| {
+            let cart = CartComm::new(comm.clone(), 2, 1, true);
+            let h = Halo2D::new(&cart, 8, 6);
+            let (pj, pi) = h.padded();
+            let f: View2<f64> = View::host("f", [pj, pi]);
+            f.fill(7.5);
+            fill_owned(&h, &f);
+            h.exchange(&f, FoldKind::Scalar, 0);
+            // Closed wall: the poison value survives in south ghost rows.
+            for r in 0..H {
+                for i in 0..pi {
+                    assert_eq!(f.at(r, i), 7.5);
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "north-fold exchange requires equal block widths")]
+    fn fold_requires_divisible_width() {
+        World::run(3, |comm| {
+            let cart = CartComm::new(comm.clone(), 3, 1, true);
+            let _ = Halo2D::new(&cart, 10, 6); // 10 % 3 != 0
+        });
+    }
+
+    #[test]
+    fn repeated_exchanges_are_idempotent() {
+        World::run(4, |comm| {
+            let cart = CartComm::new(comm.clone(), 2, 2, true);
+            let h = Halo2D::new(&cart, 12, 10);
+            let (pj, pi) = h.padded();
+            let f: View2<f64> = View::host("f", [pj, pi]);
+            f.fill(0.0);
+            fill_owned(&h, &f);
+            h.exchange(&f, FoldKind::Scalar, 0);
+            let first = f.to_vec();
+            h.exchange(&f, FoldKind::Scalar, 5);
+            assert_eq!(f.to_vec(), first, "second exchange must be a fixpoint");
+        });
+    }
+}

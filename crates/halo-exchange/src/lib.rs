@@ -1,0 +1,33 @@
+//! # halo-exchange — LICOM's halo update engine (paper §V-D)
+//!
+//! "The halo update process within the model acts as a serial bottleneck
+//! according to Amdahl's law" — so the paper rewrites it in C++/Kokkos,
+//! eliminates redundant pack/unpack work, overlaps communication with
+//! computation, and adds transpose-based 3-D exchanges. This crate is that
+//! engine, written against `mpi-sim` + `kokkos-rs` views:
+//!
+//! * [`halo2d`] — the 2-layer 2-D halo update on the tripolar topology:
+//!   zonal periodicity, closed southern wall, **north-fold** exchange with
+//!   zonal mirroring (and sign flip for vector fields), correct corner
+//!   fill via the E/W-then-N/S two-phase scheme, and an overlapped variant
+//!   that runs interior computation while messages are in flight;
+//! * [`halo3d`] — point-wise vertical extension of the 2-D update, with
+//!   two interchangeable strategies: the naive **horizontal-major** pack
+//!   (strided reads, the pre-optimization baseline) and the paper's
+//!   **transpose** pipeline (Fig. 5: real halo → vertical-major → exchange
+//!   → ghost halo → horizontal-major), plus batched multi-field messages
+//!   (the "redundant packing" elimination);
+//! * [`transpose`] — the high-performance halo transpose operators.
+//!
+//! All variants are *bitwise equivalent*; they differ only in access
+//! pattern and message count, which the benches measure.
+
+pub mod halo2d;
+pub mod halo3d;
+pub mod transpose;
+
+pub use halo2d::{FoldKind, Halo2D};
+pub use halo3d::{Halo3D, Strategy3D};
+
+/// Halo width (2 ghost + 2 real layers, fixed by LICOM's stencils).
+pub const HALO: usize = ocean_grid::decomp::HALO;

@@ -1,0 +1,122 @@
+//! Halo transpose operators (paper Fig. 5).
+//!
+//! A 3-D field is stored horizontal-major (`(k, j, i)`, `i` fastest). The
+//! east/west halo strips are therefore *strided* in memory: packing them
+//! walks the array with stride `nx_pad`, and on Sunway each element would
+//! be its own DMA transaction. The paper's fix:
+//!
+//! 1. transpose the **real halo** strip into vertical-major order
+//!    (`(j, i, k)`, `k` fastest) — one pass with LDM/shared-memory tiles;
+//! 2. run the 3-D exchange on the contiguous vertical-major strips;
+//! 3. transpose the received **ghost halo** strips back.
+//!
+//! Both directions are exact inverses; the property tests check
+//! `h2v ∘ v2h = id` and vice versa.
+
+/// Transpose a horizontal-major strip buffer `(k, j, i)` of shape
+/// `nz × nj × ni` into vertical-major `(j, i, k)`.
+pub fn h2v(src: &[f64], nz: usize, nj: usize, ni: usize) -> Vec<f64> {
+    assert_eq!(src.len(), nz * nj * ni, "h2v shape mismatch");
+    let mut dst = vec![0.0; src.len()];
+    for k in 0..nz {
+        for j in 0..nj {
+            let row = (k * nj + j) * ni;
+            for i in 0..ni {
+                dst[(j * ni + i) * nz + k] = src[row + i];
+            }
+        }
+    }
+    dst
+}
+
+/// Inverse of [`h2v`]: vertical-major `(j, i, k)` back to horizontal-major
+/// `(k, j, i)`.
+pub fn v2h(src: &[f64], nz: usize, nj: usize, ni: usize) -> Vec<f64> {
+    assert_eq!(src.len(), nz * nj * ni, "v2h shape mismatch");
+    let mut dst = vec![0.0; src.len()];
+    for j in 0..nj {
+        for i in 0..ni {
+            let col = (j * ni + i) * nz;
+            for k in 0..nz {
+                dst[(k * nj + j) * ni + i] = src[col + k];
+            }
+        }
+    }
+    dst
+}
+
+/// Tiled variant of [`h2v`] (the LDM/shared-memory implementation shape:
+/// `tile × tile` blocks transposed through a scratch tile). Bitwise
+/// identical to `h2v`; exists so the benches can compare naive vs tiled.
+pub fn h2v_tiled(src: &[f64], nz: usize, nj: usize, ni: usize, tile: usize) -> Vec<f64> {
+    assert_eq!(src.len(), nz * nj * ni);
+    assert!(tile > 0);
+    let mut dst = vec![0.0; src.len()];
+    let cols = nj * ni; // flattened (j,i)
+    for k0 in (0..nz).step_by(tile) {
+        let k1 = (k0 + tile).min(nz);
+        for c0 in (0..cols).step_by(tile) {
+            let c1 = (c0 + tile).min(cols);
+            for k in k0..k1 {
+                for c in c0..c1 {
+                    dst[c * nz + k] = src[k * cols + c];
+                }
+            }
+        }
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn strip(nz: usize, nj: usize, ni: usize) -> Vec<f64> {
+        (0..nz * nj * ni).map(|x| x as f64 * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn h2v_places_k_fastest() {
+        // 2 levels, 1 row, 3 columns.
+        let src = vec![
+            1.0, 2.0, 3.0, // k=0
+            10.0, 20.0, 30.0, // k=1
+        ];
+        let v = h2v(&src, 2, 1, 3);
+        assert_eq!(v, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let src = strip(7, 3, 5);
+        let there = h2v(&src, 7, 3, 5);
+        let back = v2h(&there, 7, 3, 5);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn tiled_matches_naive() {
+        let src = strip(13, 4, 6);
+        for tile in [1, 2, 3, 8, 64] {
+            assert_eq!(h2v_tiled(&src, 13, 4, 6, tile), h2v(&src, 13, 4, 6));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_h2v_v2h_identity(nz in 1usize..12, nj in 1usize..6, ni in 1usize..10, seed in 0u64..1000) {
+            let n = nz * nj * ni;
+            let src: Vec<f64> = (0..n).map(|x| ((x as u64).wrapping_mul(seed + 1) % 1000) as f64).collect();
+            prop_assert_eq!(&v2h(&h2v(&src, nz, nj, ni), nz, nj, ni), &src);
+            prop_assert_eq!(&h2v(&v2h(&src, nz, nj, ni), nz, nj, ni), &src);
+        }
+
+        #[test]
+        fn prop_tiled_equals_naive(nz in 1usize..10, nj in 1usize..5, ni in 1usize..8, tile in 1usize..9) {
+            let n = nz * nj * ni;
+            let src: Vec<f64> = (0..n).map(|x| x as f64).collect();
+            prop_assert_eq!(h2v_tiled(&src, nz, nj, ni, tile), h2v(&src, nz, nj, ni));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Functor traits — the kernel abstraction.
+//!
+//! Kokkos kernels are classes with an `operator()`; the paper's Code 1
+//! shows the AXPY example. We mirror that: a kernel is a struct holding
+//! `View` handles (shallow copies) implementing one of the traits below.
+//! `Sync` is required because the functor is shared by every thread / CPE
+//! executing the launch.
+//!
+//! The `cost()` hook reports a per-iteration arithmetic/memory estimate
+//! used by the simulated Sunway backend to charge CPE cycles and by the
+//! performance model to build its kernel census. It has **no effect on
+//! results**, only on simulated timing; the default is a nominal
+//! stencil-ish cost.
+
+/// Per-iteration cost estimate for simulated timing and roofline analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterCost {
+    /// Double-precision FLOPs per iteration.
+    pub flops: u64,
+    /// Main-memory bytes touched per iteration (reads + writes).
+    pub bytes: u64,
+}
+
+impl Default for IterCost {
+    fn default() -> Self {
+        // A generic low-intensity ocean-model kernel: ~20 flops touching
+        // ~6 f64 values. Computation-to-memory ratio ≈ 0.4 flop/byte,
+        // matching the paper's "very low computation-to-memory access
+        // ratio" characterisation.
+        Self {
+            flops: 20,
+            bytes: 48,
+        }
+    }
+}
+
+/// 1-D parallel-for body (`operator()(const int &i)` in the paper).
+pub trait Functor1D: Sync {
+    fn operator(&self, i: usize);
+
+    /// Cost estimate per iteration (see [`IterCost`]).
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
+/// 2-D parallel-for body; index order `(j, i)`, `i` innermost.
+pub trait Functor2D: Sync {
+    fn operator(&self, j: usize, i: usize);
+
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
+/// 3-D parallel-for body; index order `(k, j, i)`, `i` innermost.
+pub trait Functor3D: Sync {
+    fn operator(&self, k: usize, j: usize, i: usize);
+
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
+/// 1-D reduction body: fold iteration `i` into `acc`.
+pub trait ReduceFunctor1D: Sync {
+    fn contribute(&self, i: usize, acc: &mut f64);
+
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
+/// 2-D reduction body.
+pub trait ReduceFunctor2D: Sync {
+    fn contribute(&self, j: usize, i: usize, acc: &mut f64);
+
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
+/// 3-D reduction body.
+pub trait ReduceFunctor3D: Sync {
+    fn contribute(&self, k: usize, j: usize, i: usize, acc: &mut f64);
+
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
+/// Reduction combiner (Kokkos `Sum`, `Min`, `Max` reducers).
+///
+/// Partials are produced per policy tile and joined **in tile order** on
+/// every backend, so reductions are bitwise reproducible and
+/// backend-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reducer {
+    Sum,
+    Min,
+    Max,
+}
+
+impl Reducer {
+    pub fn identity(self) -> f64 {
+        match self {
+            Reducer::Sum => 0.0,
+            Reducer::Min => f64::INFINITY,
+            Reducer::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn join(self, a: f64, b: f64) -> f64 {
+        match self {
+            Reducer::Sum => a + b,
+            Reducer::Min => a.min(b),
+            Reducer::Max => a.max(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reducer_identities() {
+        assert_eq!(Reducer::Sum.join(Reducer::Sum.identity(), 5.0), 5.0);
+        assert_eq!(Reducer::Min.join(Reducer::Min.identity(), 5.0), 5.0);
+        assert_eq!(Reducer::Max.join(Reducer::Max.identity(), 5.0), 5.0);
+    }
+
+    #[test]
+    fn default_cost_is_memory_bound() {
+        let c = IterCost::default();
+        assert!((c.flops as f64) / (c.bytes as f64) < 1.0);
+    }
+}

@@ -1,0 +1,564 @@
+//! `parallel_for` / `parallel_reduce` dispatch.
+//!
+//! One generic entry point per (pattern, rank); the [`Space`] decides how
+//! tiles are executed:
+//!
+//! * `Serial` — tiles in order, one thread;
+//! * `Threads` — tiles on the rayon pool;
+//! * `DeviceSim` — tiles as a block grid on the pool, launch counted;
+//! * `SwAthread` — registry lookup → trampoline → simulated CPEs.
+//!
+//! **Determinism**: for-loops write disjoint elements, so backend choice
+//! cannot change results. Reductions always produce one partial per tile
+//! and join them in tile order on the launching thread, so their results
+//! are bitwise identical across backends and run-to-run.
+
+use rayon::prelude::*;
+
+use crate::functor::{
+    Functor1D, Functor2D, Functor3D, ReduceFunctor1D, ReduceFunctor2D, ReduceFunctor3D, Reducer,
+};
+use crate::policy::{MDRangePolicy2, MDRangePolicy3, RangePolicy};
+use crate::registry::{self, KernelKind};
+use crate::space::Space;
+
+fn not_registered<F>(kind: &str) -> ! {
+    panic!(
+        "functor `{}` is not registered for the SwAthread backend; \
+         add `{}!(<name>, {});` and call `<name>()` during initialization \
+         (the KOKKOS_REGISTER mechanism of paper §V-B)",
+        std::any::type_name::<F>(),
+        kind,
+        std::any::type_name::<F>(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+/// 1-D parallel for over `policy` on `space`.
+pub fn parallel_for_1d<F: Functor1D + 'static>(space: &Space, policy: RangePolicy, f: &F) {
+    let total = policy.total_tiles();
+    let run_tile = |t: usize| {
+        let (lo, hi) = policy.tile_range(t);
+        for i in lo..hi {
+            f.operator(i);
+        }
+    };
+    match space {
+        Space::Serial => (0..total).for_each(run_tile),
+        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().for_each(run_tile);
+        }
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For1D) else {
+                not_registered::<F>("register_for_1d");
+            };
+            let payload = registry::Payload1D {
+                functor: f as *const F as *const (),
+                policy,
+                cost: f.cost(),
+            };
+            sw.cg
+                .lock()
+                .run(tramp, &payload as *const registry::Payload1D as usize);
+        }
+    }
+}
+
+/// 2-D parallel for; index order `(j, i)`.
+pub fn parallel_for_2d<F: Functor2D + 'static>(space: &Space, policy: MDRangePolicy2, f: &F) {
+    let total = policy.total_tiles();
+    let run_tile = |t: usize| {
+        let [(j0, j1), (i0, i1)] = policy.tile_bounds(t);
+        for j in j0..j1 {
+            for i in i0..i1 {
+                f.operator(j, i);
+            }
+        }
+    };
+    match space {
+        Space::Serial => (0..total).for_each(run_tile),
+        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().for_each(run_tile);
+        }
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For2D) else {
+                not_registered::<F>("register_for_2d");
+            };
+            let payload = registry::Payload2D {
+                functor: f as *const F as *const (),
+                policy,
+                cost: f.cost(),
+            };
+            sw.cg
+                .lock()
+                .run(tramp, &payload as *const registry::Payload2D as usize);
+        }
+    }
+}
+
+/// 3-D parallel for; index order `(k, j, i)`.
+pub fn parallel_for_3d<F: Functor3D + 'static>(space: &Space, policy: MDRangePolicy3, f: &F) {
+    let total = policy.total_tiles();
+    let run_tile = |t: usize| {
+        let [(k0, k1), (j0, j1), (i0, i1)] = policy.tile_bounds(t);
+        for k in k0..k1 {
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    f.operator(k, j, i);
+                }
+            }
+        }
+    };
+    match space {
+        Space::Serial => (0..total).for_each(run_tile),
+        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().for_each(run_tile);
+        }
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For3D) else {
+                not_registered::<F>("register_for_3d");
+            };
+            let payload = registry::Payload3D {
+                functor: f as *const F as *const (),
+                policy,
+                cost: f.cost(),
+            };
+            sw.cg
+                .lock()
+                .run(tramp, &payload as *const registry::Payload3D as usize);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_reduce
+// ---------------------------------------------------------------------------
+
+fn join_partials(partials: &[f64], op: Reducer) -> f64 {
+    partials.iter().fold(op.identity(), |a, &b| op.join(a, b))
+}
+
+/// 1-D reduction over `policy`. Bitwise identical on every backend.
+pub fn parallel_reduce_1d<F: ReduceFunctor1D + 'static>(
+    space: &Space,
+    policy: RangePolicy,
+    f: &F,
+    op: Reducer,
+) -> f64 {
+    let total = policy.total_tiles();
+    let tile_partial = |t: usize| {
+        let (lo, hi) = policy.tile_range(t);
+        let mut acc = op.identity();
+        for i in lo..hi {
+            f.contribute(i, &mut acc);
+        }
+        acc
+    };
+    let partials: Vec<f64> = match space {
+        Space::Serial => (0..total).map(tile_partial).collect(),
+        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().map(tile_partial).collect()
+        }
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce1D)
+            else {
+                not_registered::<F>("register_reduce_1d");
+            };
+            let mut partials = vec![op.identity(); total];
+            let payload = registry::PayloadReduce1D {
+                functor: f as *const F as *const (),
+                policy,
+                cost: f.cost(),
+                partials: partials.as_mut_ptr(),
+                identity: op.identity(),
+            };
+            sw.cg
+                .lock()
+                .run(tramp, &payload as *const registry::PayloadReduce1D as usize);
+            partials
+        }
+    };
+    join_partials(&partials, op)
+}
+
+/// 2-D reduction.
+pub fn parallel_reduce_2d<F: ReduceFunctor2D + 'static>(
+    space: &Space,
+    policy: MDRangePolicy2,
+    f: &F,
+    op: Reducer,
+) -> f64 {
+    let total = policy.total_tiles();
+    let tile_partial = |t: usize| {
+        let [(j0, j1), (i0, i1)] = policy.tile_bounds(t);
+        let mut acc = op.identity();
+        for j in j0..j1 {
+            for i in i0..i1 {
+                f.contribute(j, i, &mut acc);
+            }
+        }
+        acc
+    };
+    let partials: Vec<f64> = match space {
+        Space::Serial => (0..total).map(tile_partial).collect(),
+        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().map(tile_partial).collect()
+        }
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce2D)
+            else {
+                not_registered::<F>("register_reduce_2d");
+            };
+            let mut partials = vec![op.identity(); total];
+            let payload = registry::PayloadReduce2D {
+                functor: f as *const F as *const (),
+                policy,
+                cost: f.cost(),
+                partials: partials.as_mut_ptr(),
+                identity: op.identity(),
+            };
+            sw.cg
+                .lock()
+                .run(tramp, &payload as *const registry::PayloadReduce2D as usize);
+            partials
+        }
+    };
+    join_partials(&partials, op)
+}
+
+/// 3-D reduction.
+pub fn parallel_reduce_3d<F: ReduceFunctor3D + 'static>(
+    space: &Space,
+    policy: MDRangePolicy3,
+    f: &F,
+    op: Reducer,
+) -> f64 {
+    let total = policy.total_tiles();
+    let tile_partial = |t: usize| {
+        let [(k0, k1), (j0, j1), (i0, i1)] = policy.tile_bounds(t);
+        let mut acc = op.identity();
+        for k in k0..k1 {
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    f.contribute(k, j, i, &mut acc);
+                }
+            }
+        }
+        acc
+    };
+    let partials: Vec<f64> = match space {
+        Space::Serial => (0..total).map(tile_partial).collect(),
+        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().map(tile_partial).collect()
+        }
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce3D)
+            else {
+                not_registered::<F>("register_reduce_3d");
+            };
+            let mut partials = vec![op.identity(); total];
+            let payload = registry::PayloadReduce3D {
+                functor: f as *const F as *const (),
+                policy,
+                cost: f.cost(),
+                partials: partials.as_mut_ptr(),
+                identity: op.identity(),
+            };
+            sw.cg
+                .lock()
+                .run(tramp, &payload as *const registry::PayloadReduce3D as usize);
+            partials
+        }
+    };
+    join_partials(&partials, op)
+}
+
+/// Block until all outstanding work on `space` completes (Kokkos `fence`).
+/// All our backends launch synchronously, so this is a no-op kept for API
+/// parity with the C++ model code.
+pub fn fence(_space: &Space) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{View, View1, View2, View3};
+    use sunway_sim::CgConfig;
+
+    // The paper's Code 1: AXPY.
+    struct FunctorAxpy {
+        a: f64,
+        x: View1<f64>,
+        y: View1<f64>,
+    }
+    impl Functor1D for FunctorAxpy {
+        fn operator(&self, i: usize) {
+            self.y.set_at(i, self.a * self.x.at(i) + self.y.at(i));
+        }
+    }
+    crate::register_for_1d!(my_axpy, FunctorAxpy);
+
+    struct Stencil2 {
+        src: View2<f64>,
+        dst: View2<f64>,
+    }
+    impl Functor2D for Stencil2 {
+        fn operator(&self, j: usize, i: usize) {
+            let [ny, nx] = self.src.dims();
+            let c = self.src.at(j, i);
+            let n = if j + 1 < ny { self.src.at(j + 1, i) } else { c };
+            let s = if j > 0 { self.src.at(j - 1, i) } else { c };
+            let e = if i + 1 < nx { self.src.at(j, i + 1) } else { c };
+            let w = if i > 0 { self.src.at(j, i - 1) } else { c };
+            self.dst.set_at(j, i, 0.2 * (c + n + s + e + w));
+        }
+    }
+    crate::register_for_2d!(stencil2, Stencil2);
+
+    struct Fill3 {
+        v: View3<f64>,
+    }
+    impl Functor3D for Fill3 {
+        fn operator(&self, k: usize, j: usize, i: usize) {
+            self.v.set_at(k, j, i, (k * 10000 + j * 100 + i) as f64);
+        }
+    }
+    crate::register_for_3d!(fill3, Fill3);
+
+    struct SumSq {
+        x: View1<f64>,
+    }
+    impl ReduceFunctor1D for SumSq {
+        fn contribute(&self, i: usize, acc: &mut f64) {
+            *acc += self.x.at(i) * self.x.at(i);
+        }
+    }
+    crate::register_reduce_1d!(sum_sq, SumSq);
+
+    struct Max3 {
+        v: View3<f64>,
+    }
+    impl ReduceFunctor3D for Max3 {
+        fn contribute(&self, k: usize, j: usize, i: usize, acc: &mut f64) {
+            *acc = acc.max(self.v.at(k, j, i));
+        }
+    }
+    crate::register_reduce_3d!(max3, Max3);
+
+    fn all_spaces() -> Vec<Space> {
+        vec![
+            Space::serial(),
+            Space::threads(),
+            Space::device_sim(),
+            Space::sw_athread_with(CgConfig::test_small()),
+        ]
+    }
+
+    #[test]
+    fn axpy_identical_on_all_backends() {
+        my_axpy();
+        let n = 1003;
+        let mut reference: Option<Vec<f64>> = None;
+        for space in all_spaces() {
+            let x: View1<f64> = View::host("x", [n]);
+            let y: View1<f64> = View::host("y", [n]);
+            for i in 0..n {
+                x.set_at(i, (i as f64).sin());
+                y.set_at(i, (i as f64).cos());
+            }
+            let f = FunctorAxpy {
+                a: 0.31,
+                x,
+                y: y.clone(),
+            };
+            parallel_for_1d(&space, RangePolicy::new(n).with_tile(64), &f);
+            let got = y.to_vec();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(
+                    r.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "backend {} diverged bitwise",
+                    space.name()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_2d_identical_on_all_backends() {
+        stencil2();
+        let (ny, nx) = (37, 53);
+        let mut reference: Option<Vec<u64>> = None;
+        for space in all_spaces() {
+            let src: View2<f64> = View::host("src", [ny, nx]);
+            let dst: View2<f64> = View::host("dst", [ny, nx]);
+            for j in 0..ny {
+                for i in 0..nx {
+                    src.set_at(j, i, ((j * 31 + i * 17) as f64).sin());
+                }
+            }
+            let f = Stencil2 {
+                src,
+                dst: dst.clone(),
+            };
+            parallel_for_2d(&space, MDRangePolicy2::new([ny, nx]).with_tile([5, 9]), &f);
+            let bits: Vec<u64> = dst.to_vec().iter().map(|v| v.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(r, &bits, "backend {} diverged", space.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn for_3d_covers_every_index() {
+        fill3();
+        for space in all_spaces() {
+            let v: View3<f64> = View::host("v", [5, 11, 13]);
+            v.fill(-1.0);
+            let f = Fill3 { v: v.clone() };
+            parallel_for_3d(
+                &space,
+                MDRangePolicy3::new([5, 11, 13]).with_tile([2, 3, 4]),
+                &f,
+            );
+            for k in 0..5 {
+                for j in 0..11 {
+                    for i in 0..13 {
+                        assert_eq!(
+                            v.at(k, j, i),
+                            (k * 10000 + j * 100 + i) as f64,
+                            "space {}",
+                            space.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_1d_bitwise_identical_on_all_backends() {
+        sum_sq();
+        let n = 4097;
+        let x: View1<f64> = View::host("x", [n]);
+        for i in 0..n {
+            // awkward magnitudes to expose ordering differences
+            x.set_at(i, ((i % 97) as f64 + 0.1) * 10f64.powi((i % 7) as i32 - 3));
+        }
+        let f = SumSq { x };
+        let policy = RangePolicy::new(n).with_tile(128);
+        let mut bits = Vec::new();
+        for space in all_spaces() {
+            let s = parallel_reduce_1d(&space, policy, &f, Reducer::Sum);
+            bits.push(s.to_bits());
+        }
+        assert!(
+            bits.iter().all(|&b| b == bits[0]),
+            "reduction differed across backends: {bits:?}"
+        );
+    }
+
+    #[test]
+    fn reduce_3d_max() {
+        max3();
+        let v: View3<f64> = View::host("v", [4, 6, 8]);
+        for k in 0..4 {
+            for j in 0..6 {
+                for i in 0..8 {
+                    v.set_at(k, j, i, -((k + j + i) as f64));
+                }
+            }
+        }
+        v.set_at(2, 3, 5, 99.5);
+        let f = Max3 { v };
+        for space in all_spaces() {
+            let m = parallel_reduce_3d(&space, MDRangePolicy3::new([4, 6, 8]), &f, Reducer::Max);
+            assert_eq!(m, 99.5, "space {}", space.name());
+        }
+    }
+
+    #[test]
+    fn device_sim_counts_launches() {
+        my_axpy();
+        let space = Space::device_sim();
+        let x: View1<f64> = View::host("x", [64]);
+        let y: View1<f64> = View::host("y", [64]);
+        let f = FunctorAxpy { a: 1.0, x, y };
+        for _ in 0..5 {
+            parallel_for_1d(&space, RangePolicy::new(64), &f);
+        }
+        if let Space::DeviceSim(d) = &space {
+            assert_eq!(d.launches(), 5);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered for the SwAthread backend")]
+    fn unregistered_functor_panics_on_sunway() {
+        struct Unregistered {
+            v: View1<f64>,
+        }
+        impl Functor1D for Unregistered {
+            fn operator(&self, i: usize) {
+                self.v.set_at(i, 0.0);
+            }
+        }
+        let space = Space::sw_athread_with(CgConfig::test_small());
+        let f = Unregistered {
+            v: View::host("v", [8]),
+        };
+        parallel_for_1d(&space, RangePolicy::new(8), &f);
+    }
+
+    #[test]
+    fn sunway_counters_accumulate_over_launches() {
+        my_axpy();
+        let space = Space::sw_athread_with(CgConfig::test_small());
+        let x: View1<f64> = View::host("x", [512]);
+        let y: View1<f64> = View::host("y", [512]);
+        let f = FunctorAxpy { a: 2.0, x, y };
+        parallel_for_1d(&space, RangePolicy::new(512).with_tile(32), &f);
+        if let Space::SwAthread(sw) = &space {
+            let c = sw.counters();
+            assert_eq!(c.kernels_launched, 1);
+            assert!(c.totals.flops > 0);
+            assert!(c.totals.dma_get_bytes > 0, "DMA staging was accounted");
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn empty_policy_is_a_noop_everywhere() {
+        my_axpy();
+        for space in all_spaces() {
+            let x: View1<f64> = View::host("x", [4]);
+            let y: View1<f64> = View::host("y", [4]);
+            let f = FunctorAxpy {
+                a: 5.0,
+                x,
+                y: y.clone(),
+            };
+            parallel_for_1d(&space, RangePolicy::range(0, 0), &f);
+            assert!(y.to_vec().iter().all(|&v| v == 0.0));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Execution policies and the CPE tile mapping.
+//!
+//! Implements the paper's Eq. (1) and Eq. (2):
+//!
+//! ```text
+//! total_tile        = Π_n ⌈ len_range_n / len_tile_n ⌉          (1)
+//! num_tile_per_cpe  = ⌈ total_tile / num_cpe ⌉                  (2)
+//! ```
+//!
+//! Tiles are the unit of work distribution on CPEs and also the unit of
+//! deterministic reduction on every backend: partial sums are produced per
+//! tile and combined in tile order, making `parallel_reduce` bitwise
+//! identical across Serial, Threads, DeviceSim and SwAthread.
+
+/// 1-D iteration policy `[start, end)` with a tile (chunk) length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangePolicy {
+    pub start: usize,
+    pub end: usize,
+    pub tile: usize,
+}
+
+impl RangePolicy {
+    /// Policy over `0..n` with the default tile (256, a cache/LDM-friendly
+    /// chunk that also gives Threads enough parallel slack).
+    pub fn new(n: usize) -> Self {
+        Self {
+            start: 0,
+            end: n,
+            tile: 256,
+        }
+    }
+
+    /// Policy over `start..end`.
+    pub fn range(start: usize, end: usize) -> Self {
+        assert!(start <= end);
+        Self {
+            start,
+            end,
+            tile: 256,
+        }
+    }
+
+    /// Override the tile length.
+    pub fn with_tile(mut self, tile: usize) -> Self {
+        assert!(tile > 0, "tile length must be positive");
+        self.tile = tile;
+        self
+    }
+
+    /// Number of iterations.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Paper Eq. (1) for one dimension.
+    pub fn total_tiles(&self) -> usize {
+        self.len().div_ceil(self.tile)
+    }
+
+    /// Index range of tile `t`.
+    pub fn tile_range(&self, t: usize) -> (usize, usize) {
+        let lo = self.start + t * self.tile;
+        let hi = (lo + self.tile).min(self.end);
+        (lo, hi)
+    }
+}
+
+/// 2-D multidimensional range policy (Kokkos `MDRangePolicy<Rank<2>>`).
+/// Index order is `(j, i)` with `i` innermost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MDRangePolicy2 {
+    pub extent: [usize; 2],
+    pub tile: [usize; 2],
+}
+
+impl MDRangePolicy2 {
+    pub fn new(extent: [usize; 2]) -> Self {
+        Self {
+            extent,
+            tile: [8, 64],
+        }
+    }
+
+    pub fn with_tile(mut self, tile: [usize; 2]) -> Self {
+        assert!(tile.iter().all(|&t| t > 0));
+        self.tile = tile;
+        self
+    }
+
+    /// Paper Eq. (1): product of per-dimension tile counts.
+    pub fn total_tiles(&self) -> usize {
+        (0..2)
+            .map(|d| self.extent[d].div_ceil(self.tile[d]))
+            .product()
+    }
+
+    /// Tile counts per dimension.
+    pub fn tiles_per_dim(&self) -> [usize; 2] {
+        [
+            self.extent[0].div_ceil(self.tile[0]),
+            self.extent[1].div_ceil(self.tile[1]),
+        ]
+    }
+
+    /// Decode tile `t` into per-dim index ranges `[(lo,hi); 2]`.
+    pub fn tile_bounds(&self, t: usize) -> [(usize, usize); 2] {
+        let td = self.tiles_per_dim();
+        let tj = t / td[1];
+        let ti = t % td[1];
+        let j0 = tj * self.tile[0];
+        let i0 = ti * self.tile[1];
+        [
+            (j0, (j0 + self.tile[0]).min(self.extent[0])),
+            (i0, (i0 + self.tile[1]).min(self.extent[1])),
+        ]
+    }
+}
+
+/// 3-D multidimensional range policy. Index order is `(k, j, i)`, `i`
+/// innermost — LICOM's storage convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MDRangePolicy3 {
+    pub extent: [usize; 3],
+    pub tile: [usize; 3],
+}
+
+impl MDRangePolicy3 {
+    pub fn new(extent: [usize; 3]) -> Self {
+        Self {
+            extent,
+            tile: [1, 8, 64],
+        }
+    }
+
+    pub fn with_tile(mut self, tile: [usize; 3]) -> Self {
+        assert!(tile.iter().all(|&t| t > 0));
+        self.tile = tile;
+        self
+    }
+
+    /// Paper Eq. (1).
+    pub fn total_tiles(&self) -> usize {
+        (0..3)
+            .map(|d| self.extent[d].div_ceil(self.tile[d]))
+            .product()
+    }
+
+    pub fn tiles_per_dim(&self) -> [usize; 3] {
+        [
+            self.extent[0].div_ceil(self.tile[0]),
+            self.extent[1].div_ceil(self.tile[1]),
+            self.extent[2].div_ceil(self.tile[2]),
+        ]
+    }
+
+    /// Decode tile `t` into per-dim index ranges.
+    pub fn tile_bounds(&self, t: usize) -> [(usize, usize); 3] {
+        let td = self.tiles_per_dim();
+        let tk = t / (td[1] * td[2]);
+        let rem = t % (td[1] * td[2]);
+        let tj = rem / td[2];
+        let ti = rem % td[2];
+        let k0 = tk * self.tile[0];
+        let j0 = tj * self.tile[1];
+        let i0 = ti * self.tile[2];
+        [
+            (k0, (k0 + self.tile[0]).min(self.extent[0])),
+            (j0, (j0 + self.tile[1]).min(self.extent[1])),
+            (i0, (i0 + self.tile[2]).min(self.extent[2])),
+        ]
+    }
+}
+
+/// Paper Eq. (2): tiles each CPE sweeps to cover `total_tiles`.
+pub fn tiles_per_cpe(total_tiles: usize, num_cpe: usize) -> usize {
+    total_tiles.div_ceil(num_cpe.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_1d() {
+        let p = RangePolicy::new(1000).with_tile(64);
+        assert_eq!(p.total_tiles(), 16); // ceil(1000/64)
+    }
+
+    #[test]
+    fn eq1_3d_product() {
+        let p = MDRangePolicy3::new([30, 218, 360]).with_tile([1, 8, 64]);
+        // ceil(30/1)=30, ceil(218/8)=28, ceil(360/64)=6 → 5040
+        assert_eq!(p.total_tiles(), 30 * 28 * 6);
+    }
+
+    #[test]
+    fn eq2_balanced_distribution() {
+        assert_eq!(tiles_per_cpe(5040, 64), 79); // ceil
+        assert_eq!(tiles_per_cpe(64, 64), 1);
+        assert_eq!(tiles_per_cpe(65, 64), 2);
+        assert_eq!(tiles_per_cpe(0, 64), 0);
+    }
+
+    #[test]
+    fn tile_ranges_cover_1d_exactly() {
+        let p = RangePolicy::range(5, 103).with_tile(16);
+        let mut covered = Vec::new();
+        for t in 0..p.total_tiles() {
+            let (lo, hi) = p.tile_range(t);
+            assert!(lo < hi);
+            covered.extend(lo..hi);
+        }
+        let expect: Vec<usize> = (5..103).collect();
+        assert_eq!(covered, expect);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn tile_bounds_cover_2d_exactly() {
+        let p = MDRangePolicy2::new([7, 13]).with_tile([3, 5]);
+        let mut hit = vec![vec![0u32; 13]; 7];
+        for t in 0..p.total_tiles() {
+            let [(j0, j1), (i0, i1)] = p.tile_bounds(t);
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    hit[j][i] += 1;
+                }
+            }
+        }
+        assert!(hit.iter().flatten().all(|&c| c == 1), "each index once");
+    }
+
+    #[test]
+    fn tile_bounds_cover_3d_exactly() {
+        let p = MDRangePolicy3::new([4, 7, 9]).with_tile([2, 3, 4]);
+        let mut hit = vec![0u32; 4 * 7 * 9];
+        for t in 0..p.total_tiles() {
+            let [(k0, k1), (j0, j1), (i0, i1)] = p.tile_bounds(t);
+            for k in k0..k1 {
+                for j in j0..j1 {
+                    for i in i0..i1 {
+                        hit[(k * 7 + j) * 9 + i] += 1;
+                    }
+                }
+            }
+        }
+        assert!(hit.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile length must be positive")]
+    fn zero_tile_rejected() {
+        let _ = RangePolicy::new(10).with_tile(0);
+    }
+}

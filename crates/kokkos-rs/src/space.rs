@@ -1,0 +1,202 @@
+//! Execution spaces: where a kernel runs.
+//!
+//! Four backends, matching the paper's Table I coverage:
+//!
+//! * [`Space::Serial`] — reference loop; baseline for bitwise comparisons
+//!   (plays the role of the original Fortran code path).
+//! * [`Space::Threads`] — rayon work-stealing pool; the OpenMP analogue
+//!   used on the ARM Taishan server.
+//! * [`Space::DeviceSim`] — a CUDA/HIP-like device: kernels execute as a
+//!   grid of tile-blocks, launches are counted and carry a fixed overhead,
+//!   and data is expected to live in [`MemSpace::Device`] views that must
+//!   be staged over PCIe with `deep_copy` (the counters in
+//!   [`crate::memspace`] make the staging visible).
+//! * [`Space::SwAthread`] — the Sunway backend (this work): launches go
+//!   through the functor registry to a pre-registered trampoline executed
+//!   by a simulated CPE cluster, with LDM/DMA cycle accounting.
+//!
+//! A `Space` is chosen at runtime (`Space::from_name`), so the *same model
+//! binary* runs on every backend — the heart of the portability claim.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sunway_sim::{CgConfig, CgCounters, CoreGroup};
+
+use crate::memspace::MemSpace;
+
+/// Marker/config for the rayon-backed host-parallel space.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadsSpace;
+
+/// Simulated discrete accelerator.
+#[derive(Clone)]
+pub struct DeviceSpace {
+    /// Threads per block — metadata mirroring CUDA launch geometry.
+    pub threads_per_block: usize,
+    launches: Arc<AtomicU64>,
+}
+
+impl DeviceSpace {
+    pub fn new() -> Self {
+        Self {
+            threads_per_block: 256,
+            launches: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn record_launch(&self) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Kernel launches issued on this device so far.
+    pub fn launches(&self) -> u64 {
+        self.launches.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for DeviceSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Sunway Athread space: one simulated core group.
+#[derive(Clone)]
+pub struct SwSpace {
+    pub(crate) cg: Arc<Mutex<CoreGroup>>,
+}
+
+impl SwSpace {
+    pub fn new(cfg: CgConfig) -> Self {
+        Self {
+            cg: Arc::new(Mutex::new(CoreGroup::new(cfg))),
+        }
+    }
+
+    /// Snapshot of the core group's aggregated counters.
+    pub fn counters(&self) -> CgCounters {
+        self.cg.lock().counters().clone()
+    }
+
+    /// Reset the core group's counters.
+    pub fn reset_counters(&self) {
+        self.cg.lock().reset_counters();
+    }
+
+    /// CPE clock (Hz), for converting counters to simulated seconds.
+    pub fn clock_hz(&self) -> f64 {
+        self.cg.lock().config().clock_hz
+    }
+}
+
+/// A runtime-selected execution space.
+#[derive(Clone)]
+pub enum Space {
+    Serial,
+    Threads(ThreadsSpace),
+    DeviceSim(DeviceSpace),
+    SwAthread(SwSpace),
+}
+
+impl Space {
+    /// Serial reference space.
+    pub fn serial() -> Self {
+        Space::Serial
+    }
+
+    /// Host-parallel space on the global rayon pool.
+    pub fn threads() -> Self {
+        Space::Threads(ThreadsSpace)
+    }
+
+    /// Simulated GPU device.
+    pub fn device_sim() -> Self {
+        Space::DeviceSim(DeviceSpace::new())
+    }
+
+    /// Simulated Sunway core group with default SW26010 Pro configuration.
+    pub fn sw_athread() -> Self {
+        Space::SwAthread(SwSpace::new(CgConfig::default()))
+    }
+
+    /// Simulated Sunway core group with a custom configuration (tests use
+    /// a small one for speed).
+    pub fn sw_athread_with(cfg: CgConfig) -> Self {
+        Space::SwAthread(SwSpace::new(cfg))
+    }
+
+    /// Parse a backend name (CLI/environment selection).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "serial" => Some(Self::serial()),
+            "threads" | "openmp" => Some(Self::threads()),
+            "devicesim" | "device" | "cuda" | "hip" | "gpu" => Some(Self::device_sim()),
+            "swathread" | "sunway" | "athread" => Some(Self::sw_athread()),
+            _ => None,
+        }
+    }
+
+    /// Backend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Space::Serial => "Serial",
+            Space::Threads(_) => "Threads",
+            Space::DeviceSim(_) => "DeviceSim",
+            Space::SwAthread(_) => "SwAthread",
+        }
+    }
+
+    /// The memory space kernels on this backend expect data in.
+    pub fn memspace(&self) -> MemSpace {
+        match self {
+            Space::DeviceSim(_) => MemSpace::Device,
+            _ => MemSpace::Host,
+        }
+    }
+
+    /// Whether host MPI buffers can be used directly (no device staging).
+    /// False on `DeviceSim` — the paper's systems "lack support for
+    /// GPU-aware MPI technology".
+    pub fn unified_with_host(&self) -> bool {
+        !matches!(self, Space::DeviceSim(_))
+    }
+}
+
+impl std::fmt::Debug for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Space::{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_name_roundtrip() {
+        for name in ["Serial", "Threads", "DeviceSim", "SwAthread"] {
+            let s = Space::from_name(name).unwrap();
+            assert_eq!(s.name(), name);
+        }
+        assert!(Space::from_name("tpu").is_none());
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(Space::from_name("cuda").unwrap().name(), "DeviceSim");
+        assert_eq!(Space::from_name("sunway").unwrap().name(), "SwAthread");
+        assert_eq!(Space::from_name("openmp").unwrap().name(), "Threads");
+    }
+
+    #[test]
+    fn memspace_and_unification() {
+        assert_eq!(Space::serial().memspace(), MemSpace::Host);
+        assert_eq!(Space::device_sim().memspace(), MemSpace::Device);
+        assert!(Space::serial().unified_with_host());
+        assert!(!Space::device_sim().unified_with_host());
+        // Sunway MPE/CPE share memory — unified, per paper §V-B.
+        assert!(Space::sw_athread_with(CgConfig::test_small()).unified_with_host());
+    }
+}

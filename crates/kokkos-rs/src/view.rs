@@ -1,0 +1,567 @@
+//! Multi-dimensional `View`s — the Kokkos data abstraction.
+//!
+//! A [`View`] is a reference-counted, rank-`R` array with a runtime
+//! [`Layout`] and a [`MemSpace`] tag. Like `Kokkos::View`, copies are
+//! *shallow* (they alias the same allocation), element access goes through
+//! `&self`, and writing from inside a parallel region is legal **iff**
+//! iterations touch disjoint elements — the usual Kokkos contract, which
+//! our kernels uphold and the cross-backend bitwise tests verify.
+//!
+//! Layout matters for the paper's 3-D halo optimization: LICOM stores
+//! fields as `(k, j, i)`; [`Layout::Right`] makes `i` fastest ("horizontal
+//! major order"), [`Layout::Left`] makes `k` fastest ("vertical major
+//! order"). The Fig. 5 transpose kernels in `halo-exchange` convert halo
+//! strips between the two.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use crate::memspace::{self, MemSpace};
+
+/// Element ordering of a `View`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// C order: the **last** index is contiguous (Kokkos `LayoutRight`).
+    Right,
+    /// Fortran order: the **first** index is contiguous (Kokkos `LayoutLeft`).
+    Left,
+}
+
+struct ViewBuf<T> {
+    data: UnsafeCell<Box<[T]>>,
+}
+
+// SAFETY: Views follow the Kokkos aliasing model — concurrent mutation is
+// only performed by parallel kernels over provably disjoint index sets
+// (each linear index written by at most one iteration). All bulk accessors
+// that could observe torn state are documented with that precondition.
+unsafe impl<T: Send + Sync> Sync for ViewBuf<T> {}
+unsafe impl<T: Send + Sync> Send for ViewBuf<T> {}
+
+/// A rank-`R` multi-dimensional array with shared ownership.
+pub struct View<T, const R: usize> {
+    buf: Arc<ViewBuf<T>>,
+    dims: [usize; R],
+    strides: [usize; R],
+    layout: Layout,
+    space: MemSpace,
+    label: Arc<str>,
+    /// Linear offset into the allocation (nonzero for subviews).
+    base_offset: usize,
+}
+
+/// Rank aliases matching Kokkos spelling (`View1<f64>` ~ `View<double*>`).
+pub type View1<T> = View<T, 1>;
+pub type View2<T> = View<T, 2>;
+pub type View3<T> = View<T, 3>;
+pub type View4<T> = View<T, 4>;
+
+impl<T, const R: usize> Clone for View<T, R> {
+    /// Shallow copy: aliases the same allocation, as in Kokkos.
+    fn clone(&self) -> Self {
+        Self {
+            buf: Arc::clone(&self.buf),
+            dims: self.dims,
+            strides: self.strides,
+            layout: self.layout,
+            space: self.space,
+            label: Arc::clone(&self.label),
+            base_offset: self.base_offset,
+        }
+    }
+}
+
+fn strides_for(dims: &[usize], layout: Layout) -> Vec<usize> {
+    let r = dims.len();
+    let mut strides = vec![0usize; r];
+    match layout {
+        Layout::Right => {
+            let mut s = 1;
+            for d in (0..r).rev() {
+                strides[d] = s;
+                s *= dims[d];
+            }
+        }
+        Layout::Left => {
+            let mut s = 1;
+            for d in 0..r {
+                strides[d] = s;
+                s *= dims[d];
+            }
+        }
+    }
+    strides
+}
+
+impl<T: Clone + Default + Send + Sync, const R: usize> View<T, R> {
+    /// Allocate a zero-initialised (`T::default()`) view.
+    pub fn new(label: &str, dims: [usize; R], layout: Layout, space: MemSpace) -> Self {
+        let len: usize = dims.iter().product();
+        let data: Box<[T]> = vec![T::default(); len].into_boxed_slice();
+        let mut strides = [0usize; R];
+        strides.copy_from_slice(&strides_for(&dims, layout));
+        Self {
+            buf: Arc::new(ViewBuf {
+                data: UnsafeCell::new(data),
+            }),
+            dims,
+            strides,
+            layout,
+            space,
+            label: Arc::from(label),
+            base_offset: 0,
+        }
+    }
+
+    /// Host view with default (`Right`) layout — the common case.
+    pub fn host(label: &str, dims: [usize; R]) -> Self {
+        Self::new(label, dims, Layout::Right, MemSpace::Host)
+    }
+
+    /// A new view with the same shape/layout in `space` (Kokkos
+    /// `create_mirror_view`), contents zero-initialised.
+    pub fn mirror(&self, space: MemSpace) -> Self {
+        Self::new(&self.label, self.dims, self.layout, space)
+    }
+}
+
+impl<T, const R: usize> View<T, R> {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when any extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extents per rank.
+    pub fn dims(&self) -> [usize; R] {
+        self.dims
+    }
+
+    /// Extent of rank `d`.
+    pub fn extent(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// Element layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Memory space tag.
+    pub fn space(&self) -> MemSpace {
+        self.space
+    }
+
+    /// Debug label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Linear offset of a logical index.
+    #[inline(always)]
+    pub fn offset(&self, idx: [usize; R]) -> usize {
+        let mut off = 0;
+        for d in 0..R {
+            debug_assert!(
+                idx[d] < self.dims[d],
+                "index {:?} out of bounds {:?} in view '{}'",
+                idx,
+                self.dims,
+                self.label
+            );
+            off += idx[d] * self.strides[d];
+        }
+        off
+    }
+
+    #[inline(always)]
+    fn ptr(&self) -> *mut T {
+        // SAFETY: pointer derived from a live allocation kept alive by Arc.
+        unsafe { (*self.buf.data.get()).as_mut_ptr().add(self.base_offset) }
+    }
+
+    /// True when this view addresses its allocation from the start with
+    /// the canonical strides of its layout (i.e. is not a subview).
+    pub fn is_root_view(&self) -> bool {
+        self.base_offset == 0
+    }
+
+    /// Read the whole allocation as a slice **in storage order**.
+    ///
+    /// Precondition (Kokkos model): no kernel is concurrently writing.
+    /// Only meaningful for root views whose elements are contiguous;
+    /// subviews with gaps would expose unrelated storage.
+    pub fn as_slice(&self) -> &[T] {
+        assert!(self.is_root_view(), "as_slice on subview '{}'", self.label);
+        unsafe { std::slice::from_raw_parts(self.ptr(), self.len()) }
+    }
+}
+
+impl<T: Copy, const R: usize> View<T, R> {
+    /// Read element at `idx`.
+    #[inline(always)]
+    pub fn get(&self, idx: [usize; R]) -> T {
+        let off = self.offset(idx);
+        unsafe { *self.ptr().add(off) }
+    }
+
+    /// Write element at `idx`. Goes through `&self` per the Kokkos model;
+    /// concurrent writers must target disjoint elements.
+    #[inline(always)]
+    pub fn set(&self, idx: [usize; R], v: T) {
+        let off = self.offset(idx);
+        unsafe { *self.ptr().add(off) = v }
+    }
+
+    /// Read element at a raw linear (storage-order) offset.
+    #[inline(always)]
+    pub fn get_linear(&self, off: usize) -> T {
+        debug_assert!(off < self.len());
+        unsafe { *self.ptr().add(off) }
+    }
+
+    /// Write element at a raw linear (storage-order) offset.
+    #[inline(always)]
+    pub fn set_linear(&self, off: usize, v: T) {
+        debug_assert!(off < self.len());
+        unsafe { *self.ptr().add(off) = v }
+    }
+
+    /// Fill every element with `v` (single-threaded).
+    pub fn fill(&self, v: T) {
+        let p = self.ptr();
+        for i in 0..self.len() {
+            unsafe { *p.add(i) = v }
+        }
+    }
+
+    /// Overwrite the allocation from a storage-order slice.
+    pub fn copy_from_slice(&self, src: &[T]) {
+        assert_eq!(src.len(), self.len(), "copy_from_slice length mismatch");
+        let p = self.ptr();
+        for (i, &v) in src.iter().enumerate() {
+            unsafe { *p.add(i) = v }
+        }
+    }
+
+    /// Snapshot the allocation into a `Vec` in storage order.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+// Ergonomic per-rank accessors.
+impl<T: Copy> View<T, 1> {
+    #[inline(always)]
+    pub fn at(&self, i: usize) -> T {
+        self.get([i])
+    }
+    #[inline(always)]
+    pub fn set_at(&self, i: usize, v: T) {
+        self.set([i], v)
+    }
+}
+
+impl<T: Copy> View<T, 2> {
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self.get([i, j])
+    }
+    #[inline(always)]
+    pub fn set_at(&self, i: usize, j: usize, v: T) {
+        self.set([i, j], v)
+    }
+}
+
+impl<T: Copy> View<T, 3> {
+    #[inline(always)]
+    pub fn at(&self, k: usize, j: usize, i: usize) -> T {
+        self.get([k, j, i])
+    }
+    #[inline(always)]
+    pub fn set_at(&self, k: usize, j: usize, i: usize, v: T) {
+        self.set([k, j, i], v)
+    }
+}
+
+impl<T: Copy> View<T, 4> {
+    #[inline(always)]
+    pub fn at(&self, a: usize, k: usize, j: usize, i: usize) -> T {
+        self.get([a, k, j, i])
+    }
+    #[inline(always)]
+    pub fn set_at(&self, a: usize, k: usize, j: usize, i: usize, v: T) {
+        self.set([a, k, j, i], v)
+    }
+}
+
+/// Logical deep copy `src → dst` (Kokkos `deep_copy`).
+///
+/// Shapes must match; layouts may differ (the copy is index-wise, with a
+/// `memcpy` fast path when layouts agree). Crossing memory spaces records
+/// PCIe traffic in [`crate::memspace`].
+pub fn deep_copy<T: Copy + Send + Sync, const R: usize>(dst: &View<T, R>, src: &View<T, R>) {
+    assert_eq!(dst.dims(), src.dims(), "deep_copy shape mismatch");
+    let bytes = std::mem::size_of::<T>() * src.len();
+    match (src.space(), dst.space()) {
+        (MemSpace::Host, MemSpace::Device) => memspace::record_h2d(bytes),
+        (MemSpace::Device, MemSpace::Host) => memspace::record_d2h(bytes),
+        _ => {}
+    }
+    if dst.layout() == src.layout() {
+        dst.copy_from_slice(src.as_slice());
+        return;
+    }
+    // Layout conversion: iterate logical indices.
+    let dims = src.dims();
+    let len = src.len();
+    let mut idx = [0usize; R];
+    for _ in 0..len {
+        dst.set(idx, src.get(idx));
+        // odometer increment, last rank fastest
+        for d in (0..R).rev() {
+            idx[d] += 1;
+            if idx[d] < dims[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_right_last_index_contiguous() {
+        let v: View2<f64> = View::new("a", [3, 4], Layout::Right, MemSpace::Host);
+        assert_eq!(v.offset([0, 0]), 0);
+        assert_eq!(v.offset([0, 1]), 1);
+        assert_eq!(v.offset([1, 0]), 4);
+    }
+
+    #[test]
+    fn layout_left_first_index_contiguous() {
+        let v: View2<f64> = View::new("a", [3, 4], Layout::Left, MemSpace::Host);
+        assert_eq!(v.offset([1, 0]), 1);
+        assert_eq!(v.offset([0, 1]), 3);
+    }
+
+    #[test]
+    fn set_get_roundtrip_3d() {
+        let v: View3<f64> = View::host("t", [2, 3, 4]);
+        for k in 0..2 {
+            for j in 0..3 {
+                for i in 0..4 {
+                    v.set_at(k, j, i, (k * 100 + j * 10 + i) as f64);
+                }
+            }
+        }
+        assert_eq!(v.at(1, 2, 3), 123.0);
+        assert_eq!(v.at(0, 0, 0), 0.0);
+        assert_eq!(v.len(), 24);
+    }
+
+    #[test]
+    fn clones_alias_the_same_storage() {
+        let a: View1<f64> = View::host("x", [10]);
+        let b = a.clone();
+        a.set_at(3, 7.5);
+        assert_eq!(b.at(3), 7.5);
+    }
+
+    #[test]
+    fn deep_copy_same_layout() {
+        let a: View2<f64> = View::host("a", [5, 5]);
+        let b: View2<f64> = View::host("b", [5, 5]);
+        for i in 0..25 {
+            a.set_linear(i, i as f64);
+        }
+        deep_copy(&b, &a);
+        assert_eq!(b.to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn deep_copy_converts_layout() {
+        let a: View2<f64> = View::new("a", [2, 3], Layout::Right, MemSpace::Host);
+        let b: View2<f64> = View::new("b", [2, 3], Layout::Left, MemSpace::Host);
+        for i in 0..2 {
+            for j in 0..3 {
+                a.set_at(i, j, (10 * i + j) as f64);
+            }
+        }
+        deep_copy(&b, &a);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(b.at(i, j), (10 * i + j) as f64, "logical equality");
+            }
+        }
+        // but the storage order differs
+        assert_ne!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn deep_copy_counts_pcie_traffic() {
+        crate::memspace::reset_transfer_stats();
+        let h: View1<f64> = View::new("h", [100], Layout::Right, MemSpace::Host);
+        let d: View1<f64> = h.mirror(MemSpace::Device);
+        deep_copy(&d, &h);
+        deep_copy(&h, &d);
+        let s = crate::memspace::transfer_stats();
+        assert_eq!(s.h2d_bytes, 800);
+        assert_eq!(s.d2h_bytes, 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "deep_copy shape mismatch")]
+    fn deep_copy_rejects_shape_mismatch() {
+        let a: View1<f64> = View::host("a", [3]);
+        let b: View1<f64> = View::host("b", [4]);
+        deep_copy(&b, &a);
+    }
+
+    #[test]
+    fn fill_and_to_vec() {
+        let v: View1<i32> = View::host("v", [4]);
+        v.fill(9);
+        assert_eq!(v.to_vec(), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn mirror_preserves_shape_and_layout() {
+        let a: View3<f64> = View::new("a", [2, 3, 4], Layout::Left, MemSpace::Host);
+        let d = a.mirror(MemSpace::Device);
+        assert_eq!(d.dims(), [2, 3, 4]);
+        assert_eq!(d.layout(), Layout::Left);
+        assert_eq!(d.space(), MemSpace::Device);
+        assert_eq!(d.label(), "a");
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_consistent() {
+        // The Kokkos aliasing model in action: many threads, disjoint indices.
+        let v: View1<u64> = View::host("p", [10_000]);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let v = v.clone();
+                s.spawn(move || {
+                    let mut i = t;
+                    while i < 10_000 {
+                        v.set_at(i, i as u64 * 2);
+                        i += 4;
+                    }
+                });
+            }
+        });
+        for i in 0..10_000 {
+            assert_eq!(v.at(i), i as u64 * 2);
+        }
+    }
+}
+
+/// A borrowed lower-rank slice of a `View` (Kokkos `subview` with one
+/// index fixed). Shares storage with the parent; reads/writes are live.
+impl<T: Copy + Send + Sync> View<T, 3> {
+    /// The rank-2 slice at level `k` (shares storage with `self`).
+    pub fn level(&self, k: usize) -> View<T, 2> {
+        assert!(k < self.dims[0], "level {k} out of {}", self.dims[0]);
+        // Only contiguous level slices are expressible as a rank-2 view
+        // with plain strides; both layouts qualify because k is the
+        // slowest (Right) or fastest (Left) index.
+        let dims = [self.dims[1], self.dims[2]];
+        let (strides, offset) = match self.layout {
+            Layout::Right => ([self.strides[1], self.strides[2]], k * self.strides[0]),
+            Layout::Left => ([self.strides[1], self.strides[2]], k * self.strides[0]),
+        };
+        View {
+            buf: Arc::clone(&self.buf),
+            dims,
+            strides,
+            layout: self.layout,
+            space: self.space,
+            label: Arc::from(format!("{}[k={k}]", self.label)),
+            base_offset: self.base_offset + offset,
+        }
+    }
+}
+
+impl<T: Clone + Default + Send + Sync, const R: usize> View<T, R> {
+    /// Allocate and initialise from a function of the logical index.
+    pub fn from_fn(label: &str, dims: [usize; R], f: impl Fn([usize; R]) -> T) -> Self
+    where
+        T: Copy,
+    {
+        let v = Self::host(label, dims);
+        let len = v.len();
+        let mut idx = [0usize; R];
+        for _ in 0..len {
+            v.set(idx, f(idx));
+            for d in (0..R).rev() {
+                idx[d] += 1;
+                if idx[d] < dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod subview_tests {
+    use super::*;
+
+    #[test]
+    fn level_slice_shares_storage() {
+        let v: View3<f64> = View::host("v", [3, 4, 5]);
+        for k in 0..3 {
+            for j in 0..4 {
+                for i in 0..5 {
+                    v.set_at(k, j, i, (k * 100 + j * 10 + i) as f64);
+                }
+            }
+        }
+        let s = v.level(1);
+        assert_eq!(s.dims(), [4, 5]);
+        assert_eq!(s.at(2, 3), 123.0);
+        s.set_at(0, 0, -7.0);
+        assert_eq!(v.at(1, 0, 0), -7.0, "writes through the slice are live");
+    }
+
+    #[test]
+    fn level_slice_layout_left() {
+        let v: View3<f64> = View::new("v", [3, 4, 5], Layout::Left, MemSpace::Host);
+        v.set_at(2, 1, 4, 9.5);
+        let s = v.level(2);
+        assert_eq!(s.at(1, 4), 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn level_out_of_range_panics() {
+        let v: View3<f64> = View::host("v", [2, 2, 2]);
+        let _ = v.level(2);
+    }
+
+    #[test]
+    fn from_fn_initialises_by_logical_index() {
+        let v: View2<f64> = View::from_fn("f", [3, 4], |[j, i]| (10 * j + i) as f64);
+        assert_eq!(v.at(2, 3), 23.0);
+        let l: View2<f64> = View::new("l", [3, 4], Layout::Left, MemSpace::Host);
+        deep_copy(&l, &v);
+        assert_eq!(l.at(2, 3), 23.0);
+    }
+
+    #[test]
+    fn f32_views_work() {
+        let v: View1<f32> = View::host("v32", [8]);
+        v.fill(0.5f32);
+        assert_eq!(v.at(3), 0.5f32);
+    }
+}

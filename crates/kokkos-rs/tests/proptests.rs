@@ -1,0 +1,100 @@
+//! Property-based tests of the portability layer's invariants.
+
+use kokkos_rs::{
+    deep_copy, parallel_for_1d, parallel_reduce_1d, Functor1D, Layout, MemSpace, RangePolicy,
+    ReduceFunctor1D, Reducer, Space, View, View1, View2,
+};
+use proptest::prelude::*;
+
+struct Scale {
+    x: View1<f64>,
+    a: f64,
+}
+impl Functor1D for Scale {
+    fn operator(&self, i: usize) {
+        self.x.set_at(i, self.a * self.x.at(i));
+    }
+}
+kokkos_rs::register_for_1d!(prop_scale, Scale);
+
+struct Sum {
+    x: View1<f64>,
+}
+impl ReduceFunctor1D for Sum {
+    fn contribute(&self, i: usize, acc: &mut f64) {
+        *acc += self.x.at(i);
+    }
+}
+kokkos_rs::register_reduce_1d!(prop_sum, Sum);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// deep_copy across layouts is a logical identity for any shape.
+    #[test]
+    fn prop_deep_copy_layout_roundtrip(ny in 1usize..12, nx in 1usize..12, seed in 0u64..500) {
+        let a: View2<f64> = View::from_fn("a", [ny, nx], |[j, i]| {
+            ((j * 31 + i * 7) as u64).wrapping_mul(seed + 1) as f64
+        });
+        let left: View2<f64> = View::new("l", [ny, nx], Layout::Left, MemSpace::Host);
+        let back: View2<f64> = View::host("b", [ny, nx]);
+        deep_copy(&left, &a);
+        deep_copy(&back, &left);
+        for j in 0..ny {
+            for i in 0..nx {
+                prop_assert_eq!(a.at(j, i).to_bits(), back.at(j, i).to_bits());
+            }
+        }
+    }
+
+    /// Reductions are bitwise identical across every backend and any
+    /// tile size.
+    #[test]
+    fn prop_reduce_backend_invariant(n in 1usize..2000, tile in 1usize..300, seed in 0u64..100) {
+        prop_sum();
+        let x: View1<f64> = View::from_fn("x", [n], |[i]| {
+            (((i as u64 + 1).wrapping_mul(seed * 2654435761 + 1) % 1000) as f64 - 500.0) * 1.0e-3
+        });
+        let f = Sum { x };
+        let policy = RangePolicy::new(n).with_tile(tile);
+        let spaces = [
+            Space::serial(),
+            Space::threads(),
+            Space::device_sim(),
+            Space::sw_athread_with(sunway_sim::CgConfig::test_small()),
+        ];
+        let bits: Vec<u64> = spaces
+            .iter()
+            .map(|s| parallel_reduce_1d(s, policy, &f, Reducer::Sum).to_bits())
+            .collect();
+        prop_assert!(bits.iter().all(|&b| b == bits[0]), "bits {:?}", bits);
+    }
+
+    /// Tile size never changes parallel_for results (disjoint writes).
+    #[test]
+    fn prop_for_tile_invariant(n in 1usize..1500, t1 in 1usize..200, t2 in 1usize..200) {
+        prop_scale();
+        let run = |tile: usize| {
+            let x: View1<f64> = View::from_fn("x", [n], |[i]| i as f64 + 0.5);
+            let f = Scale { x: x.clone(), a: 1.25 };
+            parallel_for_1d(&Space::threads(), RangePolicy::new(n).with_tile(tile), &f);
+            x.to_vec()
+        };
+        prop_assert_eq!(run(t1), run(t2));
+    }
+
+    /// Min/Max reducers agree with the std fold on any data.
+    #[test]
+    fn prop_min_max_reducers(vals in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+        struct MinF { x: View1<f64> }
+        impl ReduceFunctor1D for MinF {
+            fn contribute(&self, i: usize, acc: &mut f64) { *acc = acc.min(self.x.at(i)); }
+        }
+        let x: View1<f64> = View::host("x", [vals.len()]);
+        x.copy_from_slice(&vals);
+        let f = MinF { x };
+        let got = parallel_reduce_1d(&Space::threads(), RangePolicy::new(vals.len()), &f, Reducer::Min);
+        let want = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,419 @@
+//! *canuto* vertical mixing and its load balancing (paper §V-C1).
+//!
+//! The canuto second-order-closure scheme assigns vertical viscosity and
+//! diffusivity from the local gradient Richardson number
+//! `Ri = N² / S²`. We use quasi-equilibrium stability functions with the
+//! Canuto-scheme asymptotics — neutral-limit constants, convective
+//! saturation for `Ri < 0`, and heat mixing shutting down faster than
+//! momentum as stratification grows — in place of the full multi-term
+//! closure (a fidelity simplification documented in DESIGN.md; the
+//! computational *shape* — an expensive per-interface evaluation on ocean
+//! columns only — is preserved, which is what the optimization targets).
+//!
+//! "The canuto parameterization calculation is the second most
+//! computationally expensive kernel. This kernel is oriented vertically
+//! in the downward direction when the Earth's surface is oceanic" — so on
+//! a rectangular launch, ranks and CPEs assigned land do nothing while
+//! ocean lanes grind: load imbalance. Three launch modes reproduce the
+//! paper's progression:
+//!
+//! 1. [`FunctorCanutoRect`] — rectangle launch, land iterations idle
+//!    (the "before" of Fig. 4);
+//! 2. [`FunctorCanutoList`] — the rank's wet columns packed densely
+//!    (within-rank balancing);
+//! 3. [`balanced_cross_rank`] — ranks even out their wet-column counts by
+//!    shipping column inputs to under-loaded ranks and collecting the
+//!    results (the full Fig. 4 scheme).
+//!
+//! All three produce **bitwise identical** coefficients.
+
+use kokkos_rs::{Functor1D, Functor2D, IterCost, View1, View2, View3};
+use mpi_sim::Comm;
+use ocean_grid::{GRAVITY, RHO0};
+
+use halo_exchange::HALO as H;
+
+use crate::constants::{KH_BACKGROUND, KM_BACKGROUND, K_MAX};
+
+/// Stability functions: `(s_m, s_h)` from the gradient Richardson number.
+///
+/// Deliberately iterative/expensive in the same way the real closure is:
+/// a small fixed-point refinement models the scheme's implicit
+/// turbulence-level equation.
+pub fn stability_functions(ri: f64) -> (f64, f64) {
+    if !ri.is_finite() {
+        return (0.0, 0.0);
+    }
+    if ri < 0.0 {
+        // Convective regime: saturated mixing.
+        return (1.0, 1.0);
+    }
+    // Quasi-equilibrium fixed point: x = 1 / (1 + 10 Ri x)², solved by a
+    // few damped iterations (converges for all Ri ≥ 0).
+    let mut x: f64 = 1.0;
+    for _ in 0..8 {
+        let next = 1.0 / (1.0 + 10.0 * ri * x).powi(2);
+        x = 0.5 * (x + next);
+    }
+    let s_m = x;
+    let s_h = x / (1.0 + 3.0 * ri);
+    (s_m, s_h)
+}
+
+/// Mixing coefficients from `Ri`: background plus closure contribution.
+pub fn mixing_coefficients(ri: f64) -> (f64, f64) {
+    let (s_m, s_h) = stability_functions(ri);
+    (KM_BACKGROUND + K_MAX * s_m, KH_BACKGROUND + K_MAX * s_h)
+}
+
+/// The field set the column computation reads/writes.
+#[derive(Clone)]
+pub struct CanutoFields {
+    pub rho: View3<f64>,
+    pub u: View3<f64>,
+    pub v: View3<f64>,
+    /// Output: viscosity at interfaces (`nz+1` levels).
+    pub km: View3<f64>,
+    /// Output: diffusivity at interfaces.
+    pub kh: View3<f64>,
+    pub kmt: View2<i32>,
+    pub z_t: View1<f64>,
+    pub nz: usize,
+}
+
+impl CanutoFields {
+    /// Shear-squared and buoyancy-frequency-squared at interface `k`
+    /// (between layers `k-1` and `k`) of column `(jl, il)`.
+    fn n2_s2(&self, k: usize, jl: usize, il: usize) -> (f64, f64) {
+        let dzw = self.z_t.at(k) - self.z_t.at(k - 1);
+        let n2 = GRAVITY / RHO0 * (self.rho.at(k, jl, il) - self.rho.at(k - 1, jl, il)) / dzw;
+        // Velocity at the T column: average of the 4 surrounding corners.
+        let uc = |kk: usize| {
+            0.25 * (self.u.at(kk, jl, il)
+                + self.u.at(kk, jl - 1, il)
+                + self.u.at(kk, jl, il - 1)
+                + self.u.at(kk, jl - 1, il - 1))
+        };
+        let vc = |kk: usize| {
+            0.25 * (self.v.at(kk, jl, il)
+                + self.v.at(kk, jl - 1, il)
+                + self.v.at(kk, jl, il - 1)
+                + self.v.at(kk, jl - 1, il - 1))
+        };
+        let du = (uc(k) - uc(k - 1)) / dzw;
+        let dv = (vc(k) - vc(k - 1)) / dzw;
+        (n2, du * du + dv * dv)
+    }
+
+    /// Full column evaluation: interfaces `1..kmt` get closure values,
+    /// the rest background.
+    pub fn compute_column(&self, jl: usize, il: usize) {
+        let kmt = self.kmt.at(jl, il) as usize;
+        for k in 0..=self.nz {
+            if k >= 1 && k < kmt {
+                let (n2, s2) = self.n2_s2(k, jl, il);
+                let ri = n2 / s2.max(1e-12);
+                let (km, kh) = mixing_coefficients(ri);
+                self.km.set_at(k, jl, il, km);
+                self.kh.set_at(k, jl, il, kh);
+            } else {
+                self.km.set_at(k, jl, il, KM_BACKGROUND);
+                self.kh.set_at(k, jl, il, KH_BACKGROUND);
+            }
+        }
+    }
+}
+
+/// Rectangle launch: every `(j, i)` iterated, land does (almost) nothing.
+pub struct FunctorCanutoRect {
+    pub f: CanutoFields,
+}
+
+impl Functor2D for FunctorCanutoRect {
+    fn operator(&self, j: usize, i: usize) {
+        self.f.compute_column(j + H, i + H);
+    }
+
+    fn cost(&self) -> IterCost {
+        // ~90 flops per wet interface (fixed-point iterations included).
+        IterCost {
+            flops: 90 * self.f.nz as u64,
+            bytes: 100 * self.f.nz as u64,
+        }
+    }
+}
+
+kokkos_rs::register_for_2d!(kernel_canuto_rect, FunctorCanutoRect);
+
+/// Packed wet-column launch: iteration `n` handles `cols[n]`.
+pub struct FunctorCanutoList {
+    pub f: CanutoFields,
+    /// Packed `jl * pi + il` indices.
+    pub cols: View1<i32>,
+    pub pi: usize,
+}
+
+impl Functor1D for FunctorCanutoList {
+    fn operator(&self, n: usize) {
+        let packed = self.cols.at(n) as usize;
+        self.f.compute_column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        IterCost {
+            flops: 90 * self.f.nz as u64,
+            bytes: 100 * self.f.nz as u64,
+        }
+    }
+}
+
+kokkos_rs::register_for_1d!(kernel_canuto_list, FunctorCanutoList);
+
+/// Register this module's functors.
+pub fn register() {
+    kernel_canuto_rect();
+    kernel_canuto_list();
+}
+
+/// Evaluate the expensive closure for a buffer of `(n², s²)` interface
+/// pairs (the unit of work shipped between ranks). Layout: for each
+/// column, `nlev` pairs; output `(km, kh)` pairs in the same order.
+pub fn evaluate_buffer(n2s2: &[f64]) -> Vec<f64> {
+    assert_eq!(n2s2.len() % 2, 0);
+    let mut out = Vec::with_capacity(n2s2.len());
+    for pair in n2s2.chunks_exact(2) {
+        let ri = pair[0] / pair[1].max(1e-12);
+        let (km, kh) = mixing_coefficients(ri);
+        out.push(km);
+        out.push(kh);
+    }
+    out
+}
+
+/// Report of one balanced cross-rank canuto evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceReport {
+    pub local_columns: usize,
+    pub columns_sent: usize,
+    pub columns_received: usize,
+    /// max/mean wet-column imbalance before balancing.
+    pub imbalance_before: f64,
+    /// max/mean of (local − sent + received) after balancing.
+    pub imbalance_after: f64,
+}
+
+/// The full Fig. 4 scheme: gather per-rank wet-column counts, ship the
+/// surplus columns' `(N², S²)` inputs from overloaded to under-loaded
+/// ranks, evaluate everywhere, and return the coefficients to the owner.
+/// Bitwise identical to evaluating locally.
+///
+/// `wet_cols` are this rank's packed wet columns (as in
+/// [`FunctorCanutoList`]). Columns are shipped from the tail of the list.
+pub fn balanced_cross_rank(
+    comm: &Comm,
+    fields: &CanutoFields,
+    wet_cols: &[i32],
+    pi: usize,
+) -> BalanceReport {
+    let nz = fields.nz;
+    let nranks = comm.size();
+    let counts: Vec<usize> = comm
+        .allgather(vec![wet_cols.len()])
+        .into_iter()
+        .map(|v| v[0])
+        .collect();
+    let total: usize = counts.iter().sum();
+    let fair = total.div_ceil(nranks.max(1));
+    let mean = total as f64 / nranks as f64;
+    let imbalance_before = if total == 0 {
+        1.0
+    } else {
+        *counts.iter().max().unwrap() as f64 / mean.max(1e-9)
+    };
+
+    // Deterministic donor→receiver matching, in rank order.
+    let mut surplus: Vec<(usize, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > fair)
+        .map(|(r, &c)| (r, c - fair))
+        .collect();
+    let mut deficit: Vec<(usize, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c < fair)
+        .map(|(r, &c)| (r, fair - c))
+        .collect();
+    // transfers[(donor, receiver)] = n columns
+    let mut transfers: Vec<(usize, usize, usize)> = Vec::new();
+    let (mut si, mut di) = (0, 0);
+    while si < surplus.len() && di < deficit.len() {
+        let n = surplus[si].1.min(deficit[di].1);
+        if n > 0 {
+            transfers.push((surplus[si].0, deficit[di].0, n));
+        }
+        surplus[si].1 -= n;
+        deficit[di].1 -= n;
+        if surplus[si].1 == 0 {
+            si += 1;
+        }
+        if deficit[di].1 == 0 {
+            di += 1;
+        }
+    }
+
+    let me = comm.rank();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+
+    // Donor side: evaluate the kept head locally, ship the tail inputs.
+    let my_out: Vec<(usize, usize, usize)> = transfers
+        .iter()
+        .filter(|(d, _, _)| *d == me)
+        .cloned()
+        .collect();
+    let total_out: usize = my_out.iter().map(|(_, _, n)| n).sum();
+    let keep = wet_cols.len() - total_out;
+    for &col in &wet_cols[..keep] {
+        let p = col as usize;
+        fields.compute_column(p / pi, p % pi);
+    }
+    // Pack tail inputs per receiver (in transfer order).
+    let mut cursor = keep;
+    for &(_, recv, n) in &my_out {
+        let mut buf = Vec::with_capacity(n * (nz - 1).max(1) * 2);
+        for &col in &wet_cols[cursor..cursor + n] {
+            let p = col as usize;
+            let (jl, il) = (p / pi, p % pi);
+            let kmt = fields.kmt.at(jl, il) as usize;
+            // Fixed record size: nz-1 interface pairs (pad dry with NaN-free zeros marked by s2<0 sentinel).
+            for k in 1..=nz.saturating_sub(1) {
+                if k < kmt {
+                    let (n2, s2) = fields.n2_s2(k, jl, il);
+                    buf.push(n2);
+                    buf.push(s2);
+                } else {
+                    buf.push(0.0);
+                    buf.push(-1.0); // sentinel: background interface
+                }
+            }
+        }
+        comm.isend(recv, 9000, buf);
+        sent += n;
+        cursor += n;
+    }
+    // Receiver side: evaluate shipped columns and send coefficients back.
+    let my_in: Vec<(usize, usize, usize)> = transfers
+        .iter()
+        .filter(|(_, r, _)| *r == me)
+        .cloned()
+        .collect();
+    for &(donor, _, n) in &my_in {
+        let buf = comm.recv::<f64>(donor, 9000);
+        let rec = (nz.saturating_sub(1)) * 2;
+        assert_eq!(buf.len(), n * rec);
+        let mut out = Vec::with_capacity(buf.len());
+        for pair in buf.chunks_exact(2) {
+            if pair[1] < 0.0 {
+                out.push(KM_BACKGROUND);
+                out.push(KH_BACKGROUND);
+            } else {
+                let ri = pair[0] / pair[1].max(1e-12);
+                let (km, kh) = mixing_coefficients(ri);
+                out.push(km);
+                out.push(kh);
+            }
+        }
+        comm.isend(donor, 9001, out);
+        received += n;
+    }
+    // Donor collects results and writes them into km/kh.
+    let mut cursor = keep;
+    for &(_, recv, n) in &my_out {
+        let out = comm.recv::<f64>(recv, 9001);
+        let rec = (nz.saturating_sub(1)) * 2;
+        assert_eq!(out.len(), n * rec);
+        for (ci, &col) in wet_cols[cursor..cursor + n].iter().enumerate() {
+            let p = col as usize;
+            let (jl, il) = (p / pi, p % pi);
+            // Surface and bottom interfaces are background, as in
+            // compute_column.
+            let kmt = fields.kmt.at(jl, il) as usize;
+            for k in 0..=nz {
+                let (km, kh) = if k >= 1 && k < kmt && k < nz {
+                    let off = ci * rec + (k - 1) * 2;
+                    (out[off], out[off + 1])
+                } else {
+                    (KM_BACKGROUND, KH_BACKGROUND)
+                };
+                fields.km.set_at(k, jl, il, km);
+                fields.kh.set_at(k, jl, il, kh);
+            }
+        }
+        cursor += n;
+    }
+
+    let after_local = keep + received;
+    let after: Vec<usize> = comm
+        .allgather(vec![after_local])
+        .into_iter()
+        .map(|v| v[0])
+        .collect();
+    let imbalance_after = if total == 0 {
+        1.0
+    } else {
+        *after.iter().max().unwrap() as f64 / mean.max(1e-9)
+    };
+    BalanceReport {
+        local_columns: wet_cols.len(),
+        columns_sent: sent,
+        columns_received: received,
+        imbalance_before,
+        imbalance_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_functions_asymptotics() {
+        let (sm0, sh0) = stability_functions(0.0);
+        assert!((sm0 - 1.0).abs() < 1e-9, "neutral momentum: {sm0}");
+        assert!((sh0 - 1.0).abs() < 1e-9);
+        // Convective saturation.
+        assert_eq!(stability_functions(-3.0), (1.0, 1.0));
+        // Strong stratification kills mixing, heat faster than momentum.
+        let (sm, sh) = stability_functions(5.0);
+        assert!(sm < 0.1, "s_m(5) = {sm}");
+        assert!(sh < sm, "s_h must shut down faster");
+        // Monotone decreasing in Ri.
+        let mut prev = 2.0;
+        for i in 0..40 {
+            let ri = i as f64 * 0.25;
+            let (sm, _) = stability_functions(ri);
+            assert!(sm <= prev + 1e-12);
+            prev = sm;
+        }
+    }
+
+    #[test]
+    fn coefficients_bounded() {
+        for ri in [-10.0, -0.1, 0.0, 0.3, 2.0, 100.0] {
+            let (km, kh) = mixing_coefficients(ri);
+            assert!((KM_BACKGROUND..=K_MAX + KM_BACKGROUND).contains(&km));
+            assert!((KH_BACKGROUND..=K_MAX + KH_BACKGROUND).contains(&kh));
+        }
+    }
+
+    #[test]
+    fn evaluate_buffer_matches_pointwise() {
+        let inputs = vec![1e-5, 1e-6, -1e-5, 1e-6, 0.0, 1e-4];
+        let out = evaluate_buffer(&inputs);
+        for (pair, got) in inputs.chunks_exact(2).zip(out.chunks_exact(2)) {
+            let want = mixing_coefficients(pair[0] / pair[1].max(1e-12));
+            assert_eq!((got[0], got[1]), want);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Restart I/O: bit-exact checkpoint and resume.
+//!
+//! The paper's SYPD metric excludes I/O, but a production OGCM lives and
+//! dies by restartability: a month-long 1-km campaign is thousands of
+//! queue jobs stitched together by restart files. This module writes one
+//! binary file per rank holding every prognostic field **by leapfrog
+//! role** (old/cur/new), so a resumed run continues bitwise identically —
+//! asserted by the round-trip tests.
+//!
+//! Format (little-endian): magic `LICOMKPP`, version, grid extents, rank
+//! geometry, step count, then length-prefixed named `f64` arrays.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use kokkos_rs::{View2, View3};
+
+use crate::model::Model;
+
+const MAGIC: &[u8; 8] = b"LICOMKPP";
+const VERSION: u32 = 1;
+
+/// Errors from restart I/O.
+#[derive(Debug)]
+pub enum RestartError {
+    Io(std::io::Error),
+    /// File is not a LICOMK++ restart or has the wrong version.
+    Format(String),
+    /// Restart geometry does not match the running model.
+    Mismatch(String),
+}
+
+impl From<std::io::Error> for RestartError {
+    fn from(e: std::io::Error) -> Self {
+        RestartError::Io(e)
+    }
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartError::Io(e) => write!(f, "restart I/O error: {e}"),
+            RestartError::Format(m) => write!(f, "restart format error: {m}"),
+            RestartError::Mismatch(m) => write!(f, "restart mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_field(w: &mut impl Write, name: &str, data: &[f64]) -> std::io::Result<()> {
+    write_u64(w, name.len() as u64)?;
+    w.write_all(name.as_bytes())?;
+    write_u64(w, data.len() as u64)?;
+    for &x in data {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_field(
+    r: &mut impl Read,
+    want_name: &str,
+    want_len: usize,
+) -> Result<Vec<f64>, RestartError> {
+    let nlen = read_u64(r)? as usize;
+    let mut name = vec![0u8; nlen];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8_lossy(&name).into_owned();
+    if name != want_name {
+        return Err(RestartError::Format(format!(
+            "expected field '{want_name}', found '{name}'"
+        )));
+    }
+    let len = read_u64(r)? as usize;
+    if len != want_len {
+        return Err(RestartError::Mismatch(format!(
+            "field '{name}': {len} values, model expects {want_len}"
+        )));
+    }
+    let mut out = vec![0.0f64; len];
+    let mut b = [0u8; 8];
+    for x in out.iter_mut() {
+        r.read_exact(&mut b)?;
+        *x = f64::from_le_bytes(b);
+    }
+    Ok(out)
+}
+
+/// Per-role prognostic fields in write order.
+fn roles(m: &Model) -> [(&'static str, usize); 3] {
+    [
+        ("old", m.state.old()),
+        ("cur", m.state.cur()),
+        ("new", m.state.new_lev()),
+    ]
+}
+
+impl Model {
+    /// Path of this rank's restart file under `dir`.
+    pub fn restart_path(&self, dir: &Path) -> std::path::PathBuf {
+        dir.join(format!("restart_{:05}.bin", self.comm().rank()))
+    }
+
+    /// Write a checkpoint. Each rank writes its own file; collective only
+    /// in the trivial sense (no communication).
+    pub fn save_restart(&self, dir: &Path) -> Result<(), RestartError> {
+        std::fs::create_dir_all(dir)?;
+        let mut w = BufWriter::new(File::create(self.restart_path(dir))?);
+        w.write_all(MAGIC)?;
+        write_u64(&mut w, VERSION as u64)?;
+        for v in [
+            self.cfg.nx as u64,
+            self.cfg.ny as u64,
+            self.cfg.nz as u64,
+            self.comm().rank() as u64,
+            self.comm().size() as u64,
+            self.steps_taken(),
+        ] {
+            write_u64(&mut w, v)?;
+        }
+        let w3 = |w: &mut BufWriter<File>, name: &str, f: &View3<f64>| {
+            write_field(w, name, f.as_slice())
+        };
+        let w2 = |w: &mut BufWriter<File>, name: &str, f: &View2<f64>| {
+            write_field(w, name, f.as_slice())
+        };
+        for (role, lev) in roles(self) {
+            w3(&mut w, &format!("u_{role}"), &self.state.u[lev])?;
+            w3(&mut w, &format!("v_{role}"), &self.state.v[lev])?;
+            w3(&mut w, &format!("t_{role}"), &self.state.t[lev])?;
+            w3(&mut w, &format!("s_{role}"), &self.state.s[lev])?;
+            w2(&mut w, &format!("eta_{role}"), &self.state.eta[lev])?;
+        }
+        w2(&mut w, "ubt", &self.state.ubt)?;
+        w2(&mut w, "vbt", &self.state.vbt)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Resume from a checkpoint written by [`Model::save_restart`] with
+    /// the same configuration and rank count. The continued run is
+    /// bitwise identical to an uninterrupted one.
+    pub fn load_restart(&mut self, dir: &Path) -> Result<(), RestartError> {
+        let mut r = BufReader::new(File::open(self.restart_path(dir))?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(RestartError::Format("bad magic".into()));
+        }
+        let version = read_u64(&mut r)?;
+        if version != VERSION as u64 {
+            return Err(RestartError::Format(format!("version {version}")));
+        }
+        let geom: Vec<u64> = (0..6).map(|_| read_u64(&mut r)).collect::<Result<_, _>>()?;
+        let want = [
+            self.cfg.nx as u64,
+            self.cfg.ny as u64,
+            self.cfg.nz as u64,
+            self.comm().rank() as u64,
+            self.comm().size() as u64,
+        ];
+        if geom[..5] != want {
+            return Err(RestartError::Mismatch(format!(
+                "file geometry {:?} vs model {:?}",
+                &geom[..5],
+                want
+            )));
+        }
+        let steps = geom[5];
+        for (role, lev) in roles(self) {
+            for (name, field) in [
+                (format!("u_{role}"), &self.state.u[lev]),
+                (format!("v_{role}"), &self.state.v[lev]),
+                (format!("t_{role}"), &self.state.t[lev]),
+                (format!("s_{role}"), &self.state.s[lev]),
+            ] {
+                let data = read_field(&mut r, &name, field.len())?;
+                field.copy_from_slice(&data);
+            }
+            let eta = read_field(&mut r, &format!("eta_{role}"), self.state.eta[lev].len())?;
+            self.state.eta[lev].copy_from_slice(&eta);
+        }
+        let ubt = read_field(&mut r, "ubt", self.state.ubt.len())?;
+        self.state.ubt.copy_from_slice(&ubt);
+        let vbt = read_field(&mut r, "vbt", self.state.vbt.len())?;
+        self.state.vbt.copy_from_slice(&vbt);
+        self.set_steps_taken(steps);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Model, ModelOptions};
+    use mpi_sim::World;
+    use ocean_grid::Resolution;
+
+    fn cfg() -> ocean_grid::ModelConfig {
+        Resolution::Coarse100km.config().scaled_down(8, 6)
+    }
+
+    #[test]
+    fn restart_roundtrip_is_bitwise_exact() {
+        let dir = std::env::temp_dir().join("licom_restart_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Reference: 6 uninterrupted steps.
+        let reference = World::run(1, |comm| {
+            let mut m = Model::new(
+                comm,
+                cfg(),
+                kokkos_rs::Space::serial(),
+                ModelOptions::default(),
+            );
+            m.run_steps(6);
+            m.checksum()
+        })
+        .pop()
+        .unwrap();
+        // 3 steps, checkpoint, fresh model, resume, 3 more.
+        let resumed = {
+            let dir = dir.clone();
+            World::run(1, move |comm| {
+                let mut m = Model::new(
+                    comm,
+                    cfg(),
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                m.run_steps(3);
+                m.save_restart(&dir).unwrap();
+                let mut m2 = Model::new(
+                    comm,
+                    cfg(),
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                m2.load_restart(&dir).unwrap();
+                assert_eq!(m2.steps_taken(), 3);
+                m2.run_steps(3);
+                m2.checksum()
+            })
+            .pop()
+            .unwrap()
+        };
+        assert_eq!(reference, resumed, "restart broke bitwise reproducibility");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_rejects_wrong_geometry() {
+        let dir = std::env::temp_dir().join("licom_restart_geom");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let dir = dir.clone();
+            World::run(1, move |comm| {
+                let m = Model::new(
+                    comm,
+                    cfg(),
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                m.save_restart(&dir).unwrap();
+            });
+        }
+        {
+            let dir = dir.clone();
+            World::run(1, move |comm| {
+                let other = Resolution::Coarse100km.config().scaled_down(8, 5); // nz differs
+                let mut m = Model::new(
+                    comm,
+                    other,
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                let err = m.load_restart(&dir).unwrap_err();
+                assert!(format!("{err}").contains("mismatch"), "{err}");
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_multi_rank() {
+        let dir = std::env::temp_dir().join("licom_restart_mr");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg6 = Resolution::Coarse100km.config().scaled_down(8, 6); // nx=45 → px=3
+        let reference = World::run(3, {
+            let cfg = cfg6.clone();
+            move |comm| {
+                let mut m = Model::new(
+                    comm,
+                    cfg.clone(),
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                m.run_steps(4);
+                m.checksum()
+            }
+        });
+        let resumed = World::run(3, {
+            let cfg = cfg6.clone();
+            let dir = dir.clone();
+            move |comm| {
+                let mut m = Model::new(
+                    comm,
+                    cfg.clone(),
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                m.run_steps(2);
+                m.save_restart(&dir).unwrap();
+                comm.barrier();
+                let mut m2 = Model::new(
+                    comm,
+                    cfg.clone(),
+                    kokkos_rs::Space::serial(),
+                    ModelOptions::default(),
+                );
+                m2.load_restart(&dir).unwrap();
+                m2.run_steps(2);
+                m2.checksum()
+            }
+        });
+        assert_eq!(reference, resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

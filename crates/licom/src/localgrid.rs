@@ -1,0 +1,242 @@
+//! Per-rank grid data, extracted from the deterministic global grid.
+//!
+//! Because the synthetic planet is an analytic function, every rank can
+//! materialise its own padded block — including halo-region masks and the
+//! north-fold mirror of `kmt` — without communication. Metric arrays in
+//! ghost rows are clamped to the nearest owned row; the dynamical
+//! operators only evaluate metrics on owned cells.
+
+use kokkos_rs::{View, View1, View2};
+use ocean_grid::GlobalGrid;
+
+use halo_exchange::{Halo2D, HALO as H};
+
+/// Grid slice owned by one rank, with 2-cell padding, as device-agnostic
+/// `View`s ready to be captured by functors.
+pub struct LocalGrid {
+    /// Owned interior extents.
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Padded extents (`ny + 2H`, `nx + 2H`).
+    pub pj: usize,
+    pub pi: usize,
+    /// Global offsets of the first owned cell.
+    pub x0: usize,
+    pub y0: usize,
+    /// Global grid extents.
+    pub nxg: usize,
+    pub nyg: usize,
+    /// Zonal spacing (m) per padded row.
+    pub dxt: View1<f64>,
+    /// Meridional spacing (m), uniform.
+    pub dyt: f64,
+    /// Coriolis parameter at B-grid corners, per padded row.
+    pub fcor: View1<f64>,
+    /// Cell-center latitude (deg) per padded row (clamped in ghosts).
+    pub lat: View1<f64>,
+    /// Cell-center longitude (deg) per padded column (wrapped).
+    pub lon: View1<f64>,
+    /// Active tracer levels per padded cell (0 = land), with correct
+    /// periodic / fold values in the halo.
+    pub kmt: View2<i32>,
+    /// Active velocity levels per padded corner.
+    pub kmu: View2<i32>,
+    /// Layer thicknesses (m).
+    pub dz: View1<f64>,
+    /// Layer center depths (m, positive down).
+    pub z_t: View1<f64>,
+    /// Total water depth (m) per padded cell (0 on land).
+    pub depth: View2<f64>,
+    /// Packed owned wet-column indices `jl * pi + il` (canuto work list).
+    pub wet_columns: View1<i32>,
+}
+
+impl LocalGrid {
+    /// Extract this rank's padded block from the global grid.
+    pub fn build(global: &GlobalGrid, halo: &Halo2D) -> Self {
+        let (nx, ny, nz) = (halo.nx, halo.ny, global.nz());
+        let (pj, pi) = halo.padded();
+        let (nxg, nyg) = (global.nx(), global.ny());
+        let (x0, y0) = (halo.x0, halo.y0);
+
+        // Global lookup with periodic x, closed south, folded north.
+        let glob = |jl: usize, il: usize| -> Option<(usize, usize)> {
+            let jg = y0 as i64 + jl as i64 - H as i64;
+            let ig = x0 as i64 + il as i64 - H as i64;
+            let iw = ig.rem_euclid(nxg as i64) as usize;
+            if jg < 0 {
+                None
+            } else if (jg as usize) < nyg {
+                Some((jg as usize, iw))
+            } else {
+                let d = jg - nyg as i64;
+                if d >= H as i64 {
+                    None
+                } else {
+                    let src_i = (nxg as i64 - 1 - ig).rem_euclid(nxg as i64) as usize;
+                    Some((nyg - 1 - d as usize, src_i))
+                }
+            }
+        };
+
+        let dxt: View1<f64> = View::host("dxt", [pj]);
+        let fcor: View1<f64> = View::host("fcor", [pj]);
+        let lat: View1<f64> = View::host("lat", [pj]);
+        for jl in 0..pj {
+            let jg = (y0 as i64 + jl as i64 - H as i64).clamp(0, nyg as i64 - 1) as usize;
+            dxt.set_at(jl, global.horiz.dx_t(jg));
+            fcor.set_at(jl, global.horiz.coriolis_u(jg));
+            lat.set_at(jl, global.horiz.lat_t(jg));
+        }
+        let lon: View1<f64> = View::host("lon", [pi]);
+        for il in 0..pi {
+            let ig = (x0 as i64 + il as i64 - H as i64).rem_euclid(nxg as i64) as usize;
+            lon.set_at(il, global.horiz.lon_t(ig));
+        }
+
+        let kmt: View2<i32> = View::host("kmt", [pj, pi]);
+        let kmu: View2<i32> = View::host("kmu", [pj, pi]);
+        let depth: View2<f64> = View::host("depth", [pj, pi]);
+        for jl in 0..pj {
+            for il in 0..pi {
+                match glob(jl, il) {
+                    Some((jg, ig)) => {
+                        kmt.set_at(jl, il, global.kmt[global.idx(jg, ig)] as i32);
+                        kmu.set_at(jl, il, global.kmu[global.idx(jg, ig)] as i32);
+                        depth.set_at(jl, il, global.depth[global.idx(jg, ig)]);
+                    }
+                    None => {
+                        kmt.set_at(jl, il, 0);
+                        kmu.set_at(jl, il, 0);
+                        depth.set_at(jl, il, 0.0);
+                    }
+                }
+            }
+        }
+
+        let dz: View1<f64> = View::host("dz", [nz]);
+        let z_t: View1<f64> = View::host("z_t", [nz]);
+        for k in 0..nz {
+            dz.set_at(k, global.vert.dz[k]);
+            z_t.set_at(k, global.vert.z_t[k]);
+        }
+
+        let mut wet = Vec::new();
+        for jl in H..H + ny {
+            for il in H..H + nx {
+                if kmt.at(jl, il) > 0 {
+                    wet.push((jl * pi + il) as i32);
+                }
+            }
+        }
+        let wet_columns: View1<i32> = View::host("wet_columns", [wet.len()]);
+        wet_columns.copy_from_slice(&wet);
+
+        Self {
+            nx,
+            ny,
+            nz,
+            pj,
+            pi,
+            x0,
+            y0,
+            nxg,
+            nyg,
+            dxt,
+            dyt: global.horiz.dy_t(),
+            fcor,
+            lat,
+            lon,
+            kmt,
+            kmu,
+            dz,
+            z_t,
+            depth,
+            wet_columns,
+        }
+    }
+
+    /// Owned wet columns.
+    pub fn wet_count(&self) -> usize {
+        self.wet_columns.len()
+    }
+
+    /// Smallest zonal spacing among owned rows (CFL/polar-filter input).
+    pub fn min_dx(&self) -> f64 {
+        (H..H + self.ny)
+            .map(|j| self.dxt.at(j))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::{CartComm, World};
+    use ocean_grid::Bathymetry;
+
+    #[test]
+    fn halo_kmt_matches_global_semantics() {
+        let global = GlobalGrid::build(24, 12, 6, &Bathymetry::earth_like(), false);
+        World::run(4, |comm| {
+            let cart = CartComm::new(comm.clone(), 2, 2, true);
+            let halo = Halo2D::new(&cart, 24, 12);
+            let lg = LocalGrid::build(&global, &halo);
+            // Interior cells agree with the global grid.
+            for j in 0..lg.ny {
+                for i in 0..lg.nx {
+                    let want = global.kmt[global.idx(lg.y0 + j, lg.x0 + i)] as i32;
+                    assert_eq!(lg.kmt.at(H + j, H + i), want);
+                }
+            }
+            // South ghosts of the bottom row are land-walled.
+            if lg.y0 == 0 {
+                for r in 0..H {
+                    for il in 0..lg.pi {
+                        assert_eq!(lg.kmt.at(r, il), 0);
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn fold_halo_mirrors_kmt() {
+        let global = GlobalGrid::build(16, 8, 5, &Bathymetry::earth_like(), false);
+        World::run(1, |comm| {
+            let cart = CartComm::new(comm.clone(), 1, 1, true);
+            let halo = Halo2D::new(&cart, 16, 8);
+            let lg = LocalGrid::build(&global, &halo);
+            // Ghost row above the fold equals the mirrored top row.
+            for il in H..H + 16 {
+                let ig = il - H;
+                let want = global.kmt[global.idx(7, 15 - ig)] as i32;
+                assert_eq!(lg.kmt.at(H + 8, il), want, "il={il}");
+            }
+        });
+    }
+
+    #[test]
+    fn wet_columns_counts_only_interior_ocean() {
+        let global = GlobalGrid::build(16, 8, 5, &Bathymetry::Flat(4000.0), false);
+        World::run(2, |comm| {
+            let cart = CartComm::new(comm.clone(), 2, 1, true);
+            let halo = Halo2D::new(&cart, 16, 8);
+            let lg = LocalGrid::build(&global, &halo);
+            assert_eq!(lg.wet_count(), lg.nx * lg.ny);
+        });
+    }
+
+    #[test]
+    fn min_dx_positive() {
+        let global = GlobalGrid::build(24, 12, 4, &Bathymetry::Flat(4000.0), false);
+        World::run(1, |comm| {
+            let cart = CartComm::new(comm.clone(), 1, 1, true);
+            let halo = Halo2D::new(&cart, 24, 12);
+            let lg = LocalGrid::build(&global, &halo);
+            assert!(lg.min_dx() > 0.0);
+            assert!(lg.min_dx() < lg.dxt.at(H + 6)); // polar rows are tighter
+        });
+    }
+}

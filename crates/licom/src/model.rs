@@ -1,0 +1,737 @@
+//! The LICOMK++ model driver: one object per rank, stepping the full
+//! split-explicit system on a runtime-selected execution space.
+//!
+//! The per-step sequence mirrors LICOM:
+//!
+//! 1. density + baroclinic hydrostatic pressure (`eos`);
+//! 2. *canuto* mixing coefficients (`canuto`) — rectangle, packed-list,
+//!    or cross-rank-balanced launch per [`CanutoMode`];
+//! 3. 3-D momentum tendency + wind stress (`momentum`);
+//! 4. split-explicit barotropic window with per-substep 2-D halo updates
+//!    and polar filtering (`barotropic`);
+//! 5. leapfrog momentum update, implicit vertical friction, barotropic
+//!    mode correction (`update_uv`, `vmix`);
+//! 6. 3-D halo update of the new velocities — optionally overlapped with
+//!    the continuity diagnosis of `w` (`halo_uv`);
+//! 7. two-step shape-preserving tracer advection with a mid-pass halo
+//!    update, horizontal diffusion, implicit vertical mixing, surface
+//!    restoring (`advection_tracer`, `vmix_tracer`, `forcing`);
+//! 8. 3-D halo update of the new tracers (optionally batched into one
+//!    message per direction) and the Asselin filter (`halo_ts`,
+//!    `asselin`).
+//!
+//! SYPD is measured as the paper measures it: wall-clock of the daily
+//! loop, initialization and I/O excluded (§VI-C).
+
+use kokkos_rs::{
+    parallel_for_1d, parallel_for_2d, parallel_for_3d, Functor3D, IterCost, MDRangePolicy2,
+    MDRangePolicy3, RangePolicy, Space, View, View1, View2,
+};
+use mpi_sim::{CartComm, Comm, ReduceOp};
+use ocean_grid::{Bathymetry, GlobalGrid, ModelConfig, GRAVITY};
+
+use halo_exchange::{FoldKind, Halo2D, Halo3D, Strategy3D, HALO as H};
+
+use crate::advect::{self, FunctorDiagnoseW};
+use crate::baroclinic::{
+    FunctorAsselin3D, FunctorBtCorrect, FunctorLeapfrog3D, FunctorMomentumTend,
+};
+use crate::barotropic::{self, FunctorDepthMean};
+use crate::canuto::{self, CanutoFields, FunctorCanutoList, FunctorCanutoRect};
+use crate::diag::{self, Diagnostics};
+use crate::eos::{FunctorEos, FunctorPressure};
+use crate::forcing::{FunctorSurfaceRestore, FunctorWindStress};
+use crate::localgrid::LocalGrid;
+use crate::state::State;
+use crate::timers::Timers;
+use crate::vmix::{FunctorVmixImplicit, FunctorVmixTeam};
+
+/// How the canuto kernel is launched (§V-C1 progression).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanutoMode {
+    /// Rectangle launch: land iterations idle (pre-optimization).
+    Rect,
+    /// Packed wet-column list (within-rank balancing).
+    List,
+    /// Full Fig. 4 cross-rank redistribution.
+    CrossRank,
+}
+
+/// Model configuration knobs corresponding to the paper's optimizations.
+#[derive(Clone)]
+pub struct ModelOptions {
+    pub bathymetry: Bathymetry,
+    pub canuto_mode: CanutoMode,
+    /// Two-step shape-preserving advection (false = diffusive upstream).
+    pub limiter: bool,
+    /// 3-D halo buffer strategy (Fig. 5 transpose vs naive).
+    pub halo_strategy: Strategy3D,
+    /// Overlap the velocity halo exchange with the `w` diagnosis.
+    pub overlap: bool,
+    /// Batch tracer fields into one message per direction.
+    pub batched_halo: bool,
+    /// Zonal polar filter on barotropic fields near the cap.
+    pub polar_filter: bool,
+    /// Run the implicit vertical solves as a TeamPolicy launch whose
+    /// tridiagonal work arrays live in team scratch (LDM on the Sunway
+    /// backend — the §V-C2 "local arrays within the functor" strategy).
+    /// Bitwise identical to the flat launch.
+    pub vmix_team: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self {
+            bathymetry: Bathymetry::earth_like(),
+            canuto_mode: CanutoMode::List,
+            limiter: true,
+            halo_strategy: Strategy3D::Transpose,
+            overlap: true,
+            batched_halo: true,
+            polar_filter: true,
+            vmix_team: false,
+        }
+    }
+}
+
+/// Explicit horizontal tracer diffusion: `q_new += dt · κ ∇² q_cur`,
+/// no-flux across land.
+pub struct FunctorTracerHDiff {
+    pub q_cur: kokkos_rs::View3<f64>,
+    pub q_new: kokkos_rs::View3<f64>,
+    pub kmt: View2<i32>,
+    pub dxt: View1<f64>,
+    pub dyt: f64,
+    pub kappa: f64,
+    pub dt: f64,
+}
+
+impl Functor3D for FunctorTracerHDiff {
+    fn operator(&self, k: usize, j: usize, i: usize) {
+        let (jl, il) = (j + H, i + H);
+        let ki = k as i32;
+        if self.kmt.at(jl, il) <= ki {
+            return;
+        }
+        let q = self.q_cur.at(k, jl, il);
+        let nb = |jn: usize, inn: usize| -> f64 {
+            if self.kmt.at(jn, inn) > ki {
+                self.q_cur.at(k, jn, inn)
+            } else {
+                q
+            }
+        };
+        let dx = self.dxt.at(jl);
+        let lap = (nb(jl, il + 1) - 2.0 * q + nb(jl, il - 1)) / (dx * dx)
+            + (nb(jl + 1, il) - 2.0 * q + nb(jl - 1, il)) / (self.dyt * self.dyt);
+        self.q_new.set_at(
+            k,
+            jl,
+            il,
+            self.q_new.at(k, jl, il) + self.dt * self.kappa * lap,
+        );
+    }
+
+    fn cost(&self) -> IterCost {
+        IterCost {
+            flops: 14,
+            bytes: 80,
+        }
+    }
+}
+
+kokkos_rs::register_for_3d!(kernel_tracer_hdiff, FunctorTracerHDiff);
+
+/// Register driver-level functors.
+pub fn register() {
+    kernel_tracer_hdiff();
+}
+
+/// Wall-clock statistics of a timed run.
+#[derive(Debug, Clone, Copy)]
+pub struct StepStats {
+    pub steps: u64,
+    pub simulated_days: f64,
+    pub wall_seconds: f64,
+    /// Simulated years per wall-clock day — the paper's headline metric.
+    pub sypd: f64,
+}
+
+/// One rank's model instance.
+pub struct Model {
+    pub cfg: ModelConfig,
+    pub space: Space,
+    pub opts: ModelOptions,
+    pub grid: LocalGrid,
+    pub state: State,
+    pub timers: Timers,
+    comm: Comm,
+    halo2: Halo2D,
+    halo3: Halo3D,
+    gu: View2<f64>,
+    gv: View2<f64>,
+    zero2: View2<f64>,
+    filter_rows: View1<i32>,
+    filter_passes: usize,
+    visc: f64,
+    kappa: f64,
+    wet_cols_host: Vec<i32>,
+    step_count: u64,
+}
+
+/// Pick `px × py = n` with `px ≥ py` and `nxg % px == 0` (required by the
+/// north-fold exchange).
+pub fn choose_dims(nranks: usize, nxg: usize) -> (usize, usize) {
+    let mut py = (nranks as f64).sqrt().floor() as usize;
+    while py >= 1 {
+        if nranks.is_multiple_of(py) {
+            let px = nranks / py;
+            if nxg.is_multiple_of(px) {
+                return (px, py);
+            }
+        }
+        py -= 1;
+    }
+    panic!("no decomposition of {nranks} ranks divides nx={nxg}");
+}
+
+impl Model {
+    /// Build a model on this rank. Collective: every rank of `comm` must
+    /// call it with identical arguments.
+    pub fn new(comm: &Comm, cfg: ModelConfig, space: Space, opts: ModelOptions) -> Self {
+        crate::register_all_kernels();
+        let (px, py) = choose_dims(comm.size(), cfg.nx);
+        let cart = CartComm::new(comm.clone(), px, py, true);
+        let halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny);
+        let global = GlobalGrid::build(cfg.nx, cfg.ny, cfg.nz, &opts.bathymetry, cfg.full_depth);
+        let grid = LocalGrid::build(&global, &halo2);
+        let halo3 = Halo3D::new(halo2.clone(), cfg.nz, opts.halo_strategy);
+        let mut state = State::new(&grid);
+        state.init_stratified(&grid);
+
+        // Resolution-adaptive mixing: stable for any scaled grid.
+        let dx_min = comm.allreduce_f64(grid.min_dx(), ReduceOp::Min);
+        let dt = cfg.dt_baroclinic;
+        let visc = (0.02 * dx_min * dx_min / dt).min(dx_min * dx_min / (16.0 * dt));
+        let kappa = 0.25 * visc;
+
+        // Polar filter rows: where the barotropic leapfrog CFL is tight.
+        let c_wave = (GRAVITY * global.vert.max_depth()).sqrt();
+        let dx_need = std::f64::consts::SQRT_2 * c_wave * cfg.dt_barotropic;
+        let filter_rows: View1<i32> = View::host("filter_rows", [grid.pj]);
+        let mut any = false;
+        for jl in 0..grid.pj {
+            let flag = opts.polar_filter && grid.dxt.at(jl) < 1.5 * dx_need;
+            filter_rows.set_at(jl, i32::from(flag));
+            any |= flag;
+        }
+        let filter_passes = usize::from(any);
+
+        let gu: View2<f64> = View::host("gu", [grid.pj, grid.pi]);
+        let gv: View2<f64> = View::host("gv", [grid.pj, grid.pi]);
+        let zero2: View2<f64> = View::host("zero2", [grid.pj, grid.pi]);
+        let wet_cols_host = grid.wet_columns.to_vec();
+
+        let mut model = Self {
+            cfg,
+            space,
+            opts,
+            grid,
+            state,
+            timers: Timers::new(),
+            comm: comm.clone(),
+            halo2,
+            halo3,
+            gu,
+            gv,
+            zero2,
+            filter_rows,
+            filter_passes,
+            visc,
+            kappa,
+            wet_cols_host,
+            step_count: 0,
+        };
+        model.exchange_all_initial();
+        model
+    }
+
+    fn exchange_all_initial(&mut self) {
+        for lev in 0..crate::state::LEVELS {
+            self.halo3
+                .exchange(&self.state.u[lev], FoldKind::Vector, 700);
+            self.halo3
+                .exchange(&self.state.v[lev], FoldKind::Vector, 710);
+            self.halo3
+                .exchange(&self.state.t[lev], FoldKind::Scalar, 720);
+            self.halo3
+                .exchange(&self.state.s[lev], FoldKind::Scalar, 730);
+            self.halo2
+                .exchange(&self.state.eta[lev], FoldKind::Scalar, 740);
+        }
+    }
+
+    /// Horizontal viscosity actually in use (resolution-adaptive).
+    pub fn viscosity(&self) -> f64 {
+        self.visc
+    }
+
+    /// The communicator this model runs on.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The model's 3-D halo engine (for external tracer experiments).
+    pub fn halo3(&self) -> &Halo3D {
+        &self.halo3
+    }
+
+    /// The model's 2-D halo engine.
+    pub fn halo2(&self) -> &Halo2D {
+        &self.halo2
+    }
+
+    /// Simulated Sunway hardware counters, when running on the
+    /// `SwAthread` space (the analogue of the paper's "job-level
+    /// performance monitoring and analysis toolchain", §VI-C).
+    pub fn sunway_counters(&self) -> Option<sunway_sim::CgCounters> {
+        match &self.space {
+            Space::SwAthread(sw) => Some(sw.counters()),
+            _ => None,
+        }
+    }
+
+    /// Number of polar-filter passes per barotropic substep (0 = off).
+    pub fn polar_filter_passes(&self) -> usize {
+        self.filter_passes
+    }
+
+    /// Advance one baroclinic step.
+    pub fn step(&mut self) {
+        let g = &self.grid;
+        let (o, c, n) = (self.state.old(), self.state.cur(), self.state.new_lev());
+        let dt = self.cfg.dt_baroclinic;
+        let dt2 = if self.step_count == 0 { dt } else { 2.0 * dt };
+        let p3 = MDRangePolicy3::new([g.nz, g.ny, g.nx]);
+        let p2 = MDRangePolicy2::new([g.ny, g.nx]);
+        let space = self.space.clone();
+
+        // 1. Density and baroclinic pressure over the full padded block
+        // (T/S halos are valid, so pressure halos come out valid too —
+        // the momentum stencil reads them at the block edge).
+        let p3_pad = MDRangePolicy3::new([g.nz, g.pj, g.pi]);
+        let p2_pad = MDRangePolicy2::new([g.pj, g.pi]);
+        self.timers.start("eos");
+        parallel_for_3d(
+            &space,
+            p3_pad,
+            &FunctorEos {
+                t: self.state.t[c].clone(),
+                s: self.state.s[c].clone(),
+                rho: self.state.rho.clone(),
+            },
+        );
+        parallel_for_2d(
+            &space,
+            p2_pad,
+            &FunctorPressure {
+                rho: self.state.rho.clone(),
+                eta: self.zero2.clone(),
+                pressure: self.state.pressure.clone(),
+                dz: g.dz.clone(),
+                kmt: g.kmt.clone(),
+                nz: g.nz,
+            },
+        );
+        self.timers.stop("eos");
+
+        // 2. canuto mixing coefficients.
+        self.timers.start("canuto");
+        let cf = CanutoFields {
+            rho: self.state.rho.clone(),
+            u: self.state.u[c].clone(),
+            v: self.state.v[c].clone(),
+            km: self.state.km.clone(),
+            kh: self.state.kh.clone(),
+            kmt: g.kmt.clone(),
+            z_t: g.z_t.clone(),
+            nz: g.nz,
+        };
+        match self.opts.canuto_mode {
+            CanutoMode::Rect => {
+                parallel_for_2d(&space, p2, &FunctorCanutoRect { f: cf });
+            }
+            CanutoMode::List => {
+                let count = self.wet_cols_host.len();
+                parallel_for_1d(
+                    &space,
+                    RangePolicy::new(count),
+                    &FunctorCanutoList {
+                        f: cf,
+                        cols: g.wet_columns.clone(),
+                        pi: g.pi,
+                    },
+                );
+            }
+            CanutoMode::CrossRank => {
+                canuto::balanced_cross_rank(&self.comm, &cf, &self.wet_cols_host, g.pi);
+            }
+        }
+        self.timers.stop("canuto");
+
+        // 3. Momentum tendency + wind stress.
+        self.timers.start("momentum");
+        parallel_for_3d(
+            &space,
+            p3,
+            &FunctorMomentumTend {
+                u_cur: self.state.u[c].clone(),
+                v_cur: self.state.v[c].clone(),
+                u_old: self.state.u[o].clone(),
+                v_old: self.state.v[o].clone(),
+                pressure: self.state.pressure.clone(),
+                ut: self.state.ut.clone(),
+                vt: self.state.vt.clone(),
+                kmu: g.kmu.clone(),
+                fcor: g.fcor.clone(),
+                dxt: g.dxt.clone(),
+                dyt: g.dyt,
+                dz: g.dz.clone(),
+                visc: self.visc,
+            },
+        );
+        parallel_for_2d(
+            &space,
+            p2,
+            &FunctorWindStress {
+                ut: self.state.ut.clone(),
+                vt: self.state.vt.clone(),
+                lat: g.lat.clone(),
+                kmu: g.kmu.clone(),
+                dz0: g.dz.at(0),
+            },
+        );
+        self.timers.stop("momentum");
+
+        // 4. Barotropic window.
+        self.timers.start("barotropic");
+        parallel_for_2d(
+            &space,
+            p2,
+            &FunctorDepthMean {
+                tend: self.state.ut.clone(),
+                out: self.gu.clone(),
+                kmu: g.kmu.clone(),
+                dz: g.dz.clone(),
+            },
+        );
+        parallel_for_2d(
+            &space,
+            p2,
+            &FunctorDepthMean {
+                tend: self.state.vt.clone(),
+                out: self.gv.clone(),
+                kmu: g.kmu.clone(),
+                dz: g.dz.clone(),
+            },
+        );
+        let substeps = ((dt2 / self.cfg.dt_barotropic).round() as usize).max(1);
+        let (gu, gv) = (self.gu.clone(), self.gv.clone());
+        let filter_rows = self.filter_rows.clone();
+        let (dtb, passes) = (self.cfg.dt_barotropic, self.filter_passes);
+        {
+            let grid = &self.grid;
+            barotropic::integrate(
+                &space,
+                grid,
+                &mut self.state,
+                &self.halo2,
+                &gu,
+                &gv,
+                dtb,
+                substeps,
+                &filter_rows,
+                passes,
+            );
+        }
+        self.timers.stop("barotropic");
+        let g = &self.grid;
+
+        // 5. Leapfrog momentum update + implicit friction + mode fix.
+        self.timers.start("update_uv");
+        for (old, new, tend) in [
+            (&self.state.u[o], &self.state.u[n], &self.state.ut),
+            (&self.state.v[o], &self.state.v[n], &self.state.vt),
+        ] {
+            parallel_for_3d(
+                &space,
+                p3,
+                &FunctorLeapfrog3D {
+                    old: old.clone(),
+                    new: new.clone(),
+                    tend: tend.clone(),
+                    mask: g.kmu.clone(),
+                    dt2,
+                },
+            );
+        }
+        self.timers.stop("update_uv");
+        self.timers.start("vmix_momentum");
+        for field in [&self.state.u[n], &self.state.v[n]] {
+            self.launch_vmix(&space, field, &self.state.km, &g.kmu, dt2);
+        }
+        parallel_for_2d(
+            &space,
+            p2,
+            &FunctorBtCorrect {
+                u: self.state.u[n].clone(),
+                v: self.state.v[n].clone(),
+                ubt: self.state.ubt.clone(),
+                vbt: self.state.vbt.clone(),
+                kmu: g.kmu.clone(),
+                dz: g.dz.clone(),
+            },
+        );
+        self.timers.stop("vmix_momentum");
+
+        // 6. Velocity halo update, overlapped with the w diagnosis.
+        self.timers.start("halo_uv");
+        let w_functor = FunctorDiagnoseW {
+            u: self.state.u[c].clone(),
+            v: self.state.v[c].clone(),
+            w: self.state.w.clone(),
+            kmt: g.kmt.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dz: g.dz.clone(),
+            nz: g.nz,
+        };
+        if self.opts.overlap {
+            let sp = space.clone();
+            self.halo3
+                .exchange_overlap(&self.state.u[n], FoldKind::Vector, 800, || {
+                    parallel_for_2d(&sp, p2, &w_functor);
+                });
+            self.halo3.exchange(&self.state.v[n], FoldKind::Vector, 810);
+        } else {
+            parallel_for_2d(&space, p2, &w_functor);
+            if self.opts.batched_halo {
+                self.halo3.exchange_many(
+                    &[
+                        (&self.state.u[n], FoldKind::Vector),
+                        (&self.state.v[n], FoldKind::Vector),
+                    ],
+                    800,
+                );
+            } else {
+                self.halo3.exchange(&self.state.u[n], FoldKind::Vector, 800);
+                self.halo3.exchange(&self.state.v[n], FoldKind::Vector, 810);
+            }
+        }
+        self.timers.stop("halo_uv");
+
+        // 7. Tracers: two-step shape-preserving advection (+ halo for the
+        // intermediate field between the x and y passes), diffusion,
+        // implicit vertical mixing, surface restoring.
+        self.timers.start("advection_tracer");
+        for (cur, new) in [
+            (&self.state.t[c], &self.state.t[n]),
+            (&self.state.s[c], &self.state.s[n]),
+        ] {
+            advect::advect_tracer(
+                &space,
+                g,
+                cur,
+                new,
+                &self.state.scratch3,
+                &self.state.flux_x,
+                &self.state.u[c],
+                &self.state.v[c],
+                &self.state.w,
+                dt,
+                self.opts.limiter,
+                &|tmp| self.halo3.exchange(tmp, FoldKind::Scalar, 820),
+            );
+        }
+        self.timers.stop("advection_tracer");
+        self.timers.start("hdiff");
+        for (cur, new) in [
+            (&self.state.t[c], &self.state.t[n]),
+            (&self.state.s[c], &self.state.s[n]),
+        ] {
+            parallel_for_3d(
+                &space,
+                p3,
+                &FunctorTracerHDiff {
+                    q_cur: cur.clone(),
+                    q_new: new.clone(),
+                    kmt: g.kmt.clone(),
+                    dxt: g.dxt.clone(),
+                    dyt: g.dyt,
+                    kappa: self.kappa,
+                    dt,
+                },
+            );
+        }
+        self.timers.stop("hdiff");
+        self.timers.start("vmix_tracer");
+        for field in [&self.state.t[n], &self.state.s[n]] {
+            self.launch_vmix(&space, field, &self.state.kh, &g.kmt, dt);
+        }
+        self.timers.stop("vmix_tracer");
+        self.timers.start("forcing");
+        parallel_for_2d(
+            &space,
+            p2,
+            &FunctorSurfaceRestore {
+                t_new: self.state.t[n].clone(),
+                s_new: self.state.s[n].clone(),
+                lat: g.lat.clone(),
+                kmt: g.kmt.clone(),
+                dt,
+            },
+        );
+        self.timers.stop("forcing");
+
+        // 8. Tracer halo update + Asselin on the leapfrogged fields.
+        self.timers.start("halo_ts");
+        if self.opts.batched_halo {
+            self.halo3.exchange_many(
+                &[
+                    (&self.state.t[n], FoldKind::Scalar),
+                    (&self.state.s[n], FoldKind::Scalar),
+                ],
+                830,
+            );
+        } else {
+            self.halo3.exchange(&self.state.t[n], FoldKind::Scalar, 830);
+            self.halo3.exchange(&self.state.s[n], FoldKind::Scalar, 840);
+        }
+        self.timers.stop("halo_ts");
+        self.timers.start("asselin");
+        for (old, cur, new) in [
+            (&self.state.u[o], &self.state.u[c], &self.state.u[n]),
+            (&self.state.v[o], &self.state.v[c], &self.state.v[n]),
+        ] {
+            parallel_for_3d(
+                &space,
+                p3,
+                &FunctorAsselin3D {
+                    old: old.clone(),
+                    cur: cur.clone(),
+                    new: new.clone(),
+                },
+            );
+        }
+        // The filtered cur level needs fresh halos for the next step.
+        self.halo3.exchange(&self.state.u[c], FoldKind::Vector, 850);
+        self.halo3.exchange(&self.state.v[c], FoldKind::Vector, 860);
+        self.timers.stop("asselin");
+
+        self.step_count += 1;
+        self.state.rotate();
+    }
+
+    /// Launch one implicit vertical solve through the configured shape
+    /// (flat rectangle launch, or TeamPolicy with LDM scratch).
+    fn launch_vmix(
+        &self,
+        space: &Space,
+        field: &kokkos_rs::View3<f64>,
+        kcoef: &kokkos_rs::View3<f64>,
+        mask: &View2<i32>,
+        dt: f64,
+    ) {
+        let g = &self.grid;
+        if self.opts.vmix_team {
+            kokkos_rs::parallel_for_team(
+                space,
+                kokkos_rs::TeamPolicy::new(g.ny * g.nx, FunctorVmixTeam::scratch_len(g.nz)),
+                &FunctorVmixTeam {
+                    q: field.clone(),
+                    kcoef: kcoef.clone(),
+                    mask: mask.clone(),
+                    dz: g.dz.clone(),
+                    z_t: g.z_t.clone(),
+                    dt,
+                    nz: g.nz,
+                    nx: g.nx,
+                },
+            );
+        } else {
+            parallel_for_2d(
+                space,
+                MDRangePolicy2::new([g.ny, g.nx]),
+                &FunctorVmixImplicit {
+                    q: field.clone(),
+                    kcoef: kcoef.clone(),
+                    mask: mask.clone(),
+                    dz: g.dz.clone(),
+                    z_t: g.z_t.clone(),
+                    dt,
+                    nz: g.nz,
+                },
+            );
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Overwrite the step counter (restart resume).
+    pub fn set_steps_taken(&mut self, n: u64) {
+        self.step_count = n;
+    }
+
+    /// Advance `n` steps.
+    pub fn run_steps(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run `days` simulated days and report throughput, measuring only
+    /// the daily loop (the paper's SYPD definition).
+    pub fn run_days(&mut self, days: f64) -> StepStats {
+        let steps = ((days * 86_400.0) / self.cfg.dt_baroclinic).round() as usize;
+        let t0 = std::time::Instant::now();
+        self.timers.start("daily_loop");
+        self.run_steps(steps);
+        self.timers.stop("daily_loop");
+        let wall = t0.elapsed().as_secs_f64();
+        let sim_days = steps as f64 * self.cfg.dt_baroclinic / 86_400.0;
+        StepStats {
+            steps: steps as u64,
+            simulated_days: sim_days,
+            wall_seconds: wall,
+            sypd: (sim_days / 365.0) / (wall / 86_400.0),
+        }
+    }
+
+    /// Local diagnostics at the current level.
+    pub fn diagnostics(&self) -> Diagnostics {
+        let c = self.state.cur();
+        diag::local_diagnostics(
+            &self.space,
+            &self.grid,
+            &self.state.u[c],
+            &self.state.v[c],
+            &self.state.t[c],
+            &self.state.s[c],
+        )
+    }
+
+    /// Deterministic fingerprint of the prognostic state.
+    pub fn checksum(&self) -> u64 {
+        self.state.checksum()
+    }
+
+    /// Global (allreduced) tracer inventory of temperature — the
+    /// conservation metric.
+    pub fn global_heat_content(&self) -> f64 {
+        let d = self.diagnostics();
+        self.comm.allreduce_f64(d.heat_content, ReduceOp::Sum)
+    }
+}

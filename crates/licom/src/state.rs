@@ -1,0 +1,280 @@
+//! Prognostic and diagnostic model state.
+//!
+//! Leapfrog needs three time levels (`old`, `cur`, `new`) of every
+//! prognostic field; [`State::rotate`] cycles the roles without copying
+//! (Views are shallow handles). Diagnostic fields (density, pressure,
+//! vertical velocity, mixing coefficients, tendencies, flux scratch) have
+//! a single level.
+
+use kokkos_rs::{View, View2, View3};
+
+use crate::constants;
+use crate::localgrid::LocalGrid;
+
+/// Number of leapfrog time levels.
+pub const LEVELS: usize = 3;
+
+/// Full model state on one rank (padded local arrays).
+pub struct State {
+    // Prognostics, three time levels each.
+    pub u: [View3<f64>; LEVELS],
+    pub v: [View3<f64>; LEVELS],
+    pub t: [View3<f64>; LEVELS],
+    pub s: [View3<f64>; LEVELS],
+    pub eta: [View2<f64>; LEVELS],
+    // Barotropic transports (window-averaged, current).
+    pub ubt: View2<f64>,
+    pub vbt: View2<f64>,
+    // Diagnostics.
+    /// Vertical velocity at layer interfaces (`nz+1` levels).
+    pub w: View3<f64>,
+    pub rho: View3<f64>,
+    pub pressure: View3<f64>,
+    /// Vertical viscosity at interfaces.
+    pub km: View3<f64>,
+    /// Vertical diffusivity at interfaces.
+    pub kh: View3<f64>,
+    // Tendencies and scratch.
+    pub ut: View3<f64>,
+    pub vt: View3<f64>,
+    pub flux_x: View3<f64>,
+    pub flux_y: View3<f64>,
+    pub flux_z: View3<f64>,
+    pub scratch3: View3<f64>,
+    pub scratch3b: View3<f64>,
+    pub scratch2: View2<f64>,
+    // Barotropic solver work arrays (three leapfrog levels each).
+    pub bt_eta: [View2<f64>; LEVELS],
+    pub bt_u: [View2<f64>; LEVELS],
+    pub bt_v: [View2<f64>; LEVELS],
+    // Time-level roles: indices into the arrays above.
+    old: usize,
+    cur: usize,
+    new: usize,
+}
+
+impl State {
+    /// Allocate a zeroed state for the given local grid.
+    pub fn new(g: &LocalGrid) -> Self {
+        let d3 = [g.nz, g.pj, g.pi];
+        let d3w = [g.nz + 1, g.pj, g.pi];
+        let d2 = [g.pj, g.pi];
+        let v3 = |label: &str| -> [View3<f64>; LEVELS] {
+            [
+                View::host(&format!("{label}0"), d3),
+                View::host(&format!("{label}1"), d3),
+                View::host(&format!("{label}2"), d3),
+            ]
+        };
+        Self {
+            u: v3("u"),
+            v: v3("v"),
+            t: v3("t"),
+            s: v3("s"),
+            eta: [
+                View::host("eta0", d2),
+                View::host("eta1", d2),
+                View::host("eta2", d2),
+            ],
+            ubt: View::host("ubt", d2),
+            vbt: View::host("vbt", d2),
+            w: View::host("w", d3w),
+            rho: View::host("rho", d3),
+            pressure: View::host("pressure", d3),
+            km: View::host("km", d3w),
+            kh: View::host("kh", d3w),
+            ut: View::host("ut", d3),
+            vt: View::host("vt", d3),
+            flux_x: View::host("flux_x", d3),
+            flux_y: View::host("flux_y", d3),
+            flux_z: View::host("flux_z", d3w),
+            scratch3: View::host("scratch3", d3),
+            scratch3b: View::host("scratch3b", d3),
+            scratch2: View::host("scratch2", d2),
+            bt_eta: [
+                View::host("bt_eta0", d2),
+                View::host("bt_eta1", d2),
+                View::host("bt_eta2", d2),
+            ],
+            bt_u: [
+                View::host("bt_u0", d2),
+                View::host("bt_u1", d2),
+                View::host("bt_u2", d2),
+            ],
+            bt_v: [
+                View::host("bt_v0", d2),
+                View::host("bt_v1", d2),
+                View::host("bt_v2", d2),
+            ],
+            old: 0,
+            cur: 1,
+            new: 2,
+        }
+    }
+
+    pub fn old(&self) -> usize {
+        self.old
+    }
+
+    pub fn cur(&self) -> usize {
+        self.cur
+    }
+
+    pub fn new_lev(&self) -> usize {
+        self.new
+    }
+
+    /// Advance the leapfrog roles: new → cur, cur → old, old recycled.
+    pub fn rotate(&mut self) {
+        let o = self.old;
+        self.old = self.cur;
+        self.cur = self.new;
+        self.new = o;
+    }
+
+    /// Initialise a stratified, resting ocean: latitude-dependent SST
+    /// decaying exponentially with depth, uniform salinity with a small
+    /// deterministic perturbation (seeds baroclinic eddies), zero flow.
+    /// Land cells hold reference values (masked out of the dynamics).
+    pub fn init_stratified(&mut self, g: &LocalGrid) {
+        for lev in 0..LEVELS {
+            for k in 0..g.nz {
+                let z = g.z_t.at(k);
+                for jl in 0..g.pj {
+                    let lat = g.lat.at(jl);
+                    // Surface temperature: warm tropics, cold poles.
+                    let sst = 28.0 * (lat.to_radians().cos()).powi(2) - 1.0;
+                    for il in 0..g.pi {
+                        let lon = g.lon.at(il);
+                        let tz = 2.0 + (sst - 2.0) * (-z / 800.0).exp();
+                        // Deterministic mesoscale-seed perturbation.
+                        let pert = 0.05
+                            * ((lon.to_radians() * 6.0).sin() * (lat.to_radians() * 7.0).cos());
+                        self.t[lev].set_at(k, jl, il, tz + pert);
+                        self.s[lev].set_at(
+                            k,
+                            jl,
+                            il,
+                            constants::S_REF + 0.5 * (-z / 1000.0).exp()
+                                - 0.02 * (lat / 30.0).tanh(),
+                        );
+                        self.u[lev].set_at(k, jl, il, 0.0);
+                        self.v[lev].set_at(k, jl, il, 0.0);
+                    }
+                }
+            }
+            self.eta[lev].fill(0.0);
+        }
+        self.ubt.fill(0.0);
+        self.vbt.fill(0.0);
+        self.km.fill(constants::KM_BACKGROUND);
+        self.kh.fill(constants::KH_BACKGROUND);
+    }
+
+    /// A 64-bit FNV hash over the bit patterns of all prognostic fields —
+    /// the cross-backend / restart reproducibility fingerprint.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for lev in [self.old, self.cur] {
+            for f in [&self.u[lev], &self.v[lev], &self.t[lev], &self.s[lev]] {
+                for &x in f.as_slice() {
+                    eat(x.to_bits());
+                }
+            }
+            for &x in self.eta[lev].as_slice() {
+                eat(x.to_bits());
+            }
+        }
+        h
+    }
+
+    /// True if any prognostic value is non-finite.
+    pub fn has_nan(&self) -> bool {
+        let check = |v: &View3<f64>| v.as_slice().iter().any(|x| !x.is_finite());
+        let check2 = |v: &View2<f64>| v.as_slice().iter().any(|x| !x.is_finite());
+        (0..LEVELS).any(|l| {
+            check(&self.u[l])
+                || check(&self.v[l])
+                || check(&self.t[l])
+                || check(&self.s[l])
+                || check2(&self.eta[l])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_exchange::Halo2D;
+    use mpi_sim::{CartComm, World};
+    use ocean_grid::{Bathymetry, GlobalGrid};
+
+    fn local() -> LocalGrid {
+        let global = GlobalGrid::build(16, 10, 5, &Bathymetry::Flat(4000.0), false);
+        World::run(1, |comm| {
+            let cart = CartComm::new(comm.clone(), 1, 1, true);
+            let halo = Halo2D::new(&cart, 16, 10);
+            LocalGrid::build(&global, &halo)
+        })
+        .pop()
+        .unwrap()
+    }
+
+    #[test]
+    fn rotate_cycles_roles() {
+        let g = local();
+        let mut s = State::new(&g);
+        let (o, c, n) = (s.old(), s.cur(), s.new_lev());
+        s.rotate();
+        assert_eq!(s.old(), c);
+        assert_eq!(s.cur(), n);
+        assert_eq!(s.new_lev(), o);
+        s.rotate();
+        s.rotate();
+        assert_eq!((s.old(), s.cur(), s.new_lev()), (o, c, n));
+    }
+
+    #[test]
+    fn init_is_stratified_and_finite() {
+        let g = local();
+        let mut s = State::new(&g);
+        s.init_stratified(&g);
+        assert!(!s.has_nan());
+        let c = s.cur();
+        // Temperature decreases with depth at a tropical column.
+        let jl = g.pj / 2;
+        let il = g.pi / 2;
+        for k in 1..g.nz {
+            assert!(s.t[c].at(k, jl, il) < s.t[c].at(k - 1, jl, il) + 0.2);
+        }
+        // Ocean at rest.
+        assert!(s.u[c].as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn checksum_distinguishes_states() {
+        let g = local();
+        let mut a = State::new(&g);
+        a.init_stratified(&g);
+        let ha = a.checksum();
+        let mut b = State::new(&g);
+        b.init_stratified(&g);
+        assert_eq!(ha, b.checksum(), "identical init → identical checksum");
+        b.t[b.cur()].set_at(0, 3, 3, 99.0);
+        assert_ne!(ha, b.checksum(), "perturbation must change checksum");
+    }
+
+    #[test]
+    fn nan_detection() {
+        let g = local();
+        let mut s = State::new(&g);
+        s.init_stratified(&g);
+        assert!(!s.has_nan());
+        s.v[0].set_at(0, 0, 0, f64::NAN);
+        assert!(s.has_nan());
+    }
+}

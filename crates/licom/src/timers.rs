@@ -1,0 +1,164 @@
+//! GPTL-style named timers.
+//!
+//! "We primarily employed the GPTL and Chrono libraries as timers"
+//! (§VI-C). This is the Rust equivalent: named, nesting-agnostic
+//! accumulating timers with call counts, used for the per-kernel breakdown
+//! in the experiment binaries and for the SYPD measurement (daily loop
+//! wall-clock, I/O and initialization excluded).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One timer's accumulated statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimerStat {
+    pub calls: u64,
+    pub total: Duration,
+    pub max: Duration,
+}
+
+/// A set of named accumulating timers.
+#[derive(Debug, Default)]
+pub struct Timers {
+    stats: HashMap<&'static str, TimerStat>,
+    running: HashMap<&'static str, Instant>,
+}
+
+impl Timers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start timer `name` (GPTL `GPTLstart`).
+    pub fn start(&mut self, name: &'static str) {
+        let prev = self.running.insert(name, Instant::now());
+        assert!(prev.is_none(), "timer '{name}' started twice");
+    }
+
+    /// Stop timer `name` and accumulate (GPTL `GPTLstop`).
+    pub fn stop(&mut self, name: &'static str) {
+        let t0 = self
+            .running
+            .remove(name)
+            .unwrap_or_else(|| panic!("timer '{name}' stopped without start"));
+        let dt = t0.elapsed();
+        let s = self.stats.entry(name).or_default();
+        s.calls += 1;
+        s.total += dt;
+        s.max = s.max.max(dt);
+    }
+
+    /// Time a closure under `name`.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        self.start(name);
+        let r = f();
+        self.stop(name);
+        r
+    }
+
+    /// Accumulated seconds of `name` (0 if never stopped).
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.stats
+            .get(name)
+            .map(|s| s.total.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Call count of `name`.
+    pub fn calls(&self, name: &str) -> u64 {
+        self.stats.get(name).map(|s| s.calls).unwrap_or(0)
+    }
+
+    /// All stats, sorted by descending total time.
+    pub fn sorted(&self) -> Vec<(&'static str, TimerStat)> {
+        let mut v: Vec<_> = self.stats.iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1.total));
+        v
+    }
+
+    /// Render a breakdown table.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>10} {:>12} {:>12}\n",
+            "timer", "calls", "total (s)", "max (ms)"
+        );
+        for (name, s) in self.sorted() {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>12.4} {:>12.3}\n",
+                name,
+                s.calls,
+                s.total.as_secs_f64(),
+                s.max.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+
+    /// Reset everything (e.g. after warm-up steps).
+    pub fn reset(&mut self) {
+        assert!(
+            self.running.is_empty(),
+            "reset with running timers: {:?}",
+            self.running.keys().collect::<Vec<_>>()
+        );
+        self.stats.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_calls_and_time() {
+        let mut t = Timers::new();
+        for _ in 0..3 {
+            t.time("work", || std::thread::sleep(Duration::from_millis(2)));
+        }
+        assert_eq!(t.calls("work"), 3);
+        assert!(t.seconds("work") >= 0.005);
+        assert_eq!(t.calls("absent"), 0);
+        assert_eq!(t.seconds("absent"), 0.0);
+    }
+
+    #[test]
+    fn sorted_by_total() {
+        let mut t = Timers::new();
+        t.time("fast", || {});
+        t.time("slow", || std::thread::sleep(Duration::from_millis(5)));
+        let order: Vec<&str> = t.sorted().iter().map(|(n, _)| *n).collect();
+        assert_eq!(order[0], "slow");
+    }
+
+    #[test]
+    #[should_panic(expected = "started twice")]
+    fn double_start_panics() {
+        let mut t = Timers::new();
+        t.start("a");
+        t.start("a");
+    }
+
+    #[test]
+    #[should_panic(expected = "stopped without start")]
+    fn stop_without_start_panics() {
+        let mut t = Timers::new();
+        t.stop("a");
+    }
+
+    #[test]
+    fn report_contains_names() {
+        let mut t = Timers::new();
+        t.time("advection_tracer", || {});
+        let r = t.report();
+        assert!(r.contains("advection_tracer"));
+        assert!(r.contains("calls"));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = Timers::new();
+        t.time("x", || {});
+        t.reset();
+        assert_eq!(t.calls("x"), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Full-model integration smoke tests: the assembled LICOMK++ steps
+//! stably, identically across execution spaces, and reproducibly.
+#![allow(clippy::field_reassign_with_default)]
+
+use licom::model::{choose_dims, CanutoMode, Model, ModelOptions};
+// re-export check
+use mpi_sim::World;
+use ocean_grid::{Bathymetry, Resolution};
+
+fn small_config() -> ocean_grid::ModelConfig {
+    // ~800-km effective grid, 6 levels: tiny but exercises every kernel.
+    Resolution::Coarse100km.config().scaled_down(8, 6)
+}
+
+#[test]
+fn model_steps_without_nan_single_rank() {
+    let cfg = small_config();
+    World::run(1, |comm| {
+        let mut m = Model::new(
+            comm,
+            cfg.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        );
+        m.run_steps(5);
+        assert!(!m.state.has_nan(), "NaN after 5 steps");
+        let d = m.diagnostics();
+        assert!(
+            d.max_speed.is_finite() && d.max_speed < 10.0,
+            "max speed {}",
+            d.max_speed
+        );
+        assert!(d.mean_sst > -5.0 && d.mean_sst < 35.0, "SST {}", d.mean_sst);
+        assert!(d.kinetic_energy >= 0.0);
+    });
+}
+
+#[test]
+fn model_develops_circulation_from_rest() {
+    let cfg = small_config();
+    World::run(1, |comm| {
+        let mut m = Model::new(
+            comm,
+            cfg.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        );
+        let ke0 = m.diagnostics().kinetic_energy;
+        m.run_steps(10);
+        let ke1 = m.diagnostics().kinetic_energy;
+        assert!(ke1 > ke0, "wind forcing must spin up flow: {ke0} -> {ke1}");
+    });
+}
+
+#[test]
+fn serial_and_threads_are_bitwise_identical() {
+    let cfg = small_config();
+    let sums: Vec<u64> = ["serial", "threads"]
+        .iter()
+        .map(|name| {
+            World::run(1, |comm| {
+                let mut m = Model::new(
+                    comm,
+                    cfg.clone(),
+                    kokkos_rs::Space::from_name(name).unwrap(),
+                    ModelOptions::default(),
+                );
+                m.run_steps(3);
+                m.checksum()
+            })
+            .pop()
+            .unwrap()
+        })
+        .collect();
+    assert_eq!(sums[0], sums[1], "Serial vs Threads diverged");
+}
+
+#[test]
+fn multi_rank_matches_single_rank() {
+    let cfg = small_config();
+    let single = World::run(1, |comm| {
+        let mut m = Model::new(
+            comm,
+            cfg.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        );
+        m.run_steps(3);
+        let d = m.diagnostics();
+        (m.global_heat_content(), d.kinetic_energy)
+    })
+    .pop()
+    .unwrap();
+    // 45 columns: px must divide 45 → px=3.
+    let multi = World::run(3, |comm| {
+        let mut m = Model::new(
+            comm,
+            cfg.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        );
+        m.run_steps(3);
+        m.global_heat_content()
+    })
+    .pop()
+    .unwrap();
+    let rel = (single.0 - multi).abs() / single.0.abs();
+    assert!(rel < 1e-12, "heat content differs: {} vs {multi}", single.0);
+}
+
+#[test]
+fn canuto_modes_agree() {
+    let cfg = small_config();
+    let checksum = |mode: CanutoMode| {
+        World::run(1, |comm| {
+            let mut opts = ModelOptions::default();
+            opts.canuto_mode = mode;
+            let mut m = Model::new(comm, cfg.clone(), kokkos_rs::Space::serial(), opts);
+            m.run_steps(2);
+            m.checksum()
+        })
+        .pop()
+        .unwrap()
+    };
+    let rect = checksum(CanutoMode::Rect);
+    let list = checksum(CanutoMode::List);
+    let cross = checksum(CanutoMode::CrossRank);
+    assert_eq!(rect, list, "Rect vs List canuto diverged");
+    assert_eq!(rect, cross, "Rect vs CrossRank canuto diverged");
+}
+
+#[test]
+fn halo_strategies_agree() {
+    let cfg = small_config();
+    let checksum = |strategy| {
+        World::run(1, |comm| {
+            let mut opts = ModelOptions::default();
+            opts.halo_strategy = strategy;
+            let mut m = Model::new(comm, cfg.clone(), kokkos_rs::Space::serial(), opts);
+            m.run_steps(2);
+            m.checksum()
+        })
+        .pop()
+        .unwrap()
+    };
+    assert_eq!(
+        checksum(halo_exchange::Strategy3D::HorizontalMajor),
+        checksum(halo_exchange::Strategy3D::Transpose)
+    );
+}
+
+#[test]
+fn overlap_and_batching_do_not_change_results() {
+    let cfg = small_config();
+    let checksum = |overlap: bool, batched: bool| {
+        World::run(3, |comm| {
+            let mut opts = ModelOptions::default();
+            opts.overlap = overlap;
+            opts.batched_halo = batched;
+            let mut m = Model::new(comm, cfg.clone(), kokkos_rs::Space::serial(), opts);
+            m.run_steps(2);
+            m.checksum()
+        })
+        .pop()
+        .unwrap()
+    };
+    let base = checksum(false, false);
+    assert_eq!(base, checksum(true, false));
+    assert_eq!(base, checksum(false, true));
+    assert_eq!(base, checksum(true, true));
+}
+
+#[test]
+fn basin_configuration_runs() {
+    let mut cfg = small_config();
+    cfg.nx = 36;
+    cfg.ny = 24;
+    let mut opts = ModelOptions::default();
+    opts.bathymetry = Bathymetry::Basin {
+        lon0: 30.0,
+        lon1: 330.0,
+        lat0: -40.0,
+        lat1: 55.0,
+        depth: 4000.0,
+    };
+    World::run(1, |comm| {
+        let mut m = Model::new(comm, cfg.clone(), kokkos_rs::Space::serial(), opts.clone());
+        m.run_steps(5);
+        assert!(!m.state.has_nan());
+    });
+}
+
+#[test]
+fn choose_dims_respects_fold_constraint() {
+    assert_eq!(choose_dims(1, 45), (1, 1));
+    let (px, py) = choose_dims(6, 36);
+    assert_eq!(px * py, 6);
+    assert_eq!(36 % px, 0);
+    let (px, _) = choose_dims(4, 360);
+    assert_eq!(360 % px, 0);
+}
+
+#[test]
+fn team_vmix_is_bitwise_identical_in_the_full_model() {
+    let cfg = small_config();
+    let checksum = |team: bool| {
+        World::run(1, |comm| {
+            let mut opts = ModelOptions::default();
+            opts.vmix_team = team;
+            let mut m = Model::new(comm, cfg.clone(), kokkos_rs::Space::serial(), opts);
+            m.run_steps(3);
+            m.checksum()
+        })
+        .pop()
+        .unwrap()
+    };
+    assert_eq!(checksum(false), checksum(true), "team vmix diverged");
+}
+
+#[test]
+fn team_vmix_runs_on_simulated_sunway() {
+    let cfg = Resolution::Coarse100km.config().scaled_down(12, 5);
+    World::run(1, |comm| {
+        let mut opts = ModelOptions::default();
+        opts.vmix_team = true;
+        let space = kokkos_rs::Space::sw_athread_with(sunway_sim::CgConfig::test_small());
+        let mut m = Model::new(comm, cfg.clone(), space, opts);
+        m.run_steps(2);
+        assert!(!m.state.has_nan());
+    });
+}
+
+#[test]
+fn polar_filter_engages_when_cap_is_cfl_tight() {
+    // At /2 scale the tripolar cap rows are narrower than the barotropic
+    // CFL bound for dt_b = 120 s, so the zonal filter must arm; at /8
+    // scale the rows are wide enough that it stays off.
+    let tight = Resolution::Coarse100km.config().scaled_down(2, 5);
+    World::run(1, |comm| {
+        let m = Model::new(comm, tight.clone(), kokkos_rs::Space::serial(), ModelOptions::default());
+        assert!(m.polar_filter_passes() > 0, "filter should arm at /2 scale");
+    });
+    let loose = Resolution::Coarse100km.config().scaled_down(8, 5);
+    World::run(1, |comm| {
+        let m = Model::new(comm, loose.clone(), kokkos_rs::Space::serial(), ModelOptions::default());
+        assert_eq!(m.polar_filter_passes(), 0, "filter should stay off at /8 scale");
+    });
+}
+
+#[test]
+fn viscosity_adapts_to_resolution() {
+    // Coarser grid → larger adaptive Laplacian viscosity.
+    let coarse = Resolution::Coarse100km.config().scaled_down(8, 5);
+    let fine = Resolution::Coarse100km.config().scaled_down(4, 5);
+    let vc = World::run(1, |comm| {
+        Model::new(comm, coarse.clone(), kokkos_rs::Space::serial(), ModelOptions::default())
+            .viscosity()
+    })
+    .pop()
+    .unwrap();
+    let vf = World::run(1, |comm| {
+        Model::new(comm, fine.clone(), kokkos_rs::Space::serial(), ModelOptions::default())
+            .viscosity()
+    })
+    .pop()
+    .unwrap();
+    assert!(vc > vf, "coarse {vc} vs fine {vf}");
+}

@@ -1,0 +1,316 @@
+//! Ranks, worlds and tag-matched point-to-point messaging.
+//!
+//! Semantics follow MPI where the model code depends on them:
+//!
+//! * `send` is *buffered* (never blocks on the receiver), matching the
+//!   paper's use of `MPI_Isend`-style overlapped halo exchange;
+//! * `recv` blocks until a message with the exact `(source, tag)` pair is
+//!   available; messages between the same pair with the same tag are
+//!   delivered in send order (non-overtaking);
+//! * payloads are typed `Vec<T>`; a type mismatch between sender and
+//!   receiver panics with a diagnostic rather than reinterpreting bytes.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::collective::CollectiveState;
+use crate::stats::{Traffic, TrafficSnapshot};
+
+struct Message {
+    src: usize,
+    tag: u64,
+    data: Box<dyn Any + Send>,
+    type_name: &'static str,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<Vec<Message>>,
+    cv: Condvar,
+}
+
+pub(crate) struct WorldShared {
+    pub(crate) n: usize,
+    mailboxes: Vec<Mailbox>,
+    pub(crate) traffic: Traffic,
+    pub(crate) coll: CollectiveState,
+}
+
+/// A communicator handle owned by one rank. Cheap to clone.
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    shared: Arc<WorldShared>,
+}
+
+/// Handle for a posted non-blocking receive; resolve with [`RecvReq::wait`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "an irecv does nothing until waited on"]
+pub struct RecvReq {
+    src: usize,
+    tag: u64,
+}
+
+impl Comm {
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Buffered typed send: enqueue `data` at `dst`'s mailbox and return
+    /// immediately.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(dst < self.shared.n, "send to invalid rank {dst}");
+        let bytes = data.len() * std::mem::size_of::<T>();
+        self.shared.traffic.record_p2p(bytes);
+        let mb = &self.shared.mailboxes[dst];
+        mb.queue.lock().push(Message {
+            src: self.rank,
+            tag,
+            data: Box::new(data),
+            type_name: std::any::type_name::<T>(),
+        });
+        mb.cv.notify_all();
+    }
+
+    /// Blocking typed receive of the oldest message matching `(src, tag)`.
+    ///
+    /// # Panics
+    /// If the matched message was sent with a different element type.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = q.remove(pos);
+                let tn = msg.type_name;
+                return *msg.data.downcast::<Vec<T>>().unwrap_or_else(|_| {
+                    panic!(
+                        "recv type mismatch: rank {} expected Vec<{}>, rank {} sent Vec<{}> (tag {})",
+                        self.rank,
+                        std::any::type_name::<T>(),
+                        src,
+                        tn,
+                        tag
+                    )
+                });
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking send. With an in-process buffered transport this is the
+    /// same as [`Comm::send`]; it exists so model code reads like the MPI
+    /// original (`MPI_Isend` + `MPI_Waitall`).
+    pub fn isend<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.send(dst, tag, data);
+    }
+
+    /// Post a non-blocking receive; the message is pulled at
+    /// [`RecvReq::wait`] time.
+    pub fn irecv(&self, src: usize, tag: u64) -> RecvReq {
+        RecvReq { src, tag }
+    }
+
+    /// Combined blocking exchange with a partner (deadlock-free because
+    /// sends are buffered).
+    pub fn sendrecv<T: Send + 'static>(
+        &self,
+        partner: usize,
+        send_tag: u64,
+        data: Vec<T>,
+        recv_tag: u64,
+    ) -> Vec<T> {
+        self.send(partner, send_tag, data);
+        self.recv(partner, recv_tag)
+    }
+
+    /// Snapshot of the world's traffic counters so far.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.shared.traffic.snapshot()
+    }
+
+    pub(crate) fn shared(&self) -> &WorldShared {
+        &self.shared
+    }
+}
+
+impl RecvReq {
+    /// Complete the receive (blocking).
+    pub fn wait<T: Send + 'static>(self, comm: &Comm) -> Vec<T> {
+        comm.recv(self.src, self.tag)
+    }
+}
+
+/// Factory for rank worlds.
+pub struct World;
+
+impl World {
+    /// Run `f` on `n` ranks (one OS thread each) and collect the per-rank
+    /// return values in rank order. Panics in any rank propagate.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_traced(n, f).0
+    }
+
+    /// Like [`World::run`], additionally returning the communication
+    /// traffic generated by the whole world.
+    pub fn run_traced<R, F>(n: usize, f: F) -> (Vec<R>, TrafficSnapshot)
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        assert!(n > 0, "world must have at least one rank");
+        let shared = Arc::new(WorldShared {
+            n,
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            traffic: Traffic::default(),
+            coll: CollectiveState::new(n),
+        });
+        let f = &f;
+        let results: Vec<R> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let comm = Comm {
+                        rank,
+                        shared: Arc::clone(&shared),
+                    };
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(s, move || f(&comm))
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        });
+        let traffic = shared.traffic.snapshot();
+        (results, traffic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                comm.recv::<f64>(1, 8)
+            } else {
+                let v = comm.recv::<f64>(0, 7);
+                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(results[1], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        // Receive tags in the opposite order they were sent.
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1i32]);
+                comm.send(1, 2, vec![2i32]);
+            } else {
+                let b = comm.recv::<i32>(0, 2);
+                let a = comm.recv::<i32>(0, 1);
+                assert_eq!(a, vec![1]);
+                assert_eq!(b, vec![2]);
+            }
+        });
+    }
+
+    #[test]
+    fn same_tag_messages_are_non_overtaking() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..50i64 {
+                    comm.send(1, 0, vec![i]);
+                }
+            } else {
+                for i in 0..50i64 {
+                    assert_eq!(comm.recv::<i64>(0, 0), vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let n = 5;
+        let results = World::run(n, |comm| {
+            let right = (comm.rank() + 1) % n;
+            let left = (comm.rank() + n - 1) % n;
+            comm.send(right, 0, vec![comm.rank()]);
+            comm.recv::<usize>(left, 0)[0]
+        });
+        for (rank, &got) in results.iter().enumerate() {
+            assert_eq!(got, (rank + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn irecv_wait_roundtrip() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.irecv(1, 3);
+                let v = req.wait::<u8>(comm);
+                assert_eq!(v, vec![9, 9]);
+            } else {
+                comm.isend(0, 3, vec![9u8, 9]);
+            }
+        });
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let (_, t) = World::run_traced(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u64; 16]); // 128 bytes
+            } else {
+                let _ = comm.recv::<u64>(0, 0);
+            }
+        });
+        assert_eq!(t.p2p_messages, 1);
+        assert_eq!(t.p2p_bytes, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "recv type mismatch")]
+    fn type_mismatch_panics() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0f64]);
+            } else {
+                let _ = comm.recv::<i32>(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let r = World::run(1, |comm| comm.rank() + comm.size());
+        assert_eq!(r, vec![1]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mpi-sim — an in-process message-passing substrate
+//!
+//! LICOMK++ distributes the globe over tens of thousands of MPI ranks
+//! (98,375 Sunway nodes / 4,000 ORISE nodes at 1-km resolution). We have a
+//! single machine, so this crate provides an MPI-shaped substrate whose
+//! ranks are OS threads inside one process:
+//!
+//! * [`comm::World::run`] launches `n` ranks and gives each a [`comm::Comm`];
+//! * blocking, tag-matched [`comm::Comm::send`]/[`comm::Comm::recv`] plus
+//!   buffered non-blocking `isend`/`irecv` with `wait`;
+//! * deterministic collectives ([`collective`]): barrier, allreduce,
+//!   allgather, broadcast — reductions are applied in rank order on every
+//!   rank, so results are bitwise reproducible run-to-run and independent of
+//!   scheduling;
+//! * [`cart::CartComm`] — the 2-D block decomposition used by LICOM,
+//!   including zonal periodicity and the tripolar **north-fold** neighbor
+//!   mapping;
+//! * [`stats::Traffic`] — byte/message counters feeding the `perf-model`
+//!   crate's alpha-beta network model.
+//!
+//! The halo-exchange and model code is written against this API exactly as
+//! the paper's code is written against MPI; only the transport differs.
+
+pub mod cart;
+pub mod collective;
+pub mod comm;
+pub mod stats;
+pub mod subcomm;
+
+pub use cart::{CartComm, Dir, Neighbor};
+pub use collective::ReduceOp;
+pub use comm::{Comm, RecvReq, World};
+pub use stats::Traffic;
+pub use subcomm::SubComm;

@@ -1,0 +1,88 @@
+//! Communication traffic accounting.
+//!
+//! The performance model needs message counts and byte volumes per rank to
+//! feed its alpha-beta network model (latency per message + bytes over
+//! bandwidth), and the paper's scalability analysis (§VII-D reason 3:
+//! "communication overhead ... substantially increases") is quantified from
+//! exactly these numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free traffic counters for one world. All ranks update the
+/// same instance; snapshot after the run with [`Traffic::snapshot`].
+#[derive(Debug, Default)]
+pub struct Traffic {
+    /// Point-to-point messages sent.
+    pub p2p_messages: AtomicU64,
+    /// Point-to-point payload bytes sent.
+    pub p2p_bytes: AtomicU64,
+    /// Collective operations entered (counted once per op, not per rank).
+    pub collectives: AtomicU64,
+    /// Payload bytes contributed to collectives, summed over ranks.
+    pub collective_bytes: AtomicU64,
+    /// Barriers crossed (counted once per barrier).
+    pub barriers: AtomicU64,
+}
+
+/// Plain-data snapshot of [`Traffic`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    pub p2p_messages: u64,
+    pub p2p_bytes: u64,
+    pub collectives: u64,
+    pub collective_bytes: u64,
+    pub barriers: u64,
+}
+
+impl Traffic {
+    pub fn record_p2p(&self, bytes: usize) {
+        self.p2p_messages.fetch_add(1, Ordering::Relaxed);
+        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_collective_entry(&self, bytes: usize) {
+        self.collective_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_collective_op(&self) {
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_barrier(&self) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            collectives: self.collectives.load(Ordering::Relaxed),
+            collective_bytes: self.collective_bytes.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Traffic::default();
+        t.record_p2p(100);
+        t.record_p2p(50);
+        t.record_barrier();
+        t.record_collective_op();
+        t.record_collective_entry(8);
+        t.record_collective_entry(8);
+        let s = t.snapshot();
+        assert_eq!(s.p2p_messages, 2);
+        assert_eq!(s.p2p_bytes, 150);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.collectives, 1);
+        assert_eq!(s.collective_bytes, 16);
+    }
+}

@@ -1,0 +1,200 @@
+//! Sub-communicators (`MPI_Comm_split`).
+//!
+//! LICOM-class models carve the world into row/column communicators for
+//! zonal filters, regional diagnostics and staged I/O. [`Comm::split`]
+//! reproduces the MPI semantics: a collective call where every rank
+//! passes a `color`; ranks sharing a color form a new communicator,
+//! ordered by world rank.
+//!
+//! Point-to-point traffic on a sub-communicator rides the world transport
+//! with the tag namespaced by the group's identity, so two sub-worlds
+//! can use the same logical tags without cross-talk. Collectives are
+//! implemented gather-to-root + broadcast over that namespaced transport,
+//! with rank-ordered (deterministic) reductions like the world's own.
+
+use crate::collective::ReduceOp;
+use crate::comm::Comm;
+
+/// A communicator over a subset of the world's ranks.
+#[derive(Clone)]
+pub struct SubComm {
+    parent: Comm,
+    /// World ranks of the members, ascending (sub-rank = index).
+    members: Vec<usize>,
+    /// This process's rank within the group.
+    rank: usize,
+    /// Tag-namespace key shared by all members.
+    group_key: u64,
+}
+
+impl Comm {
+    /// Collective: split the world by `color`. Every rank must call it;
+    /// returns this rank's sub-communicator (members ordered by world
+    /// rank, as with `key = world_rank` in MPI).
+    pub fn split(&self, color: u64) -> SubComm {
+        let colors: Vec<u64> = self
+            .allgather(vec![color])
+            .into_iter()
+            .map(|v| v[0])
+            .collect();
+        let members: Vec<usize> = (0..self.size()).filter(|&r| colors[r] == color).collect();
+        let rank = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("caller must be a member of its own color group");
+        // Identity of the group: hash of color and member list. Two
+        // groups with identical composition share a namespace (as
+        // sequentially re-created MPI communicators may reuse contexts);
+        // distinct compositions never collide in practice.
+        let mut key = 0xcbf29ce484222325u64 ^ color.wrapping_mul(0x100000001b3);
+        for &m in &members {
+            key ^= m as u64 + 1;
+            key = key.wrapping_mul(0x100000001b3);
+        }
+        SubComm {
+            parent: self.clone(),
+            members,
+            rank,
+            group_key: key,
+        }
+    }
+}
+
+impl SubComm {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of sub-rank `r`.
+    pub fn world_rank(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    fn tag(&self, tag: u64) -> u64 {
+        self.group_key.rotate_left(17) ^ tag.wrapping_mul(0x9E3779B97F4A7C15)
+    }
+
+    /// Buffered typed send within the group.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.parent.send(self.members[dst], self.tag(tag), data);
+    }
+
+    /// Blocking typed receive within the group.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        self.parent.recv(self.members[src], self.tag(tag))
+    }
+
+    /// Gather every member's vector to every member (root-staged,
+    /// deterministic ordering by sub-rank).
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: Vec<T>) -> Vec<Vec<T>> {
+        const GATHER: u64 = 0x5347; // 'SG'
+        const BCAST: u64 = 0x5342; // 'SB'
+        if self.size() == 1 {
+            return vec![value];
+        }
+        if self.rank == 0 {
+            let mut all = vec![value];
+            for r in 1..self.size() {
+                all.push(self.recv::<T>(r, GATHER + r as u64));
+            }
+            // Broadcast back, flattened with per-rank lengths.
+            for r in 1..self.size() {
+                for (n, part) in all.iter().enumerate() {
+                    self.send(r, BCAST + (n as u64) * 1000 + r as u64, part.clone());
+                }
+            }
+            all
+        } else {
+            self.send(0, GATHER + self.rank as u64, value);
+            (0..self.size())
+                .map(|n| self.recv::<T>(0, BCAST + (n as u64) * 1000 + self.rank as u64))
+                .collect()
+        }
+    }
+
+    /// Deterministic scalar allreduce (rank-ordered fold).
+    pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
+        self.allgather(vec![value])
+            .iter()
+            .map(|v| v[0])
+            .fold(op.identity(), |a, b| op.apply(a, b))
+    }
+
+    /// Group barrier.
+    pub fn barrier(&self) {
+        let _ = self.allgather(vec![0u8]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+
+    #[test]
+    fn split_by_parity_forms_two_groups() {
+        World::run(6, |comm| {
+            let sub = comm.split((comm.rank() % 2) as u64);
+            assert_eq!(sub.size(), 3);
+            // Sub-ranks are ordered by world rank.
+            assert_eq!(sub.world_rank(sub.rank()), comm.rank());
+            let got = sub.allgather(vec![comm.rank()]);
+            let want: Vec<Vec<usize>> = (0..3).map(|r| vec![2 * r + comm.rank() % 2]).collect();
+            assert_eq!(got, want);
+        });
+    }
+
+    #[test]
+    fn groups_do_not_cross_talk_on_same_tags() {
+        World::run(4, |comm| {
+            let sub = comm.split((comm.rank() / 2) as u64); // {0,1}, {2,3}
+                                                            // Both groups exchange on the SAME tag simultaneously.
+            let partner = 1 - sub.rank();
+            sub.send(partner, 42, vec![comm.rank() as i64]);
+            let got = sub.recv::<i64>(partner, 42);
+            let expected_world = sub.world_rank(partner) as i64;
+            assert_eq!(got, vec![expected_world]);
+        });
+    }
+
+    #[test]
+    fn subcomm_allreduce_matches_group_fold() {
+        World::run(6, |comm| {
+            let color = (comm.rank() < 4) as u64; // {0..4} and {4,5}
+            let sub = comm.split(color);
+            let sum = sub.allreduce_f64(comm.rank() as f64, ReduceOp::Sum);
+            let want: f64 = (0..comm.size())
+                .filter(|&r| ((r < 4) as u64) == color)
+                .map(|r| r as f64)
+                .sum();
+            assert_eq!(sum, want);
+        });
+    }
+
+    #[test]
+    fn singleton_group_works() {
+        World::run(3, |comm| {
+            let sub = comm.split(comm.rank() as u64); // everyone alone
+            assert_eq!(sub.size(), 1);
+            assert_eq!(sub.allreduce_f64(7.5, ReduceOp::Max), 7.5);
+            sub.barrier();
+        });
+    }
+
+    #[test]
+    fn row_communicators_like_licom() {
+        // A 3x2 grid split into row communicators: the zonal-filter
+        // pattern.
+        World::run(6, |comm| {
+            let row = comm.rank() / 3;
+            let sub = comm.split(row as u64);
+            assert_eq!(sub.size(), 3);
+            let s = sub.allreduce_f64(1.0, ReduceOp::Sum);
+            assert_eq!(s, 3.0);
+        });
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the message-passing substrate.
+
+use mpi_sim::{CartComm, Comm, ReduceOp, World};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload survives a relay around a ring of any size intact.
+    #[test]
+    fn prop_ring_relay_preserves_payload(
+        n in 2usize..7,
+        payload in proptest::collection::vec(-1e9f64..1e9, 0..200),
+    ) {
+        let got = World::run(n, |comm| {
+            let next = (comm.rank() + 1) % n;
+            let prev = (comm.rank() + n - 1) % n;
+            if comm.rank() == 0 {
+                comm.send(next, 1, payload.clone());
+                comm.recv::<f64>(prev, 1)
+            } else {
+                let v = comm.recv::<f64>(prev, 1);
+                comm.send(next, 1, v.clone());
+                v
+            }
+        });
+        prop_assert_eq!(&got[0], &payload);
+    }
+
+    /// allreduce(sum) equals the rank-ordered serial fold bitwise, for
+    /// every rank, regardless of values.
+    #[test]
+    fn prop_allreduce_is_rank_ordered_fold(
+        vals in proptest::collection::vec(-1e12f64..1e12, 2..6),
+    ) {
+        let n = vals.len();
+        let want = vals.iter().fold(0.0f64, |a, &b| a + b).to_bits();
+        let got = World::run(n, |comm| {
+            comm.allreduce_f64(vals[comm.rank()], ReduceOp::Sum).to_bits()
+        });
+        for bits in got {
+            prop_assert_eq!(bits, want);
+        }
+    }
+
+    /// Cartesian neighbor relations are symmetric: if B is my east
+    /// neighbor, I am B's west neighbor (and likewise N/S for interior).
+    #[test]
+    fn prop_cart_neighbors_symmetric(px in 1usize..5, py in 1usize..4) {
+        use mpi_sim::{Dir, Neighbor};
+        let n = px * py;
+        World::run(n, move |comm: &Comm| {
+            let cart = CartComm::new(comm.clone(), px, py, true);
+            let me = comm.rank();
+            if let Neighbor::Interior(e) = cart.neighbor(Dir::East) {
+                // Peer's west neighbor must be me (checked via pure math
+                // on a second CartComm viewpoint isn't possible cross-
+                // rank here; use rank arithmetic).
+                let (cx, cy) = (e % px, e / px);
+                let west_of_e = cy * px + (cx + px - 1) % px;
+                assert_eq!(west_of_e, me);
+            }
+            if let Neighbor::Interior(nn) = cart.neighbor(Dir::North) {
+                let (cx, cy) = (nn % px, nn / px);
+                assert!(cy > 0);
+                assert_eq!((cy - 1) * px + cx, me);
+            }
+        });
+    }
+
+    /// Fold partners pair up: partner(partner(me)) == me.
+    #[test]
+    fn prop_fold_partner_involution(px in 1usize..7) {
+        use mpi_sim::{Dir, Neighbor};
+        World::run(px, move |comm: &Comm| {
+            let cart = CartComm::new(comm.clone(), px, 1, true);
+            if let Neighbor::Fold(p) = cart.neighbor(Dir::North) {
+                let cx = p % px;
+                let partner_of_p = px - 1 - cx;
+                assert_eq!(partner_of_p, comm.rank() % px);
+            } else {
+                panic!("top row must fold");
+            }
+        });
+    }
+}
+
+/// Stress: many interleaved tags and senders never misdeliver.
+#[test]
+fn interleaved_tags_deliver_exactly() {
+    World::run(4, |comm| {
+        let me = comm.rank();
+        // Everyone sends a unique value to everyone on tag (src*10+dst).
+        for dst in 0..4 {
+            if dst != me {
+                comm.send(dst, (me * 10 + dst) as u64, vec![(me * 100 + dst) as i64]);
+            }
+        }
+        for src in 0..4 {
+            if src != me {
+                let v = comm.recv::<i64>(src, (src * 10 + me) as u64);
+                assert_eq!(v, vec![(src * 100 + me) as i64]);
+            }
+        }
+    });
+}

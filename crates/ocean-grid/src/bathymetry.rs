@@ -1,0 +1,311 @@
+//! Synthetic, deterministic planet bathymetry.
+//!
+//! Substitutes the observed ETOPO-style topography the paper uses (a data
+//! gate) with smooth analytic functions of longitude/latitude, so every
+//! resolution from 100 km to 1 km samples the *same* planet. The
+//! construction preserves the properties the paper's optimizations feed
+//! on: coherent continents (≈30 % land → sea-land load imbalance),
+//! shallow shelves, mid-ocean ridges, seamount chains and a Mariana-like
+//! trench reaching below 10,900 m for the full-depth 2-km configuration
+//! (Fig. 1f–g resolves the Challenger Deep at 10,905 m).
+
+/// Smoothstep on `[e0, e1]`.
+fn smoothstep(e0: f64, e1: f64, x: f64) -> f64 {
+    let t = ((x - e0) / (e1 - e0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Wrapped longitude difference in degrees, in `[-180, 180)`.
+fn dlon_wrap(a: f64, b: f64) -> f64 {
+    let mut d = a - b;
+    while d < -180.0 {
+        d += 360.0;
+    }
+    while d >= 180.0 {
+        d -= 360.0;
+    }
+    d
+}
+
+/// An elliptical land mass with soft edges.
+#[derive(Debug, Clone, Copy)]
+struct LandBlob {
+    lon: f64,
+    lat: f64,
+    /// Zonal/meridional semi-axes in degrees.
+    a: f64,
+    b: f64,
+}
+
+impl LandBlob {
+    /// 1 deep inside the blob, 0 far away, smooth shelf in between.
+    fn strength(&self, lon: f64, lat: f64) -> f64 {
+        let dx = dlon_wrap(lon, self.lon) / self.a;
+        let dy = (lat - self.lat) / self.b;
+        let r = (dx * dx + dy * dy).sqrt();
+        1.0 - smoothstep(0.8, 1.15, r)
+    }
+}
+
+/// Bathymetry generator.
+#[derive(Debug, Clone)]
+pub enum Bathymetry {
+    /// Analytic Earth-like planet (continents, ridges, trench).
+    EarthLike,
+    /// Flat-bottom aquaplanet of the given depth (m) — for idealized tests.
+    Flat(f64),
+    /// Rectangular mid-latitude basin (land elsewhere): the classic
+    /// double-gyre test domain. Bounds in degrees: (lon0, lon1, lat0, lat1).
+    Basin {
+        lon0: f64,
+        lon1: f64,
+        lat0: f64,
+        lat1: f64,
+        depth: f64,
+    },
+}
+
+/// Depth of the Challenger Deep analog, meters.
+pub const TRENCH_DEPTH_M: f64 = 10_905.0;
+
+const CONTINENTS: &[LandBlob] = &[
+    // Eurasia
+    LandBlob {
+        lon: 85.0,
+        lat: 52.0,
+        a: 75.0,
+        b: 26.0,
+    },
+    // Africa
+    LandBlob {
+        lon: 22.0,
+        lat: 6.0,
+        a: 30.0,
+        b: 32.0,
+    },
+    // North America
+    LandBlob {
+        lon: 262.0,
+        lat: 50.0,
+        a: 42.0,
+        b: 24.0,
+    },
+    // South America
+    LandBlob {
+        lon: 298.0,
+        lat: -15.0,
+        a: 18.0,
+        b: 28.0,
+    },
+    // Australia
+    LandBlob {
+        lon: 134.0,
+        lat: -25.0,
+        a: 18.0,
+        b: 12.0,
+    },
+    // Greenland (hosts one northern pole of the tripolar grid)
+    LandBlob {
+        lon: 318.0,
+        lat: 74.0,
+        a: 14.0,
+        b: 10.0,
+    },
+    // Siberian shelf landmass (hosts the other northern pole)
+    LandBlob {
+        lon: 105.0,
+        lat: 74.0,
+        a: 28.0,
+        b: 9.0,
+    },
+];
+
+impl Bathymetry {
+    /// The default Earth-like planet.
+    pub fn earth_like() -> Self {
+        Bathymetry::EarthLike
+    }
+
+    /// Depth in meters at `(lon, lat)` degrees; `0.0` means land.
+    /// Positive values are water-column depths.
+    pub fn depth(&self, lon: f64, lat: f64) -> f64 {
+        match *self {
+            Bathymetry::Flat(d) => d,
+            Bathymetry::Basin {
+                lon0,
+                lon1,
+                lat0,
+                lat1,
+                depth,
+            } => {
+                if lon >= lon0 && lon <= lon1 && lat >= lat0 && lat <= lat1 {
+                    depth
+                } else {
+                    0.0
+                }
+            }
+            Bathymetry::EarthLike => Self::earth_depth(lon, lat),
+        }
+    }
+
+    /// True when `(lon, lat)` is land.
+    pub fn is_land(&self, lon: f64, lat: f64) -> bool {
+        self.depth(lon, lat) <= 0.0
+    }
+
+    fn earth_depth(lon: f64, lat: f64) -> f64 {
+        // Antarctica: solid land cap.
+        if lat < -70.0 {
+            return 0.0;
+        }
+        let mut land = 0.0f64;
+        for blob in CONTINENTS {
+            land = land.max(blob.strength(lon, lat));
+        }
+        if land >= 0.999 {
+            return 0.0;
+        }
+        // Antarctic margin shelf.
+        let antarctic = 1.0 - smoothstep(-70.0, -66.0, lat);
+        land = land.max(antarctic);
+
+        // Abyssal base with mid-ocean-ridge undulation.
+        let lr = lon.to_radians();
+        let pr = lat.to_radians();
+        let ridge = 900.0 * ((2.0 * lr).sin() * (3.0 * pr).cos())
+            + 500.0 * ((5.0 * lr + 1.3).cos() * (2.0 * pr + 0.7).sin());
+        let mut depth = 4600.0 - ridge;
+
+        // Seamount chain (Emperor-like): bumps along a great-circle-ish arc.
+        for n in 0..12 {
+            let t = n as f64 / 11.0;
+            let slon = 168.0 + 22.0 * t;
+            let slat = 45.0 - 55.0 * t;
+            let dx = dlon_wrap(lon, slon);
+            let dy = lat - slat;
+            let r2 = (dx * dx + dy * dy) / (1.1 * 1.1);
+            depth -= 3200.0 * (-r2).exp();
+        }
+
+        // Mariana-like trench: elongated gaussian, deepest point 10,905 m.
+        let tx = dlon_wrap(lon, 142.2) / 6.0;
+        let ty = (lat - 11.35) / 1.6;
+        let trench = (TRENCH_DEPTH_M - 4600.0) * (-(tx * tx + ty * ty)).exp();
+        depth += trench;
+
+        // Continental shelf: land strength melts depth to zero smoothly.
+        depth *= 1.0 - smoothstep(0.35, 0.999, land);
+
+        // Coastal cut-off: anything shallower than 25 m is land (the
+        // model's minimum resolvable column).
+        if depth < 25.0 {
+            0.0
+        } else {
+            depth.min(TRENCH_DEPTH_M)
+        }
+    }
+
+    /// Fraction of ocean cells on an `nx × ny` uniform sample.
+    pub fn ocean_fraction(&self, nx: usize, ny: usize) -> f64 {
+        let mut ocean = 0usize;
+        for j in 0..ny {
+            let lat = -78.5 + (j as f64 + 0.5) * 168.0 / ny as f64;
+            for i in 0..nx {
+                let lon = (i as f64 + 0.5) * 360.0 / nx as f64;
+                if !self.is_land(lon, lat) {
+                    ocean += 1;
+                }
+            }
+        }
+        ocean as f64 / (nx * ny) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn land_fraction_is_earth_like() {
+        let b = Bathymetry::earth_like();
+        let f = b.ocean_fraction(180, 109);
+        assert!(
+            (0.55..0.80).contains(&f),
+            "ocean fraction {f} out of Earth-like band"
+        );
+    }
+
+    #[test]
+    fn trench_reaches_challenger_deep() {
+        let b = Bathymetry::earth_like();
+        let d = b.depth(142.2, 11.35);
+        assert!(d > 10_000.0, "trench analog only {d} m deep");
+        assert!(d <= TRENCH_DEPTH_M + 1e-9);
+    }
+
+    #[test]
+    fn continents_are_land() {
+        let b = Bathymetry::earth_like();
+        assert!(b.is_land(85.0, 52.0), "central Eurasia");
+        assert!(b.is_land(262.0, 50.0), "central North America");
+        assert!(b.is_land(0.0, -80.0), "Antarctica");
+    }
+
+    #[test]
+    fn open_ocean_is_deep() {
+        let b = Bathymetry::earth_like();
+        // Central Pacific
+        let d = b.depth(200.0, 0.0);
+        assert!(d > 2500.0, "Pacific depth {d}");
+        // Arctic has ocean (the tripolar cap must cross water)
+        let arctic = b.depth(0.0, 87.0);
+        assert!(arctic > 0.0, "Arctic must be ocean for the tripolar fold");
+    }
+
+    #[test]
+    fn depth_is_continuous_at_coast() {
+        // March from deep ocean onto Africa; consecutive samples should
+        // never jump by more than ~the shelf depth scale.
+        let b = Bathymetry::earth_like();
+        let mut prev = b.depth(-10.0, 0.0);
+        for step in 1..200 {
+            let lon = -10.0 + step as f64 * 0.25;
+            let d = b.depth(lon, 0.0);
+            assert!(
+                (d - prev).abs() < 600.0,
+                "coastal jump {} -> {} at lon {}",
+                prev,
+                d,
+                lon
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn flat_and_basin_variants() {
+        let f = Bathymetry::Flat(4000.0);
+        assert_eq!(f.depth(10.0, 10.0), 4000.0);
+        let basin = Bathymetry::Basin {
+            lon0: 10.0,
+            lon1: 50.0,
+            lat0: 20.0,
+            lat1: 50.0,
+            depth: 2000.0,
+        };
+        assert_eq!(basin.depth(30.0, 35.0), 2000.0);
+        assert!(basin.is_land(5.0, 35.0));
+        assert!(basin.is_land(30.0, 55.0));
+    }
+
+    #[test]
+    fn resolution_independence() {
+        // The same planet seen at different resolutions: a point deep in
+        // the Pacific is ocean at every sampling.
+        let b = Bathymetry::earth_like();
+        for res in [1.0, 0.5, 0.1, 0.05] {
+            let d = b.depth(200.0 + res / 2.0, res / 2.0);
+            assert!(d > 2000.0);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Model configurations — the paper's Table III and Table IV.
+//!
+//! Every configuration can be **scaled down** by an integer divisor: the
+//! horizontal grid shrinks while time steps and physics stay unchanged, so
+//! a laptop exercises exactly the code paths (and per-point workloads)
+//! that the paper exercises on full machines. Experiment binaries print
+//! both the paper-scale numbers and the locally measured scaled runs.
+
+/// The four named configurations of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// ~100 km, 360×218×30 — portability evaluation (Fig. 7).
+    Coarse100km,
+    /// ~10 km eddy-resolving, 3600×2302×55 — strong scaling (Fig. 8).
+    Eddy10km,
+    /// ~2 km full-depth, 18000×11511×244 — resolves the Challenger Deep.
+    Km2FullDepth,
+    /// ~1 km, 36000×22018×80 — the headline configuration.
+    Km1,
+}
+
+/// A concrete model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    pub name: String,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Barotropic (free-surface) sub-step, seconds.
+    pub dt_barotropic: f64,
+    /// Baroclinic (momentum) step, seconds.
+    pub dt_baroclinic: f64,
+    /// Tracer step, seconds.
+    pub dt_tracer: f64,
+    /// Whether vertical levels extend to trench depth (11 km).
+    pub full_depth: bool,
+}
+
+impl Resolution {
+    /// Exact Table III configuration.
+    pub fn config(self) -> ModelConfig {
+        match self {
+            Resolution::Coarse100km => ModelConfig {
+                name: "O(100 km)".into(),
+                nx: 360,
+                ny: 218,
+                nz: 30,
+                dt_barotropic: 120.0,
+                dt_baroclinic: 1440.0,
+                dt_tracer: 1440.0,
+                full_depth: false,
+            },
+            Resolution::Eddy10km => ModelConfig {
+                name: "O(10 km)".into(),
+                nx: 3600,
+                ny: 2302,
+                nz: 55,
+                dt_barotropic: 9.0,
+                dt_baroclinic: 180.0,
+                dt_tracer: 180.0,
+                full_depth: false,
+            },
+            Resolution::Km2FullDepth => ModelConfig {
+                name: "O(2 km)".into(),
+                nx: 18000,
+                ny: 11511,
+                nz: 244,
+                dt_barotropic: 2.0,
+                dt_baroclinic: 20.0,
+                dt_tracer: 20.0,
+                full_depth: true,
+            },
+            Resolution::Km1 => ModelConfig {
+                name: "O(1 km)".into(),
+                nx: 36000,
+                ny: 22018,
+                nz: 80,
+                dt_barotropic: 2.0,
+                dt_baroclinic: 20.0,
+                dt_tracer: 20.0,
+                full_depth: false,
+            },
+        }
+    }
+
+    pub const ALL: [Resolution; 4] = [
+        Resolution::Coarse100km,
+        Resolution::Eddy10km,
+        Resolution::Km2FullDepth,
+        Resolution::Km1,
+    ];
+}
+
+impl ModelConfig {
+    /// Shrink the horizontal grid by `divisor` (and cap `nz`) for local
+    /// runs. Time steps are unchanged: per-point work and the ratio of
+    /// barotropic substeps per baroclinic step — the quantities the
+    /// performance model calibrates against — are preserved.
+    pub fn scaled_down(&self, divisor: usize, nz_cap: usize) -> ModelConfig {
+        assert!(divisor >= 1);
+        ModelConfig {
+            name: format!("{} /{}", self.name, divisor),
+            nx: (self.nx / divisor).max(8),
+            ny: (self.ny / divisor).max(8),
+            nz: self.nz.min(nz_cap),
+            ..self.clone()
+        }
+    }
+
+    /// Barotropic substeps per baroclinic step (e.g. 10 at km-scale:
+    /// 20 s / 2 s).
+    pub fn barotropic_substeps(&self) -> usize {
+        (self.dt_baroclinic / self.dt_barotropic).round() as usize
+    }
+
+    /// Baroclinic steps in one simulated day.
+    pub fn steps_per_day(&self) -> usize {
+        (86_400.0 / self.dt_baroclinic).round() as usize
+    }
+
+    /// Total grid points (wet + dry), the paper's headline metric basis.
+    pub fn grid_points(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Approximate equatorial resolution in km.
+    pub fn resolution_km(&self) -> f64 {
+        40_075.0 / self.nx as f64
+    }
+}
+
+/// One row of the Table IV weak-scaling series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeakScalePoint {
+    pub resolution_km: f64,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// HIP GPUs used on ORISE.
+    pub orise_gpus: usize,
+    /// Sunway cores used on the new Sunway system.
+    pub sunway_cores: usize,
+}
+
+/// The exact Table IV series: six scales, 10 km → 1 km, constant 80
+/// levels and constant time steps (2/20/20 s).
+pub fn weak_scaling_series() -> Vec<WeakScalePoint> {
+    vec![
+        WeakScalePoint {
+            resolution_km: 10.0,
+            nx: 3600,
+            ny: 2302,
+            nz: 80,
+            orise_gpus: 160,
+            sunway_cores: 404_625,
+        },
+        WeakScalePoint {
+            resolution_km: 6.66,
+            nx: 5400,
+            ny: 3453,
+            nz: 80,
+            orise_gpus: 360,
+            sunway_cores: 910_780,
+        },
+        WeakScalePoint {
+            resolution_km: 5.0,
+            nx: 7200,
+            ny: 4605,
+            nz: 80,
+            orise_gpus: 640,
+            sunway_cores: 1_608_750,
+        },
+        WeakScalePoint {
+            resolution_km: 3.33,
+            nx: 10800,
+            ny: 6907,
+            nz: 80,
+            orise_gpus: 1440,
+            sunway_cores: 3_612_375,
+        },
+        WeakScalePoint {
+            resolution_km: 2.0,
+            nx: 18000,
+            ny: 11511,
+            nz: 80,
+            orise_gpus: 4000,
+            sunway_cores: 10_042_500,
+        },
+        WeakScalePoint {
+            resolution_km: 1.0,
+            nx: 36000,
+            ny: 22018,
+            nz: 80,
+            orise_gpus: 15360,
+            sunway_cores: 38_366_250,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_grid_sizes_exact() {
+        let c = Resolution::Coarse100km.config();
+        assert_eq!((c.nx, c.ny, c.nz), (360, 218, 30));
+        let e = Resolution::Eddy10km.config();
+        assert_eq!((e.nx, e.ny, e.nz), (3600, 2302, 55));
+        let k2 = Resolution::Km2FullDepth.config();
+        assert_eq!((k2.nx, k2.ny, k2.nz), (18000, 11511, 244));
+        assert!(k2.full_depth);
+        let k1 = Resolution::Km1.config();
+        assert_eq!((k1.nx, k1.ny, k1.nz), (36000, 22018, 80));
+    }
+
+    #[test]
+    fn table3_time_steps_exact() {
+        let c = Resolution::Coarse100km.config();
+        assert_eq!(
+            (c.dt_barotropic, c.dt_baroclinic, c.dt_tracer),
+            (120.0, 1440.0, 1440.0)
+        );
+        let k1 = Resolution::Km1.config();
+        assert_eq!(
+            (k1.dt_barotropic, k1.dt_baroclinic, k1.dt_tracer),
+            (2.0, 20.0, 20.0)
+        );
+        assert_eq!(k1.barotropic_substeps(), 10);
+        assert_eq!(c.barotropic_substeps(), 12);
+    }
+
+    #[test]
+    fn steps_per_day_consistency() {
+        let c = Resolution::Coarse100km.config();
+        assert_eq!(c.steps_per_day(), 60); // 86400 / 1440
+        let k = Resolution::Km1.config();
+        assert_eq!(k.steps_per_day(), 4320); // 86400 / 20
+    }
+
+    #[test]
+    fn headline_grid_points() {
+        // ">63 billion grid points" at 1 km.
+        let k1 = Resolution::Km1.config();
+        assert!(k1.grid_points() > 63_000_000_000);
+        assert!(k1.grid_points() < 64_000_000_000);
+    }
+
+    #[test]
+    fn table4_series_matches_paper() {
+        let s = weak_scaling_series();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0].orise_gpus, 160);
+        assert_eq!(s[5].sunway_cores, 38_366_250);
+        assert_eq!(s[4].nx, 18000);
+        // Constant vertical levels across the series.
+        assert!(s.iter().all(|p| p.nz == 80));
+        // Points per GPU roughly constant (weak scaling), within 2x band.
+        let per: Vec<f64> = s
+            .iter()
+            .map(|p| (p.nx * p.ny) as f64 / p.orise_gpus as f64)
+            .collect();
+        let (mn, mx) = per
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), &x| (a.min(x), b.max(x)));
+        assert!(mx / mn < 2.0, "weak-scaling load per GPU varies {mn}..{mx}");
+    }
+
+    #[test]
+    fn scaled_down_preserves_time_steps() {
+        let k1 = Resolution::Km1.config();
+        let s = k1.scaled_down(100, 20);
+        assert_eq!(s.nx, 360);
+        assert_eq!(s.ny, 220);
+        assert_eq!(s.nz, 20);
+        assert_eq!(s.dt_barotropic, 2.0);
+        assert_eq!(s.barotropic_substeps(), 10);
+    }
+
+    #[test]
+    fn resolution_km_estimates() {
+        assert!((Resolution::Km1.config().resolution_km() - 1.11).abs() < 0.05);
+        assert!((Resolution::Coarse100km.config().resolution_km() - 111.0).abs() < 5.0);
+    }
+}

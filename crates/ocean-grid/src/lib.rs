@@ -1,0 +1,48 @@
+//! # ocean-grid — tripolar grid, synthetic planet, decomposition, configs
+//!
+//! The geometric substrate of the LICOMK++ reproduction. LICOM uses a
+//! **tripolar, Arakawa-B** horizontal grid (two artificial poles over
+//! northern land masses plus the geographic south pole) with η vertical
+//! levels; the paper's configurations (Table III) range from 360×218×30
+//! (100 km) to 36000×22018×80 (1 km).
+//!
+//! The real model reads observed bathymetry (ETOPO-like) and forcing. We
+//! have no data gate to cross, so [`bathymetry`] builds a deterministic
+//! *synthetic planet* that preserves every property the paper's
+//! optimizations depend on:
+//!
+//! * ~30 % land with continent-scale coherent masses → MPI ranks at
+//!   sea-land boundaries are load-imbalanced (the canuto balancing story);
+//! * shelves, seamount chains and a Mariana-like trench deeper than
+//!   10,900 m (the full-depth 2-km configuration resolves it, Fig. 1f–g);
+//! * zonal periodicity and a tripolar north fold (halo-exchange paths).
+//!
+//! [`config`] reproduces Table III and the Table IV weak-scaling series,
+//! each scalable by an integer divisor so laptops can run the same code
+//! paths the paper runs on 100k nodes.
+
+pub mod bathymetry;
+pub mod config;
+pub mod decomp;
+pub mod grid;
+pub mod tripolar;
+pub mod vertical;
+
+pub use bathymetry::Bathymetry;
+pub use config::{ModelConfig, Resolution};
+pub use decomp::BlockDecomp;
+pub use grid::GlobalGrid;
+pub use tripolar::TripolarGrid;
+pub use vertical::VerticalLevels;
+
+/// Mean Earth radius in meters.
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// Earth's angular velocity in rad/s.
+pub const OMEGA: f64 = 7.292_115e-5;
+
+/// Reference seawater density, kg/m³.
+pub const RHO0: f64 = 1026.0;
+
+/// Gravitational acceleration, m/s².
+pub const GRAVITY: f64 = 9.806;

@@ -1,0 +1,162 @@
+//! Vertical η-level generation.
+//!
+//! LICOM uses η (eta) levels: Table III lists 30 η (100 km), 55 η
+//! (10 km), 244 η (full-depth 2 km) and 80 η (1 km). Spacing is fine near
+//! the surface — where mixed-layer and submesoscale physics live — and
+//! stretches geometrically toward the bottom. The full-depth 244-level
+//! configuration must reach below the 10,905 m trench.
+
+/// A vertical discretisation: `nz` layers between interfaces `z_w` with
+/// centers `z_t` (both in meters, positive downward, `z_w[0] = 0`).
+#[derive(Debug, Clone)]
+pub struct VerticalLevels {
+    /// Layer interfaces, length `nz + 1`, increasing, `z_w[0] == 0`.
+    pub z_w: Vec<f64>,
+    /// Layer centers, length `nz`.
+    pub z_t: Vec<f64>,
+    /// Layer thicknesses `dz[k] = z_w[k+1] - z_w[k]`, length `nz`.
+    pub dz: Vec<f64>,
+}
+
+impl VerticalLevels {
+    /// Build `nz` levels reaching `max_depth` meters, with surface layer
+    /// thickness `dz0` and geometric stretching chosen to hit `max_depth`
+    /// exactly.
+    pub fn new(nz: usize, max_depth: f64, dz0: f64) -> Self {
+        assert!(nz >= 2);
+        assert!(max_depth > dz0 * nz as f64, "max_depth too shallow for dz0");
+        // Find stretching ratio r such that dz0 * (r^nz - 1)/(r - 1) = max_depth.
+        let target = max_depth / dz0;
+        let mut lo = 1.0 + 1e-9;
+        let mut hi = 2.0;
+        let geom = |r: f64| (r.powi(nz as i32) - 1.0) / (r - 1.0);
+        while geom(hi) < target {
+            hi *= 1.5;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if geom(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let r = 0.5 * (lo + hi);
+        let mut z_w = Vec::with_capacity(nz + 1);
+        let mut dz = Vec::with_capacity(nz);
+        z_w.push(0.0);
+        let mut thick = dz0;
+        for _ in 0..nz {
+            dz.push(thick);
+            let last = *z_w.last().unwrap();
+            z_w.push(last + thick);
+            thick *= r;
+        }
+        // Normalise the tiny bisection residual so the bottom is exact.
+        let scale = max_depth / *z_w.last().unwrap();
+        for z in z_w.iter_mut() {
+            *z *= scale;
+        }
+        for d in dz.iter_mut() {
+            *d *= scale;
+        }
+        let z_t = (0..nz).map(|k| 0.5 * (z_w[k] + z_w[k + 1])).collect();
+        Self { z_w, z_t, dz }
+    }
+
+    /// Standard configuration per Table III resolution: surface layer
+    /// ~5–10 m, bottom at 5,500 m (or 11,000 m for the full-depth case).
+    pub fn standard(nz: usize, full_depth: bool) -> Self {
+        if full_depth {
+            Self::new(nz, 11_000.0, 5.0)
+        } else {
+            Self::new(nz, 5_600.0, 5.0)
+        }
+    }
+
+    /// Number of layers.
+    pub fn nz(&self) -> usize {
+        self.dz.len()
+    }
+
+    /// Deepest interface (total column capacity), meters.
+    pub fn max_depth(&self) -> f64 {
+        *self.z_w.last().unwrap()
+    }
+
+    /// Number of active layers for a column of `depth` meters (the `kmt`
+    /// field of LICOM): layers whose *center* lies above the sea floor.
+    pub fn kmt(&self, depth: f64) -> usize {
+        if depth <= 0.0 {
+            return 0;
+        }
+        self.z_t.iter().take_while(|&&zc| zc < depth).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces_monotone_and_exact_bottom() {
+        let v = VerticalLevels::new(80, 5600.0, 5.0);
+        assert_eq!(v.nz(), 80);
+        assert_eq!(v.z_w[0], 0.0);
+        for k in 1..=80 {
+            assert!(v.z_w[k] > v.z_w[k - 1]);
+        }
+        assert!((v.max_depth() - 5600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thicknesses_sum_to_depth_and_stretch() {
+        let v = VerticalLevels::new(55, 5600.0, 5.0);
+        let sum: f64 = v.dz.iter().sum();
+        assert!((sum - 5600.0).abs() < 1e-6);
+        // strictly increasing thickness
+        for k in 1..55 {
+            assert!(v.dz[k] > v.dz[k - 1]);
+        }
+        // surface layer close to requested dz0
+        assert!(v.dz[0] < 7.0);
+    }
+
+    #[test]
+    fn full_depth_244_levels_reach_trench() {
+        // Table III: 2-km config has 244 η levels and resolves 10,905 m.
+        let v = VerticalLevels::standard(244, true);
+        assert!(v.max_depth() >= 10_905.0);
+        // The trench column activates (nearly) every level: only the very
+        // last center may sit below the 10,905 m floor.
+        assert!(v.kmt(10_905.0) >= 243);
+        assert_eq!(v.kmt(v.max_depth() + 1.0), 244);
+    }
+
+    #[test]
+    fn kmt_counts_active_layers() {
+        let v = VerticalLevels::new(30, 5600.0, 10.0);
+        assert_eq!(v.kmt(0.0), 0);
+        assert_eq!(v.kmt(-5.0), 0);
+        assert_eq!(v.kmt(1e9), 30);
+        // A column of exactly the first interface depth has 1 layer if the
+        // first center is shallower.
+        let k = v.kmt(v.z_t[0] + 0.1);
+        assert_eq!(k, 1);
+        // kmt is monotone in depth.
+        let mut prev = 0;
+        for d in (0..60).map(|i| i as f64 * 100.0) {
+            let k = v.kmt(d);
+            assert!(k >= prev);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn centers_inside_their_layers() {
+        let v = VerticalLevels::new(40, 6000.0, 8.0);
+        for k in 0..40 {
+            assert!(v.z_t[k] > v.z_w[k] && v.z_t[k] < v.z_w[k + 1]);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the geometric substrate.
+
+use ocean_grid::{Bathymetry, BlockDecomp, GlobalGrid, TripolarGrid, VerticalLevels};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The synthetic planet is a pure function of (lon, lat): identical
+    /// inputs give identical depths, at any sampling.
+    #[test]
+    fn prop_bathymetry_deterministic(lon in 0.0f64..360.0, lat in -85.0f64..89.0) {
+        let b = Bathymetry::earth_like();
+        prop_assert_eq!(b.depth(lon, lat).to_bits(), b.depth(lon, lat).to_bits());
+    }
+
+    /// Depth is bounded by the trench cap and non-negative.
+    #[test]
+    fn prop_depth_bounded(lon in 0.0f64..360.0, lat in -89.0f64..89.0) {
+        let d = Bathymetry::earth_like().depth(lon, lat);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= ocean_grid::bathymetry::TRENCH_DEPTH_M + 1e-9);
+    }
+
+    /// Depth is locally continuous over the ocean (no teleporting cliffs
+    /// sharper than the shelf scale over 0.1 degrees).
+    #[test]
+    fn prop_depth_lipschitz(lon in 1.0f64..359.0, lat in -65.0f64..85.0) {
+        let b = Bathymetry::earth_like();
+        let d0 = b.depth(lon, lat);
+        let d1 = b.depth(lon + 0.1, lat);
+        // Coastal cut-off can step by ~shelf depth; nothing should jump
+        // by more than ~600 m per 0.1 deg.
+        prop_assert!((d0 - d1).abs() < 600.0, "{d0} vs {d1}");
+    }
+
+    /// Vertical levels: monotone interfaces hitting the requested bottom
+    /// exactly, for any (nz, depth) combination.
+    #[test]
+    fn prop_vertical_levels_wellformed(nz in 3usize..200, depth in 100.0f64..12000.0) {
+        prop_assume!(depth > 6.0 * nz as f64);
+        let v = VerticalLevels::new(nz, depth, 5.0);
+        prop_assert_eq!(v.nz(), nz);
+        prop_assert!((v.max_depth() - depth).abs() < 1e-6 * depth);
+        for k in 1..=nz {
+            prop_assert!(v.z_w[k] > v.z_w[k - 1]);
+        }
+        // kmt is monotone in column depth.
+        prop_assert!(v.kmt(depth * 0.25) <= v.kmt(depth * 0.75));
+    }
+
+    /// Every decomposition tiles the grid exactly, whatever the shape.
+    #[test]
+    fn prop_decomp_tiles_exactly(nx in 8usize..64, ny in 8usize..48, px in 1usize..6, py in 1usize..5) {
+        prop_assume!(nx >= px && ny >= py);
+        let d = BlockDecomp::new(nx, ny, px, py);
+        let mut count = vec![0u8; nx * ny];
+        for r in 0..d.ranks() {
+            let b = d.block_of_rank(r);
+            for j in b.y0..b.y0 + b.ny {
+                for i in b.x0..b.x0 + b.nx {
+                    count[j * nx + i] += 1;
+                }
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    /// Tripolar dx stays positive and finite at every row for any grid.
+    #[test]
+    fn prop_tripolar_metrics_finite(nx in 8usize..400, ny in 8usize..300) {
+        let g = TripolarGrid::new(nx, ny);
+        for j in 0..ny {
+            let dx = g.dx_t(j);
+            prop_assert!(dx.is_finite() && dx > 0.0);
+            prop_assert!(g.coriolis_u(j).is_finite());
+        }
+        prop_assert!(g.dy_t() > 0.0);
+    }
+
+    /// Wet-point totals match between the grid and any decomposition sum.
+    #[test]
+    fn prop_wet_points_partition_invariant(px in 1usize..5, py in 1usize..4) {
+        let g = GlobalGrid::build(48, 24, 6, &Bathymetry::earth_like(), false);
+        let d = BlockDecomp::new(48, 24, px, py);
+        let total: usize = d.wet_points_per_rank(&g).iter().sum();
+        prop_assert_eq!(total, g.wet_points_3d());
+    }
+}

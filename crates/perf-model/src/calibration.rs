@@ -1,0 +1,52 @@
+//! Per-(configuration, machine) calibration factors.
+//!
+//! The paper's published throughputs imply per-grid-point times that vary
+//! by up to ~7× between configurations on the same machine (e.g. ORISE
+//! delivers ~64 ns/point at 10 km on 40 GPUs but ~7 ns/point at 1 km on
+//! 4000 — the production eddy-resolving setup runs a fuller physics suite
+//! and much less favourable per-rank blocking). A single kernel census
+//! cannot absorb that, so each (configuration, machine) pair carries one
+//! multiplicative compute-cost factor, fitted once against the paper's
+//! numbers and frozen. The km-scale configurations — the paper's central
+//! claim — use factor 1.0: they are predicted by the uncalibrated census.
+//!
+//! EXPERIMENTS.md tabulates paper-vs-model for every point so the fit
+//! quality (and the residual 10-km discrepancy) is visible.
+
+/// Calibrated compute-cost multiplier for `config` (`ModelConfig::name`)
+/// on `machine` (`Machine::name`). Unknown pairs return 1.0.
+pub fn cost_multiplier(config: &str, machine: &str) -> f64 {
+    match (config, machine) {
+        // Fig. 7: single-node 100-km portability runs.
+        ("O(100 km)", "V100 GPU") => 1.75,
+        ("O(100 km)", "ORISE HIP GPU") => 9.3,
+        ("O(100 km)", "SW26010 Pro CG") => 1.5,
+        ("O(100 km)", "Taishan 2280") => 2.3,
+        ("O(100 km)", "2x Xeon 6240R (Fortran)") => 2.2,
+        ("O(100 km)", "4-way x86 host (Fortran)") => 2.4,
+        ("O(100 km)", "6x MPE (Fortran)") => 4.4,
+        ("O(100 km)", "Taishan 2280 (Fortran)") => 2.3,
+        // Table V: the production 10-km runs on ORISE underperform the
+        // km-scale runs per point by an order of magnitude.
+        ("O(10 km)", "ORISE HIP GPU") => 11.5,
+        // km-scale configurations: uncalibrated census.
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn km_scale_is_uncalibrated() {
+        assert_eq!(cost_multiplier("O(1 km)", "ORISE HIP GPU"), 1.0);
+        assert_eq!(cost_multiplier("O(2 km)", "SW26010 Pro CG"), 1.0);
+    }
+
+    #[test]
+    fn fig7_pairs_present() {
+        assert!(cost_multiplier("O(100 km)", "V100 GPU") > 1.0);
+        assert!(cost_multiplier("O(100 km)", "6x MPE (Fortran)") > 1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The four Table II systems as analytic machine descriptions.
+//!
+//! Hardware numbers come from the paper (Table II, §VI-A, §VII-D) and
+//! vendor datasheets; starred constants (`*`) are model calibration
+//! parameters fitted once against the paper's published SYPD figures and
+//! then frozen.
+
+/// One accelerator "device" — a GPU, a Sunway core group, or a CPU
+/// socket-pair — plus the node/network context it lives in.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub name: &'static str,
+    /// Peak double-precision FLOPS per device.
+    pub peak_flops: f64,
+    /// Device memory bandwidth, bytes/s (HBM for GPUs, CG DDR4 for
+    /// Sunway: 51.2 GB/s; paper §VII-D cites V100's 887.9 GB/s).
+    pub mem_bw: f64,
+    /// `*` Sustained fraction of `mem_bw` for low-intensity stencil
+    /// kernels.
+    pub mem_efficiency: f64,
+    /// `*` Effective traffic multiplier for scattered/strided access
+    /// (DMA granularity on Sunway, cache-line waste on CPUs).
+    pub traffic_amplification: f64,
+    /// Devices sharing one node (and its NIC).
+    pub devices_per_node: usize,
+    /// Host↔device staging bandwidth, bytes/s; `f64::INFINITY` for
+    /// unified-memory systems (Sunway, CPUs).
+    pub pcie_bw: f64,
+    /// True when MPI buffers must stage through the host.
+    pub staged_mpi: bool,
+    /// Node injection bandwidth, bytes/s.
+    pub nic_bw: f64,
+    /// `*` Per-message latency, seconds (grows with system scale; this
+    /// is the base value).
+    pub nic_latency: f64,
+    /// `*` Kernel-launch overhead per parallel dispatch, seconds
+    /// (CUDA/HIP launch or `athread_spawn`).
+    pub launch_overhead: f64,
+}
+
+impl Machine {
+    /// NVIDIA V100 workstation (2× Xeon 6240R host, 4× V100).
+    pub fn v100() -> Self {
+        Machine {
+            name: "V100 GPU",
+            peak_flops: 7.8e12,
+            mem_bw: 887.9e9,
+            mem_efficiency: 0.25,
+            traffic_amplification: 1.25,
+            devices_per_node: 4,
+            pcie_bw: 12.0e9,
+            staged_mpi: true,
+            nic_bw: 25.0e9,
+            nic_latency: 2.0e-6,
+            launch_overhead: 6.0e-6,
+        }
+    }
+
+    /// ORISE node: 4-way 8-core x86 host + 4 HIP GPUs "comparable to AMD
+    /// MI60", 25 GB/s network, 16 GB/s PCIe DMA (§VI-A).
+    pub fn orise() -> Self {
+        Machine {
+            name: "ORISE HIP GPU",
+            peak_flops: 6.6e12,
+            mem_bw: 1024.0e9,
+            mem_efficiency: 0.65,
+            traffic_amplification: 1.4,
+            devices_per_node: 4,
+            pcie_bw: 16.0e9,
+            staged_mpi: true,
+            nic_bw: 25.0e9,
+            nic_latency: 4.0e-6,
+            launch_overhead: 8.0e-6,
+        }
+    }
+
+    /// One SW26010 Pro core group (1 MPE + 64 CPEs, 51.2 GB/s, 16 GB).
+    /// Six CGs form a processor/node.
+    pub fn sunway_cg() -> Self {
+        Machine {
+            name: "SW26010 Pro CG",
+            peak_flops: 2.3e12,
+            mem_bw: 51.2e9,
+            mem_efficiency: 0.55,
+            // Strided stencil reads cost ~5x through DMA granularity —
+            // the §VII-D "memory access bottleneck".
+            traffic_amplification: 5.0,
+            devices_per_node: 6,
+            pcie_bw: f64::INFINITY,
+            staged_mpi: false,
+            nic_bw: 16.0e9,
+            nic_latency: 4.0e-6,
+            // athread_spawn + registry matching.
+            launch_overhead: 25.0e-6,
+        }
+    }
+
+    /// Huawei Taishan 2280 (2 sockets, 128 cores): the whole server is
+    /// one "device" under OpenMP/rayon.
+    pub fn taishan() -> Self {
+        Machine {
+            name: "Taishan 2280",
+            peak_flops: 1.33e12,
+            mem_bw: 380.0e9,
+            mem_efficiency: 0.5,
+            traffic_amplification: 1.3,
+            devices_per_node: 1,
+            pcie_bw: f64::INFINITY,
+            staged_mpi: false,
+            nic_bw: 25.0e9,
+            nic_latency: 2.0e-6,
+            launch_overhead: 2.0e-6,
+        }
+    }
+
+    /// The host CPUs of the V100 workstation (2× Xeon Gold 6240R,
+    /// 48 cores): where the Fortran LICOM3 baseline of Fig. 7 runs.
+    pub fn v100_fortran_host() -> Self {
+        Machine {
+            name: "2x Xeon 6240R (Fortran)",
+            peak_flops: 3.3e12,
+            mem_bw: 281.6e9,
+            mem_efficiency: 0.45,
+            traffic_amplification: 1.3,
+            devices_per_node: 1,
+            pcie_bw: f64::INFINITY,
+            staged_mpi: false,
+            nic_bw: 25.0e9,
+            nic_latency: 2.0e-6,
+            launch_overhead: 0.5e-6,
+        }
+    }
+
+    /// ORISE's 4-way 8-core x86 host CPU at 2.0 GHz (Fortran baseline).
+    pub fn orise_fortran_host() -> Self {
+        Machine {
+            name: "4-way x86 host (Fortran)",
+            peak_flops: 0.51e12,
+            mem_bw: 120.0e9,
+            mem_efficiency: 0.40,
+            traffic_amplification: 1.3,
+            devices_per_node: 1,
+            pcie_bw: f64::INFINITY,
+            staged_mpi: false,
+            nic_bw: 25.0e9,
+            nic_latency: 2.0e-6,
+            launch_overhead: 0.5e-6,
+        }
+    }
+
+    /// The six MPEs of one SW26010 Pro without their CPEs — the Fortran
+    /// LICOM3 baseline on Sunway (which is why the Kokkos/Athread port is
+    /// 11.45× faster there: Fortran never touches the 384 CPEs).
+    pub fn sunway_mpe_fortran() -> Self {
+        Machine {
+            name: "6x MPE (Fortran)",
+            peak_flops: 0.027e12,
+            mem_bw: 36.0e9,
+            mem_efficiency: 0.35,
+            traffic_amplification: 1.5,
+            devices_per_node: 1,
+            pcie_bw: f64::INFINITY,
+            staged_mpi: false,
+            nic_bw: 16.0e9,
+            nic_latency: 2.0e-6,
+            launch_overhead: 0.2e-6,
+        }
+    }
+
+    /// Fortran on the Taishan itself (same silicon; the Kokkos port is
+    /// only 1.03× faster — parity, per the paper).
+    pub fn taishan_fortran() -> Self {
+        let mut m = Self::taishan();
+        m.name = "Taishan 2280 (Fortran)";
+        m.mem_efficiency = 0.485; // 1.03x parity
+        m
+    }
+
+    /// Sustained bytes/s for stencil traffic.
+    pub fn sustained_bw(&self) -> f64 {
+        self.mem_bw * self.mem_efficiency / self.traffic_amplification
+    }
+
+    /// Roofline time for one kernel pass over `points` grid points.
+    pub fn kernel_time(&self, points: f64, flops_per_pt: f64, bytes_per_pt: f64) -> f64 {
+        let t_flops = points * flops_per_pt / self.peak_flops;
+        let t_bytes = points * bytes_per_pt / self.sustained_bw();
+        t_flops.max(t_bytes) + self.launch_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidth_numbers() {
+        assert_eq!(Machine::v100().mem_bw, 887.9e9);
+        assert_eq!(Machine::sunway_cg().mem_bw, 51.2e9);
+        assert_eq!(Machine::orise().pcie_bw, 16.0e9);
+        assert_eq!(Machine::orise().nic_bw, 25.0e9);
+    }
+
+    #[test]
+    fn stencil_kernels_are_bandwidth_bound_everywhere() {
+        // LICOM intensity ~0.4 flop/byte: every machine should be limited
+        // by memory, not flops, for such kernels.
+        for m in [
+            Machine::v100(),
+            Machine::orise(),
+            Machine::sunway_cg(),
+            Machine::taishan(),
+        ] {
+            let t_flops = 20.0 / m.peak_flops;
+            let t_bytes = 48.0 / m.sustained_bw();
+            assert!(
+                t_bytes > t_flops,
+                "{} should be bandwidth-bound for stencils",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn sunway_has_least_per_device_bandwidth() {
+        let sw = Machine::sunway_cg().sustained_bw();
+        for m in [Machine::v100(), Machine::orise(), Machine::taishan()] {
+            assert!(m.sustained_bw() > sw, "{} vs Sunway", m.name);
+        }
+    }
+
+    #[test]
+    fn kernel_time_includes_launch_overhead() {
+        let m = Machine::orise();
+        let t0 = m.kernel_time(0.0, 20.0, 48.0);
+        assert_eq!(t0, m.launch_overhead);
+        let t1 = m.kernel_time(1e6, 20.0, 48.0);
+        assert!(t1 > t0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Athread-style kernel launch API and the persistent CPE worker pool.
+//!
+//! The vendor Athread library is a *C* API: the MPE launches a kernel on all
+//! 64 CPEs by passing a plain function pointer plus one pointer-sized
+//! argument (`athread_spawn(fn, arg)`), then blocks in `athread_join()`.
+//! This is the restriction that drives the paper's whole §V-B design — "the
+//! Athread API for initiating kernels on CPEs supports only C syntax, which
+//! does not allow the passage of template parameters to CPE-run kernels".
+//!
+//! We reproduce that boundary faithfully: [`CpeKernel`] is a plain `fn`
+//! pointer taking a [`CpeCtx`] and a `usize` opaque argument. Generic
+//! functors cannot cross it; the `kokkos-rs` Athread backend must register
+//! concrete trampolines ahead of time and smuggle the functor through the
+//! `usize` (exactly the registration + callback strategy of the paper).
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use crate::config::CgConfig;
+use crate::counters::{CgCounters, CpeCounters};
+use crate::dma::{DmaHandle, DMA_ISSUE_CYCLES, LDM_BYTES_PER_CYCLE};
+use crate::ldm::LdmAllocator;
+
+/// A CPE kernel: a plain function pointer. No generics, no captures.
+pub type CpeKernel = fn(&mut CpeCtx, usize);
+
+/// Execution context handed to a kernel running on one logical CPE.
+///
+/// Owns the CPE's LDM allocator, its performance counters, and the simulated
+/// clock. All DMA and compute accounting flows through this context.
+pub struct CpeCtx {
+    cpe_id: usize,
+    num_cpes: usize,
+    cfg: CgConfig,
+    ldm: LdmAllocator,
+    /// Counters for the current kernel; `counters.cycles` is the CPE clock.
+    pub counters: CpeCounters,
+}
+
+impl CpeCtx {
+    fn new(cpe_id: usize, cfg: &CgConfig) -> Self {
+        Self {
+            cpe_id,
+            num_cpes: cfg.num_cpes,
+            cfg: cfg.clone(),
+            ldm: LdmAllocator::new(cfg.ldm_bytes),
+            counters: CpeCounters::default(),
+        }
+    }
+
+    /// This CPE's id in `0..num_cpes` (athread's `_MYID`).
+    pub fn cpe_id(&self) -> usize {
+        self.cpe_id
+    }
+
+    /// Number of CPEs participating in the launch (64 per CG).
+    pub fn num_cpes(&self) -> usize {
+        self.num_cpes
+    }
+
+    /// SIMD width in f64 lanes for vectorised accounting.
+    pub fn simd_f64_lanes(&self) -> usize {
+        self.cfg.simd_f64_lanes
+    }
+
+    /// The CPE's LDM scratchpad allocator. Returned by value (cheap clone
+    /// sharing the same bookkeeping) so buffers do not borrow the context
+    /// and can coexist with `&mut self` DMA calls.
+    pub fn ldm(&self) -> LdmAllocator {
+        self.ldm.clone()
+    }
+
+    /// Current simulated CPE cycle.
+    pub fn now(&self) -> u64 {
+        self.counters.cycles
+    }
+
+    // ---- compute accounting ------------------------------------------------
+
+    /// Charge `n` scalar double-precision operations (1 cycle each).
+    pub fn account_flops_scalar(&mut self, n: u64) {
+        self.counters.flops += n;
+        self.counters.cycles += n;
+    }
+
+    /// Charge `n` double-precision operations executed through SIMD lanes.
+    pub fn account_flops_simd(&mut self, n: u64) {
+        self.counters.flops += n;
+        let lanes = self.cfg.simd_f64_lanes as u64;
+        self.counters.cycles += n.div_ceil(lanes);
+    }
+
+    /// Charge raw cycles (branching, address arithmetic, gather overhead).
+    pub fn account_cycles(&mut self, n: u64) {
+        self.counters.cycles += n;
+    }
+
+    /// Charge LDM streaming traffic of `bytes`.
+    pub fn account_ldm_traffic(&mut self, bytes: u64) {
+        self.counters.ldm_bytes += bytes;
+        self.counters.cycles += bytes.div_ceil(LDM_BYTES_PER_CYCLE);
+    }
+
+    // ---- DMA ---------------------------------------------------------------
+
+    fn transfer_cycles(&self, bytes: usize) -> u64 {
+        // Assume all CPEs stream concurrently (worst-case contention): the
+        // model's stencil kernels launch on all 64 CPEs at once.
+        self.cfg.dma_transfer_cycles(bytes, self.num_cpes)
+    }
+
+    fn record_dma(&mut self, get: bool, bytes: usize) {
+        self.counters.dma_transactions += 1;
+        if get {
+            self.counters.dma_get_bytes += bytes as u64;
+        } else {
+            self.counters.dma_put_bytes += bytes as u64;
+        }
+        self.counters.ldm_high_water = self
+            .counters
+            .ldm_high_water
+            .max(self.ldm.high_water() as u64);
+    }
+
+    /// Blocking DMA main-memory → LDM. The CPE stalls for the full transfer.
+    pub fn dma_get<T: Copy>(&mut self, src: &[T], dst: &mut [T]) {
+        assert_eq!(src.len(), dst.len(), "dma_get length mismatch");
+        dst.copy_from_slice(src);
+        let bytes = std::mem::size_of_val(src);
+        self.record_dma(true, bytes);
+        self.counters.cycles += self.transfer_cycles(bytes);
+    }
+
+    /// Blocking DMA LDM → main-memory.
+    pub fn dma_put<T: Copy>(&mut self, src: &[T], dst: &mut [T]) {
+        assert_eq!(src.len(), dst.len(), "dma_put length mismatch");
+        dst.copy_from_slice(src);
+        let bytes = std::mem::size_of_val(src);
+        self.record_dma(false, bytes);
+        self.counters.cycles += self.transfer_cycles(bytes);
+    }
+
+    /// Asynchronous DMA get: data is delivered immediately (deterministic
+    /// simulation), but the *time* cost is only realised at [`Self::dma_wait`],
+    /// so compute issued in between overlaps the transfer.
+    pub fn dma_get_async<T: Copy>(&mut self, src: &[T], dst: &mut [T]) -> DmaHandle {
+        assert_eq!(src.len(), dst.len(), "dma_get_async length mismatch");
+        dst.copy_from_slice(src);
+        let bytes = std::mem::size_of_val(src);
+        self.record_dma(true, bytes);
+        self.counters.cycles += DMA_ISSUE_CYCLES;
+        DmaHandle {
+            ready_at: self.counters.cycles + self.transfer_cycles(bytes),
+            bytes: bytes as u64,
+        }
+    }
+
+    /// Asynchronous DMA put (see [`Self::dma_get_async`]).
+    pub fn dma_put_async<T: Copy>(&mut self, src: &[T], dst: &mut [T]) -> DmaHandle {
+        assert_eq!(src.len(), dst.len(), "dma_put_async length mismatch");
+        dst.copy_from_slice(src);
+        let bytes = std::mem::size_of_val(src);
+        self.record_dma(false, bytes);
+        self.counters.cycles += DMA_ISSUE_CYCLES;
+        DmaHandle {
+            ready_at: self.counters.cycles + self.transfer_cycles(bytes),
+            bytes: bytes as u64,
+        }
+    }
+
+    /// Wait for an asynchronous transfer: the CPE clock jumps to the
+    /// transfer's completion time if it hasn't been hidden by compute.
+    pub fn dma_wait(&mut self, handle: DmaHandle) {
+        self.counters.cycles = self.counters.cycles.max(handle.ready_at);
+    }
+
+    /// Charge the *time and traffic* of a DMA round-trip of `bytes` without
+    /// moving data. Used by the Kokkos Athread backend to model kernels
+    /// that, on hardware, would tile-stage `View` data through LDM: the
+    /// functor reads host memory directly (shared-space simulation), but
+    /// the simulated clock pays one transaction latency plus the streaming
+    /// time, exactly as `dma_get` would.
+    pub fn account_dma_traffic(&mut self, bytes: usize) {
+        self.record_dma(true, bytes);
+        self.counters.cycles += self.transfer_cycles(bytes);
+    }
+}
+
+enum WorkerMsg {
+    Launch { kernel: CpeKernel, arg: usize },
+    Shutdown,
+}
+
+struct Worker {
+    tx: mpsc::Sender<WorkerMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+type KernelResult = Result<Vec<(usize, CpeCounters)>, String>;
+
+/// A simulated core group: a persistent pool of host threads executing the
+/// logical CPEs, plus aggregated performance counters.
+///
+/// Mirrors the Athread lifecycle:
+/// `athread_init` → [`CoreGroup::new`], `athread_spawn` → [`CoreGroup::spawn`],
+/// `athread_join` → [`CoreGroup::join`], `athread_halt` → `Drop`.
+pub struct CoreGroup {
+    cfg: CgConfig,
+    workers: Vec<Worker>,
+    results_rx: mpsc::Receiver<KernelResult>,
+    pending: bool,
+    counters: CgCounters,
+}
+
+impl CoreGroup {
+    /// Boot a core group: start `cfg.host_workers` OS threads that will
+    /// multiplex the `cfg.num_cpes` logical CPEs.
+    pub fn new(cfg: CgConfig) -> Self {
+        let nworkers = cfg.host_workers.clamp(1, cfg.num_cpes);
+        let (results_tx, results_rx) = mpsc::channel::<KernelResult>();
+        let mut workers = Vec::with_capacity(nworkers);
+        for w in 0..nworkers {
+            let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            let results_tx = results_tx.clone();
+            let cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("cpe-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            WorkerMsg::Launch { kernel, arg } => {
+                                // Kernel panics (e.g. LDM overflow) are
+                                // caught and re-raised on the joining MPE
+                                // thread, like a device abort surfacing
+                                // at synchronization.
+                                let run =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        let mut out = Vec::new();
+                                        let mut cpe = w;
+                                        while cpe < cfg.num_cpes {
+                                            let mut ctx = CpeCtx::new(cpe, &cfg);
+                                            kernel(&mut ctx, arg);
+                                            out.push((cpe, ctx.counters));
+                                            cpe += nworkers;
+                                        }
+                                        out
+                                    }));
+                                let msg = run.map_err(|e| {
+                                    e.downcast_ref::<String>()
+                                        .cloned()
+                                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                                        .unwrap_or_else(|| "CPE kernel panicked".into())
+                                });
+                                // Receiver only disappears if the CG was
+                                // dropped mid-kernel; nothing to do then.
+                                let _ = results_tx.send(msg);
+                            }
+                            WorkerMsg::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn CPE worker thread");
+            workers.push(Worker {
+                tx,
+                handle: Some(handle),
+            });
+        }
+        Self {
+            cfg,
+            workers,
+            results_rx,
+            pending: false,
+            counters: CgCounters::default(),
+        }
+    }
+
+    /// The hardware configuration this CG was booted with.
+    pub fn config(&self) -> &CgConfig {
+        &self.cfg
+    }
+
+    /// `athread_spawn`: launch `kernel` on every logical CPE.
+    ///
+    /// `arg` is the single pointer-sized opaque argument the real API
+    /// allows. Only one kernel may be outstanding, as on hardware.
+    ///
+    /// # Panics
+    /// If a previous launch has not been joined.
+    pub fn spawn(&mut self, kernel: CpeKernel, arg: usize) {
+        assert!(
+            !self.pending,
+            "athread_spawn while a kernel is outstanding; call join() first"
+        );
+        self.pending = true;
+        for w in &self.workers {
+            w.tx.send(WorkerMsg::Launch { kernel, arg })
+                .expect("CPE worker thread died");
+        }
+    }
+
+    /// `athread_join`: wait for the outstanding kernel on all CPEs and fold
+    /// its counters into the CG aggregate.
+    ///
+    /// # Panics
+    /// If no kernel is outstanding.
+    pub fn join(&mut self) {
+        assert!(self.pending, "athread_join without a pending kernel");
+        let mut per_cpe = vec![CpeCounters::default(); self.cfg.num_cpes];
+        let mut failure: Option<String> = None;
+        for _ in 0..self.workers.len() {
+            let chunk = self
+                .results_rx
+                .recv()
+                .expect("CPE worker thread died before reporting");
+            match chunk {
+                Ok(list) => {
+                    for (cpe, counters) in list {
+                        per_cpe[cpe] = counters;
+                    }
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        self.pending = false;
+        if let Some(e) = failure {
+            panic!("CPE kernel failed: {e}");
+        }
+        self.counters.record_kernel(&per_cpe);
+    }
+
+    /// Convenience: `spawn` + `join`.
+    pub fn run(&mut self, kernel: CpeKernel, arg: usize) {
+        self.spawn(kernel, arg);
+        self.join();
+    }
+
+    /// Aggregated counters over all kernels launched so far.
+    pub fn counters(&self) -> &CgCounters {
+        &self.counters
+    }
+
+    /// Reset aggregated counters (e.g. after warm-up).
+    pub fn reset_counters(&mut self) {
+        self.counters = CgCounters::default();
+    }
+}
+
+impl Drop for CoreGroup {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(WorkerMsg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn count_kernel(ctx: &mut CpeCtx, arg: usize) {
+        // arg is a *const AtomicU64 in disguise — the C-like boundary.
+        let counter = unsafe { &*(arg as *const AtomicU64) };
+        counter.fetch_add(1 + ctx.cpe_id() as u64, Ordering::Relaxed);
+        ctx.account_flops_scalar(10);
+    }
+
+    #[test]
+    fn kernel_runs_on_every_cpe_exactly_once() {
+        let cfg = CgConfig::test_small();
+        let n = cfg.num_cpes as u64;
+        let mut cg = CoreGroup::new(cfg);
+        let counter = AtomicU64::new(0);
+        cg.run(count_kernel, &counter as *const _ as usize);
+        // sum of (1 + id) over ids 0..n = n + n(n-1)/2
+        assert_eq!(counter.load(Ordering::Relaxed), n + n * (n - 1) / 2);
+        assert_eq!(cg.counters().kernels_launched, 1);
+        assert_eq!(cg.counters().totals.flops, 10 * n);
+    }
+
+    fn dma_roundtrip_kernel(ctx: &mut CpeCtx, arg: usize) {
+        let data = unsafe { &mut *(arg as *mut Vec<f64>) };
+        let n = data.len();
+        let per = n / ctx.num_cpes();
+        let lo = ctx.cpe_id() * per;
+        let hi = if ctx.cpe_id() == ctx.num_cpes() - 1 {
+            n
+        } else {
+            lo + per
+        };
+        if lo >= hi {
+            return;
+        }
+        let mut tile = ctx.ldm().alloc::<f64>(hi - lo).unwrap();
+        // Disjoint slices per CPE, so the raw-pointer aliasing is sound.
+        let src: Vec<f64> = data[lo..hi].to_vec();
+        ctx.dma_get(&src, &mut tile);
+        for x in tile.iter_mut() {
+            *x *= 2.0;
+        }
+        ctx.account_flops_simd((hi - lo) as u64);
+        let out: &mut [f64] =
+            unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr().add(lo), hi - lo) };
+        let tile_copy: Vec<f64> = tile.to_vec();
+        ctx.dma_put(&tile_copy, out);
+    }
+
+    #[test]
+    fn dma_kernel_doubles_array() {
+        let cfg = CgConfig::test_small();
+        let mut cg = CoreGroup::new(cfg);
+        let mut data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        cg.run(dma_roundtrip_kernel, &mut data as *mut _ as usize);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, 2.0 * i as f64);
+        }
+        let t = &cg.counters().totals;
+        assert_eq!(t.dma_get_bytes, 8000);
+        assert_eq!(t.dma_put_bytes, 8000);
+        assert!(t.dma_transactions >= 2);
+    }
+
+    fn overlap_kernel(ctx: &mut CpeCtx, arg: usize) {
+        let data = unsafe { &*(arg as *const Vec<f64>) };
+        let mut tile = ctx.ldm().alloc::<f64>(data.len()).unwrap();
+        let h = ctx.dma_get_async(data, &mut tile);
+        // Compute that should hide (part of) the transfer.
+        ctx.account_cycles(1_000_000);
+        ctx.dma_wait(h);
+    }
+
+    fn blocking_kernel(ctx: &mut CpeCtx, arg: usize) {
+        let data = unsafe { &*(arg as *const Vec<f64>) };
+        let mut tile = ctx.ldm().alloc::<f64>(data.len()).unwrap();
+        ctx.dma_get(data, &mut tile);
+        ctx.account_cycles(1_000_000);
+    }
+
+    #[test]
+    fn async_dma_overlaps_compute() {
+        let cfg = CgConfig::test_small();
+        let data: Vec<f64> = vec![1.0; 2048];
+
+        let mut cg_async = CoreGroup::new(cfg.clone());
+        cg_async.run(overlap_kernel, &data as *const _ as usize);
+        let t_async = cg_async.counters().kernel_cycles;
+
+        let mut cg_block = CoreGroup::new(cfg);
+        cg_block.run(blocking_kernel, &data as *const _ as usize);
+        let t_block = cg_block.counters().kernel_cycles;
+
+        assert!(
+            t_async < t_block,
+            "double buffering must be faster: async {t_async} vs blocking {t_block}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "athread_spawn while a kernel is outstanding")]
+    fn double_spawn_panics() {
+        let mut cg = CoreGroup::new(CgConfig::test_small());
+        fn nop(_: &mut CpeCtx, _: usize) {}
+        cg.spawn(nop, 0);
+        cg.spawn(nop, 0);
+    }
+
+    #[test]
+    fn reset_counters_clears_history() {
+        let mut cg = CoreGroup::new(CgConfig::test_small());
+        fn busy(ctx: &mut CpeCtx, _: usize) {
+            ctx.account_flops_scalar(5);
+        }
+        cg.run(busy, 0);
+        assert!(cg.counters().kernel_cycles > 0);
+        cg.reset_counters();
+        assert_eq!(cg.counters().kernel_cycles, 0);
+        assert_eq!(cg.counters().kernels_launched, 0);
+    }
+
+    #[test]
+    fn simd_accounting_is_cheaper_than_scalar() {
+        let cfg = CgConfig::default();
+        let mut ctx = CpeCtx::new(0, &cfg);
+        ctx.account_flops_simd(800);
+        let simd_cycles = ctx.counters.cycles;
+        let mut ctx2 = CpeCtx::new(0, &cfg);
+        ctx2.account_flops_scalar(800);
+        assert_eq!(simd_cycles, 100);
+        assert_eq!(ctx2.counters.cycles, 800);
+    }
+}

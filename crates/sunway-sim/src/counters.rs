@@ -1,0 +1,151 @@
+//! Performance counters for the simulated core group.
+//!
+//! The paper measures Sunway performance with a "job-level performance
+//! monitoring and analysis toolchain" (§VI-C). Our equivalent is explicit:
+//! every CPE kernel accounts its compute cycles, LDM traffic and DMA traffic
+//! into a [`CpeCounters`]; after `athread_join` the core group folds them
+//! into a [`CgCounters`] whose *kernel time* is the maximum across CPEs
+//! (the slowest CPE gates the kernel, which is the load-imbalance signal
+//! the canuto balancer in `licom` removes).
+
+/// Per-CPE counters, reset at each kernel launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpeCounters {
+    /// Simulated CPE cycles spent in compute (including LDM accesses and
+    /// any stalls waiting on DMA completion).
+    pub cycles: u64,
+    /// Double-precision floating point operations executed.
+    pub flops: u64,
+    /// Bytes moved main-memory → LDM.
+    pub dma_get_bytes: u64,
+    /// Bytes moved LDM → main-memory.
+    pub dma_put_bytes: u64,
+    /// Number of DMA transactions issued (each pays the fixed latency).
+    pub dma_transactions: u64,
+    /// Bytes read/written within LDM (scratchpad traffic; cheap).
+    pub ldm_bytes: u64,
+    /// Peak LDM bytes allocated during the kernel.
+    pub ldm_high_water: u64,
+}
+
+impl CpeCounters {
+    /// Merge another CPE's counters (summing traffic, taking max of peaks).
+    pub fn absorb(&mut self, other: &CpeCounters) {
+        self.flops += other.flops;
+        self.dma_get_bytes += other.dma_get_bytes;
+        self.dma_put_bytes += other.dma_put_bytes;
+        self.dma_transactions += other.dma_transactions;
+        self.ldm_bytes += other.ldm_bytes;
+        self.ldm_high_water = self.ldm_high_water.max(other.ldm_high_water);
+        // `cycles` is handled separately (max, not sum) by the CG.
+    }
+}
+
+/// Aggregated core-group counters over the lifetime of a [`crate::CoreGroup`].
+#[derive(Debug, Clone, Default)]
+pub struct CgCounters {
+    /// Number of kernels launched (athread_spawn calls).
+    pub kernels_launched: u64,
+    /// Sum over kernels of the *maximum* CPE cycle count — the simulated
+    /// wall-clock of the CG in cycles.
+    pub kernel_cycles: u64,
+    /// Sum over kernels of the *mean* CPE cycle count. The gap between
+    /// `kernel_cycles` and this is pure load imbalance.
+    pub kernel_cycles_mean: u64,
+    /// Totals across all CPEs and kernels.
+    pub totals: CpeCounters,
+}
+
+impl CgCounters {
+    /// Fold one finished kernel's per-CPE counters into the aggregate.
+    pub fn record_kernel(&mut self, per_cpe: &[CpeCounters]) {
+        self.kernels_launched += 1;
+        let max_cycles = per_cpe.iter().map(|c| c.cycles).max().unwrap_or(0);
+        let sum_cycles: u64 = per_cpe.iter().map(|c| c.cycles).sum();
+        let mean = if per_cpe.is_empty() {
+            0
+        } else {
+            sum_cycles / per_cpe.len() as u64
+        };
+        self.kernel_cycles += max_cycles;
+        self.kernel_cycles_mean += mean;
+        for c in per_cpe {
+            self.totals.absorb(c);
+        }
+    }
+
+    /// Simulated elapsed seconds at the given CPE clock.
+    pub fn simulated_seconds(&self, clock_hz: f64) -> f64 {
+        self.kernel_cycles as f64 / clock_hz
+    }
+
+    /// Load-balance efficiency in [0, 1]: mean CPE busy-cycles over max.
+    /// 1.0 means perfectly even work; the paper's canuto imbalance shows up
+    /// here as values well below 1 before the balancer runs.
+    pub fn load_balance_efficiency(&self) -> f64 {
+        if self.kernel_cycles == 0 {
+            return 1.0;
+        }
+        self.kernel_cycles_mean as f64 / self.kernel_cycles as f64
+    }
+
+    /// Achieved FLOP rate against simulated time.
+    pub fn achieved_flops(&self, clock_hz: f64) -> f64 {
+        let secs = self.simulated_seconds(clock_hz);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.totals.flops as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpe(cycles: u64, flops: u64) -> CpeCounters {
+        CpeCounters {
+            cycles,
+            flops,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_max_over_cpes() {
+        let mut cg = CgCounters::default();
+        cg.record_kernel(&[cpe(100, 10), cpe(300, 30), cpe(200, 20)]);
+        assert_eq!(cg.kernel_cycles, 300);
+        assert_eq!(cg.kernel_cycles_mean, 200);
+        assert_eq!(cg.totals.flops, 60);
+    }
+
+    #[test]
+    fn load_balance_efficiency_detects_imbalance() {
+        let mut even = CgCounters::default();
+        even.record_kernel(&[cpe(100, 0), cpe(100, 0)]);
+        assert!((even.load_balance_efficiency() - 1.0).abs() < 1e-12);
+
+        let mut skew = CgCounters::default();
+        skew.record_kernel(&[cpe(400, 0), cpe(0, 0), cpe(0, 0), cpe(0, 0)]);
+        assert!((skew.load_balance_efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_accumulate() {
+        let mut cg = CgCounters::default();
+        cg.record_kernel(&[cpe(10, 1)]);
+        cg.record_kernel(&[cpe(20, 2)]);
+        assert_eq!(cg.kernels_launched, 2);
+        assert_eq!(cg.kernel_cycles, 30);
+        assert_eq!(cg.totals.flops, 3);
+    }
+
+    #[test]
+    fn simulated_seconds_uses_clock() {
+        let mut cg = CgCounters::default();
+        cg.record_kernel(&[cpe(2_250_000_000, 0)]);
+        assert!((cg.simulated_seconds(2.25e9) - 1.0).abs() < 1e-9);
+    }
+}

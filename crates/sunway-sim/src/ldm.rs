@@ -1,0 +1,208 @@
+//! Local Data Memory (LDM) — the per-CPE software-managed scratchpad.
+//!
+//! Each SW26010 Pro CPE owns 256 kB of low-latency memory. Kernels stage
+//! tiles of `View` data here via DMA, compute on them, and write results
+//! back. The allocator is a classic bump allocator with scoped frees:
+//! buffers decrement the watermark when dropped, and exceeding capacity is a
+//! hard, *typed* failure — on real hardware it is a link-time or runtime
+//! crash, and the paper's double-buffered advection kernel is sized around
+//! exactly this limit.
+//!
+//! The allocator is cheaply cloneable (shared bookkeeping) so buffers do not
+//! borrow the CPE context, letting kernels interleave allocations with
+//! `&mut`-taking DMA calls — the natural shape of a double-buffered loop.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Error returned when a kernel requests more LDM than remains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdmOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes still free at the time of the request.
+    pub available: usize,
+    /// Total LDM capacity of the CPE.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LDM overflow: requested {} B, only {} B of {} B free",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
+
+#[derive(Debug)]
+struct LdmInner {
+    capacity: usize,
+    used: Cell<usize>,
+    high_water: Cell<usize>,
+}
+
+/// Per-CPE scratchpad allocator. Single-threaded by construction (one per
+/// logical CPE); clones share the same bookkeeping.
+#[derive(Debug, Clone)]
+pub struct LdmAllocator {
+    inner: Rc<LdmInner>,
+}
+
+impl LdmAllocator {
+    /// Create an allocator with `capacity` bytes (256 kB on SW26010 Pro).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Rc::new(LdmInner {
+                capacity,
+                used: Cell::new(0),
+                high_water: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Allocate a zero-initialised buffer of `len` elements of `T`.
+    ///
+    /// The buffer returns its bytes to the allocator when dropped, so
+    /// double-buffering loops can reuse LDM across iterations.
+    pub fn alloc<T: Default + Clone>(&self, len: usize) -> Result<LdmBuf<T>, LdmOverflow> {
+        let bytes = len * std::mem::size_of::<T>();
+        let used = self.inner.used.get();
+        if used + bytes > self.inner.capacity {
+            return Err(LdmOverflow {
+                requested: bytes,
+                available: self.inner.capacity - used,
+                capacity: self.inner.capacity,
+            });
+        }
+        self.inner.used.set(used + bytes);
+        self.inner
+            .high_water
+            .set(self.inner.high_water.get().max(used + bytes));
+        Ok(LdmBuf {
+            data: vec![T::default(); len],
+            bytes,
+            owner: Rc::clone(&self.inner),
+        })
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.inner.used.get()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.inner.capacity - self.inner.used.get()
+    }
+
+    /// Peak bytes ever allocated simultaneously.
+    pub fn high_water(&self) -> usize {
+        self.inner.high_water.get()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+/// A typed LDM buffer. Dereferences to a slice; frees on drop.
+#[derive(Debug)]
+pub struct LdmBuf<T> {
+    data: Vec<T>,
+    bytes: usize,
+    owner: Rc<LdmInner>,
+}
+
+impl<T> std::ops::Deref for LdmBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for LdmBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for LdmBuf<T> {
+    fn drop(&mut self) {
+        self.owner.used.set(self.owner.used.get() - self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let ldm = LdmAllocator::new(1024);
+        {
+            let a = ldm.alloc::<f64>(64).unwrap(); // 512 B
+            assert_eq!(ldm.used(), 512);
+            assert_eq!(a.len(), 64);
+            let b = ldm.alloc::<u8>(512).unwrap(); // fills it
+            assert_eq!(b.len(), 512);
+            assert_eq!(ldm.available(), 0);
+        }
+        assert_eq!(ldm.used(), 0);
+        assert_eq!(ldm.high_water(), 1024);
+    }
+
+    #[test]
+    fn overflow_is_reported_with_sizes() {
+        let ldm = LdmAllocator::new(100);
+        let _a = ldm.alloc::<u8>(60).unwrap();
+        let err = ldm.alloc::<u8>(41).unwrap_err();
+        assert_eq!(err.requested, 41);
+        assert_eq!(err.available, 40);
+        assert_eq!(err.capacity, 100);
+    }
+
+    #[test]
+    fn buffers_are_zero_initialised() {
+        let ldm = LdmAllocator::new(4096);
+        let buf = ldm.alloc::<f64>(16).unwrap();
+        assert!(buf.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn double_buffer_pattern_fits() {
+        // The double-buffered DMA pattern allocates two tiles and ping-pongs;
+        // capacity must be judged on simultaneous residency, not total
+        // allocations over time.
+        let ldm = LdmAllocator::new(1000);
+        for _ in 0..100 {
+            let t0 = ldm.alloc::<u8>(400).unwrap();
+            let t1 = ldm.alloc::<u8>(400).unwrap();
+            drop(t0);
+            drop(t1);
+        }
+        assert_eq!(ldm.high_water(), 800);
+    }
+
+    #[test]
+    fn write_through_deref_mut() {
+        let ldm = LdmAllocator::new(4096);
+        let mut buf = ldm.alloc::<f64>(8).unwrap();
+        for (i, x) in buf.iter_mut().enumerate() {
+            *x = i as f64;
+        }
+        assert_eq!(buf[7], 7.0);
+    }
+
+    #[test]
+    fn clones_share_bookkeeping() {
+        let ldm = LdmAllocator::new(1024);
+        let ldm2 = ldm.clone();
+        let _a = ldm.alloc::<u8>(100).unwrap();
+        assert_eq!(ldm2.used(), 100);
+    }
+}

@@ -1,0 +1,120 @@
+//! SIMD helpers for CPE kernels.
+//!
+//! SW26010 Pro CPEs have 512-bit vector units (8 × f64). The paper uses
+//! SIMD both inside numerical kernels and — notably — to accelerate the
+//! functor-registry *matching* process in the enhanced Kokkos runtime
+//! (§V-B: "single-instruction, multiple-data (SIMD) vectorization, for
+//! accelerated kernel matching").
+//!
+//! We expose portable, auto-vectorisable building blocks written over exact
+//! `f64` chunks so the compiler can emit real vector code on the host, plus
+//! cycle-accounting wrappers so simulated timings reflect the 8-lane width.
+
+/// Vector width in `f64` lanes on SW26010 Pro.
+pub const F64_LANES: usize = 8;
+
+/// `y[i] += a * x[i]` over full slices, written chunk-wise so LLVM
+/// vectorises it. Returns the number of FLOPs performed (2 per element).
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) -> u64 {
+    assert_eq!(x.len(), y.len());
+    let mut xc = x.chunks_exact(F64_LANES);
+    let mut yc = y.chunks_exact_mut(F64_LANES);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        for l in 0..F64_LANES {
+            ys[l] += a * xs[l];
+        }
+    }
+    for (xs, ys) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *ys += a * xs;
+    }
+    2 * x.len() as u64
+}
+
+/// Vectorised dot product. Returns `(sum, flops)`.
+pub fn dot(x: &[f64], y: &[f64]) -> (f64, u64) {
+    assert_eq!(x.len(), y.len());
+    let mut acc = [0.0f64; F64_LANES];
+    let mut xc = x.chunks_exact(F64_LANES);
+    let mut yc = y.chunks_exact(F64_LANES);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        for l in 0..F64_LANES {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0;
+    for (xs, ys) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += xs * ys;
+    }
+    (acc.iter().sum::<f64>() + tail, 2 * x.len() as u64)
+}
+
+/// SIMD-style linear scan for `needle` in `haystack`, comparing 8 ids per
+/// step — the paper's trick for accelerating registry lookup on CPEs.
+/// Returns the first matching index.
+pub fn find_u64(haystack: &[u64], needle: u64) -> Option<usize> {
+    let mut chunks = haystack.chunks_exact(F64_LANES);
+    let mut base = 0;
+    for c in &mut chunks {
+        // One vector compare; any-lane-hit then resolved within the chunk.
+        let mut hit = false;
+        for &v in c {
+            hit |= v == needle;
+        }
+        if hit {
+            for (i, &v) in c.iter().enumerate() {
+                if v == needle {
+                    return Some(base + i);
+                }
+            }
+        }
+        base += F64_LANES;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&v| v == needle)
+        .map(|i| base + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn axpy_matches_scalar_reference() {
+        let x: Vec<f64> = (0..37).map(|i| i as f64).collect();
+        let mut y: Vec<f64> = (0..37).map(|i| (i * 2) as f64).collect();
+        let flops = axpy(1.5, &x, &mut y);
+        assert_eq!(flops, 74);
+        for i in 0..37 {
+            assert_eq!(y[i], 1.5 * i as f64 + 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference() {
+        let x: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let y = vec![2.0; 100];
+        let (s, flops) = dot(&x, &y);
+        assert_eq!(s, 2.0 * (100.0 * 101.0 / 2.0));
+        assert_eq!(flops, 200);
+    }
+
+    #[test]
+    fn find_u64_locates_first_occurrence() {
+        let v: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        assert_eq!(find_u64(&v, 27), Some(9));
+        assert_eq!(find_u64(&v, 28), None);
+        // duplicate: first index wins
+        let dup = vec![5, 7, 7, 9];
+        assert_eq!(find_u64(&dup, 7), Some(1));
+    }
+
+    #[test]
+    fn find_u64_handles_tail() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(find_u64(&v, 3), Some(2));
+        assert_eq!(find_u64(&[], 1), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Kuroshio-analogue submesoscale study — the science case of Figs. 1
+//! and 6.
+//!
+//! Spins up a mid-latitude Pacific-like basin under trade/westerly wind
+//! forcing at two resolutions, lets a western-boundary current develop,
+//! and compares the surface Rossby-number field: the finer grid shows a
+//! richer submesoscale tail (|Ro| growing toward O(1) with resolution),
+//! which is exactly the paper's argument for kilometre-scale grids.
+//!
+//! ```text
+//! cargo run --release --example kuroshio_submesoscale [days]
+//! ```
+#![allow(clippy::field_reassign_with_default)]
+
+use licomkpp::grid::{Bathymetry, ModelConfig};
+use licomkpp::kokkos::{Space, View, View2};
+use licomkpp::model::diag::rossby_quantiles;
+use licomkpp::model::{Model, ModelOptions};
+use licomkpp::mpi::World;
+
+fn basin() -> Bathymetry {
+    Bathymetry::Basin {
+        lon0: 118.0,
+        lon1: 198.0,
+        lat0: 12.0,
+        lat1: 48.0,
+        depth: 3500.0,
+    }
+}
+
+fn run(nx: usize, ny: usize, days: f64) -> (f64, (f64, f64, f64, f64), f64) {
+    let cfg = ModelConfig {
+        name: format!("kuroshio-{nx}"),
+        nx,
+        ny,
+        nz: 10,
+        dt_barotropic: 2.0,
+        dt_baroclinic: 20.0,
+        dt_tracer: 20.0,
+        full_depth: false,
+    };
+    let mut opts = ModelOptions::default();
+    opts.bathymetry = basin();
+    World::run(1, move |comm| {
+        let mut m = Model::new(comm, cfg.clone(), Space::threads(), opts.clone());
+        let steps = (days * 86_400.0 / cfg.dt_baroclinic) as usize;
+        m.run_steps(steps);
+        assert!(!m.state.has_nan());
+        let c = m.state.cur();
+        let out: View2<f64> = View::host("ro", [m.grid.pj, m.grid.pi]);
+        let q = rossby_quantiles(&m.space, &m.grid, &m.state.u[c], &m.state.v[c], &out);
+        let d = m.diagnostics();
+        let dx_km = m.grid.dxt.at(m.grid.pj / 2) / 1000.0;
+        (dx_km, q, d.max_speed)
+    })
+    .pop()
+    .unwrap()
+}
+
+fn main() {
+    let days: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    println!("Kuroshio-analogue basin, {days} simulated days, two resolutions\n");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "grid", "dx (km)", "|Ro| q90", "|Ro| q99", "|Ro| max", "max |u|"
+    );
+    let mut tails = Vec::new();
+    for (nx, ny) in [(60usize, 27usize), (120, 54)] {
+        let (dx, (_, q90, q99, max), umax) = run(nx, ny, days);
+        println!(
+            "{:>12} {:>10.0} {:>12.5} {:>12.5} {:>12.5} {:>9.3} m/s",
+            format!("{nx}x{ny}"),
+            dx,
+            q90,
+            q99,
+            max,
+            umax
+        );
+        tails.push(q99);
+    }
+    assert!(
+        tails[1] > tails[0],
+        "refining the grid must enrich the submesoscale tail"
+    );
+    println!(
+        "\nsubmesoscale |Ro| tail grows {:.1}x when dx halves —",
+        tails[1] / tails[0]
+    );
+    println!("the Fig. 6 emergence signature, reproduced in a laptop basin.");
+}

@@ -1,0 +1,64 @@
+//! Scaling study — project the paper's Table V / Fig. 9 numbers for any
+//! configuration and device count with the calibrated machine models,
+//! and inspect the time breakdown (where the paper's bottlenecks live).
+//!
+//! ```text
+//! cargo run --release --example scaling_study [1km|2km|10km|100km] [orise|sunway] [devices...]
+//! ```
+
+use licomkpp::grid::Resolution;
+use licomkpp::perf::{calibration, project, Machine, ProblemSpec, SunwayVariant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let res = match args.first().map(String::as_str) {
+        Some("100km") => Resolution::Coarse100km,
+        Some("10km") => Resolution::Eddy10km,
+        Some("2km") => Resolution::Km2FullDepth,
+        _ => Resolution::Km1,
+    };
+    let machine = match args.get(1).map(String::as_str) {
+        Some("sunway") => Machine::sunway_cg(),
+        _ => Machine::orise(),
+    };
+    let devices: Vec<usize> = if args.len() > 2 {
+        args[2..].iter().filter_map(|s| s.parse().ok()).collect()
+    } else if machine.name.contains("Sunway") {
+        vec![77_750, 155_520, 307_800, 590_250]
+    } else {
+        vec![4_000, 8_000, 12_000, 16_000]
+    };
+
+    let cfg = res.config();
+    let spec = ProblemSpec::from_config(&cfg)
+        .with_multiplier(calibration::cost_multiplier(&cfg.name, machine.name));
+    println!(
+        "configuration {} ({} x {} x {}), machine {}\n",
+        cfg.name, cfg.nx, cfg.ny, cfg.nz, machine.name
+    );
+    println!(
+        "{:>10} {:>10} {:>12} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "devices", "SYPD", "t/step (ms)", "3D %", "2D/bt %", "PCIe %", "net bw %", "net lat %"
+    );
+    let mut base: Option<f64> = None;
+    for &d in &devices {
+        let p = project(&spec, &machine, d, SunwayVariant::Optimized);
+        let pct = |x: f64| 100.0 * x / p.t_step;
+        let b = *base.get_or_insert(p.sypd / d as f64);
+        println!(
+            "{:>10} {:>10.3} {:>12.2} | {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%   eff {:>5.1}%",
+            d,
+            p.sypd,
+            p.t_step * 1e3,
+            pct(p.t_compute3d),
+            pct(p.t_compute2d),
+            pct(p.t_pcie),
+            pct(p.t_net_bw),
+            pct(p.t_net_lat),
+            100.0 * (p.sypd / d as f64) / b,
+        );
+    }
+    println!("\nAs devices grow, compute shrinks but the per-step network-latency");
+    println!("floor (the barotropic halo updates) does not — the Amdahl mechanism");
+    println!("behind the paper's ~50% strong-scaling efficiency at 4x scale-out.");
+}

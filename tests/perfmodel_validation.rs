@@ -1,0 +1,89 @@
+//! Cross-validation: the analytic performance model's communication
+//! census versus the *actual* message traffic of the real model, measured
+//! by the mpi-sim byte counters. The projection of Table V/Fig. 9 is only
+//! credible if its per-step halo volumes match what the implementation
+//! really sends.
+#![allow(clippy::field_reassign_with_default)]
+
+use licomkpp::grid::Resolution;
+use licomkpp::kokkos::Space;
+use licomkpp::model::{Model, ModelOptions};
+use licomkpp::mpi::World;
+use licomkpp::perf::workload::{HALO2D_PER_SUBSTEP, HALO3D_PER_STEP};
+use licomkpp::perf::ProblemSpec;
+
+#[test]
+fn measured_halo_traffic_matches_workload_census() {
+    // 3 ranks on the 45x27x6 config (nx divisible by 3).
+    let cfg = Resolution::Coarse100km.config().scaled_down(8, 6);
+    let ranks = 3usize;
+    let steps = 4usize;
+
+    let (_, t_warm) = World::run_traced(ranks, {
+        let cfg = cfg.clone();
+        move |comm| {
+            let mut opts = ModelOptions::default();
+            opts.overlap = false;
+            opts.batched_halo = false;
+            let mut m = Model::new(comm, cfg.clone(), Space::serial(), opts);
+            m.run_steps(1); // includes init exchanges
+        }
+    });
+    let (_, t_full) = World::run_traced(ranks, {
+        let cfg = cfg.clone();
+        move |comm| {
+            let mut opts = ModelOptions::default();
+            opts.overlap = false;
+            opts.batched_halo = false;
+            let mut m = Model::new(comm, cfg.clone(), Space::serial(), opts);
+            m.run_steps(1 + steps);
+        }
+    });
+    // Per-step traffic of the whole world (init + first step subtracted).
+    let bytes_per_step = (t_full.p2p_bytes - t_warm.p2p_bytes) as f64 / steps as f64;
+    let msgs_per_step = (t_full.p2p_messages - t_warm.p2p_messages) as f64 / steps as f64;
+
+    // Analytic census for the same decomposition (workload counts one
+    // rank; multiply by ranks; canuto cross-rank shipping excluded since
+    // the default mode is List).
+    let mut spec = ProblemSpec::from_config(&cfg);
+    spec.substeps = 2 * cfg.barotropic_substeps();
+    let analytic_bytes = ranks as f64
+        * (HALO3D_PER_STEP * spec.halo3d_bytes(ranks)
+            + spec.substeps as f64 * HALO2D_PER_SUBSTEP * spec.halo2d_bytes(ranks));
+
+    let ratio = bytes_per_step / analytic_bytes;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "measured {bytes_per_step:.0} B/step vs analytic {analytic_bytes:.0} B/step (ratio {ratio:.2})"
+    );
+    // Message count: 4 directions per exchange... minus the closed south
+    // and intra-rank copies; just require the right order of magnitude.
+    let analytic_msgs =
+        ranks as f64 * 4.0 * (HALO3D_PER_STEP + spec.substeps as f64 * HALO2D_PER_SUBSTEP);
+    let mratio = msgs_per_step / analytic_msgs;
+    assert!(
+        (0.3..2.0).contains(&mratio),
+        "measured {msgs_per_step:.0} msgs/step vs analytic {analytic_msgs:.0} (ratio {mratio:.2})"
+    );
+}
+
+#[test]
+fn batching_reduces_tracer_messages_but_not_bytes() {
+    let cfg = Resolution::Coarse100km.config().scaled_down(8, 6);
+    let run = |batched: bool| {
+        let cfg = cfg.clone();
+        let (_, t) = World::run_traced(3, move |comm| {
+            let mut opts = ModelOptions::default();
+            opts.overlap = false;
+            opts.batched_halo = batched;
+            let mut m = Model::new(comm, cfg.clone(), Space::serial(), opts);
+            m.run_steps(3);
+        });
+        (t.p2p_messages, t.p2p_bytes)
+    };
+    let (m0, b0) = run(false);
+    let (m1, b1) = run(true);
+    assert!(m1 < m0, "batching must cut messages: {m1} vs {m0}");
+    assert_eq!(b1, b0, "batching must not change payload bytes");
+}

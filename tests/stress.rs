@@ -1,0 +1,88 @@
+//! Longer-horizon stability and physical-sanity stress tests of the
+//! assembled model (kept at sizes a CI debug build finishes in seconds).
+
+use licomkpp::grid::Resolution;
+use licomkpp::kokkos::Space;
+use licomkpp::model::history::HistoryWriter;
+use licomkpp::model::{Model, ModelOptions};
+use licomkpp::mpi::World;
+
+/// Two simulated days of the global scaled configuration: the model must
+/// stay finite, develop circulation, and keep its diagnostics inside
+/// physically defensible bands.
+#[test]
+fn two_day_global_spinup_is_physical() {
+    let cfg = Resolution::Coarse100km.config().scaled_down(8, 6);
+    World::run(1, |comm| {
+        let mut m = Model::new(comm, cfg.clone(), Space::threads(), ModelOptions::default());
+        let steps_per_day = cfg.steps_per_day();
+        let dir = std::env::temp_dir().join("licom_stress_history");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut hist = HistoryWriter::create(&m, &dir.join("h.csv")).unwrap();
+        let mut ke = Vec::new();
+        for _day in 0..2 {
+            m.run_steps(steps_per_day);
+            let s = hist.sample(&m).unwrap();
+            ke.push(s.kinetic_energy);
+            assert!(!m.state.has_nan(), "NaN during spin-up");
+            assert!(s.max_speed < 5.0, "runaway currents: {}", s.max_speed);
+            assert!(
+                s.mean_sst > 5.0 && s.mean_sst < 25.0,
+                "global mean SST out of band: {}",
+                s.mean_sst
+            );
+        }
+        // Wind keeps injecting energy during early spin-up.
+        assert!(ke[1] > ke[0] * 0.5, "KE collapsed: {ke:?}");
+        assert!(ke[1].is_finite() && ke[1] > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+/// Leapfrog + Asselin keeps the computational mode bounded: the
+/// step-to-step oscillation of η must not grow over time.
+#[test]
+fn computational_mode_stays_filtered() {
+    let cfg = Resolution::Coarse100km.config().scaled_down(8, 6);
+    World::run(1, |comm| {
+        let mut m = Model::new(comm, cfg.clone(), Space::serial(), ModelOptions::default());
+        m.run_steps(10);
+        let osc = |m: &Model| {
+            // RMS of (eta_cur - eta_old): the 2Δt mode amplitude proxy.
+            let (c, o) = (m.state.cur(), m.state.old());
+            let a = m.state.eta[c].as_slice();
+            let b = m.state.eta[o].as_slice();
+            (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
+        };
+        let early = osc(&m);
+        m.run_steps(40);
+        let late = osc(&m);
+        // Spin-up grows the flow, so allow growth — but bounded, not the
+        // exponential divergence an unfiltered leapfrog would show.
+        assert!(
+            late < early * 50.0 + 1.0,
+            "computational mode growing: {early} -> {late}"
+        );
+    });
+}
+
+/// The SwAthread backend survives a multi-step run and reports coherent
+/// hardware counters (the §VI-C monitoring-toolchain analogue).
+#[test]
+fn sunway_backend_counters_are_coherent() {
+    let cfg = Resolution::Coarse100km.config().scaled_down(12, 5);
+    World::run(1, |comm| {
+        let space = Space::sw_athread_with(licomkpp::sunway::CgConfig::test_small());
+        let mut m = Model::new(comm, cfg.clone(), space, ModelOptions::default());
+        m.run_steps(3);
+        let c = m.sunway_counters().expect("SwAthread space");
+        assert!(c.kernels_launched > 50, "launches {}", c.kernels_launched);
+        assert!(c.totals.flops > 1_000_000, "flops {}", c.totals.flops);
+        assert!(c.totals.dma_get_bytes > 0);
+        let eff = c.load_balance_efficiency();
+        assert!((0.0..=1.0).contains(&eff));
+        // Simulated time is positive and finite.
+        let secs = c.simulated_seconds(2.25e9);
+        assert!(secs.is_finite() && secs > 0.0);
+    });
+}
