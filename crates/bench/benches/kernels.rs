@@ -2,6 +2,7 @@
 //! hotspot — `advection_tracer` (the §V-C2 bottleneck), the canuto
 //! column kernel (rect vs packed list), the momentum stencil, and one
 //! barotropic substep — each on Serial vs Threads.
+#![allow(clippy::field_reassign_with_default)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kokkos_rs::Space;

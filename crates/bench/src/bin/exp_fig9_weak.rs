@@ -69,12 +69,23 @@ fn main() {
         let spec = spec_of(p.nx, p.ny, p.nz);
         orise_pts.push((
             p.orise_gpus as f64,
-            project(&spec, &Machine::orise(), p.orise_gpus, SunwayVariant::Optimized).sypd,
+            project(
+                &spec,
+                &Machine::orise(),
+                p.orise_gpus,
+                SunwayVariant::Optimized,
+            )
+            .sypd,
         ));
         sunway_pts.push((
             (p.sunway_cores / 65) as f64,
-            project(&spec, &Machine::sunway_cg(), p.sunway_cores / 65, SunwayVariant::Optimized)
-                .sypd,
+            project(
+                &spec,
+                &Machine::sunway_cg(),
+                p.sunway_cores / 65,
+                SunwayVariant::Optimized,
+            )
+            .sypd,
         ));
     }
     print!(

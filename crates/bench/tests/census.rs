@@ -120,15 +120,11 @@ fn advection_census_matches_summed_pass_costs() {
         limited: true,
     };
     use kokkos_rs::Functor2D;
-    let per_point_flops = (fx.cost().flops
-        + ax.cost().flops
-        + fy.cost().flops
-        + ay.cost().flops) as f64
+    let per_point_flops = (fx.cost().flops + ax.cost().flops + fy.cost().flops + ay.cost().flops)
+        as f64
         + az.cost().flops as f64 / nz as f64;
-    let per_point_bytes = (fx.cost().bytes
-        + ax.cost().bytes
-        + fy.cost().bytes
-        + ay.cost().bytes) as f64
+    let per_point_bytes = (fx.cost().bytes + ax.cost().bytes + fy.cost().bytes + ay.cost().bytes)
+        as f64
         + az.cost().bytes as f64 / nz as f64;
     let (flops, bytes) = census("advection_tracer");
     assert_eq!(flops, 2.0 * per_point_flops, "flops census drifted");

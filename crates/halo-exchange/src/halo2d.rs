@@ -18,6 +18,16 @@
 //! fields additionally flip sign. The fold partner of the block at column
 //! `cx` is the block at `px-1-cx` (possibly itself). A clean mirror
 //! requires equal block widths, so fold exchanges assert `nxg % px == 0`.
+//!
+//! The default [`Halo2D::exchange`] is allocation-free in steady state:
+//! messages round-trip through the per-rank buffer pools of `mpi-sim`
+//! ([`mpi_sim::Comm::send_into`] / [`mpi_sim::Comm::recv_into`]), self
+//! paths use persistent scratch, and pack/unpack copy contiguous runs
+//! (`copy_from_slice`) instead of walking elements. The original
+//! freshly-allocating implementation survives as [`Halo2D::exchange_alloc`]
+//! — the bitwise-identity reference.
+
+use std::cell::{RefCell, RefMut};
 
 use kokkos_rs::View2;
 use mpi_sim::{CartComm, Dir, Neighbor};
@@ -61,6 +71,10 @@ pub struct Halo2D {
     pub y0: usize,
     pub nx: usize,
     pub ny: usize,
+    /// Persistent scratch for self-sends / self-folds (two cells: the
+    /// east/west self path needs both strips live at once). Grow-once.
+    scratch_a: RefCell<Vec<f64>>,
+    scratch_b: RefCell<Vec<f64>>,
 }
 
 impl Halo2D {
@@ -86,6 +100,8 @@ impl Halo2D {
             y0,
             nx,
             ny,
+            scratch_a: RefCell::new(Vec::new()),
+            scratch_b: RefCell::new(Vec::new()),
         }
     }
 
@@ -109,7 +125,21 @@ impl Halo2D {
         assert_eq!(field.dims(), [pj, pi], "field shape != padded block");
     }
 
+    /// Borrow persistent scratch of at least `len` elements (grow-once).
+    fn scratch(cell: &RefCell<Vec<f64>>, len: usize) -> RefMut<'_, Vec<f64>> {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        buf
+    }
+
     // -- packing helpers ----------------------------------------------------
+    //
+    // The `pack_*`/`unpack_*` pairs are the original allocating element-wise
+    // implementations, kept as the reference; the `_into`/`_from` variants
+    // copy contiguous runs in place (rows are `pi` consecutive elements,
+    // column strips `H` consecutive per row).
 
     /// Columns `[c0, c0+H)` over owned rows, row-major.
     fn pack_cols(&self, f: &View2<f64>, c0: usize) -> Vec<f64> {
@@ -122,12 +152,33 @@ impl Halo2D {
         buf
     }
 
+    fn pack_cols_into(&self, f: &View2<f64>, c0: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.ny * H);
+        let fs = f.as_slice();
+        for (jj, chunk) in out.chunks_exact_mut(H).enumerate() {
+            let off = f.offset([H + jj, c0]);
+            chunk.copy_from_slice(&fs[off..off + H]);
+        }
+    }
+
     fn unpack_cols(&self, f: &View2<f64>, c0: usize, buf: &[f64]) {
         assert_eq!(buf.len(), self.ny * H);
         let mut it = buf.iter();
         for j in H..H + self.ny {
             for c in 0..H {
                 f.set_at(j, c0 + c, *it.next().unwrap());
+            }
+        }
+    }
+
+    fn unpack_cols_from(&self, f: &View2<f64>, c0: usize, buf: &[f64]) {
+        assert_eq!(buf.len(), self.ny * H);
+        for (jj, chunk) in buf.chunks_exact(H).enumerate() {
+            let off = f.offset([H + jj, c0]);
+            // SAFETY: serial writes into a root view's backing storage; the
+            // H-element run is in bounds (checked by `offset` + padding).
+            unsafe {
+                std::slice::from_raw_parts_mut(f.data_ptr().add(off), H).copy_from_slice(chunk);
             }
         }
     }
@@ -144,6 +195,16 @@ impl Halo2D {
         buf
     }
 
+    fn pack_rows_into(&self, f: &View2<f64>, r0: usize, out: &mut [f64]) {
+        let (_, pi) = self.padded();
+        assert_eq!(out.len(), H * pi);
+        let fs = f.as_slice();
+        for (r, chunk) in out.chunks_exact_mut(pi).enumerate() {
+            let off = f.offset([r0 + r, 0]);
+            chunk.copy_from_slice(&fs[off..off + pi]);
+        }
+    }
+
     fn unpack_rows(&self, f: &View2<f64>, r0: usize, buf: &[f64]) {
         let (_, pi) = self.padded();
         assert_eq!(buf.len(), H * pi);
@@ -151,6 +212,18 @@ impl Halo2D {
         for r in 0..H {
             for i in 0..pi {
                 f.set_at(r0 + r, i, *it.next().unwrap());
+            }
+        }
+    }
+
+    fn unpack_rows_from(&self, f: &View2<f64>, r0: usize, buf: &[f64]) {
+        let (_, pi) = self.padded();
+        assert_eq!(buf.len(), H * pi);
+        for (r, chunk) in buf.chunks_exact(pi).enumerate() {
+            let off = f.offset([r0 + r, 0]);
+            // SAFETY: as in `unpack_cols_from` — serial, in-bounds run.
+            unsafe {
+                std::slice::from_raw_parts_mut(f.data_ptr().add(off), pi).copy_from_slice(chunk);
             }
         }
     }
@@ -166,6 +239,16 @@ impl Halo2D {
             }
         }
         buf
+    }
+
+    fn pack_fold_into(&self, f: &View2<f64>, out: &mut [f64]) {
+        let (_, pi) = self.padded();
+        assert_eq!(out.len(), H * pi);
+        let fs = f.as_slice();
+        for (d, chunk) in out.chunks_exact_mut(pi).enumerate() {
+            let off = f.offset([H + self.ny - 1 - d, 0]);
+            chunk.copy_from_slice(&fs[off..off + pi]);
+        }
     }
 
     /// Fold unpack into ghost rows `H+ny+d` with zonal mirroring.
@@ -194,7 +277,8 @@ impl Halo2D {
 
     // -- the update ---------------------------------------------------------
 
-    /// Blocking 2-layer halo update of `field`.
+    /// Blocking 2-layer halo update of `field`. Allocation-free in steady
+    /// state; bitwise identical to [`Halo2D::exchange_alloc`].
     ///
     /// `tag_base` namespaces the messages so several fields can be updated
     /// back to back; callers use distinct bases per field per step.
@@ -226,18 +310,120 @@ impl Halo2D {
             self.exchange_ew(field, tag_base);
             interior();
         } else {
-            comm.isend(w, tag_base + T_WEST, self.pack_cols(field, H));
-            comm.isend(e, tag_base + T_EAST, self.pack_cols(field, self.nx));
+            let strip = self.ny * H;
+            comm.send_into(w, tag_base + T_WEST, strip, |buf| {
+                self.pack_cols_into(field, H, buf);
+            });
+            comm.send_into(e, tag_base + T_EAST, strip, |buf| {
+                self.pack_cols_into(field, self.nx, buf);
+            });
             interior();
-            let from_e = comm.recv::<f64>(e, tag_base + T_WEST);
-            self.unpack_cols(field, H + self.nx, &from_e);
-            let from_w = comm.recv::<f64>(w, tag_base + T_EAST);
-            self.unpack_cols(field, 0, &from_w);
+            comm.recv_into(e, tag_base + T_WEST, |buf| {
+                self.unpack_cols_from(field, H + self.nx, buf);
+            });
+            comm.recv_into(w, tag_base + T_EAST, |buf| {
+                self.unpack_cols_from(field, 0, buf);
+            });
         }
         self.exchange_ns(field, kind, tag_base);
     }
 
     fn exchange_ew(&self, field: &View2<f64>, tag_base: u64) {
+        let comm = self.cart.comm();
+        let (Neighbor::Interior(w), Neighbor::Interior(e)) =
+            (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
+        else {
+            unreachable!("zonal neighbors always exist")
+        };
+        let strip = self.ny * H;
+        if w == comm.rank() {
+            // px == 1: periodic wrap within the block, through scratch.
+            let mut wb = Self::scratch(&self.scratch_a, strip);
+            let mut eb = Self::scratch(&self.scratch_b, strip);
+            self.pack_cols_into(field, H, &mut wb[..strip]);
+            self.pack_cols_into(field, self.nx, &mut eb[..strip]);
+            self.unpack_cols_from(field, H + self.nx, &wb[..strip]);
+            self.unpack_cols_from(field, 0, &eb[..strip]);
+            return;
+        }
+        comm.send_into(w, tag_base + T_WEST, strip, |buf| {
+            self.pack_cols_into(field, H, buf);
+        });
+        comm.send_into(e, tag_base + T_EAST, strip, |buf| {
+            self.pack_cols_into(field, self.nx, buf);
+        });
+        comm.recv_into(e, tag_base + T_WEST, |buf| {
+            self.unpack_cols_from(field, H + self.nx, buf);
+        });
+        comm.recv_into(w, tag_base + T_EAST, |buf| {
+            self.unpack_cols_from(field, 0, buf);
+        });
+    }
+
+    fn exchange_ns(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
+        let comm = self.cart.comm();
+        let (_, pi) = self.padded();
+        let rows = H * pi;
+        // Send southward (fills south neighbor's north ghost).
+        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+            comm.send_into(s, tag_base + T_SOUTH, rows, |buf| {
+                self.pack_rows_into(field, H, buf);
+            });
+        }
+        // Send northward / foldward.
+        match self.cart.neighbor(Dir::North) {
+            Neighbor::Interior(n) => {
+                comm.send_into(n, tag_base + T_NORTH, rows, |buf| {
+                    self.pack_rows_into(field, self.ny, buf);
+                });
+            }
+            Neighbor::Fold(p) if p != comm.rank() => {
+                comm.send_into(p, tag_base + T_FOLD, rows, |buf| {
+                    self.pack_fold_into(field, buf);
+                });
+            }
+            _ => {}
+        }
+        // Receive from north (their southward message fills my north ghost).
+        match self.cart.neighbor(Dir::North) {
+            Neighbor::Interior(n) => {
+                comm.recv_into(n, tag_base + T_SOUTH, |buf| {
+                    self.unpack_rows_from(field, H + self.ny, buf);
+                });
+            }
+            Neighbor::Fold(p) => {
+                if p == comm.rank() {
+                    let mut fb = Self::scratch(&self.scratch_a, rows);
+                    self.pack_fold_into(field, &mut fb[..rows]);
+                    self.unpack_fold(field, &fb[..rows], kind, self.fold_partner_x0());
+                } else {
+                    comm.recv_into(p, tag_base + T_FOLD, |buf| {
+                        self.unpack_fold(field, buf, kind, self.fold_partner_x0());
+                    });
+                }
+            }
+            Neighbor::Closed => {}
+        }
+        // Receive from south (their northward message fills my south ghost).
+        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+            comm.recv_into(s, tag_base + T_NORTH, |buf| {
+                self.unpack_rows_from(field, 0, buf);
+            });
+        }
+    }
+
+    // -- allocating reference implementation --------------------------------
+
+    /// The original implementation: element-wise pack/unpack into freshly
+    /// allocated message vectors. Kept as the bitwise-identity reference
+    /// for the pooled path and as the baseline in the benches.
+    pub fn exchange_alloc(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
+        self.check(field);
+        self.exchange_ew_alloc(field, tag_base);
+        self.exchange_ns_alloc(field, kind, tag_base);
+    }
+
+    fn exchange_ew_alloc(&self, field: &View2<f64>, tag_base: u64) {
         let comm = self.cart.comm();
         let (Neighbor::Interior(w), Neighbor::Interior(e)) =
             (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
@@ -260,7 +446,7 @@ impl Halo2D {
         self.unpack_cols(field, 0, &from_w);
     }
 
-    fn exchange_ns(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
+    fn exchange_ns_alloc(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
         let comm = self.cart.comm();
         // Send southward (fills south neighbor's north ghost).
         if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
@@ -402,6 +588,50 @@ mod tests {
     fn uneven_rows_ok_without_fold_constraint_violation() {
         // ny not divisible by py is fine; only nx % px matters for the fold.
         run_case(6, 2, 3, 8, 11, FoldKind::Scalar);
+    }
+
+    #[test]
+    fn pooled_matches_allocating_reference() {
+        for kind in [FoldKind::Scalar, FoldKind::Vector] {
+            World::run(4, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 2, true);
+                let h = Halo2D::new(&cart, 12, 10);
+                let (pj, pi) = h.padded();
+                let a: View2<f64> = View::host("a", [pj, pi]);
+                let b: View2<f64> = View::host("b", [pj, pi]);
+                a.fill(0.0);
+                b.fill(0.0);
+                fill_owned(&h, &a);
+                fill_owned(&h, &b);
+                h.exchange(&a, kind, 0);
+                h.exchange_alloc(&b, kind, 40);
+                assert_eq!(a.to_vec(), b.to_vec(), "pooled vs allocating, {kind:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn steady_state_exchanges_do_not_allocate() {
+        let allocs = |iters: u64| {
+            let (_, t) = World::run_traced(4, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 2, true);
+                let h = Halo2D::new(&cart, 12, 10);
+                let (pj, pi) = h.padded();
+                let f: View2<f64> = View::host("f", [pj, pi]);
+                f.fill(0.0);
+                fill_owned(&h, &f);
+                for it in 0..iters {
+                    h.exchange(&f, FoldKind::Scalar, it * 100);
+                }
+            });
+            t
+        };
+        let warm = allocs(3);
+        let long = allocs(20);
+        assert_eq!(
+            warm.pool_allocations, long.pool_allocations,
+            "steady-state exchanges must reuse pooled buffers"
+        );
     }
 
     #[test]

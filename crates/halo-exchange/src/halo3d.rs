@@ -16,11 +16,27 @@
 //! travel in one message per direction per field, and
 //! [`Halo3D::exchange_many`] batches several fields into one message per
 //! direction total (the "redundant packing/unpacking" elimination).
+//!
+//! ## Steady-state zero allocation
+//!
+//! The default [`Halo3D::exchange`] path is **allocation-free after
+//! spin-up**: message payloads round-trip through the per-rank buffer
+//! pools of `mpi-sim` ([`mpi_sim::Comm::send_into`] /
+//! [`mpi_sim::Comm::recv_into`] pack and unpack directly in pooled
+//! storage), self-sends and self-folds go through persistent scratch
+//! owned by the `Halo3D`, and pack/unpack run as contiguous-run memcpy
+//! kernels dispatched over a kokkos execution space ([`crate::strip`]).
+//! The original freshly-allocating serial implementation is kept as
+//! [`Halo3D::exchange_alloc`] — the bitwise-identity reference used by the
+//! property tests and the pooled-vs-allocating benches.
 
-use kokkos_rs::View3;
+use std::cell::{RefCell, RefMut};
+
+use kokkos_rs::{Space, View3};
 use mpi_sim::{Dir, Neighbor};
 
 use crate::halo2d::{FoldKind, Halo2D};
+use crate::strip;
 use crate::HALO as H;
 
 const T_WEST: u64 = 10;
@@ -45,12 +61,40 @@ pub struct Halo3D {
     pub h2: Halo2D,
     pub nz: usize,
     pub strategy: Strategy3D,
+    /// Execution space for the pack/unpack kernels.
+    space: Space,
+    /// Persistent scratch for paths that never touch the network
+    /// (self-sends on a single zonal block, self-folds). Two cells because
+    /// the east/west self-exchange needs both strips live at once. Sized on
+    /// first use, reused forever after — `RefCell` keeps `Halo3D: Clone`.
+    scratch_a: RefCell<Vec<f64>>,
+    scratch_b: RefCell<Vec<f64>>,
 }
 
 impl Halo3D {
     pub fn new(h2: Halo2D, nz: usize, strategy: Strategy3D) -> Self {
         assert!(nz >= 1);
-        Self { h2, nz, strategy }
+        // Idempotent; makes the pack/unpack kernel launchable on SwAthread.
+        strip::register_strip_copy();
+        Self {
+            h2,
+            nz,
+            strategy,
+            space: Space::serial(),
+            scratch_a: RefCell::new(Vec::new()),
+            scratch_b: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Dispatch pack/unpack kernels on `space` (default: serial).
+    pub fn with_space(mut self, space: Space) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// The execution space pack/unpack kernels run on.
+    pub fn space(&self) -> &Space {
+        &self.space
     }
 
     /// Required field shape `(nz, ny_pad, nx_pad)`.
@@ -63,10 +107,58 @@ impl Halo3D {
         assert_eq!(f.dims(), self.shape(), "3D field shape mismatch");
     }
 
+    /// Borrow persistent scratch of at least `len` elements (grow-once).
+    fn scratch(cell: &RefCell<Vec<f64>>, len: usize) -> RefMut<'_, Vec<f64>> {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        buf
+    }
+
+    /// East/west strip payload length (per field).
+    fn ew_len(&self) -> usize {
+        self.nz * self.h2.ny * H
+    }
+
+    /// North/south/fold payload length (per field).
+    fn ns_len(&self) -> usize {
+        let (_, pi) = self.h2.padded();
+        self.nz * H * pi
+    }
+
     // ---- strip pack/unpack with strategy-dependent ordering ---------------
     //
     // A strip is a set of `nj` rows × `ni` columns over all `nz` levels.
     // HorizontalMajor order: (k, j, i). Transpose order: (j, i, k).
+    //
+    // `pack_strip`/`unpack_strip` are the original allocating element-wise
+    // implementations, kept as the bitwise reference; the `_into`/`_from`
+    // variants copy contiguous runs through the execution space.
+
+    fn pack_strip_into(
+        &self,
+        f: &View3<f64>,
+        j0: usize,
+        nj: usize,
+        i0: usize,
+        ni: usize,
+        out: &mut [f64],
+    ) {
+        strip::pack_strip_on(&self.space, self.strategy, f, j0, nj, i0, ni, out);
+    }
+
+    fn unpack_strip_from(
+        &self,
+        f: &View3<f64>,
+        j0: usize,
+        nj: usize,
+        i0: usize,
+        ni: usize,
+        buf: &[f64],
+    ) {
+        strip::unpack_strip_on(&self.space, self.strategy, f, j0, nj, i0, ni, buf);
+    }
 
     fn pack_strip(&self, f: &View3<f64>, j0: usize, nj: usize, i0: usize, ni: usize) -> Vec<f64> {
         let mut buf = Vec::with_capacity(self.nz * nj * ni);
@@ -129,30 +221,38 @@ impl Halo3D {
 
     /// Fold pack: rows global `nyg-1-d`, full padded width, all levels.
     /// Order is strategy-dependent with `d` taking the row role.
-    fn pack_fold(&self, f: &View3<f64>) -> Vec<f64> {
+    fn pack_fold_into(&self, f: &View3<f64>, out: &mut [f64]) {
         let jl0 = H + self.h2.ny - 1; // row d is jl0 - d
         let (_, pi) = self.h2.padded();
-        let mut buf = Vec::with_capacity(self.nz * H * pi);
+        assert_eq!(out.len(), self.nz * H * pi);
         match self.strategy {
             Strategy3D::HorizontalMajor => {
+                // Row (k, jl0-d) is `pi` consecutive elements on both sides.
+                let fs = f.as_slice();
                 for k in 0..self.nz {
                     for d in 0..H {
-                        for i in 0..pi {
-                            buf.push(f.at(k, jl0 - d, i));
-                        }
+                        let foff = f.offset([k, jl0 - d, 0]);
+                        out[(k * H + d) * pi..][..pi].copy_from_slice(&fs[foff..foff + pi]);
                     }
                 }
             }
             Strategy3D::Transpose => {
+                let mut pos = 0;
                 for d in 0..H {
                     for i in 0..pi {
                         for k in 0..self.nz {
-                            buf.push(f.at(k, jl0 - d, i));
+                            out[pos] = f.at(k, jl0 - d, i);
+                            pos += 1;
                         }
                     }
                 }
             }
         }
+    }
+
+    fn pack_fold(&self, f: &View3<f64>) -> Vec<f64> {
+        let mut buf = vec![0.0; self.ns_len()];
+        self.pack_fold_into(f, &mut buf);
         buf
     }
 
@@ -183,9 +283,10 @@ impl Halo3D {
         }
     }
 
-    // ---- exchanges ---------------------------------------------------------
+    // ---- pooled exchanges (the default path) ------------------------------
 
-    /// Blocking 3-D halo update of one field.
+    /// Blocking 3-D halo update of one field. Allocation-free in steady
+    /// state; bitwise identical to [`Halo3D::exchange_alloc`].
     pub fn exchange(&self, field: &View3<f64>, kind: FoldKind, tag_base: u64) {
         self.check(field);
         self.exchange_ew(field, tag_base);
@@ -213,21 +314,243 @@ impl Halo3D {
             self.exchange_ew(field, tag_base);
             interior();
         } else {
-            comm.isend(w, tag_base + T_WEST, self.pack_strip(field, H, ny, H, H));
-            comm.isend(e, tag_base + T_EAST, self.pack_strip(field, H, ny, nx, H));
+            let strip = self.ew_len();
+            comm.send_into(w, tag_base + T_WEST, strip, |buf| {
+                self.pack_strip_into(field, H, ny, H, H, buf);
+            });
+            comm.send_into(e, tag_base + T_EAST, strip, |buf| {
+                self.pack_strip_into(field, H, ny, nx, H, buf);
+            });
             interior();
-            let from_e = comm.recv::<f64>(e, tag_base + T_WEST);
-            self.unpack_strip(field, H, ny, H + nx, H, &from_e);
-            let from_w = comm.recv::<f64>(w, tag_base + T_EAST);
-            self.unpack_strip(field, H, ny, 0, H, &from_w);
+            comm.recv_into(e, tag_base + T_WEST, |buf| {
+                self.unpack_strip_from(field, H, ny, H + nx, H, buf);
+            });
+            comm.recv_into(w, tag_base + T_EAST, |buf| {
+                self.unpack_strip_from(field, H, ny, 0, H, buf);
+            });
         }
         self.exchange_ns(field, kind, tag_base);
     }
 
     /// Batched update: all `fields` share one message per direction
     /// (buffers concatenated in field order) — the pack/unpack redundancy
-    /// elimination. Bitwise identical to updating each field separately.
+    /// elimination. Each field packs straight into its segment of the
+    /// pooled message, so batching adds no gather copy. Bitwise identical
+    /// to updating each field separately.
     pub fn exchange_many(&self, fields: &[(&View3<f64>, FoldKind)], tag_base: u64) {
+        for (f, _) in fields {
+            self.check(f);
+        }
+        if fields.is_empty() {
+            return;
+        }
+        let comm = self.h2.cart().comm();
+        let (ny, nx) = (self.h2.ny, self.h2.nx);
+        let (Neighbor::Interior(w), Neighbor::Interior(e)) = (
+            self.h2.cart().neighbor(Dir::West),
+            self.h2.cart().neighbor(Dir::East),
+        ) else {
+            unreachable!()
+        };
+        let nf = fields.len();
+        let strip = self.ew_len();
+        // E/W batched.
+        if w == comm.rank() {
+            let mut wb = Self::scratch(&self.scratch_a, nf * strip);
+            let mut eb = Self::scratch(&self.scratch_b, nf * strip);
+            for (n, (f, _)) in fields.iter().enumerate() {
+                self.pack_strip_into(f, H, ny, H, H, &mut wb[n * strip..(n + 1) * strip]);
+                self.pack_strip_into(f, H, ny, nx, H, &mut eb[n * strip..(n + 1) * strip]);
+            }
+            for (n, (f, _)) in fields.iter().enumerate() {
+                self.unpack_strip_from(f, H, ny, H + nx, H, &wb[n * strip..(n + 1) * strip]);
+            }
+            for (n, (f, _)) in fields.iter().enumerate() {
+                self.unpack_strip_from(f, H, ny, 0, H, &eb[n * strip..(n + 1) * strip]);
+            }
+        } else {
+            comm.send_into(w, tag_base + T_WEST, nf * strip, |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    self.pack_strip_into(f, H, ny, H, H, &mut buf[n * strip..(n + 1) * strip]);
+                }
+            });
+            comm.send_into(e, tag_base + T_EAST, nf * strip, |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    self.pack_strip_into(f, H, ny, nx, H, &mut buf[n * strip..(n + 1) * strip]);
+                }
+            });
+            comm.recv_into(e, tag_base + T_WEST, |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    self.unpack_strip_from(f, H, ny, H + nx, H, &buf[n * strip..(n + 1) * strip]);
+                }
+            });
+            comm.recv_into(w, tag_base + T_EAST, |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    self.unpack_strip_from(f, H, ny, 0, H, &buf[n * strip..(n + 1) * strip]);
+                }
+            });
+        }
+        // N/S + fold batched.
+        let (_, pi) = self.h2.padded();
+        let rows = self.ns_len();
+        if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
+            comm.send_into(s, tag_base + T_SOUTH, nf * rows, |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    self.pack_strip_into(f, H, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
+                }
+            });
+        }
+        match self.h2.cart().neighbor(Dir::North) {
+            Neighbor::Interior(nb) => {
+                comm.send_into(nb, tag_base + T_NORTH, nf * rows, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.pack_strip_into(f, ny, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
+                    }
+                });
+            }
+            Neighbor::Fold(p) if p != comm.rank() => {
+                comm.send_into(p, tag_base + T_FOLD, nf * rows, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.pack_fold_into(f, &mut buf[n * rows..(n + 1) * rows]);
+                    }
+                });
+            }
+            _ => {}
+        }
+        match self.h2.cart().neighbor(Dir::North) {
+            Neighbor::Interior(nb) => {
+                comm.recv_into(nb, tag_base + T_SOUTH, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.unpack_strip_from(f, H + ny, H, 0, pi, &buf[n * rows..(n + 1) * rows]);
+                    }
+                });
+            }
+            Neighbor::Fold(p) => {
+                if p == comm.rank() {
+                    let mut fb = Self::scratch(&self.scratch_a, nf * rows);
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.pack_fold_into(f, &mut fb[n * rows..(n + 1) * rows]);
+                    }
+                    for (n, (f, kind)) in fields.iter().enumerate() {
+                        self.unpack_fold(f, &fb[n * rows..(n + 1) * rows], *kind);
+                    }
+                } else {
+                    comm.recv_into(p, tag_base + T_FOLD, |buf| {
+                        for (n, (f, kind)) in fields.iter().enumerate() {
+                            self.unpack_fold(f, &buf[n * rows..(n + 1) * rows], *kind);
+                        }
+                    });
+                }
+            }
+            Neighbor::Closed => {}
+        }
+        if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
+            comm.recv_into(s, tag_base + T_NORTH, |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    self.unpack_strip_from(f, 0, H, 0, pi, &buf[n * rows..(n + 1) * rows]);
+                }
+            });
+        }
+    }
+
+    fn exchange_ew(&self, field: &View3<f64>, tag_base: u64) {
+        let comm = self.h2.cart().comm();
+        let (ny, nx) = (self.h2.ny, self.h2.nx);
+        let (Neighbor::Interior(w), Neighbor::Interior(e)) = (
+            self.h2.cart().neighbor(Dir::West),
+            self.h2.cart().neighbor(Dir::East),
+        ) else {
+            unreachable!()
+        };
+        let strip = self.ew_len();
+        if w == comm.rank() {
+            // px == 1: periodic wrap within the block, through scratch.
+            let mut wb = Self::scratch(&self.scratch_a, strip);
+            let mut eb = Self::scratch(&self.scratch_b, strip);
+            self.pack_strip_into(field, H, ny, H, H, &mut wb[..strip]);
+            self.pack_strip_into(field, H, ny, nx, H, &mut eb[..strip]);
+            self.unpack_strip_from(field, H, ny, H + nx, H, &wb[..strip]);
+            self.unpack_strip_from(field, H, ny, 0, H, &eb[..strip]);
+            return;
+        }
+        comm.send_into(w, tag_base + T_WEST, strip, |buf| {
+            self.pack_strip_into(field, H, ny, H, H, buf);
+        });
+        comm.send_into(e, tag_base + T_EAST, strip, |buf| {
+            self.pack_strip_into(field, H, ny, nx, H, buf);
+        });
+        comm.recv_into(e, tag_base + T_WEST, |buf| {
+            self.unpack_strip_from(field, H, ny, H + nx, H, buf);
+        });
+        comm.recv_into(w, tag_base + T_EAST, |buf| {
+            self.unpack_strip_from(field, H, ny, 0, H, buf);
+        });
+    }
+
+    fn exchange_ns(&self, field: &View3<f64>, kind: FoldKind, tag_base: u64) {
+        let comm = self.h2.cart().comm();
+        let (_, pi) = self.h2.padded();
+        let ny = self.h2.ny;
+        let rows = self.ns_len();
+        if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
+            comm.send_into(s, tag_base + T_SOUTH, rows, |buf| {
+                self.pack_strip_into(field, H, H, 0, pi, buf);
+            });
+        }
+        match self.h2.cart().neighbor(Dir::North) {
+            Neighbor::Interior(n) => {
+                comm.send_into(n, tag_base + T_NORTH, rows, |buf| {
+                    self.pack_strip_into(field, ny, H, 0, pi, buf);
+                });
+            }
+            Neighbor::Fold(p) if p != comm.rank() => {
+                comm.send_into(p, tag_base + T_FOLD, rows, |buf| {
+                    self.pack_fold_into(field, buf);
+                });
+            }
+            _ => {}
+        }
+        match self.h2.cart().neighbor(Dir::North) {
+            Neighbor::Interior(n) => {
+                comm.recv_into(n, tag_base + T_SOUTH, |buf| {
+                    self.unpack_strip_from(field, H + ny, H, 0, pi, buf);
+                });
+            }
+            Neighbor::Fold(p) => {
+                if p == comm.rank() {
+                    let mut fb = Self::scratch(&self.scratch_a, rows);
+                    self.pack_fold_into(field, &mut fb[..rows]);
+                    self.unpack_fold(field, &fb[..rows], kind);
+                } else {
+                    comm.recv_into(p, tag_base + T_FOLD, |buf| {
+                        self.unpack_fold(field, buf, kind);
+                    });
+                }
+            }
+            Neighbor::Closed => {}
+        }
+        if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
+            comm.recv_into(s, tag_base + T_NORTH, |buf| {
+                self.unpack_strip_from(field, 0, H, 0, pi, buf);
+            });
+        }
+    }
+
+    // ---- allocating reference implementation ------------------------------
+
+    /// The original implementation: serial element-wise pack/unpack into
+    /// freshly allocated message vectors. Kept as the bitwise-identity
+    /// reference for the pooled path (property tests) and as the baseline
+    /// in the pooled-vs-allocating benches.
+    pub fn exchange_alloc(&self, field: &View3<f64>, kind: FoldKind, tag_base: u64) {
+        self.check(field);
+        self.exchange_ew_alloc(field, tag_base);
+        self.exchange_ns_alloc(field, kind, tag_base);
+    }
+
+    /// Allocating batched update (reference for [`Halo3D::exchange_many`]):
+    /// per-field vectors concatenated into one message per direction.
+    pub fn exchange_many_alloc(&self, fields: &[(&View3<f64>, FoldKind)], tag_base: u64) {
         for (f, _) in fields {
             self.check(f);
         }
@@ -239,8 +562,7 @@ impl Halo3D {
         ) else {
             unreachable!()
         };
-        let strip = self.nz * ny * H;
-        // E/W batched.
+        let strip = self.ew_len();
         let cat = |packs: Vec<Vec<f64>>| -> Vec<f64> { packs.concat() };
         let west: Vec<Vec<f64>> = fields
             .iter()
@@ -271,7 +593,7 @@ impl Halo3D {
         }
         // N/S + fold batched.
         let (_, pi) = self.h2.padded();
-        let rows = self.nz * H * pi;
+        let rows = self.ns_len();
         if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
             let bufs: Vec<Vec<f64>> = fields
                 .iter()
@@ -320,7 +642,7 @@ impl Halo3D {
         }
     }
 
-    fn exchange_ew(&self, field: &View3<f64>, tag_base: u64) {
+    fn exchange_ew_alloc(&self, field: &View3<f64>, tag_base: u64) {
         let comm = self.h2.cart().comm();
         let (ny, nx) = (self.h2.ny, self.h2.nx);
         let (Neighbor::Interior(w), Neighbor::Interior(e)) = (
@@ -344,7 +666,7 @@ impl Halo3D {
         self.unpack_strip(field, H, ny, 0, H, &from_w);
     }
 
-    fn exchange_ns(&self, field: &View3<f64>, kind: FoldKind, tag_base: u64) {
+    fn exchange_ns_alloc(&self, field: &View3<f64>, kind: FoldKind, tag_base: u64) {
         let comm = self.h2.cart().comm();
         let (_, pi) = self.h2.padded();
         let ny = self.h2.ny;
@@ -515,6 +837,58 @@ mod tests {
     }
 
     #[test]
+    fn pooled_matches_allocating_reference() {
+        for strategy in [Strategy3D::HorizontalMajor, Strategy3D::Transpose] {
+            for kind in [FoldKind::Scalar, FoldKind::Vector] {
+                World::run(4, |comm| {
+                    let cart = CartComm::new(comm.clone(), 2, 2, true);
+                    let h = Halo3D::new(Halo2D::new(&cart, 12, 10), 5, strategy)
+                        .with_space(kokkos_rs::Space::threads());
+                    let a: View3<f64> = View::host("a", h.shape());
+                    let b: View3<f64> = View::host("b", h.shape());
+                    a.fill(0.0);
+                    b.fill(0.0);
+                    fill_owned(&h, &a);
+                    fill_owned(&h, &b);
+                    h.exchange(&a, kind, 0);
+                    h.exchange_alloc(&b, kind, 40);
+                    assert_eq!(
+                        a.to_vec(),
+                        b.to_vec(),
+                        "pooled vs allocating, {strategy:?} {kind:?}"
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_exchanges_do_not_allocate() {
+        // Per-rank pools make miss counts deterministic: more iterations
+        // must not add a single allocation beyond the warm-up.
+        let allocs = |iters: u64| {
+            let (_, t) = World::run_traced(4, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 2, true);
+                let h = Halo3D::new(Halo2D::new(&cart, 12, 10), 4, Strategy3D::Transpose);
+                let f: View3<f64> = View::host("f", h.shape());
+                f.fill(0.0);
+                fill_owned(&h, &f);
+                for it in 0..iters {
+                    h.exchange(&f, FoldKind::Scalar, it * 100);
+                }
+            });
+            t
+        };
+        let warm = allocs(3);
+        let long = allocs(20);
+        assert_eq!(
+            warm.pool_allocations, long.pool_allocations,
+            "steady-state exchanges must reuse pooled buffers"
+        );
+        assert!(long.pool_reuses > warm.pool_reuses);
+    }
+
+    #[test]
     fn overlap_matches_blocking_3d() {
         World::run(4, |comm| {
             let cart = CartComm::new(comm.clone(), 2, 2, true);
@@ -572,6 +946,30 @@ mod tests {
             t_sep.p2p_messages
         );
         assert_eq!(t_bat.p2p_bytes, t_sep.p2p_bytes, "same payload bytes");
+    }
+
+    #[test]
+    fn batched_matches_batched_alloc_reference() {
+        let run = |pooled: bool| {
+            World::run(4, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 2, true);
+                let h = Halo3D::new(Halo2D::new(&cart, 12, 10), 3, Strategy3D::HorizontalMajor);
+                let u: View3<f64> = View::host("u", h.shape());
+                let v: View3<f64> = View::host("v", h.shape());
+                u.fill(0.0);
+                v.fill(0.0);
+                fill_owned(&h, &u);
+                fill_owned(&h, &v);
+                let fields = [(&u, FoldKind::Vector), (&v, FoldKind::Scalar)];
+                if pooled {
+                    h.exchange_many(&fields, 0);
+                } else {
+                    h.exchange_many_alloc(&fields, 0);
+                }
+                (u.to_vec(), v.to_vec())
+            })
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

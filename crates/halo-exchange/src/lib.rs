@@ -24,6 +24,7 @@
 
 pub mod halo2d;
 pub mod halo3d;
+pub(crate) mod strip;
 pub mod transpose;
 
 pub use halo2d::{FoldKind, Halo2D};

@@ -1,0 +1,330 @@
+//! Parallel memcpy pack/unpack of halo strips (paper §V-D).
+//!
+//! The original `pack_strip`/`unpack_strip` walked one element at a time
+//! through `View::at`. A halo strip is a set of contiguous runs, though:
+//!
+//! * **HorizontalMajor** — every `(k, j)` row of the strip is `ni`
+//!   consecutive elements in both the field and the message buffer, so
+//!   pack/unpack is a straight `copy_from_slice` per row.
+//! * **Transpose** — every `(j, i)` column is `nz` consecutive elements on
+//!   the buffer side (that is the point of the vertical-major ordering);
+//!   the field side strides by one horizontal plane per level.
+//!
+//! [`StripCopy`] expresses one run per iteration as a [`Functor1D`] so the
+//! copy dispatches over any kokkos execution space — serial, the rayon
+//! pool, or simulated CPEs (it is registered for the SwAthread backend
+//! like every other kernel). Runs are disjoint by construction, which is
+//! exactly the Kokkos concurrent-write contract.
+
+use kokkos_rs::functor::{Functor1D, IterCost};
+use kokkos_rs::parallel::parallel_for_1d;
+use kokkos_rs::policy::RangePolicy;
+use kokkos_rs::{Space, View3};
+
+use crate::halo3d::Strategy3D;
+
+/// Which way a [`StripCopy`] moves data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyDir {
+    /// Field → message buffer.
+    Pack,
+    /// Message buffer → field.
+    Unpack,
+}
+
+/// One halo-strip copy: `nj` rows × `ni` columns over `nz` levels of a
+/// `(nz, pj, pi)` horizontal-major field, against a buffer in the order
+/// given by `order`. Each iteration copies one contiguous run. The side
+/// being read is only ever dereferenced through `*const` — the `Unpack`
+/// buffer pointer originates from a shared slice and is never written.
+struct StripCopy {
+    field: *mut f64,
+    buf: *mut f64,
+    /// Elements per horizontal plane (`pj * pi`).
+    plane: usize,
+    /// Elements per field row (`pi`).
+    row: usize,
+    j0: usize,
+    i0: usize,
+    nj: usize,
+    ni: usize,
+    nz: usize,
+    dir: CopyDir,
+    order: Strategy3D,
+}
+
+// SAFETY: the raw pointers target a live field view and a live message
+// buffer for the (synchronous) duration of the launch, and every iteration
+// touches a disjoint run — the standard Kokkos disjoint-writes contract.
+unsafe impl Send for StripCopy {}
+unsafe impl Sync for StripCopy {}
+
+impl StripCopy {
+    /// Iterations needed: one per contiguous run.
+    fn runs(&self) -> usize {
+        match self.order {
+            Strategy3D::HorizontalMajor => self.nz * self.nj,
+            Strategy3D::Transpose => self.nj * self.ni,
+        }
+    }
+}
+
+impl Functor1D for StripCopy {
+    fn operator(&self, r: usize) {
+        match self.order {
+            Strategy3D::HorizontalMajor => {
+                // Run r is field row (k = r / nj, j = j0 + r % nj): `ni`
+                // consecutive elements on both sides.
+                let k = r / self.nj;
+                let jj = r % self.nj;
+                let foff = k * self.plane + (self.j0 + jj) * self.row + self.i0;
+                let boff = r * self.ni;
+                unsafe {
+                    match self.dir {
+                        CopyDir::Pack => {
+                            let src = std::slice::from_raw_parts(
+                                self.field.add(foff) as *const f64,
+                                self.ni,
+                            );
+                            std::slice::from_raw_parts_mut(self.buf.add(boff), self.ni)
+                                .copy_from_slice(src);
+                        }
+                        CopyDir::Unpack => {
+                            let src = std::slice::from_raw_parts(
+                                self.buf.add(boff) as *const f64,
+                                self.ni,
+                            );
+                            std::slice::from_raw_parts_mut(self.field.add(foff), self.ni)
+                                .copy_from_slice(src);
+                        }
+                    }
+                }
+            }
+            Strategy3D::Transpose => {
+                // Run r is column (j = j0 + r / ni, i = i0 + r % ni): `nz`
+                // consecutive elements on the buffer side, one plane apart
+                // on the field side.
+                let jj = r / self.ni;
+                let ii = r % self.ni;
+                let fbase = (self.j0 + jj) * self.row + self.i0 + ii;
+                let boff = r * self.nz;
+                unsafe {
+                    match self.dir {
+                        CopyDir::Pack => {
+                            for k in 0..self.nz {
+                                *self.buf.add(boff + k) = *self.field.add(fbase + k * self.plane);
+                            }
+                        }
+                        CopyDir::Unpack => {
+                            for k in 0..self.nz {
+                                *self.field.add(fbase + k * self.plane) = *self.buf.add(boff + k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn cost(&self) -> IterCost {
+        // Pure data movement: one read + one write per element of the run.
+        let run = match self.order {
+            Strategy3D::HorizontalMajor => self.ni,
+            Strategy3D::Transpose => self.nz,
+        };
+        IterCost {
+            flops: 0,
+            bytes: 16 * run as u64,
+        }
+    }
+}
+
+kokkos_rs::register_for_1d!(register_strip_copy, StripCopy);
+
+#[allow(clippy::too_many_arguments)]
+fn launch(
+    space: &Space,
+    order: Strategy3D,
+    dir: CopyDir,
+    f: &View3<f64>,
+    j0: usize,
+    nj: usize,
+    i0: usize,
+    ni: usize,
+    buf: *mut f64,
+    buf_len: usize,
+) {
+    let [nz, pj, pi] = f.dims();
+    assert_eq!(buf_len, nz * nj * ni, "strip buffer length mismatch");
+    assert!(j0 + nj <= pj && i0 + ni <= pi, "strip out of bounds");
+    assert!(
+        f.is_root_view() && f.layout() == kokkos_rs::Layout::Right,
+        "strip copy requires a root horizontal-major field"
+    );
+    let func = StripCopy {
+        field: f.data_ptr(),
+        buf,
+        plane: pj * pi,
+        row: pi,
+        j0,
+        i0,
+        nj,
+        ni,
+        nz,
+        dir,
+        order,
+    };
+    let n = func.runs();
+    // One tile per ~1/64th of the runs keeps every backend busy even for
+    // the short-row strips (the default 256-run tile would serialize them).
+    let tile = (n / 64).clamp(1, 256);
+    parallel_for_1d(space, RangePolicy::new(n).with_tile(tile), &func);
+}
+
+/// Pack the strip `nj × ni` (rows × cols, all `nz` levels) of `f` into
+/// `out`, in `order`, dispatched over `space`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_strip_on(
+    space: &Space,
+    order: Strategy3D,
+    f: &View3<f64>,
+    j0: usize,
+    nj: usize,
+    i0: usize,
+    ni: usize,
+    out: &mut [f64],
+) {
+    launch(
+        space,
+        order,
+        CopyDir::Pack,
+        f,
+        j0,
+        nj,
+        i0,
+        ni,
+        out.as_mut_ptr(),
+        out.len(),
+    );
+}
+
+/// Unpack `buf` into the strip `nj × ni` of `f`, inverse of
+/// [`pack_strip_on`]. `buf` is only read (the pointer cast is an artifact
+/// of the shared functor).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn unpack_strip_on(
+    space: &Space,
+    order: Strategy3D,
+    f: &View3<f64>,
+    j0: usize,
+    nj: usize,
+    i0: usize,
+    ni: usize,
+    buf: &[f64],
+) {
+    launch(
+        space,
+        order,
+        CopyDir::Unpack,
+        f,
+        j0,
+        nj,
+        i0,
+        ni,
+        buf.as_ptr() as *mut f64,
+        buf.len(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kokkos_rs::View;
+
+    fn field(nz: usize, pj: usize, pi: usize) -> View3<f64> {
+        View::from_fn("f", [nz, pj, pi], |[k, j, i]| {
+            (k * 1_000_000 + j * 1000 + i) as f64 + 0.5
+        })
+    }
+
+    /// Reference element-wise pack, mirroring the original implementation.
+    fn pack_ref(
+        f: &View3<f64>,
+        order: Strategy3D,
+        j0: usize,
+        nj: usize,
+        i0: usize,
+        ni: usize,
+    ) -> Vec<f64> {
+        let nz = f.extent(0);
+        let mut buf = Vec::new();
+        match order {
+            Strategy3D::HorizontalMajor => {
+                for k in 0..nz {
+                    for j in j0..j0 + nj {
+                        for i in i0..i0 + ni {
+                            buf.push(f.at(k, j, i));
+                        }
+                    }
+                }
+            }
+            Strategy3D::Transpose => {
+                for j in j0..j0 + nj {
+                    for i in i0..i0 + ni {
+                        for k in 0..nz {
+                            buf.push(f.at(k, j, i));
+                        }
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn pack_matches_reference_on_all_host_spaces() {
+        for order in [Strategy3D::HorizontalMajor, Strategy3D::Transpose] {
+            for space in [Space::serial(), Space::threads()] {
+                let f = field(5, 11, 13);
+                let (j0, nj, i0, ni) = (2, 7, 3, 2);
+                let want = pack_ref(&f, order, j0, nj, i0, ni);
+                let mut got = vec![0.0; want.len()];
+                pack_strip_on(&space, order, &f, j0, nj, i0, ni, &mut got);
+                assert_eq!(got, want, "{order:?} on {}", space.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_inverts_pack() {
+        for order in [Strategy3D::HorizontalMajor, Strategy3D::Transpose] {
+            let src = field(4, 9, 10);
+            let (j0, nj, i0, ni) = (1, 3, 2, 5);
+            let mut buf = vec![0.0; 4 * nj * ni];
+            pack_strip_on(&Space::threads(), order, &src, j0, nj, i0, ni, &mut buf);
+            let dst: View3<f64> = View::host("dst", [4, 9, 10]);
+            dst.fill(-1.0);
+            unpack_strip_on(&Space::serial(), order, &dst, j0, nj, i0, ni, &buf);
+            for k in 0..4 {
+                for j in 0..9 {
+                    for i in 0..10 {
+                        let inside = (j0..j0 + nj).contains(&j) && (i0..i0 + ni).contains(&i);
+                        let want = if inside { src.at(k, j, i) } else { -1.0 };
+                        assert_eq!(dst.at(k, j, i), want, "{order:?} k={k} j={j} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_on_simulated_sunway_cpes() {
+        register_strip_copy();
+        let space = Space::sw_athread_with(sunway_sim::CgConfig::test_small());
+        let f = field(3, 8, 8);
+        let want = pack_ref(&f, Strategy3D::Transpose, 2, 4, 2, 4);
+        let mut got = vec![0.0; want.len()];
+        pack_strip_on(&space, Strategy3D::Transpose, &f, 2, 4, 2, 4, &mut got);
+        assert_eq!(got, want);
+    }
+}

@@ -88,6 +88,57 @@ proptest! {
         prop_assert_eq!(run(Strategy3D::HorizontalMajor), run(Strategy3D::Transpose));
     }
 
+    /// Pooled single and batched 3-D exchanges are bitwise-identical to the
+    /// freshly-allocating reference for any geometry, strategy, and fold kind.
+    #[test]
+    fn prop_pooled_matches_allocating(
+        px in 1usize..3,
+        bx in 2usize..6,
+        by in 3usize..6,
+        nz in 1usize..6,
+        transpose in 0usize..2,
+        vector in 0usize..2,
+    ) {
+        let nxg = px * bx * 2;
+        let nyg = by * 2;
+        let strategy = if transpose == 1 { Strategy3D::Transpose } else { Strategy3D::HorizontalMajor };
+        let fold = if vector == 1 { FoldKind::Vector } else { FoldKind::Scalar };
+        World::run(px * 2, move |comm| {
+            let cart = CartComm::new(comm.clone(), px, 2, true);
+            let h = Halo3D::new(Halo2D::new(&cart, nxg, nyg), nz, strategy)
+                .with_space(kokkos_rs::Space::threads());
+            let mk = |name: &'static str, salt: usize| {
+                let f: View3<f64> = View::host(name, h.shape());
+                f.fill(0.0);
+                for k in 0..nz {
+                    for j in 0..h.h2.ny {
+                        for i in 0..h.h2.nx {
+                            let v = (k * 7 + salt * 13) as f64
+                                + g2(h.h2.y0 + j, h.h2.x0 + i);
+                            f.set_at(k, H + j, H + i, v);
+                        }
+                    }
+                }
+                f
+            };
+            // Single-field: pooled vs allocating.
+            let a = mk("a", 0);
+            let b = mk("b", 0);
+            h.exchange(&a, fold, 0);
+            h.exchange_alloc(&b, fold, 0);
+            assert_eq!(a.to_vec(), b.to_vec(), "exchange vs exchange_alloc");
+            // Batched: pooled vs allocating, mixed fold kinds.
+            let p0 = mk("p0", 1);
+            let p1 = mk("p1", 2);
+            let q0 = mk("q0", 1);
+            let q1 = mk("q1", 2);
+            h.exchange_many(&[(&p0, fold), (&p1, FoldKind::Scalar)], 20);
+            h.exchange_many_alloc(&[(&q0, fold), (&q1, FoldKind::Scalar)], 20);
+            assert_eq!(p0.to_vec(), q0.to_vec(), "exchange_many field 0");
+            assert_eq!(p1.to_vec(), q1.to_vec(), "exchange_many field 1");
+        });
+    }
+
     /// Exchange twice = exchange once (fixpoint) for any scalar field.
     #[test]
     fn prop_exchange_fixpoint(bx in 3usize..8, by in 3usize..8, seed in 0u64..50) {

@@ -199,6 +199,15 @@ impl<T, const R: usize> View<T, R> {
         assert!(self.is_root_view(), "as_slice on subview '{}'", self.label);
         unsafe { std::slice::from_raw_parts(self.ptr(), self.len()) }
     }
+
+    /// Raw pointer to the first element (storage order), for bulk-copy
+    /// kernels (halo pack/unpack) that carve out provably disjoint
+    /// sub-slices. Callers must uphold the Kokkos aliasing contract:
+    /// concurrent accesses through this pointer target disjoint elements,
+    /// and the pointer is not used past the view's lifetime.
+    pub fn data_ptr(&self) -> *mut T {
+        self.ptr()
+    }
 }
 
 impl<T: Copy, const R: usize> View<T, R> {

@@ -521,11 +521,14 @@ mod tests {
 
     /// 1-D periodic advection with the same face logic: the update must
     /// never create values outside the initial [min, max] (shape
-    /// preservation), for any velocity within CFL.
-    fn advect_1d(q: &[f64], u: f64, c: f64, limited: bool) -> Vec<f64> {
+    /// preservation), for any velocity within CFL. `flux` is caller-owned
+    /// scratch (east face of cell i), sized `q.len()` — hoisted out so
+    /// repeated applications don't reallocate per call (the same
+    /// steady-state discipline as the model's `Workspace`).
+    fn advect_1d(q: &[f64], u: f64, c: f64, limited: bool, flux: &mut [f64]) -> Vec<f64> {
         let n = q.len();
+        assert_eq!(flux.len(), n);
         let get = |i: i64| q[i.rem_euclid(n as i64) as usize];
-        let mut flux = vec![0.0; n]; // east face of cell i
         for i in 0..n as i64 {
             let qf = if u >= 0.0 {
                 face_value(get(i - 1), get(i), get(i + 1), c, limited)
@@ -554,8 +557,9 @@ mod tests {
             let lo = vals.iter().cloned().fold(f64::MAX, f64::min);
             let hi = vals.iter().cloned().fold(f64::MIN, f64::max);
             let mut q = vals.clone();
+            let mut flux = vec![0.0; q.len()];
             for _ in 0..5 {
-                q = advect_1d(&q, u, c, limited);
+                q = advect_1d(&q, u, c, limited, &mut flux);
                 for &x in &q {
                     prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9,
                         "new extremum {x} outside [{lo}, {hi}]");
@@ -569,7 +573,8 @@ mod tests {
             c in 0.05f64..0.9,
         ) {
             let total: f64 = vals.iter().sum();
-            let q = advect_1d(&vals, 1.0, c, true);
+            let mut flux = vec![0.0; vals.len()];
+            let q = advect_1d(&vals, 1.0, c, true, &mut flux);
             let total2: f64 = q.iter().sum();
             prop_assert!((total - total2).abs() < 1e-9 * (1.0 + total.abs()));
         }
@@ -587,8 +592,9 @@ mod tests {
         let steps = (n as f64 / c) as usize; // one revolution
         let run = |limited: bool| {
             let mut q = q0.clone();
+            let mut flux = vec![0.0; n];
             for _ in 0..steps {
-                q = advect_1d(&q, 1.0, c, limited);
+                q = advect_1d(&q, 1.0, c, limited, &mut flux);
             }
             q.iter().cloned().fold(f64::MIN, f64::max)
         };

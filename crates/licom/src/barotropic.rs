@@ -371,11 +371,14 @@ pub fn integrate(
             },
         );
     }
-    // Window accumulators (reuse the model's scratch by allocating
-    // locally; pj×pi f64 each, negligible next to the 3-D state).
-    let acc_eta: View2<f64> = kokkos_rs::View::host("acc_eta", [g.pj, g.pi]);
-    let acc_u: View2<f64> = kokkos_rs::View::host("acc_u", [g.pj, g.pi]);
-    let acc_v: View2<f64> = kokkos_rs::View::host("acc_v", [g.pj, g.pi]);
+    // Window accumulators: persistent workspace views, zeroed at entry
+    // (a fresh allocation arrived zeroed; `fill` keeps that bitwise).
+    let acc_eta = state.work.acc_eta.clone();
+    let acc_u = state.work.acc_u.clone();
+    let acc_v = state.work.acc_v.clone();
+    acc_eta.fill(0.0);
+    acc_u.fill(0.0);
+    acc_v.fill(0.0);
 
     for step in 0..substeps {
         // First substep is forward Euler (old == cur at entry).
@@ -459,7 +462,7 @@ pub fn integrate(
                     policy,
                     &FunctorZonalFilter {
                         src: field.clone(),
-                        dst: state.scratch2.clone(),
+                        dst: state.work.filter2.clone(),
                         rows: filter_rows.clone(),
                     },
                 );
@@ -467,7 +470,7 @@ pub fn integrate(
                     space,
                     policy,
                     &FunctorCopy2D {
-                        src: state.scratch2.clone(),
+                        src: state.work.filter2.clone(),
                         dst: field.clone(),
                     },
                 );

@@ -278,27 +278,34 @@ pub fn balanced_cross_rank(
         let p = col as usize;
         fields.compute_column(p / pi, p % pi);
     }
-    // Pack tail inputs per receiver (in transfer order).
+    // Fixed record size: nz-1 interface pairs per column (dry interfaces
+    // padded with a s2<0 sentinel). Messages go through the pooled
+    // send/recv path, so repeated balanced evaluations reuse buffers.
+    let rec = (nz.saturating_sub(1)) * 2;
+    // Pack tail inputs per receiver (in transfer order), straight into
+    // the pooled message buffer.
     let mut cursor = keep;
     for &(_, recv, n) in &my_out {
-        let mut buf = Vec::with_capacity(n * (nz - 1).max(1) * 2);
-        for &col in &wet_cols[cursor..cursor + n] {
-            let p = col as usize;
-            let (jl, il) = (p / pi, p % pi);
-            let kmt = fields.kmt.at(jl, il) as usize;
-            // Fixed record size: nz-1 interface pairs (pad dry with NaN-free zeros marked by s2<0 sentinel).
-            for k in 1..=nz.saturating_sub(1) {
-                if k < kmt {
-                    let (n2, s2) = fields.n2_s2(k, jl, il);
-                    buf.push(n2);
-                    buf.push(s2);
-                } else {
-                    buf.push(0.0);
-                    buf.push(-1.0); // sentinel: background interface
+        let cols = &wet_cols[cursor..cursor + n];
+        comm.send_into(recv, 9000, n * rec, |buf| {
+            let mut pos = 0;
+            for &col in cols {
+                let p = col as usize;
+                let (jl, il) = (p / pi, p % pi);
+                let kmt = fields.kmt.at(jl, il) as usize;
+                for k in 1..=nz.saturating_sub(1) {
+                    if k < kmt {
+                        let (n2, s2) = fields.n2_s2(k, jl, il);
+                        buf[pos] = n2;
+                        buf[pos + 1] = s2;
+                    } else {
+                        buf[pos] = 0.0;
+                        buf[pos + 1] = -1.0; // sentinel: background interface
+                    }
+                    pos += 2;
                 }
             }
-        }
-        comm.isend(recv, 9000, buf);
+        });
         sent += n;
         cursor += n;
     }
@@ -309,47 +316,48 @@ pub fn balanced_cross_rank(
         .cloned()
         .collect();
     for &(donor, _, n) in &my_in {
-        let buf = comm.recv::<f64>(donor, 9000);
-        let rec = (nz.saturating_sub(1)) * 2;
-        assert_eq!(buf.len(), n * rec);
-        let mut out = Vec::with_capacity(buf.len());
-        for pair in buf.chunks_exact(2) {
-            if pair[1] < 0.0 {
-                out.push(KM_BACKGROUND);
-                out.push(KH_BACKGROUND);
-            } else {
-                let ri = pair[0] / pair[1].max(1e-12);
-                let (km, kh) = mixing_coefficients(ri);
-                out.push(km);
-                out.push(kh);
-            }
-        }
-        comm.isend(donor, 9001, out);
+        comm.recv_into(donor, 9000, |buf| {
+            assert_eq!(buf.len(), n * rec);
+            comm.send_into(donor, 9001, buf.len(), |out| {
+                for (pair, o) in buf.chunks_exact(2).zip(out.chunks_exact_mut(2)) {
+                    if pair[1] < 0.0 {
+                        o[0] = KM_BACKGROUND;
+                        o[1] = KH_BACKGROUND;
+                    } else {
+                        let ri = pair[0] / pair[1].max(1e-12);
+                        let (km, kh) = mixing_coefficients(ri);
+                        o[0] = km;
+                        o[1] = kh;
+                    }
+                }
+            });
+        });
         received += n;
     }
     // Donor collects results and writes them into km/kh.
     let mut cursor = keep;
     for &(_, recv, n) in &my_out {
-        let out = comm.recv::<f64>(recv, 9001);
-        let rec = (nz.saturating_sub(1)) * 2;
-        assert_eq!(out.len(), n * rec);
-        for (ci, &col) in wet_cols[cursor..cursor + n].iter().enumerate() {
-            let p = col as usize;
-            let (jl, il) = (p / pi, p % pi);
-            // Surface and bottom interfaces are background, as in
-            // compute_column.
-            let kmt = fields.kmt.at(jl, il) as usize;
-            for k in 0..=nz {
-                let (km, kh) = if k >= 1 && k < kmt && k < nz {
-                    let off = ci * rec + (k - 1) * 2;
-                    (out[off], out[off + 1])
-                } else {
-                    (KM_BACKGROUND, KH_BACKGROUND)
-                };
-                fields.km.set_at(k, jl, il, km);
-                fields.kh.set_at(k, jl, il, kh);
+        let cols = &wet_cols[cursor..cursor + n];
+        comm.recv_into(recv, 9001, |out| {
+            assert_eq!(out.len(), n * rec);
+            for (ci, &col) in cols.iter().enumerate() {
+                let p = col as usize;
+                let (jl, il) = (p / pi, p % pi);
+                // Surface and bottom interfaces are background, as in
+                // compute_column.
+                let kmt = fields.kmt.at(jl, il) as usize;
+                for k in 0..=nz {
+                    let (km, kh) = if k >= 1 && k < kmt && k < nz {
+                        let off = ci * rec + (k - 1) * 2;
+                        (out[off], out[off + 1])
+                    } else {
+                        (KM_BACKGROUND, KH_BACKGROUND)
+                    };
+                    fields.km.set_at(k, jl, il, km);
+                    fields.kh.set_at(k, jl, il, kh);
+                }
             }
-        }
+        });
         cursor += n;
     }
 

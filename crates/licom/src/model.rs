@@ -175,7 +175,6 @@ pub struct Model {
     filter_passes: usize,
     visc: f64,
     kappa: f64,
-    wet_cols_host: Vec<i32>,
     step_count: u64,
 }
 
@@ -205,7 +204,10 @@ impl Model {
         let halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny);
         let global = GlobalGrid::build(cfg.nx, cfg.ny, cfg.nz, &opts.bathymetry, cfg.full_depth);
         let grid = LocalGrid::build(&global, &halo2);
-        let halo3 = Halo3D::new(halo2.clone(), cfg.nz, opts.halo_strategy);
+        // Pack/unpack kernels of the 3-D exchange dispatch on the model's
+        // execution space (serial rows would throttle wide strips).
+        let halo3 =
+            Halo3D::new(halo2.clone(), cfg.nz, opts.halo_strategy).with_space(space.clone());
         let mut state = State::new(&grid);
         state.init_stratified(&grid);
 
@@ -230,7 +232,6 @@ impl Model {
         let gu: View2<f64> = View::host("gu", [grid.pj, grid.pi]);
         let gv: View2<f64> = View::host("gv", [grid.pj, grid.pi]);
         let zero2: View2<f64> = View::host("zero2", [grid.pj, grid.pi]);
-        let wet_cols_host = grid.wet_columns.to_vec();
 
         let mut model = Self {
             cfg,
@@ -249,7 +250,6 @@ impl Model {
             filter_passes,
             visc,
             kappa,
-            wet_cols_host,
             step_count: 0,
         };
         model.exchange_all_initial();
@@ -308,6 +308,7 @@ impl Model {
 
     /// Advance one baroclinic step.
     pub fn step(&mut self) {
+        let tr0 = self.comm.traffic();
         let g = &self.grid;
         let (o, c, n) = (self.state.old(), self.state.cur(), self.state.new_lev());
         let dt = self.cfg.dt_baroclinic;
@@ -362,7 +363,7 @@ impl Model {
                 parallel_for_2d(&space, p2, &FunctorCanutoRect { f: cf });
             }
             CanutoMode::List => {
-                let count = self.wet_cols_host.len();
+                let count = self.state.work.canuto_cols.len();
                 parallel_for_1d(
                     &space,
                     RangePolicy::new(count),
@@ -374,7 +375,7 @@ impl Model {
                 );
             }
             CanutoMode::CrossRank => {
-                canuto::balanced_cross_rank(&self.comm, &cf, &self.wet_cols_host, g.pi);
+                canuto::balanced_cross_rank(&self.comm, &cf, &self.state.work.canuto_cols, g.pi);
             }
         }
         self.timers.stop("canuto");
@@ -543,8 +544,8 @@ impl Model {
                 g,
                 cur,
                 new,
-                &self.state.scratch3,
-                &self.state.flux_x,
+                &self.state.work.adv_tmp,
+                &self.state.work.adv_flux,
                 &self.state.u[c],
                 &self.state.v[c],
                 &self.state.w,
@@ -627,6 +628,30 @@ impl Model {
         self.halo3.exchange(&self.state.u[c], FoldKind::Vector, 850);
         self.halo3.exchange(&self.state.v[c], FoldKind::Vector, 860);
         self.timers.stop("asselin");
+
+        // Communication/allocation accounting for this step (world-level
+        // counters: exact on one rank, aggregate otherwise). In steady
+        // state `pool_allocs` must stay flat — every message buffer is a
+        // pool reuse.
+        let tr1 = self.comm.traffic();
+        self.timers.add_count(
+            "halo_msgs",
+            tr1.p2p_messages.saturating_sub(tr0.p2p_messages),
+        );
+        self.timers
+            .add_count("halo_bytes", tr1.p2p_bytes.saturating_sub(tr0.p2p_bytes));
+        self.timers.add_count(
+            "pool_allocs",
+            tr1.pool_allocations.saturating_sub(tr0.pool_allocations),
+        );
+        self.timers.add_count(
+            "pool_reuses",
+            tr1.pool_reuses.saturating_sub(tr0.pool_reuses),
+        );
+        self.timers.add_count(
+            "pooled_bytes",
+            tr1.pooled_bytes.saturating_sub(tr0.pooled_bytes),
+        );
 
         self.step_count += 1;
         self.state.rotate();

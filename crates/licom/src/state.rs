@@ -3,8 +3,10 @@
 //! Leapfrog needs three time levels (`old`, `cur`, `new`) of every
 //! prognostic field; [`State::rotate`] cycles the roles without copying
 //! (Views are shallow handles). Diagnostic fields (density, pressure,
-//! vertical velocity, mixing coefficients, tendencies, flux scratch) have
-//! a single level.
+//! vertical velocity, mixing coefficients, tendencies) have a single
+//! level. All step-transient scratch lives in [`Workspace`], allocated
+//! once at construction so [`crate::Model::step`] never touches the heap
+//! in steady state.
 
 use kokkos_rs::{View, View2, View3};
 
@@ -13,6 +15,42 @@ use crate::localgrid::LocalGrid;
 
 /// Number of leapfrog time levels.
 pub const LEVELS: usize = 3;
+
+/// Preallocated per-step scratch. Everything a step needs transiently is
+/// sized once from the grid here; kernels and solvers borrow it instead
+/// of allocating (the zero-allocation steady-state guarantee — the halo
+/// message side of the same guarantee lives in `mpi-sim`'s buffer pools).
+pub struct Workspace {
+    /// Advection: face-flux buffer shared by the x/y/z passes.
+    pub adv_flux: View3<f64>,
+    /// Advection: intermediate tracer field between directional passes.
+    pub adv_tmp: View3<f64>,
+    /// Polar filter: 2-D destination buffer.
+    pub filter2: View2<f64>,
+    /// Barotropic window accumulators (η, u, v), zeroed at window entry.
+    pub acc_eta: View2<f64>,
+    pub acc_u: View2<f64>,
+    pub acc_v: View2<f64>,
+    /// Canuto packed wet-column list (`jl * pi + il`), host copy of
+    /// `LocalGrid::wet_columns` for the list/cross-rank launch modes.
+    pub canuto_cols: Vec<i32>,
+}
+
+impl Workspace {
+    pub fn new(g: &LocalGrid) -> Self {
+        let d3 = [g.nz, g.pj, g.pi];
+        let d2 = [g.pj, g.pi];
+        Self {
+            adv_flux: View::host("adv_flux", d3),
+            adv_tmp: View::host("adv_tmp", d3),
+            filter2: View::host("filter2", d2),
+            acc_eta: View::host("acc_eta", d2),
+            acc_u: View::host("acc_u", d2),
+            acc_v: View::host("acc_v", d2),
+            canuto_cols: g.wet_columns.to_vec(),
+        }
+    }
+}
 
 /// Full model state on one rank (padded local arrays).
 pub struct State {
@@ -34,15 +72,12 @@ pub struct State {
     pub km: View3<f64>,
     /// Vertical diffusivity at interfaces.
     pub kh: View3<f64>,
-    // Tendencies and scratch.
+    // Tendencies.
     pub ut: View3<f64>,
     pub vt: View3<f64>,
-    pub flux_x: View3<f64>,
-    pub flux_y: View3<f64>,
-    pub flux_z: View3<f64>,
-    pub scratch3: View3<f64>,
-    pub scratch3b: View3<f64>,
-    pub scratch2: View2<f64>,
+    /// Preallocated per-step scratch (advection, filter, barotropic
+    /// accumulators, canuto column list).
+    pub work: Workspace,
     // Barotropic solver work arrays (three leapfrog levels each).
     pub bt_eta: [View2<f64>; LEVELS],
     pub bt_u: [View2<f64>; LEVELS],
@@ -85,12 +120,7 @@ impl State {
             kh: View::host("kh", d3w),
             ut: View::host("ut", d3),
             vt: View::host("vt", d3),
-            flux_x: View::host("flux_x", d3),
-            flux_y: View::host("flux_y", d3),
-            flux_z: View::host("flux_z", d3w),
-            scratch3: View::host("scratch3", d3),
-            scratch3b: View::host("scratch3b", d3),
-            scratch2: View::host("scratch2", d2),
+            work: Workspace::new(g),
             bt_eta: [
                 View::host("bt_eta0", d2),
                 View::host("bt_eta1", d2),

@@ -1,10 +1,13 @@
-//! GPTL-style named timers.
+//! GPTL-style named timers and event counters.
 //!
 //! "We primarily employed the GPTL and Chrono libraries as timers"
 //! (§VI-C). This is the Rust equivalent: named, nesting-agnostic
 //! accumulating timers with call counts, used for the per-kernel breakdown
 //! in the experiment binaries and for the SYPD measurement (daily loop
-//! wall-clock, I/O and initialization excluded).
+//! wall-clock, I/O and initialization excluded). Named **counters**
+//! accumulate non-time quantities the same way — halo messages/bytes and
+//! buffer-pool allocations vs reuses, so a run can show its steady-state
+//! allocation profile next to its time profile.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -17,11 +20,12 @@ pub struct TimerStat {
     pub max: Duration,
 }
 
-/// A set of named accumulating timers.
+/// A set of named accumulating timers and counters.
 #[derive(Debug, Default)]
 pub struct Timers {
     stats: HashMap<&'static str, TimerStat>,
     running: HashMap<&'static str, Instant>,
+    counters: HashMap<&'static str, u64>,
 }
 
 impl Timers {
@@ -69,6 +73,23 @@ impl Timers {
         self.stats.get(name).map(|s| s.calls).unwrap_or(0)
     }
 
+    /// Accumulate `delta` into counter `name`.
+    pub fn add_count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
+
     /// All stats, sorted by descending total time.
     pub fn sorted(&self) -> Vec<(&'static str, TimerStat)> {
         let mut v: Vec<_> = self.stats.iter().map(|(k, s)| (*k, *s)).collect();
@@ -91,6 +112,12 @@ impl Timers {
                 s.max.as_secs_f64() * 1e3
             ));
         }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<24} {:>16}\n", "counter", "value"));
+            for (name, c) in self.counters() {
+                out.push_str(&format!("{name:<24} {c:>16}\n"));
+            }
+        }
         out
     }
 
@@ -102,6 +129,7 @@ impl Timers {
             self.running.keys().collect::<Vec<_>>()
         );
         self.stats.clear();
+        self.counters.clear();
     }
 }
 
@@ -158,7 +186,23 @@ mod tests {
     fn reset_clears() {
         let mut t = Timers::new();
         t.time("x", || {});
+        t.add_count("allocs", 3);
         t.reset();
         assert_eq!(t.calls("x"), 0);
+        assert_eq!(t.count("allocs"), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_report() {
+        let mut t = Timers::new();
+        t.add_count("pool_allocs", 5);
+        t.add_count("pool_allocs", 0);
+        t.add_count("halo_bytes", 1024);
+        assert_eq!(t.count("pool_allocs"), 5);
+        assert_eq!(t.count("absent"), 0);
+        assert_eq!(t.counters(), vec![("halo_bytes", 1024), ("pool_allocs", 5)]);
+        let r = t.report();
+        assert!(r.contains("pool_allocs"));
+        assert!(r.contains("1024"));
     }
 }

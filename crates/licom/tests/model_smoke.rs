@@ -171,6 +171,58 @@ fn overlap_and_batching_do_not_change_results() {
 }
 
 #[test]
+fn steady_state_step_is_pool_allocation_free() {
+    let cfg = small_config();
+    // World-total pool misses after n steps: per-rank pools make these
+    // deterministic, so "steady state allocates nothing" is exactly
+    // "more steps don't raise the count".
+    let allocs = |steps: usize| {
+        let (_, t) = World::run_traced(3, |comm| {
+            let mut m = Model::new(
+                comm,
+                cfg.clone(),
+                kokkos_rs::Space::serial(),
+                ModelOptions::default(),
+            );
+            m.run_steps(steps);
+        });
+        t.pool_allocations
+    };
+    assert_eq!(
+        allocs(3),
+        allocs(8),
+        "steps beyond spin-up must not allocate message buffers"
+    );
+
+    // The per-step delta, measured in-run: after spin-up a barrier-bracketed
+    // step performs zero pool allocations (every message is a reuse).
+    World::run(3, |comm| {
+        use mpi_sim::ReduceOp;
+        let mut m = Model::new(
+            comm,
+            cfg.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        );
+        m.run_steps(3); // spin-up: warm the per-rank pools
+        comm.allreduce_f64(0.0, ReduceOp::Sum); // barrier
+        let before = comm.traffic().pool_allocations;
+        m.step();
+        comm.allreduce_f64(0.0, ReduceOp::Sum); // barrier
+        let after = comm.traffic().pool_allocations;
+        assert_eq!(
+            after,
+            before,
+            "post-spin-up step allocated {} message buffers",
+            after - before
+        );
+        // The model's own counters saw the traffic.
+        assert!(m.timers.count("pool_reuses") > 0);
+        assert!(m.timers.count("halo_msgs") > 0);
+    });
+}
+
+#[test]
 fn basin_configuration_runs() {
     let mut cfg = small_config();
     cfg.nx = 36;
@@ -237,13 +289,27 @@ fn polar_filter_engages_when_cap_is_cfl_tight() {
     // scale the rows are wide enough that it stays off.
     let tight = Resolution::Coarse100km.config().scaled_down(2, 5);
     World::run(1, |comm| {
-        let m = Model::new(comm, tight.clone(), kokkos_rs::Space::serial(), ModelOptions::default());
+        let m = Model::new(
+            comm,
+            tight.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        );
         assert!(m.polar_filter_passes() > 0, "filter should arm at /2 scale");
     });
     let loose = Resolution::Coarse100km.config().scaled_down(8, 5);
     World::run(1, |comm| {
-        let m = Model::new(comm, loose.clone(), kokkos_rs::Space::serial(), ModelOptions::default());
-        assert_eq!(m.polar_filter_passes(), 0, "filter should stay off at /8 scale");
+        let m = Model::new(
+            comm,
+            loose.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        );
+        assert_eq!(
+            m.polar_filter_passes(),
+            0,
+            "filter should stay off at /8 scale"
+        );
     });
 }
 
@@ -253,14 +319,24 @@ fn viscosity_adapts_to_resolution() {
     let coarse = Resolution::Coarse100km.config().scaled_down(8, 5);
     let fine = Resolution::Coarse100km.config().scaled_down(4, 5);
     let vc = World::run(1, |comm| {
-        Model::new(comm, coarse.clone(), kokkos_rs::Space::serial(), ModelOptions::default())
-            .viscosity()
+        Model::new(
+            comm,
+            coarse.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        )
+        .viscosity()
     })
     .pop()
     .unwrap();
     let vf = World::run(1, |comm| {
-        Model::new(comm, fine.clone(), kokkos_rs::Space::serial(), ModelOptions::default())
-            .viscosity()
+        Model::new(
+            comm,
+            fine.clone(),
+            kokkos_rs::Space::serial(),
+            ModelOptions::default(),
+        )
+        .viscosity()
     })
     .pop()
     .unwrap();

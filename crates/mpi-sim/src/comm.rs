@@ -16,13 +16,23 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::collective::CollectiveState;
+use crate::pool::BufferPool;
 use crate::stats::{Traffic, TrafficSnapshot};
+
+/// Message payload. Pooled `f64` buffers travel unboxed so a pooled
+/// send/recv round-trip touches the heap only on pool misses.
+enum Payload {
+    Boxed {
+        data: Box<dyn Any + Send>,
+        type_name: &'static str,
+    },
+    PooledF64(Vec<f64>),
+}
 
 struct Message {
     src: usize,
     tag: u64,
-    data: Box<dyn Any + Send>,
-    type_name: &'static str,
+    payload: Payload,
 }
 
 #[derive(Default)]
@@ -36,6 +46,12 @@ pub(crate) struct WorldShared {
     mailboxes: Vec<Mailbox>,
     pub(crate) traffic: Traffic,
     pub(crate) coll: CollectiveState,
+    /// One buffer pool per rank. A send borrows from the *sender's* pool
+    /// and the matching receive releases into the *receiver's* pool, so
+    /// each rank's acquire/release sequence follows its program order —
+    /// which makes steady-state allocation counts deterministic (a single
+    /// world-shared free list would make them scheduling-dependent).
+    pub(crate) pools: Vec<BufferPool>,
 }
 
 /// A communicator handle owned by one rank. Cheap to clone.
@@ -70,12 +86,38 @@ impl Comm {
         assert!(dst < self.shared.n, "send to invalid rank {dst}");
         let bytes = data.len() * std::mem::size_of::<T>();
         self.shared.traffic.record_p2p(bytes);
+        self.deliver(
+            dst,
+            tag,
+            Payload::Boxed {
+                data: Box::new(data),
+                type_name: std::any::type_name::<T>(),
+            },
+        );
+    }
+
+    /// Pooled send: borrow a message buffer of `len` f64 from this rank's
+    /// buffer pool (zeroed), let `fill` pack directly into it, and enqueue
+    /// it at `dst`. The matching [`Comm::recv_into`] returns the storage to
+    /// the receiver's pool, so in steady state this path performs no heap
+    /// allocation ([`crate::stats::TrafficSnapshot::pool_allocations`]
+    /// counts misses).
+    pub fn send_into(&self, dst: usize, tag: u64, len: usize, fill: impl FnOnce(&mut [f64])) {
+        assert!(dst < self.shared.n, "send to invalid rank {dst}");
+        let mut buf = self.shared.pools[self.rank].acquire(len, &self.shared.traffic);
+        fill(&mut buf);
+        let bytes = len * std::mem::size_of::<f64>();
+        self.shared.traffic.record_p2p(bytes);
+        self.shared.traffic.record_pooled_bytes(bytes);
+        self.deliver(dst, tag, Payload::PooledF64(buf));
+    }
+
+    fn deliver(&self, dst: usize, tag: u64, payload: Payload) {
         let mb = &self.shared.mailboxes[dst];
         mb.queue.lock().push(Message {
             src: self.rank,
             tag,
-            data: Box::new(data),
-            type_name: std::any::type_name::<T>(),
+            payload,
         });
         mb.cv.notify_all();
     }
@@ -85,22 +127,61 @@ impl Comm {
     /// # Panics
     /// If the matched message was sent with a different element type.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        match self.take_message(src, tag).payload {
+            Payload::Boxed { data, type_name } => *data.downcast::<Vec<T>>().unwrap_or_else(|_| {
+                panic!(
+                    "recv type mismatch: rank {} expected Vec<{}>, rank {} sent Vec<{}> (tag {})",
+                    self.rank,
+                    std::any::type_name::<T>(),
+                    src,
+                    type_name,
+                    tag
+                )
+            }),
+            // A pooled message received through the plain API: hand the
+            // buffer over (its storage simply leaves the pool's custody).
+            Payload::PooledF64(buf) => {
+                let mut slot = Some(buf);
+                let any: &mut dyn Any = &mut slot;
+                match any.downcast_mut::<Option<Vec<T>>>() {
+                    Some(s) => s.take().expect("slot filled above"),
+                    None => panic!(
+                        "recv type mismatch: rank {} expected Vec<{}>, rank {} sent pooled Vec<f64> (tag {})",
+                        self.rank,
+                        std::any::type_name::<T>(),
+                        src,
+                        tag
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Pooled receive: block for the `(src, tag)` message, run `consume` on
+    /// its payload, then recycle the buffer's storage into this rank's pool.
+    /// Payloads sent with the plain [`Comm::send::<f64>`] are adopted into
+    /// the pool the same way.
+    pub fn recv_into<R>(&self, src: usize, tag: u64, consume: impl FnOnce(&[f64]) -> R) -> R {
+        let buf: Vec<f64> = match self.take_message(src, tag).payload {
+            Payload::PooledF64(buf) => buf,
+            Payload::Boxed { data, type_name } => *data.downcast::<Vec<f64>>().unwrap_or_else(|_| {
+                panic!(
+                    "recv_into type mismatch: rank {} expected Vec<f64>, rank {} sent Vec<{}> (tag {})",
+                    self.rank, src, type_name, tag
+                )
+            }),
+        };
+        let out = consume(&buf);
+        self.shared.pools[self.rank].release(buf);
+        out
+    }
+
+    fn take_message(&self, src: usize, tag: u64) -> Message {
         let mb = &self.shared.mailboxes[self.rank];
         let mut q = mb.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = q.remove(pos);
-                let tn = msg.type_name;
-                return *msg.data.downcast::<Vec<T>>().unwrap_or_else(|_| {
-                    panic!(
-                        "recv type mismatch: rank {} expected Vec<{}>, rank {} sent Vec<{}> (tag {})",
-                        self.rank,
-                        std::any::type_name::<T>(),
-                        src,
-                        tn,
-                        tag
-                    )
-                });
+                return q.remove(pos);
             }
             mb.cv.wait(&mut q);
         }
@@ -176,6 +257,7 @@ impl World {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             traffic: Traffic::default(),
             coll: CollectiveState::new(n),
+            pools: (0..n).map(|_| BufferPool::default()).collect(),
         });
         let f = &f;
         let results: Vec<R> = std::thread::scope(|s| {
@@ -312,5 +394,54 @@ mod tests {
     fn single_rank_world_works() {
         let r = World::run(1, |comm| comm.rank() + comm.size());
         assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn pooled_roundtrip_stops_allocating() {
+        let (_, t) = World::run_traced(2, |comm| {
+            let peer = 1 - comm.rank();
+            for round in 0..20u64 {
+                comm.send_into(peer, round, 64, |buf| {
+                    buf.fill(comm.rank() as f64 + round as f64);
+                });
+                let sum = comm.recv_into(peer, round, |buf| buf.iter().sum::<f64>());
+                assert_eq!(sum, 64.0 * (peer as f64 + round as f64));
+            }
+        });
+        assert_eq!(t.p2p_messages, 40);
+        // Per-rank pools make this deterministic: each rank allocates once
+        // (round 0), then reuses the buffer its receive recycled.
+        assert_eq!(t.pool_allocations, 2);
+        assert_eq!(t.pool_allocations + t.pool_reuses, 40);
+        assert_eq!(t.pooled_bytes, 40 * 64 * 8);
+    }
+
+    #[test]
+    fn pooled_send_matches_plain_recv_and_vice_versa() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 0, 3, |buf| buf.copy_from_slice(&[1.0, 2.0, 3.0]));
+                comm.send(1, 1, vec![4.0f64, 5.0]);
+            } else {
+                // Pooled message through the plain typed API...
+                assert_eq!(comm.recv::<f64>(0, 0), vec![1.0, 2.0, 3.0]);
+                // ...and a plain message through the pooled API (its buffer
+                // is adopted by the pool afterwards).
+                let v = comm.recv_into(0, 1, |buf| buf.to_vec());
+                assert_eq!(v, vec![4.0, 5.0]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "recv type mismatch")]
+    fn pooled_message_type_mismatch_panics() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 0, 1, |buf| buf[0] = 1.0);
+            } else {
+                let _ = comm.recv::<i32>(0, 0);
+            }
+        });
     }
 }

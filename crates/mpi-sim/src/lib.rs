@@ -24,6 +24,7 @@
 pub mod cart;
 pub mod collective;
 pub mod comm;
+pub(crate) mod pool;
 pub mod stats;
 pub mod subcomm;
 

@@ -22,6 +22,14 @@ pub struct Traffic {
     pub collective_bytes: AtomicU64,
     /// Barriers crossed (counted once per barrier).
     pub barriers: AtomicU64,
+    /// Message buffers the pool had to heap-allocate (pool misses). A
+    /// steady-state time step should leave this unchanged — that is the
+    /// zero-allocation claim, and tests assert it via snapshot deltas.
+    pub pool_allocations: AtomicU64,
+    /// Message buffers served from the pool's free list (pool hits).
+    pub pool_reuses: AtomicU64,
+    /// Payload bytes that traveled through pooled buffers.
+    pub pooled_bytes: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Traffic`].
@@ -32,6 +40,9 @@ pub struct TrafficSnapshot {
     pub collectives: u64,
     pub collective_bytes: u64,
     pub barriers: u64,
+    pub pool_allocations: u64,
+    pub pool_reuses: u64,
+    pub pooled_bytes: u64,
 }
 
 impl Traffic {
@@ -53,6 +64,18 @@ impl Traffic {
         self.barriers.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_pool_allocation(&self) {
+        self.pool_allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_pool_reuse(&self) {
+        self.pool_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_pooled_bytes(&self, bytes: usize) {
+        self.pooled_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Copy the counters out.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
@@ -61,6 +84,9 @@ impl Traffic {
             collectives: self.collectives.load(Ordering::Relaxed),
             collective_bytes: self.collective_bytes.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
+            pool_allocations: self.pool_allocations.load(Ordering::Relaxed),
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            pooled_bytes: self.pooled_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -78,11 +104,18 @@ mod tests {
         t.record_collective_op();
         t.record_collective_entry(8);
         t.record_collective_entry(8);
+        t.record_pool_allocation();
+        t.record_pool_reuse();
+        t.record_pool_reuse();
+        t.record_pooled_bytes(64);
         let s = t.snapshot();
         assert_eq!(s.p2p_messages, 2);
         assert_eq!(s.p2p_bytes, 150);
         assert_eq!(s.barriers, 1);
         assert_eq!(s.collectives, 1);
         assert_eq!(s.collective_bytes, 16);
+        assert_eq!(s.pool_allocations, 1);
+        assert_eq!(s.pool_reuses, 2);
+        assert_eq!(s.pooled_bytes, 64);
     }
 }

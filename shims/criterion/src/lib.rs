@@ -1,0 +1,314 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a cargo registry, so this shim provides
+//! the API slice the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `sample_size`, `warm_up_time`,
+//! `measurement_time`, `BenchmarkId`, `black_box`, `criterion_group!`,
+//! `criterion_main!`) backed by a straightforward wall-clock harness:
+//!
+//! * warm up for the configured warm-up time while counting iterations,
+//! * size the measurement run from the observed rate and the configured
+//!   measurement time, split into `sample_size` samples,
+//! * report min / mean / max ns per iteration.
+//!
+//! Statistical machinery (outlier classification, regression, HTML reports)
+//! is out of scope. When run under `cargo test` (cargo passes `--test` to
+//! bench binaries), every benchmark executes exactly one iteration so the
+//! test suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `BenchmarkId::new("function", parameter)`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { text: s }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// Harness entry point; constructed by [`criterion_group!`].
+pub struct Criterion {
+    settings: Settings,
+    /// Single-iteration mode: active under `cargo test` (`--test` flag).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode =
+            args.iter().any(|a| a == "--test") || std::env::var("CRITERION_TEST_MODE").is_ok();
+        Self {
+            settings: Settings::default(),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.text, self.settings, self.test_mode, |b| f(b));
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.text);
+        run_benchmark(&label, self.settings, self.test_mode, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.text);
+        run_benchmark(&label, self.settings, self.test_mode, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; `iter` runs and times the workload.
+pub struct Bencher {
+    settings: Settings,
+    test_mode: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.samples_ns.push(0.0);
+            return;
+        }
+        // Warm-up doubles as calibration: count how many iterations fit.
+        let warm = self.settings.warm_up.max(Duration::from_millis(1));
+        let t0 = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while t0.elapsed() < warm {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / warm_iters as f64;
+        let total_iters = (self.settings.measurement.as_secs_f64() / per_iter).ceil() as u64;
+        let samples = self.settings.sample_size as u64;
+        let iters_per_sample = (total_iters / samples).max(1);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            self.samples_ns
+                .push(dt.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    settings: Settings,
+    test_mode: bool,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        settings,
+        test_mode,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test-mode {label} ... ok (1 iteration)");
+        return;
+    }
+    if bencher.samples_ns.is_empty() {
+        println!("{label:<56} (no measurement: b.iter never called)");
+        return;
+    }
+    let n = bencher.samples_ns.len() as f64;
+    let mean = bencher.samples_ns.iter().sum::<f64>() / n;
+    let min = bencher
+        .samples_ns
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher
+        .samples_ns
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{label:<56} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 3,
+                warm_up: Duration::from_millis(2),
+                measurement: Duration::from_millis(5),
+            },
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            settings: Settings::default(),
+            test_mode: true,
+        };
+        let mut count = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment cannot reach a cargo registry, so this shim vendors
+//! the exact parallel-iterator subset the workspace uses:
+//!
+//! * `(a..b).into_par_iter().for_each(|i| ...)`
+//! * `(a..b).into_par_iter().map(|i| ...).collect::<Vec<T>>()` (index order
+//!   preserved, like rayon's indexed collect)
+//!
+//! Execution runs on a **persistent worker pool** (started lazily, sized from
+//! `RAYON_NUM_THREADS` or `available_parallelism`), not on per-call spawned
+//! threads — kernel launches in `kokkos-rs` happen thousands of times per
+//! model step, so launch overhead must be a broadcast wake-up, not a clone+
+//! spawn. Work is distributed by an atomic chunk counter (work stealing in
+//! its simplest form). Panics inside a parallel region are caught on the
+//! worker, the region is drained, and the panic is re-thrown on the caller —
+//! the same observable behavior as rayon.
+//!
+//! Only `Range<usize>` is parallelizable here; that is the only shape the
+//! workspace uses.
+
+use std::any::Any;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Number of threads the pool runs (workers + the calling thread).
+pub fn current_num_threads() -> usize {
+    pool().workers + 1
+}
+
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        broadcast(self.range, &|lo, hi| {
+            for i in lo..hi {
+                f(i);
+            }
+        });
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let start = self.range.start;
+        let len = self.range.len();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        {
+            let slots = SendSlice(out.as_mut_ptr());
+            let f = &self.f;
+            broadcast(self.range.clone(), &move |lo, hi| {
+                let slots = &slots;
+                for i in lo..hi {
+                    // Safety: each index is visited by exactly one worker
+                    // (disjoint chunks), and `out` outlives the broadcast.
+                    unsafe { slots.0.add(i - start).write(Some(f(i))) }
+                }
+            });
+        }
+        out.into_iter().map(|v| v.expect("slot unfilled")).collect()
+    }
+}
+
+struct SendSlice<R>(*mut Option<R>);
+unsafe impl<R: Send> Send for SendSlice<R> {}
+unsafe impl<R: Send> Sync for SendSlice<R> {}
+
+// ---------------------------------------------------------------------------
+// Broadcast pool
+// ---------------------------------------------------------------------------
+
+type Body<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+#[derive(Clone, Copy)]
+struct Job {
+    /// Lifetime-erased pointer to the caller's body closure. Valid because
+    /// the submitting thread blocks until every worker has left the job.
+    body: *const (dyn Fn(usize, usize) + Sync + 'static),
+    counter: *const AtomicUsize,
+    end: usize,
+    grain: usize,
+    panic_slot: *const Mutex<Option<PanicPayload>>,
+}
+unsafe impl Send for Job {}
+
+struct PoolState {
+    epoch: u64,
+    job: Option<Job>,
+    running: usize,
+}
+
+struct Pool {
+    workers: usize,
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Serializes broadcasts from concurrent callers (e.g. mpi-sim ranks).
+    submit: Mutex<()>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .saturating_sub(1) // the submitting thread participates too
+            .min(63);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            workers,
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                running: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submit: Mutex::new(()),
+        }));
+        for w in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("par-worker-{w}"))
+                .spawn(move || worker_loop(pool))
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&pool.state);
+            while st.epoch == seen || st.job.is_none() {
+                st = match pool.work_cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+            seen = st.epoch;
+            st.job.expect("job present")
+        };
+        run_job(job);
+        let mut st = lock(&pool.state);
+        st.running -= 1;
+        if st.running == 0 {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+fn run_job(job: Job) {
+    let counter = unsafe { &*job.counter };
+    let body = unsafe { &*job.body };
+    let panic_slot = unsafe { &*job.panic_slot };
+    loop {
+        let lo = counter.fetch_add(job.grain, Ordering::Relaxed);
+        if lo >= job.end {
+            break;
+        }
+        let hi = (lo + job.grain).min(job.end);
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(lo, hi))) {
+            let mut slot = lock(panic_slot);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            // Drain the rest of the range so the region terminates promptly.
+            counter.store(job.end, Ordering::Relaxed);
+            break;
+        }
+    }
+}
+
+/// Run `body(lo, hi)` over disjoint chunks covering `range`, on the pool
+/// plus the calling thread. Returns after every chunk is done.
+fn broadcast(range: Range<usize>, body: Body<'_>) {
+    let len = range.len();
+    if len == 0 {
+        return;
+    }
+    let pool = pool();
+    if pool.workers == 0 || len == 1 {
+        body(range.start, range.end);
+        return;
+    }
+    let grain = (len / ((pool.workers + 1) * 4)).max(1);
+    let counter = AtomicUsize::new(range.start);
+    let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    // Erase the body's lifetime for the trip through the pool; `broadcast`
+    // does not return until every worker has dropped its reference.
+    let body_static: &(dyn Fn(usize, usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(body) };
+    let job = Job {
+        body: body_static as *const _,
+        counter: &counter,
+        end: range.end,
+        grain,
+        panic_slot: &panic_slot,
+    };
+    let _submit = lock(&pool.submit);
+    {
+        let mut st = lock(&pool.state);
+        st.epoch += 1;
+        st.job = Some(job);
+        st.running = pool.workers;
+        pool.work_cv.notify_all();
+    }
+    // Participate; even if the body panics on this thread the catch in
+    // run_job keeps us alive to wait for the workers (their chunks reference
+    // our stack).
+    run_job(job);
+    {
+        let mut st = lock(&pool.state);
+        while st.running > 0 {
+            st = match pool.done_cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.job = None;
+    }
+    let payload = lock(&panic_slot).take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
+        (0..hits.len()).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<f64> = (0..5_000).into_par_iter().map(|i| i as f64 * 0.5).collect();
+        assert_eq!(v.len(), 5_000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as f64 * 0.5);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        (0..0).into_par_iter().for_each(|_| panic!("must not run"));
+        let v: Vec<usize> = (7..8).into_par_iter().map(|i| i).collect();
+        assert_eq!(v, vec![7]);
+    }
+
+    #[test]
+    fn nested_sequential_calls_reuse_pool() {
+        for round in 0..50 {
+            let s: Vec<u64> = (0..64)
+                .into_par_iter()
+                .map(|i| (i as u64) + round)
+                .collect();
+            assert_eq!(s.iter().sum::<u64>(), (0..64).sum::<u64>() + 64 * round);
+        }
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0..100).into_par_iter().for_each(|i| {
+                if i == 57 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+        // Pool must still be usable afterwards.
+        let v: Vec<usize> = (0..10).into_par_iter().map(|i| i).collect();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let v: Vec<usize> = (0..256).into_par_iter().map(|i| i * 2).collect();
+                        assert_eq!(v[100], 200);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -44,7 +44,8 @@ fn advection_conserves_and_preserves_bounds_in_closed_basin() {
         let g = &m.grid;
         let c = m.state.cur();
         // Paint a bounded blob into the tracer field (values in [0, 1]).
-        let q = m.state.scratch3b.clone();
+        let q: licomkpp::kokkos::View3<f64> =
+            licomkpp::kokkos::View::host("blob", [g.nz, g.pj, g.pi]);
         for k in 0..g.nz {
             for jl in 0..g.pj {
                 for il in 0..g.pi {
@@ -91,7 +92,8 @@ fn advection_conserves_and_preserves_bounds_in_closed_basin() {
             licomkpp::kokkos::MDRangePolicy2::new([g.ny, g.nx]),
             &w,
         );
-        let out = m.state.scratch3.clone();
+        let out: licomkpp::kokkos::View3<f64> =
+            licomkpp::kokkos::View::host("blob_out", [g.nz, g.pj, g.pi]);
         for _ in 0..5 {
             // Exchange blob halos with the model's halo engine.
             m.halo3().exchange(&q, FoldKind::Scalar, 900);
@@ -100,8 +102,8 @@ fn advection_conserves_and_preserves_bounds_in_closed_basin() {
                 &m.grid,
                 &q,
                 &out,
-                &m.state.flux_y, // spare scratch
-                &m.state.flux_x,
+                &m.state.work.adv_tmp,
+                &m.state.work.adv_flux,
                 &m.state.u[c],
                 &m.state.v[c],
                 &m.state.w,
