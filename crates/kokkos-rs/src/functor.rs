@@ -62,6 +62,30 @@ pub trait Functor3D: Sync {
     }
 }
 
+/// Index-list parallel-for body (active-set iteration over a
+/// [`crate::policy::ListPolicy`]).
+///
+/// `n` is the list position (the disjoint-write slot — well-defined even
+/// when the list repeats an index); `idx` is the packed index stored at
+/// that position (`policy.entry(n)`), which the kernel decodes into grid
+/// coordinates.
+pub trait FunctorList: Sync {
+    fn operator(&self, n: usize, idx: u32);
+
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
+/// Index-list reduction body; see [`FunctorList`] for the `(n, idx)` pair.
+pub trait ReduceFunctorList: Sync {
+    fn contribute(&self, n: usize, idx: u32, acc: &mut f64);
+
+    fn cost(&self) -> IterCost {
+        IterCost::default()
+    }
+}
+
 /// 1-D reduction body: fold iteration `i` into `acc`.
 pub trait ReduceFunctor1D: Sync {
     fn contribute(&self, i: usize, acc: &mut f64);

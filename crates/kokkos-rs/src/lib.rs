@@ -46,15 +46,15 @@ pub mod team;
 pub mod view;
 
 pub use functor::{
-    Functor1D, Functor2D, Functor3D, IterCost, ReduceFunctor1D, ReduceFunctor2D, ReduceFunctor3D,
-    Reducer,
+    Functor1D, Functor2D, Functor3D, FunctorList, IterCost, ReduceFunctor1D, ReduceFunctor2D,
+    ReduceFunctor3D, ReduceFunctorList, Reducer,
 };
 pub use memspace::MemSpace;
 pub use parallel::{
-    parallel_for_1d, parallel_for_2d, parallel_for_3d, parallel_reduce_1d, parallel_reduce_2d,
-    parallel_reduce_3d,
+    parallel_for_1d, parallel_for_2d, parallel_for_3d, parallel_for_list, parallel_reduce_1d,
+    parallel_reduce_2d, parallel_reduce_3d, parallel_reduce_list,
 };
-pub use policy::{MDRangePolicy2, MDRangePolicy3, RangePolicy};
+pub use policy::{ListPolicy, MDRangePolicy2, MDRangePolicy3, RangePolicy};
 pub use space::Space;
 pub use team::{parallel_for_team, FunctorTeam, TeamPolicy};
 pub use view::{deep_copy, Layout, View, View1, View2, View3, View4};

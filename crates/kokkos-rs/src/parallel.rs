@@ -16,9 +16,10 @@
 use rayon::prelude::*;
 
 use crate::functor::{
-    Functor1D, Functor2D, Functor3D, ReduceFunctor1D, ReduceFunctor2D, ReduceFunctor3D, Reducer,
+    Functor1D, Functor2D, Functor3D, FunctorList, ReduceFunctor1D, ReduceFunctor2D,
+    ReduceFunctor3D, ReduceFunctorList, Reducer,
 };
-use crate::policy::{MDRangePolicy2, MDRangePolicy3, RangePolicy};
+use crate::policy::{ListPolicy, MDRangePolicy2, MDRangePolicy3, RangePolicy};
 use crate::registry::{self, KernelKind};
 use crate::space::Space;
 
@@ -31,6 +32,103 @@ fn not_registered<F>(kind: &str) -> ! {
         kind,
         std::any::type_name::<F>(),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Shared host-side tile drivers
+// ---------------------------------------------------------------------------
+//
+// Every non-Sunway backend executes tiles through one of the four helpers
+// below, so scheduling changes (and DeviceSim launch accounting, which used
+// to be repeated per pattern) land in exactly one place. The SwAthread
+// backend never reaches them — its dispatch goes through the registry
+// trampolines in each entry point.
+
+/// Run `run_tile` over `0..total` tiles on a host backend (count split).
+fn drive_tiles(space: &Space, total: usize, run_tile: impl Fn(usize) + Sync) {
+    match space {
+        Space::Serial => (0..total).for_each(run_tile),
+        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().for_each(run_tile);
+        }
+        Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
+    }
+}
+
+/// Collect one partial per tile, in tile order, on a host backend.
+fn collect_partials(
+    space: &Space,
+    total: usize,
+    tile_partial: impl Fn(usize) -> f64 + Sync,
+) -> Vec<f64> {
+    match space {
+        Space::Serial => (0..total).map(tile_partial).collect(),
+        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            (0..total).into_par_iter().map(tile_partial).collect()
+        }
+        Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
+    }
+}
+
+/// Run `run_tile` over a [`ListPolicy`]'s tiles on a host backend with
+/// **cost-weighted scheduling**: each pool worker takes the contiguous tile
+/// range holding its share of the cumulative tile cost, not a fixed tile
+/// count. Tile contents never depend on the split, so results stay bitwise
+/// identical to the serial sweep.
+fn drive_list_tiles(space: &Space, policy: &ListPolicy, run_tile: impl Fn(usize) + Sync) {
+    let total = policy.total_tiles();
+    let par = |workers: usize| {
+        (0..workers).into_par_iter().for_each(|w| {
+            let (lo, hi) = policy.worker_tile_range(w, workers);
+            for t in lo..hi {
+                run_tile(t);
+            }
+        });
+    };
+    match space {
+        Space::Serial => (0..total).for_each(run_tile),
+        Space::Threads(_) => par(rayon::current_num_threads()),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            par(rayon::current_num_threads());
+        }
+        Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
+    }
+}
+
+/// Cost-weighted analogue of [`collect_partials`] for list policies. The
+/// per-worker chunks are contiguous and ascending, so flattening them in
+/// worker order reproduces the tile order exactly — the reduction join
+/// stays deterministic under any worker count.
+fn collect_list_partials(
+    space: &Space,
+    policy: &ListPolicy,
+    tile_partial: impl Fn(usize) -> f64 + Sync,
+) -> Vec<f64> {
+    let total = policy.total_tiles();
+    let par = |workers: usize| -> Vec<f64> {
+        let chunks: Vec<Vec<f64>> = (0..workers)
+            .into_par_iter()
+            .map(|w| {
+                let (lo, hi) = policy.worker_tile_range(w, workers);
+                (lo..hi).map(&tile_partial).collect()
+            })
+            .collect();
+        chunks.into_iter().flatten().collect()
+    };
+    match space {
+        Space::Serial => (0..total).map(tile_partial).collect(),
+        Space::Threads(_) => par(rayon::current_num_threads()),
+        Space::DeviceSim(d) => {
+            d.record_launch();
+            par(rayon::current_num_threads())
+        }
+        Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -47,12 +145,6 @@ pub fn parallel_for_1d<F: Functor1D + 'static>(space: &Space, policy: RangePolic
         }
     };
     match space {
-        Space::Serial => (0..total).for_each(run_tile),
-        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            (0..total).into_par_iter().for_each(run_tile);
-        }
         Space::SwAthread(sw) => {
             let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For1D) else {
                 not_registered::<F>("register_for_1d");
@@ -66,6 +158,7 @@ pub fn parallel_for_1d<F: Functor1D + 'static>(space: &Space, policy: RangePolic
                 .lock()
                 .run(tramp, &payload as *const registry::Payload1D as usize);
         }
+        host => drive_tiles(host, total, run_tile),
     }
 }
 
@@ -81,12 +174,6 @@ pub fn parallel_for_2d<F: Functor2D + 'static>(space: &Space, policy: MDRangePol
         }
     };
     match space {
-        Space::Serial => (0..total).for_each(run_tile),
-        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            (0..total).into_par_iter().for_each(run_tile);
-        }
         Space::SwAthread(sw) => {
             let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For2D) else {
                 not_registered::<F>("register_for_2d");
@@ -100,6 +187,7 @@ pub fn parallel_for_2d<F: Functor2D + 'static>(space: &Space, policy: MDRangePol
                 .lock()
                 .run(tramp, &payload as *const registry::Payload2D as usize);
         }
+        host => drive_tiles(host, total, run_tile),
     }
 }
 
@@ -117,12 +205,6 @@ pub fn parallel_for_3d<F: Functor3D + 'static>(space: &Space, policy: MDRangePol
         }
     };
     match space {
-        Space::Serial => (0..total).for_each(run_tile),
-        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            (0..total).into_par_iter().for_each(run_tile);
-        }
         Space::SwAthread(sw) => {
             let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For3D) else {
                 not_registered::<F>("register_for_3d");
@@ -136,7 +218,79 @@ pub fn parallel_for_3d<F: Functor3D + 'static>(space: &Space, policy: MDRangePol
                 .lock()
                 .run(tramp, &payload as *const registry::Payload3D as usize);
         }
+        host => drive_tiles(host, total, run_tile),
     }
+}
+
+/// Index-list parallel for (active-set iteration): run `f.operator(n,
+/// policy.entry(n))` for every list position `n` in the policy's range.
+/// Host backends use the cost-weighted tile drivers; SwAthread goes through
+/// the registry to [`registry::tramp_for_list`], whose per-CPE tile ranges
+/// are cost-weighted the same way.
+pub fn parallel_for_list<F: FunctorList + 'static>(space: &Space, policy: &ListPolicy, f: &F) {
+    let run_tile = |t: usize| {
+        let (lo, hi) = policy.tile_range(t);
+        for n in lo..hi {
+            f.operator(n, policy.entry(n));
+        }
+    };
+    match space {
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::ForList) else {
+                not_registered::<F>("register_for_list");
+            };
+            let payload = registry::PayloadList {
+                functor: f as *const F as *const (),
+                policy: policy as *const ListPolicy,
+                cost: f.cost(),
+            };
+            sw.cg
+                .lock()
+                .run(tramp, &payload as *const registry::PayloadList as usize);
+        }
+        host => drive_list_tiles(host, policy, run_tile),
+    }
+}
+
+/// Index-list reduction. One partial per tile, joined in tile order —
+/// bitwise identical across backends, worker counts and cost weightings.
+pub fn parallel_reduce_list<F: ReduceFunctorList + 'static>(
+    space: &Space,
+    policy: &ListPolicy,
+    f: &F,
+    op: Reducer,
+) -> f64 {
+    let tile_partial = |t: usize| {
+        let (lo, hi) = policy.tile_range(t);
+        let mut acc = op.identity();
+        for n in lo..hi {
+            f.contribute(n, policy.entry(n), &mut acc);
+        }
+        acc
+    };
+    let partials: Vec<f64> = match space {
+        Space::SwAthread(sw) => {
+            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::ReduceList)
+            else {
+                not_registered::<F>("register_reduce_list");
+            };
+            let mut partials = vec![op.identity(); policy.total_tiles()];
+            let payload = registry::PayloadReduceList {
+                functor: f as *const F as *const (),
+                policy: policy as *const ListPolicy,
+                cost: f.cost(),
+                partials: partials.as_mut_ptr(),
+                identity: op.identity(),
+            };
+            sw.cg.lock().run(
+                tramp,
+                &payload as *const registry::PayloadReduceList as usize,
+            );
+            partials
+        }
+        host => collect_list_partials(host, policy, tile_partial),
+    };
+    join_partials(&partials, op)
 }
 
 // ---------------------------------------------------------------------------
@@ -164,12 +318,6 @@ pub fn parallel_reduce_1d<F: ReduceFunctor1D + 'static>(
         acc
     };
     let partials: Vec<f64> = match space {
-        Space::Serial => (0..total).map(tile_partial).collect(),
-        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            (0..total).into_par_iter().map(tile_partial).collect()
-        }
         Space::SwAthread(sw) => {
             let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce1D)
             else {
@@ -188,6 +336,7 @@ pub fn parallel_reduce_1d<F: ReduceFunctor1D + 'static>(
                 .run(tramp, &payload as *const registry::PayloadReduce1D as usize);
             partials
         }
+        host => collect_partials(host, total, tile_partial),
     };
     join_partials(&partials, op)
 }
@@ -211,12 +360,6 @@ pub fn parallel_reduce_2d<F: ReduceFunctor2D + 'static>(
         acc
     };
     let partials: Vec<f64> = match space {
-        Space::Serial => (0..total).map(tile_partial).collect(),
-        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            (0..total).into_par_iter().map(tile_partial).collect()
-        }
         Space::SwAthread(sw) => {
             let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce2D)
             else {
@@ -235,6 +378,7 @@ pub fn parallel_reduce_2d<F: ReduceFunctor2D + 'static>(
                 .run(tramp, &payload as *const registry::PayloadReduce2D as usize);
             partials
         }
+        host => collect_partials(host, total, tile_partial),
     };
     join_partials(&partials, op)
 }
@@ -260,12 +404,6 @@ pub fn parallel_reduce_3d<F: ReduceFunctor3D + 'static>(
         acc
     };
     let partials: Vec<f64> = match space {
-        Space::Serial => (0..total).map(tile_partial).collect(),
-        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            (0..total).into_par_iter().map(tile_partial).collect()
-        }
         Space::SwAthread(sw) => {
             let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce3D)
             else {
@@ -284,6 +422,7 @@ pub fn parallel_reduce_3d<F: ReduceFunctor3D + 'static>(
                 .run(tramp, &payload as *const registry::PayloadReduce3D as usize);
             partials
         }
+        host => collect_partials(host, total, tile_partial),
     };
     join_partials(&partials, op)
 }
@@ -297,6 +436,7 @@ pub fn fence(_space: &Space) {}
 mod tests {
     use super::*;
     use crate::view::{View, View1, View2, View3};
+    use std::sync::Arc;
     use sunway_sim::CgConfig;
 
     // The paper's Code 1: AXPY.
@@ -348,6 +488,30 @@ mod tests {
         }
     }
     crate::register_reduce_1d!(sum_sq, SumSq);
+
+    // Active-set iteration: dst slot n gets a value gathered via the
+    // packed index — exercises both halves of the (n, idx) pair.
+    struct ListScatter {
+        src: View1<f64>,
+        dst: View1<f64>,
+    }
+    impl FunctorList for ListScatter {
+        fn operator(&self, n: usize, idx: u32) {
+            self.dst
+                .set_at(n, 2.0 * self.src.at(idx as usize) + n as f64);
+        }
+    }
+    crate::register_for_list!(list_scatter, ListScatter);
+
+    struct ListSum {
+        src: View1<f64>,
+    }
+    impl ReduceFunctorList for ListSum {
+        fn contribute(&self, _n: usize, idx: u32, acc: &mut f64) {
+            *acc += self.src.at(idx as usize) * self.src.at(idx as usize);
+        }
+    }
+    crate::register_reduce_list!(list_sum, ListSum);
 
     struct Max3 {
         v: View3<f64>,
@@ -490,6 +654,138 @@ mod tests {
         for space in all_spaces() {
             let m = parallel_reduce_3d(&space, MDRangePolicy3::new([4, 6, 8]), &f, Reducer::Max);
             assert_eq!(m, 99.5, "space {}", space.name());
+        }
+    }
+
+    fn skewed_list_policy(n: usize) -> ListPolicy {
+        // Non-monotone active set with a strongly skewed cost profile.
+        let indices: Arc<Vec<u32>> = Arc::new(
+            (0..n as u32)
+                .map(|i| (i.wrapping_mul(2654435761)) % n as u32)
+                .collect(),
+        );
+        let mut prefix = vec![0u64; n + 1];
+        for i in 0..n {
+            let w = if i % 11 == 0 { 40 } else { 1 + (i % 3) as u64 };
+            prefix[i + 1] = prefix[i] + w;
+        }
+        ListPolicy::new(indices)
+            .with_tile(7) // ragged final tile for n not divisible by 7
+            .with_cost_prefix(Arc::new(prefix))
+    }
+
+    #[test]
+    fn list_for_identical_on_all_backends() {
+        list_scatter();
+        let n = 997;
+        let mut reference: Option<Vec<u64>> = None;
+        for space in all_spaces() {
+            let src: View1<f64> = View::host("src", [n]);
+            let dst: View1<f64> = View::host("dst", [n]);
+            for i in 0..n {
+                src.set_at(i, (i as f64 * 0.37).sin());
+            }
+            let f = ListScatter {
+                src,
+                dst: dst.clone(),
+            };
+            let policy = skewed_list_policy(n);
+            parallel_for_list(&space, &policy, &f);
+            let bits: Vec<u64> = dst.to_vec().iter().map(|v| v.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(r, &bits, "backend {} diverged", space.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn list_reduce_bitwise_identical_on_all_backends() {
+        list_sum();
+        let n = 1361;
+        let src: View1<f64> = View::host("src", [n]);
+        for i in 0..n {
+            src.set_at(i, ((i % 89) as f64 + 0.3) * 10f64.powi((i % 5) as i32 - 2));
+        }
+        let f = ListSum { src };
+        let policy = skewed_list_policy(n);
+        let mut bits = Vec::new();
+        for space in all_spaces() {
+            let s = parallel_reduce_list(&space, &policy, &f, Reducer::Sum);
+            bits.push(s.to_bits());
+        }
+        assert!(
+            bits.iter().all(|&b| b == bits[0]),
+            "list reduction differed across backends: {bits:?}"
+        );
+    }
+
+    #[test]
+    fn empty_list_is_a_noop_everywhere() {
+        list_scatter();
+        for space in all_spaces() {
+            let src: View1<f64> = View::host("src", [4]);
+            let dst: View1<f64> = View::host("dst", [4]);
+            let f = ListScatter {
+                src,
+                dst: dst.clone(),
+            };
+            let policy = ListPolicy::new(Arc::new(Vec::new()));
+            parallel_for_list(&space, &policy, &f);
+            assert!(dst.to_vec().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn sunway_list_launch_accounts_tiles() {
+        list_scatter();
+        let space = Space::sw_athread_with(CgConfig::test_small());
+        let n = 200;
+        let src: View1<f64> = View::host("src", [n]);
+        let dst: View1<f64> = View::host("dst", [n]);
+        let f = ListScatter { src, dst };
+        let policy = skewed_list_policy(n);
+        parallel_for_list(&space, &policy, &f);
+        if let Space::SwAthread(sw) = &space {
+            let c = sw.counters();
+            assert_eq!(c.kernels_launched, 1);
+            assert_eq!(
+                c.totals.tiles,
+                policy.total_tiles() as u64,
+                "every tile executed exactly once across the CPEs"
+            );
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered for the SwAthread backend")]
+    fn unregistered_list_functor_panics_on_sunway() {
+        struct UnregisteredList;
+        impl FunctorList for UnregisteredList {
+            fn operator(&self, _n: usize, _idx: u32) {}
+        }
+        let space = Space::sw_athread_with(CgConfig::test_small());
+        let policy = ListPolicy::new(Arc::new(vec![0, 1, 2]));
+        parallel_for_list(&space, &policy, &UnregisteredList);
+    }
+
+    #[test]
+    fn device_sim_counts_list_launches() {
+        list_scatter();
+        let space = Space::device_sim();
+        let src: View1<f64> = View::host("src", [32]);
+        let dst: View1<f64> = View::host("dst", [32]);
+        let f = ListScatter { src, dst };
+        let policy = ListPolicy::new(Arc::new((0..32).collect()));
+        for _ in 0..3 {
+            parallel_for_list(&space, &policy, &f);
+        }
+        if let Space::DeviceSim(d) = &space {
+            assert_eq!(d.launches(), 3);
+        } else {
+            unreachable!()
         }
     }
 

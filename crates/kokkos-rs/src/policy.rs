@@ -11,6 +11,16 @@
 //! deterministic reduction on every backend: partial sums are produced per
 //! tile and combined in tile order, making `parallel_reduce` bitwise
 //! identical across Serial, Threads, DeviceSim and SwAthread.
+//!
+//! [`ListPolicy`] extends the same tiling to *compact index lists*: instead
+//! of a dense range, iteration walks a shared packed array of indices (the
+//! active set — e.g. the wet points of an ocean grid, where roughly a third
+//! of a global tripolar domain is land). Tiles may additionally carry a
+//! **cost weight** (e.g. wet levels per column); workers/CPEs then split
+//! tiles by cumulative cost instead of count ([`ListPolicy::worker_tile_range`]),
+//! generalizing the canuto column balancer into the dispatch layer.
+
+use std::sync::Arc;
 
 /// 1-D iteration policy `[start, end)` with a tile (chunk) length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +191,169 @@ pub fn tiles_per_cpe(total_tiles: usize, num_cpe: usize) -> usize {
     total_tiles.div_ceil(num_cpe.max(1))
 }
 
+/// Compact index-list policy: iterate positions `start..end` of a shared
+/// packed index array instead of a dense range.
+///
+/// The functor receives both the list position `n` (disjoint-write slot —
+/// well-defined even if the list repeats an index) and the packed index
+/// `indices[n]`. Tiling follows Eq. (1) over the *list length*; an optional
+/// per-entry cost prefix turns the count-balanced split of Eq. (2) into a
+/// cost-balanced one. The `Arc` makes cloning the policy (and slicing CSR
+/// sub-ranges out of one shared array) allocation-free.
+#[derive(Debug, Clone)]
+pub struct ListPolicy {
+    indices: Arc<Vec<u32>>,
+    /// Iterated sub-range `[start, end)` of the index array (CSR slice).
+    pub start: usize,
+    pub end: usize,
+    pub tile: usize,
+    /// Exclusive prefix sum of per-entry costs over the **whole** index
+    /// array (`len + 1` entries, `prefix[0] == 0`): the cost of entries
+    /// `[a, b)` is `prefix[b] - prefix[a]`, O(1) per tile.
+    cost_prefix: Option<Arc<Vec<u64>>>,
+}
+
+impl ListPolicy {
+    /// Policy over the full index list with the default tile length.
+    pub fn new(indices: Arc<Vec<u32>>) -> Self {
+        let end = indices.len();
+        Self {
+            indices,
+            start: 0,
+            end,
+            tile: 256,
+            cost_prefix: None,
+        }
+    }
+
+    /// Restrict iteration to positions `start..end` (e.g. one CSR level of
+    /// a per-level 3-D wet-cell list). The cost prefix, if any, still
+    /// indexes the full array.
+    pub fn slice(mut self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.indices.len());
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Override the tile length.
+    pub fn with_tile(mut self, tile: usize) -> Self {
+        assert!(tile > 0, "tile length must be positive");
+        self.tile = tile;
+        self
+    }
+
+    /// Attach a per-entry cost prefix (see [`Self::cost_prefix`] docs);
+    /// enables cost-weighted tile scheduling on every backend.
+    pub fn with_cost_prefix(mut self, prefix: Arc<Vec<u64>>) -> Self {
+        assert_eq!(
+            prefix.len(),
+            self.indices.len() + 1,
+            "cost prefix must have indices.len() + 1 entries"
+        );
+        self.cost_prefix = Some(prefix);
+        self
+    }
+
+    /// Number of list positions iterated.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The shared packed index array.
+    pub fn indices(&self) -> &Arc<Vec<u32>> {
+        &self.indices
+    }
+
+    /// Packed index at list position `n`.
+    #[inline]
+    pub fn entry(&self, n: usize) -> u32 {
+        self.indices[n]
+    }
+
+    /// Paper Eq. (1) over the list length.
+    pub fn total_tiles(&self) -> usize {
+        self.len().div_ceil(self.tile)
+    }
+
+    /// List-position range of tile `t`.
+    #[inline]
+    pub fn tile_range(&self, t: usize) -> (usize, usize) {
+        let lo = self.start + t * self.tile;
+        let hi = (lo + self.tile).min(self.end);
+        (lo, hi)
+    }
+
+    /// Cumulative cost of tiles `[0, t)`. Without a cost prefix every entry
+    /// costs 1, so this degenerates to the entry count (Eq. 2 split).
+    fn cum_cost(&self, t: usize) -> u64 {
+        let hi = (self.start + t * self.tile).min(self.end);
+        match &self.cost_prefix {
+            Some(p) => p[hi] - p[self.start],
+            None => (hi - self.start) as u64,
+        }
+    }
+
+    /// Cost of tile `t` alone.
+    pub fn tile_cost(&self, t: usize) -> u64 {
+        self.cum_cost(t + 1) - self.cum_cost(t)
+    }
+
+    /// Total cost of the iterated range.
+    pub fn total_cost(&self) -> u64 {
+        self.cum_cost(self.total_tiles())
+    }
+
+    /// Cost-balanced boundary `b(w)`: the smallest tile `t` such that the
+    /// cumulative cost of tiles `[0, t)` reaches fraction `w / workers` of
+    /// the total. Monotone in `w`, with `b(0) = 0` and `b(workers) = total`.
+    fn cost_boundary(&self, w: usize, workers: usize, total: usize) -> usize {
+        if w == 0 {
+            return 0;
+        }
+        if w >= workers {
+            return total;
+        }
+        let total_cost = self.cum_cost(total);
+        if total_cost == 0 {
+            // No cost signal (all-zero weights): fall back to a count split.
+            return (w * total) / workers;
+        }
+        // Binary search (u128 products cannot overflow: cost and counts
+        // both fit in u64).
+        let goal = total_cost as u128 * w as u128;
+        let ww = workers as u128;
+        let (mut lo, mut hi) = (0usize, total);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cum_cost(mid) as u128 * ww >= goal {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Contiguous tile range `[lo, hi)` worker `w` of `workers` executes
+    /// under cost-weighted scheduling. Deterministic for a given `workers`:
+    /// the ranges are disjoint, ordered and cover `0..total_tiles()` — so
+    /// which worker runs a tile may change with `workers`, but tile
+    /// contents and (for reductions) the tile-ordered join never do.
+    pub fn worker_tile_range(&self, w: usize, workers: usize) -> (usize, usize) {
+        let workers = workers.max(1);
+        let total = self.total_tiles();
+        (
+            self.cost_boundary(w, workers, total),
+            self.cost_boundary(w + 1, workers, total),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +429,95 @@ mod tests {
     #[should_panic(expected = "tile length must be positive")]
     fn zero_tile_rejected() {
         let _ = RangePolicy::new(10).with_tile(0);
+    }
+
+    fn list(n: usize, tile: usize) -> ListPolicy {
+        ListPolicy::new(Arc::new((0..n as u32).rev().collect())).with_tile(tile)
+    }
+
+    #[test]
+    fn list_tiles_cover_exactly() {
+        let p = list(103, 16).slice(5, 99);
+        assert_eq!(p.len(), 94);
+        assert_eq!(p.total_tiles(), 94usize.div_ceil(16));
+        let mut covered = Vec::new();
+        for t in 0..p.total_tiles() {
+            let (lo, hi) = p.tile_range(t);
+            assert!(lo < hi);
+            for n in lo..hi {
+                assert_eq!(p.entry(n), (102 - n) as u32);
+            }
+            covered.extend(lo..hi);
+        }
+        assert_eq!(covered, (5..99).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn list_worker_ranges_partition_tiles() {
+        for workers in [1, 2, 3, 7, 64, 200] {
+            let p = list(1000, 13);
+            let mut next = 0;
+            for w in 0..workers {
+                let (lo, hi) = p.worker_tile_range(w, workers);
+                assert_eq!(lo, next, "ranges contiguous at worker {w}");
+                assert!(hi >= lo);
+                next = hi;
+            }
+            assert_eq!(next, p.total_tiles(), "ranges cover all tiles");
+        }
+    }
+
+    #[test]
+    fn list_cost_weighting_balances_skewed_work() {
+        // 256 entries: the first 64 cost 31 each, the rest cost 1 —
+        // a count split at tile=1 would give worker 0 all the heavy work.
+        let n = 256;
+        let costs: Vec<u64> = (0..n).map(|i| if i < 64 { 31 } else { 1 }).collect();
+        let mut prefix = vec![0u64; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] + costs[i];
+        }
+        let p = ListPolicy::new(Arc::new((0..n as u32).collect()))
+            .with_tile(1)
+            .with_cost_prefix(Arc::new(prefix));
+        assert_eq!(p.total_cost(), 64 * 31 + 192);
+        let workers = 8;
+        let ideal = p.total_cost() as f64 / workers as f64;
+        for w in 0..workers {
+            let (lo, hi) = p.worker_tile_range(w, workers);
+            let cost: u64 = (lo..hi).map(|t| p.tile_cost(t)).sum();
+            assert!(
+                (cost as f64) < 2.0 * ideal,
+                "worker {w} got {cost} of ideal {ideal}"
+            );
+        }
+        // Heavy half spreads across several workers, not just worker 0.
+        let (_, hi0) = p.worker_tile_range(0, workers);
+        assert!(hi0 < 64, "worker 0 must not own every heavy tile");
+    }
+
+    #[test]
+    fn list_empty_and_zero_cost() {
+        let p = ListPolicy::new(Arc::new(Vec::new()));
+        assert!(p.is_empty());
+        assert_eq!(p.total_tiles(), 0);
+        assert_eq!(p.worker_tile_range(0, 4), (0, 0));
+        // All-zero cost prefix falls back to a count split.
+        let q = ListPolicy::new(Arc::new(vec![9, 3, 7, 1]))
+            .with_tile(1)
+            .with_cost_prefix(Arc::new(vec![0; 5]));
+        let mut next = 0;
+        for w in 0..2 {
+            let (lo, hi) = q.worker_tile_range(w, 2);
+            assert_eq!(lo, next);
+            next = hi;
+        }
+        assert_eq!(next, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "indices.len() + 1")]
+    fn list_bad_prefix_rejected() {
+        let _ = ListPolicy::new(Arc::new(vec![1, 2, 3])).with_cost_prefix(Arc::new(vec![0, 1]));
     }
 }

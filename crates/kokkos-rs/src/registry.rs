@@ -32,9 +32,10 @@ use std::sync::Mutex;
 use sunway_sim::{CpeCtx, CpeKernel};
 
 use crate::functor::{
-    Functor1D, Functor2D, Functor3D, IterCost, ReduceFunctor1D, ReduceFunctor2D, ReduceFunctor3D,
+    Functor1D, Functor2D, Functor3D, FunctorList, IterCost, ReduceFunctor1D, ReduceFunctor2D,
+    ReduceFunctor3D, ReduceFunctorList,
 };
-use crate::policy::{tiles_per_cpe, MDRangePolicy2, MDRangePolicy3, RangePolicy};
+use crate::policy::{tiles_per_cpe, ListPolicy, MDRangePolicy2, MDRangePolicy3, RangePolicy};
 
 /// What flavour of launch a registered trampoline implements. `FOR` vs
 /// `REDUCE` and the rank are part of the macro name in the paper
@@ -47,6 +48,9 @@ pub enum KernelKind {
     Reduce1D,
     Reduce2D,
     Reduce3D,
+    /// Compact index-list launch ([`crate::policy::ListPolicy`]).
+    ForList,
+    ReduceList,
     /// Hierarchical team launch with LDM scratch (see [`crate::team`]).
     Team,
 }
@@ -202,6 +206,24 @@ pub struct Payload3D {
 }
 
 #[doc(hidden)]
+pub struct PayloadList {
+    pub functor: *const (),
+    /// Borrowed from the launching frame (`ListPolicy` is not `Copy`);
+    /// valid for the blocking duration of the kernel, like `functor`.
+    pub policy: *const ListPolicy,
+    pub cost: IterCost,
+}
+
+#[doc(hidden)]
+pub struct PayloadReduceList {
+    pub functor: *const (),
+    pub policy: *const ListPolicy,
+    pub cost: IterCost,
+    pub partials: *mut f64,
+    pub identity: f64,
+}
+
+#[doc(hidden)]
 pub struct PayloadReduce1D {
     pub functor: *const (),
     pub policy: RangePolicy,
@@ -231,6 +253,9 @@ pub struct PayloadReduce3D {
 
 #[inline]
 fn charge(ctx: &mut CpeCtx, cost: IterCost, iters: u64) {
+    // One call per executed tile: dispatch accounting first, so per-CPE
+    // tile counts are visible even for zero-cost tiles.
+    ctx.account_tiles(1);
     if iters == 0 {
         return;
     }
@@ -294,6 +319,41 @@ pub fn tramp_for_3d<F: Functor3D>(ctx: &mut CpeCtx, arg: usize) {
             }
         }
         charge(ctx, p.cost, ((k1 - k0) * (j1 - j0) * (i1 - i0)) as u64);
+    }
+}
+
+#[doc(hidden)]
+pub fn tramp_for_list<F: FunctorList>(ctx: &mut CpeCtx, arg: usize) {
+    let p = unsafe { &*(arg as *const PayloadList) };
+    let f = unsafe { &*(p.functor as *const F) };
+    let policy = unsafe { &*p.policy };
+    // Cost-weighted Eq. (2): each CPE takes the contiguous tile range whose
+    // cumulative cost share is its own, not a fixed tile count.
+    let (t0, t1) = policy.worker_tile_range(ctx.cpe_id(), ctx.num_cpes());
+    for t in t0..t1 {
+        let (lo, hi) = policy.tile_range(t);
+        for n in lo..hi {
+            f.operator(n, policy.entry(n));
+        }
+        charge(ctx, p.cost, (hi - lo) as u64);
+    }
+}
+
+#[doc(hidden)]
+pub fn tramp_reduce_list<F: ReduceFunctorList>(ctx: &mut CpeCtx, arg: usize) {
+    let p = unsafe { &*(arg as *const PayloadReduceList) };
+    let f = unsafe { &*(p.functor as *const F) };
+    let policy = unsafe { &*p.policy };
+    let (t0, t1) = policy.worker_tile_range(ctx.cpe_id(), ctx.num_cpes());
+    for t in t0..t1 {
+        let (lo, hi) = policy.tile_range(t);
+        let mut acc = p.identity;
+        for n in lo..hi {
+            f.contribute(n, policy.entry(n), &mut acc);
+        }
+        // SAFETY: worker tile ranges are disjoint; tile t has one owner.
+        unsafe { *p.partials.add(t) = acc };
+        charge(ctx, p.cost, (hi - lo) as u64);
     }
 }
 
@@ -374,6 +434,24 @@ pub fn register_3d<F: Functor3D + 'static>(name: &'static str) {
     insert(key_of::<F>(), name, KernelKind::For3D, tramp_for_3d::<F>);
 }
 
+pub fn register_list<F: FunctorList + 'static>(name: &'static str) {
+    insert(
+        key_of::<F>(),
+        name,
+        KernelKind::ForList,
+        tramp_for_list::<F>,
+    );
+}
+
+pub fn register_reduce_list<F: ReduceFunctorList + 'static>(name: &'static str) {
+    insert(
+        key_of::<F>(),
+        name,
+        KernelKind::ReduceList,
+        tramp_reduce_list::<F>,
+    );
+}
+
 pub fn register_reduce_1d<F: ReduceFunctor1D + 'static>(name: &'static str) {
     insert(
         key_of::<F>(),
@@ -437,6 +515,29 @@ macro_rules! register_for_3d {
         #[allow(non_snake_case)]
         pub fn $name() {
             $crate::registry::register_3d::<$f>(stringify!($name));
+        }
+    };
+}
+
+/// `KOKKOS_REGISTER_FOR_LIST` analogue (index-list launch); see
+/// `register_for_1d!`.
+#[macro_export]
+macro_rules! register_for_list {
+    ($name:ident, $f:ty) => {
+        #[allow(non_snake_case)]
+        pub fn $name() {
+            $crate::registry::register_list::<$f>(stringify!($name));
+        }
+    };
+}
+
+/// `KOKKOS_REGISTER_REDUCE_LIST` analogue; see `register_for_1d!`.
+#[macro_export]
+macro_rules! register_reduce_list {
+    ($name:ident, $f:ty) => {
+        #[allow(non_snake_case)]
+        pub fn $name() {
+            $crate::registry::register_reduce_list::<$f>(stringify!($name));
         }
     };
 }

@@ -24,8 +24,8 @@
 //! the Sunway cycle model.
 
 use kokkos_rs::{
-    parallel_for_2d, parallel_for_3d, Functor2D, Functor3D, IterCost, MDRangePolicy2,
-    MDRangePolicy3, Space, View1, View2, View3,
+    parallel_for_2d, parallel_for_3d, parallel_for_list, Functor2D, Functor3D, FunctorList,
+    IterCost, ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View1, View2, View3,
 };
 
 use halo_exchange::HALO as H;
@@ -269,9 +269,11 @@ impl FunctorDiagnoseW {
     }
 }
 
-impl Functor2D for FunctorDiagnoseW {
-    fn operator(&self, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorDiagnoseW {
+    /// Diagnose one column at **padded** indices (shared by the dense and
+    /// active-set launches). Land columns only re-zero `w`, which nothing
+    /// else writes — so the active-set launch can skip them bitwise-safely.
+    fn column(&self, jl: usize, il: usize) {
         let kmt = self.kmt.at(jl, il) as usize;
         for k in kmt..=self.nz {
             self.w.set_at(k, jl, il, 0.0);
@@ -294,6 +296,12 @@ impl Functor2D for FunctorDiagnoseW {
             self.w.set_at(k, jl, il, w);
         }
     }
+}
+
+impl Functor2D for FunctorDiagnoseW {
+    fn operator(&self, j: usize, i: usize) {
+        self.column(j + H, i + H);
+    }
 
     fn cost(&self) -> IterCost {
         IterCost {
@@ -304,6 +312,25 @@ impl Functor2D for FunctorDiagnoseW {
 }
 
 kokkos_rs::register_for_2d!(kernel_diagnose_w, FunctorDiagnoseW);
+
+/// Active-set continuity diagnosis: entry `idx` is a packed wet T column.
+pub struct FunctorDiagnoseWList {
+    pub f: FunctorDiagnoseW,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorDiagnoseWList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
+        self.f.column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_diagnose_w_list, FunctorDiagnoseWList);
 
 /// Vertical pass: limited upstream fluxes through interfaces and the
 /// divergence update, column-wise (the column loop *is* the stencil, so
@@ -319,9 +346,11 @@ pub struct FunctorAdvectZ {
     pub limited: bool,
 }
 
-impl Functor2D for FunctorAdvectZ {
-    fn operator(&self, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorAdvectZ {
+    /// One column at **padded** indices. As used by [`advect_tracer`] the
+    /// pass is in place (`q` and `q1` alias), so the land/below-`kmt`
+    /// copy-through is the identity — the active-set launch skips it.
+    fn column(&self, jl: usize, il: usize) {
         let kmt = self.kmt.at(jl, il) as usize;
         for k in kmt..self.nz {
             self.q1.set_at(k, jl, il, self.q.at(k, jl, il));
@@ -382,6 +411,12 @@ impl Functor2D for FunctorAdvectZ {
             self.q1.set_at(k, jl, il, q + dq);
         }
     }
+}
+
+impl Functor2D for FunctorAdvectZ {
+    fn operator(&self, j: usize, i: usize) {
+        self.column(j + H, i + H);
+    }
 
     fn cost(&self) -> IterCost {
         IterCost {
@@ -393,6 +428,27 @@ impl Functor2D for FunctorAdvectZ {
 
 kokkos_rs::register_for_2d!(kernel_advect_z, FunctorAdvectZ);
 
+/// Active-set vertical pass: entry `idx` is a packed wet T column. Only
+/// valid when the pass is in place (`q` aliases `q1`), as in
+/// [`advect_tracer`] — see [`FunctorAdvectZ::column`].
+pub struct FunctorAdvectZList {
+    pub f: FunctorAdvectZ,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorAdvectZList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
+        self.f.column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_advect_z_list, FunctorAdvectZList);
+
 /// Register this module's functors.
 pub fn register() {
     kernel_flux_x();
@@ -400,7 +456,9 @@ pub fn register() {
     kernel_flux_y();
     kernel_apply_y();
     kernel_diagnose_w();
+    kernel_diagnose_w_list();
     kernel_advect_z();
+    kernel_advect_z_list();
 }
 
 /// Full dimension-split advection of tracer `q` over `dt`, writing
@@ -410,6 +468,11 @@ pub fn register() {
 /// the intermediate field's halos between the x and y passes (the
 /// y-stencil reads `tmp` at `j±2`, which the x-pass does not compute in
 /// the halo rows).
+///
+/// `wet_cols` (packed owned wet T columns) routes the column-local z pass
+/// through the active-set launch; the x/y passes stay dense because their
+/// apply steps copy `q → q1` on land — a real write into the scratch
+/// field that skipping would lose.
 #[allow(clippy::too_many_arguments)]
 pub fn advect_tracer(
     space: &Space,
@@ -423,6 +486,7 @@ pub fn advect_tracer(
     w: &View3<f64>,
     dt: f64,
     limited: bool,
+    wet_cols: Option<&ListPolicy>,
     exchange_tmp: &dyn Fn(&View3<f64>),
 ) {
     let (nx, ny, nz) = (g.nx, g.ny, g.nz);
@@ -483,7 +547,10 @@ pub fn advect_tracer(
         nz,
         limited,
     };
-    parallel_for_2d(space, MDRangePolicy2::new([ny, nx]), &az);
+    match wet_cols {
+        Some(cols) => parallel_for_list(space, cols, &FunctorAdvectZList { f: az, pi: g.pi }),
+        None => parallel_for_2d(space, MDRangePolicy2::new([ny, nx]), &az),
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! simplification — it is dynamically subdominant at these scales and
 //! does not change the kernel's computational profile).
 
-use kokkos_rs::{Functor2D, Functor3D, IterCost, View1, View2, View3};
+use kokkos_rs::{Functor2D, Functor3D, FunctorList, IterCost, View1, View2, View3};
 use ocean_grid::RHO0;
 
 use halo_exchange::HALO as H;
@@ -41,9 +41,9 @@ pub struct FunctorMomentumTend {
     pub visc: f64,
 }
 
-impl Functor3D for FunctorMomentumTend {
-    fn operator(&self, k: usize, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorMomentumTend {
+    /// Tendency at one point, **padded** indices (shared launch shapes).
+    fn at_point(&self, k: usize, jl: usize, il: usize) {
         let ki = k as i32;
         if self.kmu.at(jl, il) <= ki {
             self.ut.set_at(k, jl, il, 0.0);
@@ -119,6 +119,12 @@ impl Functor3D for FunctorMomentumTend {
         self.ut.set_at(k, jl, il, du);
         self.vt.set_at(k, jl, il, dv);
     }
+}
+
+impl Functor3D for FunctorMomentumTend {
+    fn operator(&self, k: usize, j: usize, i: usize) {
+        self.at_point(k, j + H, i + H);
+    }
 
     fn cost(&self) -> IterCost {
         // The genuine hotspot: ~80 flops over ~25 stencil reads.
@@ -130,6 +136,32 @@ impl Functor3D for FunctorMomentumTend {
 }
 
 kokkos_rs::register_for_3d!(kernel_momentum_tend, FunctorMomentumTend);
+
+/// Active-set momentum tendency: entry `idx` is a packed wet velocity
+/// cell `(k·pj + jl)·pi + il` (`k < kmu`). Dry cells keep the tendency
+/// views' initial zeros — exactly what the dense launch writes, and
+/// `ut`/`vt` are consumed only where `kmu > k` — so the skip is bitwise
+/// neutral.
+pub struct FunctorMomentumTendList {
+    pub f: FunctorMomentumTend,
+    pub pj: usize,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorMomentumTendList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let idx = idx as usize;
+        let il = idx % self.pi;
+        let rest = idx / self.pi;
+        self.f.at_point(rest / self.pj, rest % self.pj, il);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_momentum_tend_list, FunctorMomentumTendList);
 
 /// Leapfrog update `new = old + dt2 · tend`, masked.
 pub struct FunctorLeapfrog3D {
@@ -205,9 +237,9 @@ pub struct FunctorBtCorrect {
     pub dz: View1<f64>,
 }
 
-impl Functor2D for FunctorBtCorrect {
-    fn operator(&self, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorBtCorrect {
+    /// One corner at **padded** indices (shared launch shapes).
+    fn column(&self, jl: usize, il: usize) {
         let kb = self.kmu.at(jl, il) as usize;
         if kb == 0 {
             return;
@@ -228,6 +260,12 @@ impl Functor2D for FunctorBtCorrect {
             self.v.set_at(k, jl, il, self.v.at(k, jl, il) + dv);
         }
     }
+}
+
+impl Functor2D for FunctorBtCorrect {
+    fn operator(&self, j: usize, i: usize) {
+        self.column(j + H, i + H);
+    }
 
     fn cost(&self) -> IterCost {
         IterCost {
@@ -239,12 +277,35 @@ impl Functor2D for FunctorBtCorrect {
 
 kokkos_rs::register_for_2d!(kernel_bt_correct, FunctorBtCorrect);
 
+/// Active-set mode correction: entry `idx` is a packed wet velocity
+/// corner; the dense launch's dry-corner early-return is the exact
+/// complement of the set.
+pub struct FunctorBtCorrectList {
+    pub f: FunctorBtCorrect,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorBtCorrectList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
+        self.f.column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_bt_correct_list, FunctorBtCorrectList);
+
 /// Register this module's functors.
 pub fn register() {
     kernel_momentum_tend();
+    kernel_momentum_tend_list();
     kernel_leapfrog_3d();
     kernel_asselin_3d();
     kernel_bt_correct();
+    kernel_bt_correct_list();
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@
 //! substep would violate the gravity-wave CFL; like LICOM (and POP), a
 //! zonal **polar filter** smooths the fast fields on the offending rows.
 
-use kokkos_rs::{parallel_for_2d, Functor2D, IterCost, MDRangePolicy2, Space, View1, View2};
+use kokkos_rs::{
+    parallel_for_2d, Functor2D, FunctorList, IterCost, MDRangePolicy2, Space, View1, View2,
+};
 use ocean_grid::GRAVITY;
 
 use halo_exchange::{FoldKind, Halo2D, HALO as H};
@@ -32,9 +34,9 @@ pub struct FunctorDepthMean {
     pub dz: View1<f64>,
 }
 
-impl Functor2D for FunctorDepthMean {
-    fn operator(&self, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorDepthMean {
+    /// One corner at **padded** indices (shared by both launch shapes).
+    fn column(&self, jl: usize, il: usize) {
         let kb = self.kmu.at(jl, il) as usize;
         if kb == 0 {
             self.out.set_at(jl, il, 0.0);
@@ -49,6 +51,12 @@ impl Functor2D for FunctorDepthMean {
         }
         self.out.set_at(jl, il, sum / h);
     }
+}
+
+impl Functor2D for FunctorDepthMean {
+    fn operator(&self, j: usize, i: usize) {
+        self.column(j + H, i + H);
+    }
 
     fn cost(&self) -> IterCost {
         IterCost {
@@ -59,6 +67,31 @@ impl Functor2D for FunctorDepthMean {
 }
 
 kokkos_rs::register_for_2d!(kernel_depth_mean, FunctorDepthMean);
+
+/// Active-set depth mean: entry `idx` is a packed wet velocity corner
+/// (`kmu > 0`). Dry corners keep the output's initial zero — exactly what
+/// the dense launch writes, and nothing else writes `out` — so the skip
+/// is bitwise neutral. (The substep kernels [`FunctorBtEta`]/
+/// [`FunctorBtVel`] deliberately stay dense: the zonal polar filter and
+/// the Asselin filter write land cells unmasked, so their land zeros are
+/// real state the next substep's stencils read.)
+pub struct FunctorDepthMeanList {
+    pub f: FunctorDepthMean,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorDepthMeanList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
+        self.f.column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_depth_mean_list, FunctorDepthMeanList);
 
 /// One leapfrog continuity substep:
 /// `η_new = η_old − dt2 · ∇·(H u_bt) / area` on T cells.
@@ -312,6 +345,7 @@ kokkos_rs::register_for_2d!(kernel_scale_assign_2d, FunctorScaleAssign2D);
 /// Register this module's functors.
 pub fn register() {
     kernel_depth_mean();
+    kernel_depth_mean_list();
     kernel_bt_eta();
     kernel_bt_vel();
     kernel_asselin_2d();

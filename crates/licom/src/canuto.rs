@@ -19,15 +19,16 @@
 //!
 //! 1. [`FunctorCanutoRect`] — rectangle launch, land iterations idle
 //!    (the "before" of Fig. 4);
-//! 2. [`FunctorCanutoList`] — the rank's wet columns packed densely
-//!    (within-rank balancing);
+//! 2. [`FunctorCanutoCols`] — the rank's wet columns packed densely as a
+//!    [`kokkos_rs::ListPolicy`] with per-column depth costs (within-rank
+//!    balancing, now in the generic dispatch layer);
 //! 3. [`balanced_cross_rank`] — ranks even out their wet-column counts by
 //!    shipping column inputs to under-loaded ranks and collecting the
 //!    results (the full Fig. 4 scheme).
 //!
 //! All three produce **bitwise identical** coefficients.
 
-use kokkos_rs::{Functor1D, Functor2D, IterCost, View1, View2, View3};
+use kokkos_rs::{Functor2D, FunctorList, IterCost, View1, View2, View3};
 use mpi_sim::Comm;
 use ocean_grid::{GRAVITY, RHO0};
 
@@ -145,17 +146,20 @@ impl Functor2D for FunctorCanutoRect {
 
 kokkos_rs::register_for_2d!(kernel_canuto_rect, FunctorCanutoRect);
 
-/// Packed wet-column launch: iteration `n` handles `cols[n]`.
-pub struct FunctorCanutoList {
+/// Packed wet-column launch through the generic [`kokkos_rs::ListPolicy`]:
+/// entry `idx` is a packed `jl * pi + il` wet column. The policy carries
+/// the per-column wet depth as its cost, so every backend splits the
+/// closure work by cumulative wet levels rather than column count.
+/// (Successor of the bespoke `FunctorCanutoList`, which carried its own
+/// index view.)
+pub struct FunctorCanutoCols {
     pub f: CanutoFields,
-    /// Packed `jl * pi + il` indices.
-    pub cols: View1<i32>,
     pub pi: usize,
 }
 
-impl Functor1D for FunctorCanutoList {
-    fn operator(&self, n: usize) {
-        let packed = self.cols.at(n) as usize;
+impl FunctorList for FunctorCanutoCols {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
         self.f.compute_column(packed / self.pi, packed % self.pi);
     }
 
@@ -167,12 +171,12 @@ impl Functor1D for FunctorCanutoList {
     }
 }
 
-kokkos_rs::register_for_1d!(kernel_canuto_list, FunctorCanutoList);
+kokkos_rs::register_for_list!(kernel_canuto_cols, FunctorCanutoCols);
 
 /// Register this module's functors.
 pub fn register() {
     kernel_canuto_rect();
-    kernel_canuto_list();
+    kernel_canuto_cols();
 }
 
 /// Evaluate the expensive closure for a buffer of `(n², s²)` interface
@@ -208,7 +212,7 @@ pub struct BalanceReport {
 /// Bitwise identical to evaluating locally.
 ///
 /// `wet_cols` are this rank's packed wet columns (as in
-/// [`FunctorCanutoList`]). Columns are shipped from the tail of the list.
+/// [`FunctorCanutoCols`]). Columns are shipped from the tail of the list.
 pub fn balanced_cross_rank(
     comm: &Comm,
     fields: &CanutoFields,

@@ -8,8 +8,8 @@
 //! contribution `g ρ0 η`.
 
 use kokkos_rs::{
-    parallel_for_2d, parallel_for_3d, Functor2D, Functor3D, IterCost, MDRangePolicy2,
-    MDRangePolicy3, Space, View1, View2, View3,
+    parallel_for_2d, parallel_for_3d, parallel_for_list, Functor2D, Functor3D, FunctorList,
+    IterCost, ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View1, View2, View3,
 };
 
 use ocean_grid::{GRAVITY, RHO0};
@@ -23,15 +23,25 @@ pub struct FunctorEos {
     pub rho: View3<f64>,
 }
 
+impl FunctorEos {
+    /// Shared body at a storage-order offset. All three views are root
+    /// `[nz, pj, pi]` Right-layout allocations, so their offsets
+    /// coincide and the pointwise EOS never needs `(k, j, i)` at all.
+    #[inline(always)]
+    fn at_offset(&self, off: usize) {
+        let t = self.t.get_linear(off);
+        let s = self.s.get_linear(off);
+        let rho = RHO0 * (1.0 - ALPHA_T * (t - T_REF) + BETA_S * (s - S_REF));
+        self.rho.set_linear(off, rho);
+    }
+}
+
 impl Functor3D for FunctorEos {
     /// Operates on raw padded indices: the model launches it over the
     /// full padded block so halo cells (whose T/S are exchanged) get
     /// valid density/pressure without an extra halo update.
     fn operator(&self, k: usize, jl: usize, il: usize) {
-        let t = self.t.at(k, jl, il);
-        let s = self.s.at(k, jl, il);
-        let rho = RHO0 * (1.0 - ALPHA_T * (t - T_REF) + BETA_S * (s - S_REF));
-        self.rho.set_at(k, jl, il, rho);
+        self.at_offset(self.t.offset([k, jl, il]));
     }
 
     fn cost(&self) -> IterCost {
@@ -43,6 +53,29 @@ impl Functor3D for FunctorEos {
 }
 
 kokkos_rs::register_for_3d!(kernel_eos, FunctorEos);
+
+/// Active-set EOS: entry `idx` is a packed wet cell `(k·pj + jl)·pi + il`.
+/// Density below `kmt` (and on land) is never consumed — `rho` feeds only
+/// the pressure integral and the canuto `N²`, both of which stop at the
+/// column bottom — so skipping those cells is bitwise neutral.
+///
+/// The packed index doubles as the storage-order offset of the root
+/// `[nz, pj, pi]` state views, so the hot path is division-free.
+pub struct FunctorEosList {
+    pub f: FunctorEos,
+}
+
+impl FunctorList for FunctorEosList {
+    fn operator(&self, _n: usize, idx: u32) {
+        self.f.at_offset(idx as usize);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_eos_list, FunctorEosList);
 
 /// Column-wise hydrostatic pressure integral (includes `g ρ0 η`).
 pub struct FunctorPressure {
@@ -81,10 +114,35 @@ impl Functor2D for FunctorPressure {
 
 kokkos_rs::register_for_2d!(kernel_pressure, FunctorPressure);
 
+/// Active-set pressure: entry `idx` is a packed wet column `jl·pi + il`.
+/// Dry columns keep their initial zero pressure, which is exactly what
+/// the dense launch writes there (η ≡ 0 in the baroclinic integral), so
+/// the skip is bitwise neutral. The set must span the **padded** block —
+/// the momentum stencil reads pressure in the halo columns.
+pub struct FunctorPressureList {
+    pub f: FunctorPressure,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorPressureList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let idx = idx as usize;
+        self.f.operator(idx / self.pi, idx % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_pressure_list, FunctorPressureList);
+
 /// Register this module's functors.
 pub fn register() {
     kernel_eos();
     kernel_pressure();
+    kernel_eos_list();
+    kernel_pressure_list();
 }
 
 /// Launch density + pressure over the **full padded block** (`pi × pj`),
@@ -99,6 +157,19 @@ pub fn compute_density_pressure(
 ) {
     parallel_for_3d(space, MDRangePolicy3::new([nz, pj, pi]), f_eos);
     parallel_for_2d(space, MDRangePolicy2::new([pj, pi]), f_p);
+}
+
+/// Active-set variant of [`compute_density_pressure`]: density over the
+/// packed wet cells, pressure over the packed wet columns (both padded).
+pub fn compute_density_pressure_active(
+    space: &Space,
+    cells: &ListPolicy,
+    cols: &ListPolicy,
+    f_eos: FunctorEosList,
+    f_p: FunctorPressureList,
+) {
+    parallel_for_list(space, cells, &f_eos);
+    parallel_for_list(space, cols, &f_p);
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! boundary currents and fronts, which is what the submesoscale
 //! diagnostics (Fig. 6) feed on.
 
-use kokkos_rs::{Functor2D, IterCost, View1, View2, View3};
+use kokkos_rs::{Functor2D, FunctorList, IterCost, View1, View2, View3};
 
 use halo_exchange::HALO as H;
 use ocean_grid::RHO0;
@@ -50,9 +50,9 @@ pub struct FunctorWindStress {
     pub dz0: f64,
 }
 
-impl Functor2D for FunctorWindStress {
-    fn operator(&self, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorWindStress {
+    /// One corner at **padded** indices (shared launch shapes).
+    fn column(&self, jl: usize, il: usize) {
         if self.kmu.at(jl, il) == 0 {
             return;
         }
@@ -63,6 +63,12 @@ impl Functor2D for FunctorWindStress {
             .set_at(0, jl, il, self.ut.at(0, jl, il) + wind_stress_x(lat) * fac);
         self.vt
             .set_at(0, jl, il, self.vt.at(0, jl, il) + wind_stress_y(lat) * fac);
+    }
+}
+
+impl Functor2D for FunctorWindStress {
+    fn operator(&self, j: usize, i: usize) {
+        self.column(j + H, i + H);
     }
 
     fn cost(&self) -> IterCost {
@@ -75,6 +81,26 @@ impl Functor2D for FunctorWindStress {
 
 kokkos_rs::register_for_2d!(kernel_wind_stress, FunctorWindStress);
 
+/// Active-set wind stress: entry `idx` is a packed wet velocity corner;
+/// the dense launch's dry-corner early-return is the set's complement.
+pub struct FunctorWindStressList {
+    pub f: FunctorWindStress,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorWindStressList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
+        self.f.column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_wind_stress_list, FunctorWindStressList);
+
 /// Restore the new-level surface tracers toward the climatological target
 /// with timescale [`RESTORE_SECONDS`].
 pub struct FunctorSurfaceRestore {
@@ -85,9 +111,9 @@ pub struct FunctorSurfaceRestore {
     pub dt: f64,
 }
 
-impl Functor2D for FunctorSurfaceRestore {
-    fn operator(&self, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorSurfaceRestore {
+    /// One column at **padded** indices (shared launch shapes).
+    fn column(&self, jl: usize, il: usize) {
         if self.kmt.at(jl, il) == 0 {
             return;
         }
@@ -100,6 +126,12 @@ impl Functor2D for FunctorSurfaceRestore {
         self.s_new
             .set_at(0, jl, il, s + gamma * (sss_target(lat) - s));
     }
+}
+
+impl Functor2D for FunctorSurfaceRestore {
+    fn operator(&self, j: usize, i: usize) {
+        self.column(j + H, i + H);
+    }
 
     fn cost(&self) -> IterCost {
         IterCost {
@@ -111,10 +143,31 @@ impl Functor2D for FunctorSurfaceRestore {
 
 kokkos_rs::register_for_2d!(kernel_surface_restore, FunctorSurfaceRestore);
 
+/// Active-set surface restoring: entry `idx` is a packed wet T column.
+pub struct FunctorSurfaceRestoreList {
+    pub f: FunctorSurfaceRestore,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorSurfaceRestoreList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
+        self.f.column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_surface_restore_list, FunctorSurfaceRestoreList);
+
 /// Register this module's functors.
 pub fn register() {
     kernel_wind_stress();
+    kernel_wind_stress_list();
     kernel_surface_restore();
+    kernel_surface_restore_list();
 }
 
 #[cfg(test)]

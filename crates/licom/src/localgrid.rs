@@ -7,9 +7,30 @@
 //! operators only evaluate metrics on owned cells.
 
 use kokkos_rs::{View, View1, View2};
-use ocean_grid::GlobalGrid;
+use ocean_grid::{ActiveSet, ActiveSet3, GlobalGrid};
 
 use halo_exchange::{Halo2D, HALO as H};
+
+/// Packed wet-point index sets, built once per rank from `kmt`/`kmu` and
+/// shared (via `Arc`) with every `ListPolicy` launch. The split between
+/// padded and owned sets follows what each kernel needs: pressure must
+/// cover halo columns (the momentum gradient reads them), while advection
+/// columns and horizontal diffusion only touch owned cells.
+pub struct WetSets {
+    /// Wet tracer columns over the full padded block (`kmt > 0`),
+    /// packed `jl * pi + il`; cost = wet levels.
+    pub cols_pad: ActiveSet,
+    /// Owned-interior wet tracer columns (same packing as `wet_columns`).
+    pub cols_own: ActiveSet,
+    /// Owned-interior wet velocity columns (`kmu > 0`); cost = wet levels.
+    pub ucols_own: ActiveSet,
+    /// Padded 3-D wet tracer cells (`k < kmt`), per-level CSR.
+    pub cells3_pad: ActiveSet3,
+    /// Owned-interior 3-D wet tracer cells.
+    pub cells3_own: ActiveSet3,
+    /// Owned-interior 3-D wet velocity cells (`k < kmu`).
+    pub ucells3_own: ActiveSet3,
+}
 
 /// Grid slice owned by one rank, with 2-cell padding, as device-agnostic
 /// `View`s ready to be captured by functors.
@@ -50,6 +71,8 @@ pub struct LocalGrid {
     pub depth: View2<f64>,
     /// Packed owned wet-column indices `jl * pi + il` (canuto work list).
     pub wet_columns: View1<i32>,
+    /// Active-set index lists for wet-point iteration.
+    pub wet: WetSets,
 }
 
 impl LocalGrid {
@@ -133,6 +156,17 @@ impl LocalGrid {
         let wet_columns: View1<i32> = View::host("wet_columns", [wet.len()]);
         wet_columns.copy_from_slice(&wet);
 
+        let kmt_at = |jl: usize, il: usize| kmt.at(jl, il).max(0) as u32;
+        let kmu_at = |jl: usize, il: usize| kmu.at(jl, il).max(0) as u32;
+        let wet_sets = WetSets {
+            cols_pad: ActiveSet::build_columns(pi, 0..pj, 0..pi, kmt_at),
+            cols_own: ActiveSet::build_columns(pi, H..H + ny, H..H + nx, kmt_at),
+            ucols_own: ActiveSet::build_columns(pi, H..H + ny, H..H + nx, kmu_at),
+            cells3_pad: ActiveSet3::build_cells(nz, pj, pi, 0..pj, 0..pi, kmt_at),
+            cells3_own: ActiveSet3::build_cells(nz, pj, pi, H..H + ny, H..H + nx, kmt_at),
+            ucells3_own: ActiveSet3::build_cells(nz, pj, pi, H..H + ny, H..H + nx, kmu_at),
+        };
+
         Self {
             nx,
             ny,
@@ -154,6 +188,7 @@ impl LocalGrid {
             z_t,
             depth,
             wet_columns,
+            wet: wet_sets,
         }
     }
 
@@ -225,6 +260,41 @@ mod tests {
             let halo = Halo2D::new(&cart, 16, 8);
             let lg = LocalGrid::build(&global, &halo);
             assert_eq!(lg.wet_count(), lg.nx * lg.ny);
+        });
+    }
+
+    #[test]
+    fn wet_sets_agree_with_wet_columns_and_masks() {
+        let global = GlobalGrid::build(24, 12, 6, &Bathymetry::earth_like(), false);
+        World::run(1, |comm| {
+            let cart = CartComm::new(comm.clone(), 1, 1, true);
+            let halo = Halo2D::new(&cart, 24, 12);
+            let lg = LocalGrid::build(&global, &halo);
+            // Owned wet tracer columns match the canuto list exactly.
+            let legacy: Vec<u32> = lg.wet_columns.to_vec().iter().map(|&p| p as u32).collect();
+            assert_eq!(legacy, **lg.wet.cols_own.indices);
+            // Column costs sum to the wet-cell total.
+            let wet_cells: u64 = (0..lg.pj)
+                .flat_map(|j| (0..lg.pi).map(move |i| (j, i)))
+                .map(|(j, i)| lg.kmt.at(j, i).max(0) as u64)
+                .sum();
+            assert_eq!(lg.wet.cols_pad.total_cost(), wet_cells);
+            assert_eq!(lg.wet.cells3_pad.len() as u64, wet_cells);
+            // Per-level CSR: level k holds the padded cells with kmt > k.
+            for k in 0..lg.nz {
+                let (lo, hi) = lg.wet.cells3_pad.level_range(k);
+                let want = (0..lg.pj)
+                    .flat_map(|j| (0..lg.pi).map(move |i| (j, i)))
+                    .filter(|&(j, i)| lg.kmt.at(j, i) > k as i32)
+                    .count();
+                assert_eq!(hi - lo, want, "level {k}");
+            }
+            // Velocity sets follow kmu.
+            let wet_u: usize = (H..H + lg.ny)
+                .flat_map(|j| (H..H + lg.nx).map(move |i| (j, i)))
+                .filter(|&(j, i)| lg.kmu.at(j, i) > 0)
+                .count();
+            assert_eq!(lg.wet.ucols_own.len(), wet_u);
         });
     }
 

@@ -24,27 +24,30 @@
 //! loop, initialization and I/O excluded (§VI-C).
 
 use kokkos_rs::{
-    parallel_for_1d, parallel_for_2d, parallel_for_3d, Functor3D, IterCost, MDRangePolicy2,
-    MDRangePolicy3, RangePolicy, Space, View, View1, View2,
+    parallel_for_2d, parallel_for_3d, parallel_for_list, Functor3D, FunctorList, IterCost,
+    ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View, View1, View2,
 };
 use mpi_sim::{CartComm, Comm, ReduceOp};
 use ocean_grid::{Bathymetry, GlobalGrid, ModelConfig, GRAVITY};
 
 use halo_exchange::{FoldKind, Halo2D, Halo3D, Strategy3D, HALO as H};
 
-use crate::advect::{self, FunctorDiagnoseW};
+use crate::advect::{self, FunctorDiagnoseW, FunctorDiagnoseWList};
 use crate::baroclinic::{
-    FunctorAsselin3D, FunctorBtCorrect, FunctorLeapfrog3D, FunctorMomentumTend,
+    FunctorAsselin3D, FunctorBtCorrect, FunctorBtCorrectList, FunctorLeapfrog3D,
+    FunctorMomentumTend, FunctorMomentumTendList,
 };
-use crate::barotropic::{self, FunctorDepthMean};
-use crate::canuto::{self, CanutoFields, FunctorCanutoList, FunctorCanutoRect};
+use crate::barotropic::{self, FunctorDepthMean, FunctorDepthMeanList};
+use crate::canuto::{self, CanutoFields, FunctorCanutoCols, FunctorCanutoRect};
 use crate::diag::{self, Diagnostics};
-use crate::eos::{FunctorEos, FunctorPressure};
-use crate::forcing::{FunctorSurfaceRestore, FunctorWindStress};
+use crate::eos::{FunctorEos, FunctorEosList, FunctorPressure, FunctorPressureList};
+use crate::forcing::{
+    FunctorSurfaceRestore, FunctorSurfaceRestoreList, FunctorWindStress, FunctorWindStressList,
+};
 use crate::localgrid::LocalGrid;
 use crate::state::State;
 use crate::timers::Timers;
-use crate::vmix::{FunctorVmixImplicit, FunctorVmixTeam};
+use crate::vmix::{FunctorVmixImplicit, FunctorVmixList, FunctorVmixTeam};
 
 /// How the canuto kernel is launched (§V-C1 progression).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +80,10 @@ pub struct ModelOptions {
     /// backend — the §V-C2 "local arrays within the functor" strategy).
     /// Bitwise identical to the flat launch.
     pub vmix_team: bool,
+    /// Launch hot masked kernels over packed wet-point index lists
+    /// (`ListPolicy`) instead of dense rectangles, skipping land work.
+    /// Bitwise identical to the dense masked launches on every backend.
+    pub active_set: bool,
 }
 
 impl Default for ModelOptions {
@@ -90,6 +97,7 @@ impl Default for ModelOptions {
             batched_halo: true,
             polar_filter: true,
             vmix_team: false,
+            active_set: true,
         }
     }
 }
@@ -142,9 +150,73 @@ impl Functor3D for FunctorTracerHDiff {
 
 kokkos_rs::register_for_3d!(kernel_tracer_hdiff, FunctorTracerHDiff);
 
+/// Active-set tracer diffusion: entry `idx` is a packed **owned** wet
+/// cell `(k·pj + jl)·pi + il` (`k < kmt`); the dense launch's dry-cell
+/// early-return is the exact complement of the set.
+pub struct FunctorTracerHDiffList {
+    pub f: FunctorTracerHDiff,
+    pub pj: usize,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorTracerHDiffList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let idx = idx as usize;
+        let il = idx % self.pi;
+        let rest = idx / self.pi;
+        let (k, jl) = (rest / self.pj, rest % self.pj);
+        // The dense operator offsets by the halo width itself.
+        self.f.operator(k, jl - H, il - H);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_tracer_hdiff_list, FunctorTracerHDiffList);
+
 /// Register driver-level functors.
 pub fn register() {
     kernel_tracer_hdiff();
+    kernel_tracer_hdiff_list();
+}
+
+/// Prebuilt [`ListPolicy`] instances over the grid's wet sets, constructed
+/// once so the steady-state step stays allocation-free. Column policies
+/// carry per-column wet depth as the scheduling cost.
+struct WetPolicies {
+    /// Wet T cells (`k < kmt`), **padded** block — density.
+    cells_pad: ListPolicy,
+    /// Wet T columns, **padded** block — pressure (halo columns needed).
+    cols_pad: ListPolicy,
+    /// Owned wet T columns — canuto, w diagnosis, z advection, tracer
+    /// vmix, surface restoring.
+    cols: ListPolicy,
+    /// Owned wet velocity corners (`kmu > 0`) — depth mean, momentum
+    /// vmix, mode correction, wind stress.
+    ucols: ListPolicy,
+    /// Owned wet T cells — tracer diffusion.
+    cells: ListPolicy,
+    /// Owned wet velocity cells (`k < kmu`) — momentum tendency.
+    ucells: ListPolicy,
+}
+
+impl WetPolicies {
+    fn build(g: &LocalGrid) -> Self {
+        let w = &g.wet;
+        Self {
+            cells_pad: ListPolicy::new(w.cells3_pad.indices.clone()),
+            cols_pad: ListPolicy::new(w.cols_pad.indices.clone())
+                .with_cost_prefix(w.cols_pad.cost_prefix.clone()),
+            cols: ListPolicy::new(w.cols_own.indices.clone())
+                .with_cost_prefix(w.cols_own.cost_prefix.clone()),
+            ucols: ListPolicy::new(w.ucols_own.indices.clone())
+                .with_cost_prefix(w.ucols_own.cost_prefix.clone()),
+            cells: ListPolicy::new(w.cells3_own.indices.clone()),
+            ucells: ListPolicy::new(w.ucells3_own.indices.clone()),
+        }
+    }
 }
 
 /// Wall-clock statistics of a timed run.
@@ -171,6 +243,7 @@ pub struct Model {
     gu: View2<f64>,
     gv: View2<f64>,
     zero2: View2<f64>,
+    wet: WetPolicies,
     filter_rows: View1<i32>,
     filter_passes: usize,
     visc: f64,
@@ -232,6 +305,7 @@ impl Model {
         let gu: View2<f64> = View::host("gu", [grid.pj, grid.pi]);
         let gv: View2<f64> = View::host("gv", [grid.pj, grid.pi]);
         let zero2: View2<f64> = View::host("zero2", [grid.pj, grid.pi]);
+        let wet = WetPolicies::build(&grid);
 
         let mut model = Self {
             cfg,
@@ -246,6 +320,7 @@ impl Model {
             gu,
             gv,
             zero2,
+            wet,
             filter_rows,
             filter_passes,
             visc,
@@ -320,30 +395,35 @@ impl Model {
         // 1. Density and baroclinic pressure over the full padded block
         // (T/S halos are valid, so pressure halos come out valid too —
         // the momentum stencil reads them at the block edge).
-        let p3_pad = MDRangePolicy3::new([g.nz, g.pj, g.pi]);
-        let p2_pad = MDRangePolicy2::new([g.pj, g.pi]);
+        let active = self.opts.active_set;
         self.timers.start("eos");
-        parallel_for_3d(
-            &space,
-            p3_pad,
-            &FunctorEos {
-                t: self.state.t[c].clone(),
-                s: self.state.s[c].clone(),
-                rho: self.state.rho.clone(),
-            },
-        );
-        parallel_for_2d(
-            &space,
-            p2_pad,
-            &FunctorPressure {
-                rho: self.state.rho.clone(),
-                eta: self.zero2.clone(),
-                pressure: self.state.pressure.clone(),
-                dz: g.dz.clone(),
-                kmt: g.kmt.clone(),
-                nz: g.nz,
-            },
-        );
+        let f_eos = FunctorEos {
+            t: self.state.t[c].clone(),
+            s: self.state.s[c].clone(),
+            rho: self.state.rho.clone(),
+        };
+        let f_p = FunctorPressure {
+            rho: self.state.rho.clone(),
+            eta: self.zero2.clone(),
+            pressure: self.state.pressure.clone(),
+            dz: g.dz.clone(),
+            kmt: g.kmt.clone(),
+            nz: g.nz,
+        };
+        if active {
+            // Wet cells/columns over the padded block: halo densities and
+            // pressures stay valid, land keeps its initial zeros (which is
+            // what the dense launch writes there).
+            crate::eos::compute_density_pressure_active(
+                &space,
+                &self.wet.cells_pad,
+                &self.wet.cols_pad,
+                FunctorEosList { f: f_eos },
+                FunctorPressureList { f: f_p, pi: g.pi },
+            );
+        } else {
+            crate::eos::compute_density_pressure(&space, g.pi, g.pj, g.nz, &f_eos, &f_p);
+        }
         self.timers.stop("eos");
 
         // 2. canuto mixing coefficients.
@@ -363,15 +443,12 @@ impl Model {
                 parallel_for_2d(&space, p2, &FunctorCanutoRect { f: cf });
             }
             CanutoMode::List => {
-                let count = self.state.work.canuto_cols.len();
-                parallel_for_1d(
+                // Generic packed-list launch: the policy carries per-column
+                // wet depth, so tiles are distributed by cumulative cost.
+                parallel_for_list(
                     &space,
-                    RangePolicy::new(count),
-                    &FunctorCanutoList {
-                        f: cf,
-                        cols: g.wet_columns.clone(),
-                        pi: g.pi,
-                    },
+                    &self.wet.cols,
+                    &FunctorCanutoCols { f: cf, pi: g.pi },
                 );
             }
             CanutoMode::CrossRank => {
@@ -382,60 +459,71 @@ impl Model {
 
         // 3. Momentum tendency + wind stress.
         self.timers.start("momentum");
-        parallel_for_3d(
-            &space,
-            p3,
-            &FunctorMomentumTend {
-                u_cur: self.state.u[c].clone(),
-                v_cur: self.state.v[c].clone(),
-                u_old: self.state.u[o].clone(),
-                v_old: self.state.v[o].clone(),
-                pressure: self.state.pressure.clone(),
-                ut: self.state.ut.clone(),
-                vt: self.state.vt.clone(),
-                kmu: g.kmu.clone(),
-                fcor: g.fcor.clone(),
-                dxt: g.dxt.clone(),
-                dyt: g.dyt,
-                dz: g.dz.clone(),
-                visc: self.visc,
-            },
-        );
-        parallel_for_2d(
-            &space,
-            p2,
-            &FunctorWindStress {
-                ut: self.state.ut.clone(),
-                vt: self.state.vt.clone(),
-                lat: g.lat.clone(),
-                kmu: g.kmu.clone(),
-                dz0: g.dz.at(0),
-            },
-        );
+        let f_tend = FunctorMomentumTend {
+            u_cur: self.state.u[c].clone(),
+            v_cur: self.state.v[c].clone(),
+            u_old: self.state.u[o].clone(),
+            v_old: self.state.v[o].clone(),
+            pressure: self.state.pressure.clone(),
+            ut: self.state.ut.clone(),
+            vt: self.state.vt.clone(),
+            kmu: g.kmu.clone(),
+            fcor: g.fcor.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dz: g.dz.clone(),
+            visc: self.visc,
+        };
+        let f_wind = FunctorWindStress {
+            ut: self.state.ut.clone(),
+            vt: self.state.vt.clone(),
+            lat: g.lat.clone(),
+            kmu: g.kmu.clone(),
+            dz0: g.dz.at(0),
+        };
+        if active {
+            parallel_for_list(
+                &space,
+                &self.wet.ucells,
+                &FunctorMomentumTendList {
+                    f: f_tend,
+                    pj: g.pj,
+                    pi: g.pi,
+                },
+            );
+            parallel_for_list(
+                &space,
+                &self.wet.ucols,
+                &FunctorWindStressList {
+                    f: f_wind,
+                    pi: g.pi,
+                },
+            );
+        } else {
+            parallel_for_3d(&space, p3, &f_tend);
+            parallel_for_2d(&space, p2, &f_wind);
+        }
         self.timers.stop("momentum");
 
         // 4. Barotropic window.
         self.timers.start("barotropic");
-        parallel_for_2d(
-            &space,
-            p2,
-            &FunctorDepthMean {
-                tend: self.state.ut.clone(),
-                out: self.gu.clone(),
+        for (tend, out) in [(&self.state.ut, &self.gu), (&self.state.vt, &self.gv)] {
+            let f_dm = FunctorDepthMean {
+                tend: tend.clone(),
+                out: out.clone(),
                 kmu: g.kmu.clone(),
                 dz: g.dz.clone(),
-            },
-        );
-        parallel_for_2d(
-            &space,
-            p2,
-            &FunctorDepthMean {
-                tend: self.state.vt.clone(),
-                out: self.gv.clone(),
-                kmu: g.kmu.clone(),
-                dz: g.dz.clone(),
-            },
-        );
+            };
+            if active {
+                parallel_for_list(
+                    &space,
+                    &self.wet.ucols,
+                    &FunctorDepthMeanList { f: f_dm, pi: g.pi },
+                );
+            } else {
+                parallel_for_2d(&space, p2, &f_dm);
+            }
+        }
         let substeps = ((dt2 / self.cfg.dt_barotropic).round() as usize).max(1);
         let (gu, gv) = (self.gu.clone(), self.gv.clone());
         let filter_rows = self.filter_rows.clone();
@@ -479,25 +567,30 @@ impl Model {
         self.timers.stop("update_uv");
         self.timers.start("vmix_momentum");
         for field in [&self.state.u[n], &self.state.v[n]] {
-            self.launch_vmix(&space, field, &self.state.km, &g.kmu, dt2);
+            self.launch_vmix(&space, field, &self.state.km, &g.kmu, dt2, active);
         }
-        parallel_for_2d(
-            &space,
-            p2,
-            &FunctorBtCorrect {
-                u: self.state.u[n].clone(),
-                v: self.state.v[n].clone(),
-                ubt: self.state.ubt.clone(),
-                vbt: self.state.vbt.clone(),
-                kmu: g.kmu.clone(),
-                dz: g.dz.clone(),
-            },
-        );
+        let f_btc = FunctorBtCorrect {
+            u: self.state.u[n].clone(),
+            v: self.state.v[n].clone(),
+            ubt: self.state.ubt.clone(),
+            vbt: self.state.vbt.clone(),
+            kmu: g.kmu.clone(),
+            dz: g.dz.clone(),
+        };
+        if active {
+            parallel_for_list(
+                &space,
+                &self.wet.ucols,
+                &FunctorBtCorrectList { f: f_btc, pi: g.pi },
+            );
+        } else {
+            parallel_for_2d(&space, p2, &f_btc);
+        }
         self.timers.stop("vmix_momentum");
 
         // 6. Velocity halo update, overlapped with the w diagnosis.
         self.timers.start("halo_uv");
-        let w_functor = FunctorDiagnoseW {
+        let mk_w = || FunctorDiagnoseW {
             u: self.state.u[c].clone(),
             v: self.state.v[c].clone(),
             w: self.state.w.clone(),
@@ -507,15 +600,29 @@ impl Model {
             dz: g.dz.clone(),
             nz: g.nz,
         };
+        let w_functor = mk_w();
+        let w_list = FunctorDiagnoseWList {
+            f: mk_w(),
+            pi: g.pi,
+        };
+        let wet_t_cols = &self.wet.cols;
         if self.opts.overlap {
             let sp = space.clone();
             self.halo3
                 .exchange_overlap(&self.state.u[n], FoldKind::Vector, 800, || {
-                    parallel_for_2d(&sp, p2, &w_functor);
+                    if active {
+                        parallel_for_list(&sp, wet_t_cols, &w_list);
+                    } else {
+                        parallel_for_2d(&sp, p2, &w_functor);
+                    }
                 });
             self.halo3.exchange(&self.state.v[n], FoldKind::Vector, 810);
         } else {
-            parallel_for_2d(&space, p2, &w_functor);
+            if active {
+                parallel_for_list(&space, wet_t_cols, &w_list);
+            } else {
+                parallel_for_2d(&space, p2, &w_functor);
+            }
             if self.opts.batched_halo {
                 self.halo3.exchange_many(
                     &[
@@ -551,6 +658,7 @@ impl Model {
                 &self.state.w,
                 dt,
                 self.opts.limiter,
+                if active { Some(wet_t_cols) } else { None },
                 &|tmp| self.halo3.exchange(tmp, FoldKind::Scalar, 820),
             );
         }
@@ -560,38 +668,55 @@ impl Model {
             (&self.state.t[c], &self.state.t[n]),
             (&self.state.s[c], &self.state.s[n]),
         ] {
-            parallel_for_3d(
-                &space,
-                p3,
-                &FunctorTracerHDiff {
-                    q_cur: cur.clone(),
-                    q_new: new.clone(),
-                    kmt: g.kmt.clone(),
-                    dxt: g.dxt.clone(),
-                    dyt: g.dyt,
-                    kappa: self.kappa,
-                    dt,
-                },
-            );
+            let f_hd = FunctorTracerHDiff {
+                q_cur: cur.clone(),
+                q_new: new.clone(),
+                kmt: g.kmt.clone(),
+                dxt: g.dxt.clone(),
+                dyt: g.dyt,
+                kappa: self.kappa,
+                dt,
+            };
+            if active {
+                parallel_for_list(
+                    &space,
+                    &self.wet.cells,
+                    &FunctorTracerHDiffList {
+                        f: f_hd,
+                        pj: g.pj,
+                        pi: g.pi,
+                    },
+                );
+            } else {
+                parallel_for_3d(&space, p3, &f_hd);
+            }
         }
         self.timers.stop("hdiff");
         self.timers.start("vmix_tracer");
         for field in [&self.state.t[n], &self.state.s[n]] {
-            self.launch_vmix(&space, field, &self.state.kh, &g.kmt, dt);
+            self.launch_vmix(&space, field, &self.state.kh, &g.kmt, dt, active);
         }
         self.timers.stop("vmix_tracer");
         self.timers.start("forcing");
-        parallel_for_2d(
-            &space,
-            p2,
-            &FunctorSurfaceRestore {
-                t_new: self.state.t[n].clone(),
-                s_new: self.state.s[n].clone(),
-                lat: g.lat.clone(),
-                kmt: g.kmt.clone(),
-                dt,
-            },
-        );
+        let f_restore = FunctorSurfaceRestore {
+            t_new: self.state.t[n].clone(),
+            s_new: self.state.s[n].clone(),
+            lat: g.lat.clone(),
+            kmt: g.kmt.clone(),
+            dt,
+        };
+        if active {
+            parallel_for_list(
+                &space,
+                &self.wet.cols,
+                &FunctorSurfaceRestoreList {
+                    f: f_restore,
+                    pi: g.pi,
+                },
+            );
+        } else {
+            parallel_for_2d(&space, p2, &f_restore);
+        }
         self.timers.stop("forcing");
 
         // 8. Tracer halo update + Asselin on the leapfrogged fields.
@@ -652,13 +777,26 @@ impl Model {
             "pooled_bytes",
             tr1.pooled_bytes.saturating_sub(tr0.pooled_bytes),
         );
+        // Active-set accounting: wet points iterated this step and the
+        // dense-rectangle iterations the packed lists skipped.
+        if self.opts.active_set {
+            let g = &self.grid;
+            let wet_cells = g.wet.cells3_own.len() as u64;
+            self.timers.add_count("wet_cells", wet_cells);
+            self.timers
+                .add_count("wet_cols", g.wet.cols_own.len() as u64);
+            let dense_cells = (g.nz * g.ny * g.nx) as u64;
+            self.timers
+                .add_count("land_skipped", dense_cells.saturating_sub(wet_cells));
+        }
 
         self.step_count += 1;
         self.state.rotate();
     }
 
     /// Launch one implicit vertical solve through the configured shape
-    /// (flat rectangle launch, or TeamPolicy with LDM scratch).
+    /// (flat rectangle launch, TeamPolicy with LDM scratch, or the
+    /// active-set packed wet-column list matching `mask`).
     fn launch_vmix(
         &self,
         space: &Space,
@@ -666,6 +804,7 @@ impl Model {
         kcoef: &kokkos_rs::View3<f64>,
         mask: &View2<i32>,
         dt: f64,
+        active: bool,
     ) {
         let g = &self.grid;
         if self.opts.vmix_team {
@@ -684,19 +823,27 @@ impl Model {
                 },
             );
         } else {
-            parallel_for_2d(
-                space,
-                MDRangePolicy2::new([g.ny, g.nx]),
-                &FunctorVmixImplicit {
-                    q: field.clone(),
-                    kcoef: kcoef.clone(),
-                    mask: mask.clone(),
-                    dz: g.dz.clone(),
-                    z_t: g.z_t.clone(),
-                    dt,
-                    nz: g.nz,
-                },
-            );
+            let f = FunctorVmixImplicit {
+                q: field.clone(),
+                kcoef: kcoef.clone(),
+                mask: mask.clone(),
+                dz: g.dz.clone(),
+                z_t: g.z_t.clone(),
+                dt,
+                nz: g.nz,
+            };
+            if active {
+                // Pick the wet set matching the solve's mask (kmu for
+                // momentum, kmt for tracers).
+                let wet = if mask.data_ptr() == g.kmu.data_ptr() {
+                    &self.wet.ucols
+                } else {
+                    &self.wet.cols
+                };
+                parallel_for_list(space, wet, &FunctorVmixList { f, pi: g.pi });
+            } else {
+                parallel_for_2d(space, MDRangePolicy2::new([g.ny, g.nx]), &f);
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 //! algorithm in thread-local stack arrays (max 256 levels, enough for the
 //! 244-level full-depth configuration).
 
-use kokkos_rs::{Functor2D, IterCost, View1, View2, View3};
+use kokkos_rs::{Functor2D, FunctorList, IterCost, View1, View2, View3};
 
 use halo_exchange::HALO as H;
 
@@ -32,9 +32,10 @@ pub struct FunctorVmixImplicit {
     pub nz: usize,
 }
 
-impl Functor2D for FunctorVmixImplicit {
-    fn operator(&self, j: usize, i: usize) {
-        let (jl, il) = (j + H, i + H);
+impl FunctorVmixImplicit {
+    /// Solve one column at **padded** indices (shared by the rectangle
+    /// and active-set launches, so both are bitwise identical).
+    fn column(&self, jl: usize, il: usize) {
         let kb = self.mask.at(jl, il) as usize;
         if kb == 0 {
             return;
@@ -61,6 +62,12 @@ impl Functor2D for FunctorVmixImplicit {
             &mut d[..kb],
         );
     }
+}
+
+impl Functor2D for FunctorVmixImplicit {
+    fn operator(&self, j: usize, i: usize) {
+        self.column(j + H, i + H);
+    }
 
     fn cost(&self) -> IterCost {
         IterCost {
@@ -72,9 +79,31 @@ impl Functor2D for FunctorVmixImplicit {
 
 kokkos_rs::register_for_2d!(kernel_vmix_implicit, FunctorVmixImplicit);
 
+/// Active-set implicit solve: entry `idx` is a packed wet column
+/// `jl·pi + il` (against the same mask the solver uses, so the dense
+/// launch's land early-return is exactly the set's complement).
+pub struct FunctorVmixList {
+    pub f: FunctorVmixImplicit,
+    pub pi: usize,
+}
+
+impl FunctorList for FunctorVmixList {
+    fn operator(&self, _n: usize, idx: u32) {
+        let packed = idx as usize;
+        self.f.column(packed / self.pi, packed % self.pi);
+    }
+
+    fn cost(&self) -> IterCost {
+        self.f.cost()
+    }
+}
+
+kokkos_rs::register_for_list!(kernel_vmix_list, FunctorVmixList);
+
 /// Register this module's functors.
 pub fn register() {
     kernel_vmix_implicit();
+    kernel_vmix_list();
     kernel_vmix_team();
 }
 

@@ -143,6 +143,7 @@ fn revolve(limited: bool) -> (Vec<f64>, f64, f64, Vec<f64>) {
                 &w,
                 dt,
                 limited,
+                None,
                 &|t| s.halo.exchange(t, FoldKind::Scalar, 10),
             );
             q.copy_from_slice(out.as_slice());

@@ -21,6 +21,7 @@
 //! each scalable by an integer divisor so laptops can run the same code
 //! paths the paper runs on 100k nodes.
 
+pub mod activeset;
 pub mod bathymetry;
 pub mod config;
 pub mod decomp;
@@ -28,6 +29,7 @@ pub mod grid;
 pub mod tripolar;
 pub mod vertical;
 
+pub use activeset::{ActiveSet, ActiveSet3};
 pub use bathymetry::Bathymetry;
 pub use config::{ModelConfig, Resolution};
 pub use decomp::BlockDecomp;

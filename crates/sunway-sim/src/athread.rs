@@ -95,6 +95,11 @@ impl CpeCtx {
         self.counters.cycles += n;
     }
 
+    /// Record `n` policy tiles executed by this CPE (dispatch accounting).
+    pub fn account_tiles(&mut self, n: u64) {
+        self.counters.tiles += n;
+    }
+
     /// Charge LDM streaming traffic of `bytes`.
     pub fn account_ldm_traffic(&mut self, bytes: u64) {
         self.counters.ldm_bytes += bytes;

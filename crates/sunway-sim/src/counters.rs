@@ -26,6 +26,10 @@ pub struct CpeCounters {
     pub ldm_bytes: u64,
     /// Peak LDM bytes allocated during the kernel.
     pub ldm_high_water: u64,
+    /// Policy tiles this CPE executed (dispatch accounting: with
+    /// cost-weighted scheduling, tile counts per CPE may be uneven even
+    /// when the cycle counts balance).
+    pub tiles: u64,
 }
 
 impl CpeCounters {
@@ -37,6 +41,7 @@ impl CpeCounters {
         self.dma_transactions += other.dma_transactions;
         self.ldm_bytes += other.ldm_bytes;
         self.ldm_high_water = self.ldm_high_water.max(other.ldm_high_water);
+        self.tiles += other.tiles;
         // `cycles` is handled separately (max, not sum) by the CG.
     }
 }

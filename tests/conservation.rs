@@ -109,6 +109,7 @@ fn advection_conserves_and_preserves_bounds_in_closed_basin() {
                 &m.state.w,
                 cfg.dt_tracer,
                 true,
+                None,
                 &|tmp| m.halo3().exchange(tmp, FoldKind::Scalar, 910),
             );
             // Copy back.

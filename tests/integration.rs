@@ -76,6 +76,39 @@ fn all_four_backends_bitwise_identical_through_facade() {
 }
 
 #[test]
+fn active_set_bitwise_identical_to_dense_on_all_backends() {
+    // The acceptance bar for wet-point iteration: skipping land must not
+    // change a single bit. Compare the dense masked reference (Serial)
+    // against the active-set path on every execution space.
+    let cfg = small_cfg();
+    let run = |space: Space, active: bool| {
+        let cfg = cfg.clone();
+        let mut opts = ModelOptions::default();
+        opts.active_set = active;
+        World::run(1, move |comm| {
+            let mut m = Model::new(comm, cfg.clone(), space.clone(), opts.clone());
+            m.run_steps(3);
+            m.checksum()
+        })
+        .pop()
+        .unwrap()
+    };
+    let dense = run(Space::serial(), false);
+    for space in [
+        Space::serial(),
+        Space::threads(),
+        Space::device_sim(),
+        Space::sw_athread_with(licomkpp::sunway::CgConfig::test_small()),
+    ] {
+        let active = run(space.clone(), true);
+        assert_eq!(
+            active, dense,
+            "active-set diverged from dense on {space:?}: {active:x} vs {dense:x}"
+        );
+    }
+}
+
+#[test]
 fn decomposition_does_not_change_global_physics() {
     // 1-rank vs 3-rank global heat content after identical steps.
     let cfg = small_cfg();
