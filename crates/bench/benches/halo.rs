@@ -123,6 +123,46 @@ fn bench_pooled_vs_allocating(c: &mut Criterion) {
     g.finish();
 }
 
+/// Plain vs CRC-framed exchange: the integrity layer adds a 4-word header
+/// and a CRC32 over the payload per message. The acceptance bar is ≤ 3%
+/// overhead on a production-sized tile with no faults in flight.
+fn bench_integrity_overhead(c: &mut Criterion) {
+    const STEPS: u64 = 32;
+    let mut g = c.benchmark_group("halo3d_integrity_512x512x60_2ranks_32x");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 1, true);
+                let h = Halo3D::new(Halo2D::new(&cart, 512, 512), 60, Strategy3D::Transpose);
+                let f: View3<f64> = View::host("f", h.shape());
+                f.fill(1.0);
+                for step in 0..STEPS {
+                    h.exchange(&f, FoldKind::Scalar, step * 100);
+                }
+            })
+        })
+    });
+    g.bench_function("framed_crc", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 1, true);
+                let h = Halo3D::new(Halo2D::new(&cart, 512, 512), 60, Strategy3D::Transpose)
+                    .with_integrity(halo_exchange::IntegrityConfig::default());
+                let f: View3<f64> = View::host("f", h.shape());
+                f.fill(1.0);
+                for step in 0..STEPS {
+                    h.begin_step(step);
+                    h.try_exchange(&f, FoldKind::Scalar, step * 100).unwrap();
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
 /// Serial vs parallel strip pack/unpack: the same single-rank exchange
 /// (pack and unpack dominate — no real network) dispatched over the Serial
 /// and Threads execution spaces via `Halo3D::with_space`.
@@ -160,6 +200,7 @@ criterion_group!(
     bench_exchange_strategies,
     bench_batched,
     bench_pooled_vs_allocating,
+    bench_integrity_overhead,
     bench_pack_spaces
 );
 criterion_main!(benches);

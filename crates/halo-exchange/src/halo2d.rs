@@ -27,11 +27,12 @@
 //! freshly-allocating implementation survives as [`Halo2D::exchange_alloc`]
 //! — the bitwise-identity reference.
 
-use std::cell::{RefCell, RefMut};
+use std::cell::{Cell, RefCell, RefMut};
 
 use kokkos_rs::View2;
-use mpi_sim::{CartComm, Dir, Neighbor};
+use mpi_sim::{CartComm, Comm, Dir, Neighbor};
 
+use crate::integrity::{self, FrameSeq, HaloError, IntegrityConfig};
 use crate::HALO as H;
 
 /// Tag offsets by direction of travel.
@@ -75,6 +76,14 @@ pub struct Halo2D {
     /// east/west self path needs both strips live at once). Grow-once.
     scratch_a: RefCell<Vec<f64>>,
     scratch_b: RefCell<Vec<f64>>,
+    /// End-to-end integrity framing + retry (None = raw strips, the
+    /// default — existing byte-count expectations stay exact).
+    integrity: Option<IntegrityConfig>,
+    /// Current epoch (model step) and per-step exchange ordinal for frame
+    /// sequencing. All ranks call the exchanges collectively in the same
+    /// order, so sender and receiver agree on both without negotiation.
+    epoch: Cell<u64>,
+    ordinal: Cell<u64>,
 }
 
 impl Halo2D {
@@ -102,6 +111,84 @@ impl Halo2D {
             ny,
             scratch_a: RefCell::new(Vec::new()),
             scratch_b: RefCell::new(Vec::new()),
+            integrity: None,
+            epoch: Cell::new(0),
+            ordinal: Cell::new(0),
+        }
+    }
+
+    /// Enable CRC32 frame integrity + bounded retry on every networked
+    /// strip (see [`crate::integrity`]).
+    pub fn with_integrity(mut self, cfg: IntegrityConfig) -> Self {
+        self.integrity = Some(cfg);
+        self
+    }
+
+    /// The active integrity configuration, if any.
+    pub fn integrity(&self) -> Option<&IntegrityConfig> {
+        self.integrity.as_ref()
+    }
+
+    /// Start a new epoch (model step): frame sequencing restarts so a
+    /// rolled-back, replayed step regenerates identical frame headers.
+    /// Collective — every rank must call it with the same `epoch`.
+    pub fn begin_step(&self, epoch: u64) {
+        self.epoch.set(epoch);
+        self.ordinal.set(0);
+    }
+
+    /// Claim the next frame sequence for one collective exchange call
+    /// (None when integrity is off).
+    pub(crate) fn next_seq(&self) -> Option<FrameSeq> {
+        self.integrity.as_ref()?;
+        let ordinal = self.ordinal.get();
+        self.ordinal.set(ordinal + 1);
+        Some(FrameSeq {
+            epoch: self.epoch.get(),
+            ordinal,
+        })
+    }
+
+    /// Send one strip, framed when integrity is on.
+    pub(crate) fn send_strip(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: u64,
+        seq: Option<FrameSeq>,
+        len: usize,
+        fill: impl FnOnce(&mut [f64]),
+    ) {
+        match seq {
+            Some(seq) => integrity::send_framed(comm, dst, tag, seq, len, fill),
+            None => comm.send_into(dst, tag, len, fill),
+        }
+    }
+
+    /// Receive one strip, verifying + retrying when integrity is on.
+    pub(crate) fn recv_strip(
+        &self,
+        comm: &Comm,
+        src: usize,
+        tag: u64,
+        seq: Option<FrameSeq>,
+        len: usize,
+        unpack: impl Fn(&[f64]),
+    ) -> Result<(), HaloError> {
+        match seq {
+            Some(seq) => integrity::recv_framed(
+                comm,
+                self.integrity.as_ref().expect("seq implies integrity"),
+                src,
+                tag,
+                seq,
+                len,
+                unpack,
+            ),
+            None => {
+                comm.recv_into(src, tag, |buf| unpack(buf));
+                Ok(())
+            }
         }
     }
 
@@ -282,10 +369,28 @@ impl Halo2D {
     ///
     /// `tag_base` namespaces the messages so several fields can be updated
     /// back to back; callers use distinct bases per field per step.
+    ///
+    /// # Panics
+    /// If integrity is enabled and a strip is unrecoverable; use
+    /// [`Halo2D::try_exchange`] to handle that as a value.
     pub fn exchange(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
+        self.try_exchange(field, kind, tag_base)
+            .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+    }
+
+    /// Fallible exchange: surfaces an unrecoverable strip as a typed
+    /// [`HaloError`] after the integrity layer's bounded retries. Without
+    /// integrity enabled it cannot fail.
+    pub fn try_exchange(
+        &self,
+        field: &View2<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+    ) -> Result<(), HaloError> {
         self.check(field);
-        self.exchange_ew(field, tag_base);
-        self.exchange_ns(field, kind, tag_base);
+        let seq = self.next_seq();
+        self.exchange_ew(field, tag_base, seq)?;
+        self.exchange_ns(field, kind, tag_base, seq)
     }
 
     /// Overlapped variant: posts the east/west messages, runs `interior`
@@ -298,7 +403,20 @@ impl Halo2D {
         tag_base: u64,
         interior: impl FnOnce(),
     ) {
+        self.try_exchange_overlap(field, kind, tag_base, interior)
+            .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+    }
+
+    /// Fallible overlapped exchange; see [`Halo2D::try_exchange`].
+    pub fn try_exchange_overlap(
+        &self,
+        field: &View2<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+        interior: impl FnOnce(),
+    ) -> Result<(), HaloError> {
         self.check(field);
+        let seq = self.next_seq();
         let comm = self.cart.comm();
         let (Neighbor::Interior(w), Neighbor::Interior(e)) =
             (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
@@ -307,28 +425,33 @@ impl Halo2D {
         };
         if w == comm.rank() {
             // Single zonal block: no overlap possible; do it directly.
-            self.exchange_ew(field, tag_base);
+            self.exchange_ew(field, tag_base, seq)?;
             interior();
         } else {
             let strip = self.ny * H;
-            comm.send_into(w, tag_base + T_WEST, strip, |buf| {
+            self.send_strip(comm, w, tag_base + T_WEST, seq, strip, |buf| {
                 self.pack_cols_into(field, H, buf);
             });
-            comm.send_into(e, tag_base + T_EAST, strip, |buf| {
+            self.send_strip(comm, e, tag_base + T_EAST, seq, strip, |buf| {
                 self.pack_cols_into(field, self.nx, buf);
             });
             interior();
-            comm.recv_into(e, tag_base + T_WEST, |buf| {
+            self.recv_strip(comm, e, tag_base + T_WEST, seq, strip, |buf| {
                 self.unpack_cols_from(field, H + self.nx, buf);
-            });
-            comm.recv_into(w, tag_base + T_EAST, |buf| {
+            })?;
+            self.recv_strip(comm, w, tag_base + T_EAST, seq, strip, |buf| {
                 self.unpack_cols_from(field, 0, buf);
-            });
+            })?;
         }
-        self.exchange_ns(field, kind, tag_base);
+        self.exchange_ns(field, kind, tag_base, seq)
     }
 
-    fn exchange_ew(&self, field: &View2<f64>, tag_base: u64) {
+    fn exchange_ew(
+        &self,
+        field: &View2<f64>,
+        tag_base: u64,
+        seq: Option<FrameSeq>,
+    ) -> Result<(), HaloError> {
         let comm = self.cart.comm();
         let (Neighbor::Interior(w), Neighbor::Interior(e)) =
             (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
@@ -344,41 +467,47 @@ impl Halo2D {
             self.pack_cols_into(field, self.nx, &mut eb[..strip]);
             self.unpack_cols_from(field, H + self.nx, &wb[..strip]);
             self.unpack_cols_from(field, 0, &eb[..strip]);
-            return;
+            return Ok(());
         }
-        comm.send_into(w, tag_base + T_WEST, strip, |buf| {
+        self.send_strip(comm, w, tag_base + T_WEST, seq, strip, |buf| {
             self.pack_cols_into(field, H, buf);
         });
-        comm.send_into(e, tag_base + T_EAST, strip, |buf| {
+        self.send_strip(comm, e, tag_base + T_EAST, seq, strip, |buf| {
             self.pack_cols_into(field, self.nx, buf);
         });
-        comm.recv_into(e, tag_base + T_WEST, |buf| {
+        self.recv_strip(comm, e, tag_base + T_WEST, seq, strip, |buf| {
             self.unpack_cols_from(field, H + self.nx, buf);
-        });
-        comm.recv_into(w, tag_base + T_EAST, |buf| {
+        })?;
+        self.recv_strip(comm, w, tag_base + T_EAST, seq, strip, |buf| {
             self.unpack_cols_from(field, 0, buf);
-        });
+        })
     }
 
-    fn exchange_ns(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
+    fn exchange_ns(
+        &self,
+        field: &View2<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+        seq: Option<FrameSeq>,
+    ) -> Result<(), HaloError> {
         let comm = self.cart.comm();
         let (_, pi) = self.padded();
         let rows = H * pi;
         // Send southward (fills south neighbor's north ghost).
         if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
-            comm.send_into(s, tag_base + T_SOUTH, rows, |buf| {
+            self.send_strip(comm, s, tag_base + T_SOUTH, seq, rows, |buf| {
                 self.pack_rows_into(field, H, buf);
             });
         }
         // Send northward / foldward.
         match self.cart.neighbor(Dir::North) {
             Neighbor::Interior(n) => {
-                comm.send_into(n, tag_base + T_NORTH, rows, |buf| {
+                self.send_strip(comm, n, tag_base + T_NORTH, seq, rows, |buf| {
                     self.pack_rows_into(field, self.ny, buf);
                 });
             }
             Neighbor::Fold(p) if p != comm.rank() => {
-                comm.send_into(p, tag_base + T_FOLD, rows, |buf| {
+                self.send_strip(comm, p, tag_base + T_FOLD, seq, rows, |buf| {
                     self.pack_fold_into(field, buf);
                 });
             }
@@ -387,9 +516,9 @@ impl Halo2D {
         // Receive from north (their southward message fills my north ghost).
         match self.cart.neighbor(Dir::North) {
             Neighbor::Interior(n) => {
-                comm.recv_into(n, tag_base + T_SOUTH, |buf| {
+                self.recv_strip(comm, n, tag_base + T_SOUTH, seq, rows, |buf| {
                     self.unpack_rows_from(field, H + self.ny, buf);
-                });
+                })?;
             }
             Neighbor::Fold(p) => {
                 if p == comm.rank() {
@@ -397,19 +526,20 @@ impl Halo2D {
                     self.pack_fold_into(field, &mut fb[..rows]);
                     self.unpack_fold(field, &fb[..rows], kind, self.fold_partner_x0());
                 } else {
-                    comm.recv_into(p, tag_base + T_FOLD, |buf| {
+                    self.recv_strip(comm, p, tag_base + T_FOLD, seq, rows, |buf| {
                         self.unpack_fold(field, buf, kind, self.fold_partner_x0());
-                    });
+                    })?;
                 }
             }
             Neighbor::Closed => {}
         }
         // Receive from south (their northward message fills my south ghost).
         if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
-            comm.recv_into(s, tag_base + T_NORTH, |buf| {
+            self.recv_strip(comm, s, tag_base + T_NORTH, seq, rows, |buf| {
                 self.unpack_rows_from(field, 0, buf);
-            });
+            })?;
         }
+        Ok(())
     }
 
     // -- allocating reference implementation --------------------------------

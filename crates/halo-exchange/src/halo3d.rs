@@ -36,6 +36,7 @@ use kokkos_rs::{Space, View3};
 use mpi_sim::{Dir, Neighbor};
 
 use crate::halo2d::{FoldKind, Halo2D};
+use crate::integrity::{FrameSeq, HaloError, IntegrityConfig};
 use crate::strip;
 use crate::HALO as H;
 
@@ -90,6 +91,25 @@ impl Halo3D {
     pub fn with_space(mut self, space: Space) -> Self {
         self.space = space;
         self
+    }
+
+    /// Enable CRC32 frame integrity + bounded retry on every networked
+    /// strip (see [`crate::integrity`]). Shared with the inner [`Halo2D`]:
+    /// both use one epoch/ordinal stream, so mixing 2-D and 3-D exchanges
+    /// through the same context keeps frame sequencing collective.
+    pub fn with_integrity(mut self, cfg: IntegrityConfig) -> Self {
+        self.h2 = self.h2.clone().with_integrity(cfg);
+        self
+    }
+
+    /// The active integrity configuration, if any.
+    pub fn integrity(&self) -> Option<&IntegrityConfig> {
+        self.h2.integrity()
+    }
+
+    /// Start a new epoch (model step); see [`Halo2D::begin_step`].
+    pub fn begin_step(&self, epoch: u64) {
+        self.h2.begin_step(epoch);
     }
 
     /// The execution space pack/unpack kernels run on.
@@ -287,10 +307,28 @@ impl Halo3D {
 
     /// Blocking 3-D halo update of one field. Allocation-free in steady
     /// state; bitwise identical to [`Halo3D::exchange_alloc`].
+    ///
+    /// # Panics
+    /// If integrity is enabled and a strip is unrecoverable; use
+    /// [`Halo3D::try_exchange`] to handle that as a value.
     pub fn exchange(&self, field: &View3<f64>, kind: FoldKind, tag_base: u64) {
+        self.try_exchange(field, kind, tag_base)
+            .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+    }
+
+    /// Fallible exchange: surfaces an unrecoverable strip as a typed
+    /// [`HaloError`] after the integrity layer's bounded retries. Without
+    /// integrity enabled it cannot fail.
+    pub fn try_exchange(
+        &self,
+        field: &View3<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+    ) -> Result<(), HaloError> {
         self.check(field);
-        self.exchange_ew(field, tag_base);
-        self.exchange_ns(field, kind, tag_base);
+        let seq = self.h2.next_seq();
+        self.exchange_ew(field, tag_base, seq)?;
+        self.exchange_ns(field, kind, tag_base, seq)
     }
 
     /// Overlapped variant: east/west messages fly while `interior` runs.
@@ -301,7 +339,20 @@ impl Halo3D {
         tag_base: u64,
         interior: impl FnOnce(),
     ) {
+        self.try_exchange_overlap(field, kind, tag_base, interior)
+            .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+    }
+
+    /// Fallible overlapped exchange; see [`Halo3D::try_exchange`].
+    pub fn try_exchange_overlap(
+        &self,
+        field: &View3<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+        interior: impl FnOnce(),
+    ) -> Result<(), HaloError> {
         self.check(field);
+        let seq = self.h2.next_seq();
         let comm = self.h2.cart().comm();
         let (Neighbor::Interior(w), Neighbor::Interior(e)) = (
             self.h2.cart().neighbor(Dir::West),
@@ -311,25 +362,29 @@ impl Halo3D {
         };
         let (ny, nx) = (self.h2.ny, self.h2.nx);
         if w == comm.rank() {
-            self.exchange_ew(field, tag_base);
+            self.exchange_ew(field, tag_base, seq)?;
             interior();
         } else {
             let strip = self.ew_len();
-            comm.send_into(w, tag_base + T_WEST, strip, |buf| {
-                self.pack_strip_into(field, H, ny, H, H, buf);
-            });
-            comm.send_into(e, tag_base + T_EAST, strip, |buf| {
-                self.pack_strip_into(field, H, ny, nx, H, buf);
-            });
+            self.h2
+                .send_strip(comm, w, tag_base + T_WEST, seq, strip, |buf| {
+                    self.pack_strip_into(field, H, ny, H, H, buf);
+                });
+            self.h2
+                .send_strip(comm, e, tag_base + T_EAST, seq, strip, |buf| {
+                    self.pack_strip_into(field, H, ny, nx, H, buf);
+                });
             interior();
-            comm.recv_into(e, tag_base + T_WEST, |buf| {
-                self.unpack_strip_from(field, H, ny, H + nx, H, buf);
-            });
-            comm.recv_into(w, tag_base + T_EAST, |buf| {
-                self.unpack_strip_from(field, H, ny, 0, H, buf);
-            });
+            self.h2
+                .recv_strip(comm, e, tag_base + T_WEST, seq, strip, |buf| {
+                    self.unpack_strip_from(field, H, ny, H + nx, H, buf);
+                })?;
+            self.h2
+                .recv_strip(comm, w, tag_base + T_EAST, seq, strip, |buf| {
+                    self.unpack_strip_from(field, H, ny, 0, H, buf);
+                })?;
         }
-        self.exchange_ns(field, kind, tag_base);
+        self.exchange_ns(field, kind, tag_base, seq)
     }
 
     /// Batched update: all `fields` share one message per direction
@@ -337,13 +392,28 @@ impl Halo3D {
     /// elimination. Each field packs straight into its segment of the
     /// pooled message, so batching adds no gather copy. Bitwise identical
     /// to updating each field separately.
+    ///
+    /// # Panics
+    /// If integrity is enabled and a strip is unrecoverable; use
+    /// [`Halo3D::try_exchange_many`] to handle that as a value.
     pub fn exchange_many(&self, fields: &[(&View3<f64>, FoldKind)], tag_base: u64) {
+        self.try_exchange_many(fields, tag_base)
+            .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
+    }
+
+    /// Fallible batched exchange; see [`Halo3D::try_exchange`].
+    pub fn try_exchange_many(
+        &self,
+        fields: &[(&View3<f64>, FoldKind)],
+        tag_base: u64,
+    ) -> Result<(), HaloError> {
         for (f, _) in fields {
             self.check(f);
         }
         if fields.is_empty() {
-            return;
+            return Ok(());
         }
+        let seq = self.h2.next_seq();
         let comm = self.h2.cart().comm();
         let (ny, nx) = (self.h2.ny, self.h2.nx);
         let (Neighbor::Interior(w), Neighbor::Interior(e)) = (
@@ -369,61 +439,90 @@ impl Halo3D {
                 self.unpack_strip_from(f, H, ny, 0, H, &eb[n * strip..(n + 1) * strip]);
             }
         } else {
-            comm.send_into(w, tag_base + T_WEST, nf * strip, |buf| {
-                for (n, (f, _)) in fields.iter().enumerate() {
-                    self.pack_strip_into(f, H, ny, H, H, &mut buf[n * strip..(n + 1) * strip]);
-                }
-            });
-            comm.send_into(e, tag_base + T_EAST, nf * strip, |buf| {
-                for (n, (f, _)) in fields.iter().enumerate() {
-                    self.pack_strip_into(f, H, ny, nx, H, &mut buf[n * strip..(n + 1) * strip]);
-                }
-            });
-            comm.recv_into(e, tag_base + T_WEST, |buf| {
-                for (n, (f, _)) in fields.iter().enumerate() {
-                    self.unpack_strip_from(f, H, ny, H + nx, H, &buf[n * strip..(n + 1) * strip]);
-                }
-            });
-            comm.recv_into(w, tag_base + T_EAST, |buf| {
-                for (n, (f, _)) in fields.iter().enumerate() {
-                    self.unpack_strip_from(f, H, ny, 0, H, &buf[n * strip..(n + 1) * strip]);
-                }
-            });
+            self.h2
+                .send_strip(comm, w, tag_base + T_WEST, seq, nf * strip, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.pack_strip_into(f, H, ny, H, H, &mut buf[n * strip..(n + 1) * strip]);
+                    }
+                });
+            self.h2
+                .send_strip(comm, e, tag_base + T_EAST, seq, nf * strip, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.pack_strip_into(f, H, ny, nx, H, &mut buf[n * strip..(n + 1) * strip]);
+                    }
+                });
+            self.h2
+                .recv_strip(comm, e, tag_base + T_WEST, seq, nf * strip, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.unpack_strip_from(
+                            f,
+                            H,
+                            ny,
+                            H + nx,
+                            H,
+                            &buf[n * strip..(n + 1) * strip],
+                        );
+                    }
+                })?;
+            self.h2
+                .recv_strip(comm, w, tag_base + T_EAST, seq, nf * strip, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.unpack_strip_from(f, H, ny, 0, H, &buf[n * strip..(n + 1) * strip]);
+                    }
+                })?;
         }
         // N/S + fold batched.
         let (_, pi) = self.h2.padded();
         let rows = self.ns_len();
         if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
-            comm.send_into(s, tag_base + T_SOUTH, nf * rows, |buf| {
-                for (n, (f, _)) in fields.iter().enumerate() {
-                    self.pack_strip_into(f, H, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
-                }
-            });
+            self.h2
+                .send_strip(comm, s, tag_base + T_SOUTH, seq, nf * rows, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.pack_strip_into(f, H, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
+                    }
+                });
         }
         match self.h2.cart().neighbor(Dir::North) {
             Neighbor::Interior(nb) => {
-                comm.send_into(nb, tag_base + T_NORTH, nf * rows, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.pack_strip_into(f, ny, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
-                    }
-                });
+                self.h2
+                    .send_strip(comm, nb, tag_base + T_NORTH, seq, nf * rows, |buf| {
+                        for (n, (f, _)) in fields.iter().enumerate() {
+                            self.pack_strip_into(
+                                f,
+                                ny,
+                                H,
+                                0,
+                                pi,
+                                &mut buf[n * rows..(n + 1) * rows],
+                            );
+                        }
+                    });
             }
             Neighbor::Fold(p) if p != comm.rank() => {
-                comm.send_into(p, tag_base + T_FOLD, nf * rows, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.pack_fold_into(f, &mut buf[n * rows..(n + 1) * rows]);
-                    }
-                });
+                self.h2
+                    .send_strip(comm, p, tag_base + T_FOLD, seq, nf * rows, |buf| {
+                        for (n, (f, _)) in fields.iter().enumerate() {
+                            self.pack_fold_into(f, &mut buf[n * rows..(n + 1) * rows]);
+                        }
+                    });
             }
             _ => {}
         }
         match self.h2.cart().neighbor(Dir::North) {
             Neighbor::Interior(nb) => {
-                comm.recv_into(nb, tag_base + T_SOUTH, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.unpack_strip_from(f, H + ny, H, 0, pi, &buf[n * rows..(n + 1) * rows]);
-                    }
-                });
+                self.h2
+                    .recv_strip(comm, nb, tag_base + T_SOUTH, seq, nf * rows, |buf| {
+                        for (n, (f, _)) in fields.iter().enumerate() {
+                            self.unpack_strip_from(
+                                f,
+                                H + ny,
+                                H,
+                                0,
+                                pi,
+                                &buf[n * rows..(n + 1) * rows],
+                            );
+                        }
+                    })?;
             }
             Neighbor::Fold(p) => {
                 if p == comm.rank() {
@@ -435,25 +534,33 @@ impl Halo3D {
                         self.unpack_fold(f, &fb[n * rows..(n + 1) * rows], *kind);
                     }
                 } else {
-                    comm.recv_into(p, tag_base + T_FOLD, |buf| {
-                        for (n, (f, kind)) in fields.iter().enumerate() {
-                            self.unpack_fold(f, &buf[n * rows..(n + 1) * rows], *kind);
-                        }
-                    });
+                    self.h2
+                        .recv_strip(comm, p, tag_base + T_FOLD, seq, nf * rows, |buf| {
+                            for (n, (f, kind)) in fields.iter().enumerate() {
+                                self.unpack_fold(f, &buf[n * rows..(n + 1) * rows], *kind);
+                            }
+                        })?;
                 }
             }
             Neighbor::Closed => {}
         }
         if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
-            comm.recv_into(s, tag_base + T_NORTH, |buf| {
-                for (n, (f, _)) in fields.iter().enumerate() {
-                    self.unpack_strip_from(f, 0, H, 0, pi, &buf[n * rows..(n + 1) * rows]);
-                }
-            });
+            self.h2
+                .recv_strip(comm, s, tag_base + T_NORTH, seq, nf * rows, |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        self.unpack_strip_from(f, 0, H, 0, pi, &buf[n * rows..(n + 1) * rows]);
+                    }
+                })?;
         }
+        Ok(())
     }
 
-    fn exchange_ew(&self, field: &View3<f64>, tag_base: u64) {
+    fn exchange_ew(
+        &self,
+        field: &View3<f64>,
+        tag_base: u64,
+        seq: Option<FrameSeq>,
+    ) -> Result<(), HaloError> {
         let comm = self.h2.cart().comm();
         let (ny, nx) = (self.h2.ny, self.h2.nx);
         let (Neighbor::Interior(w), Neighbor::Interior(e)) = (
@@ -471,50 +578,64 @@ impl Halo3D {
             self.pack_strip_into(field, H, ny, nx, H, &mut eb[..strip]);
             self.unpack_strip_from(field, H, ny, H + nx, H, &wb[..strip]);
             self.unpack_strip_from(field, H, ny, 0, H, &eb[..strip]);
-            return;
+            return Ok(());
         }
-        comm.send_into(w, tag_base + T_WEST, strip, |buf| {
-            self.pack_strip_into(field, H, ny, H, H, buf);
-        });
-        comm.send_into(e, tag_base + T_EAST, strip, |buf| {
-            self.pack_strip_into(field, H, ny, nx, H, buf);
-        });
-        comm.recv_into(e, tag_base + T_WEST, |buf| {
-            self.unpack_strip_from(field, H, ny, H + nx, H, buf);
-        });
-        comm.recv_into(w, tag_base + T_EAST, |buf| {
-            self.unpack_strip_from(field, H, ny, 0, H, buf);
-        });
+        self.h2
+            .send_strip(comm, w, tag_base + T_WEST, seq, strip, |buf| {
+                self.pack_strip_into(field, H, ny, H, H, buf);
+            });
+        self.h2
+            .send_strip(comm, e, tag_base + T_EAST, seq, strip, |buf| {
+                self.pack_strip_into(field, H, ny, nx, H, buf);
+            });
+        self.h2
+            .recv_strip(comm, e, tag_base + T_WEST, seq, strip, |buf| {
+                self.unpack_strip_from(field, H, ny, H + nx, H, buf);
+            })?;
+        self.h2
+            .recv_strip(comm, w, tag_base + T_EAST, seq, strip, |buf| {
+                self.unpack_strip_from(field, H, ny, 0, H, buf);
+            })
     }
 
-    fn exchange_ns(&self, field: &View3<f64>, kind: FoldKind, tag_base: u64) {
+    fn exchange_ns(
+        &self,
+        field: &View3<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+        seq: Option<FrameSeq>,
+    ) -> Result<(), HaloError> {
         let comm = self.h2.cart().comm();
         let (_, pi) = self.h2.padded();
         let ny = self.h2.ny;
         let rows = self.ns_len();
         if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
-            comm.send_into(s, tag_base + T_SOUTH, rows, |buf| {
-                self.pack_strip_into(field, H, H, 0, pi, buf);
-            });
+            self.h2
+                .send_strip(comm, s, tag_base + T_SOUTH, seq, rows, |buf| {
+                    self.pack_strip_into(field, H, H, 0, pi, buf);
+                });
         }
         match self.h2.cart().neighbor(Dir::North) {
             Neighbor::Interior(n) => {
-                comm.send_into(n, tag_base + T_NORTH, rows, |buf| {
-                    self.pack_strip_into(field, ny, H, 0, pi, buf);
-                });
+                self.h2
+                    .send_strip(comm, n, tag_base + T_NORTH, seq, rows, |buf| {
+                        self.pack_strip_into(field, ny, H, 0, pi, buf);
+                    });
             }
             Neighbor::Fold(p) if p != comm.rank() => {
-                comm.send_into(p, tag_base + T_FOLD, rows, |buf| {
-                    self.pack_fold_into(field, buf);
-                });
+                self.h2
+                    .send_strip(comm, p, tag_base + T_FOLD, seq, rows, |buf| {
+                        self.pack_fold_into(field, buf);
+                    });
             }
             _ => {}
         }
         match self.h2.cart().neighbor(Dir::North) {
             Neighbor::Interior(n) => {
-                comm.recv_into(n, tag_base + T_SOUTH, |buf| {
-                    self.unpack_strip_from(field, H + ny, H, 0, pi, buf);
-                });
+                self.h2
+                    .recv_strip(comm, n, tag_base + T_SOUTH, seq, rows, |buf| {
+                        self.unpack_strip_from(field, H + ny, H, 0, pi, buf);
+                    })?;
             }
             Neighbor::Fold(p) => {
                 if p == comm.rank() {
@@ -522,18 +643,21 @@ impl Halo3D {
                     self.pack_fold_into(field, &mut fb[..rows]);
                     self.unpack_fold(field, &fb[..rows], kind);
                 } else {
-                    comm.recv_into(p, tag_base + T_FOLD, |buf| {
-                        self.unpack_fold(field, buf, kind);
-                    });
+                    self.h2
+                        .recv_strip(comm, p, tag_base + T_FOLD, seq, rows, |buf| {
+                            self.unpack_fold(field, buf, kind);
+                        })?;
                 }
             }
             Neighbor::Closed => {}
         }
         if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
-            comm.recv_into(s, tag_base + T_NORTH, |buf| {
-                self.unpack_strip_from(field, 0, H, 0, pi, buf);
-            });
+            self.h2
+                .recv_strip(comm, s, tag_base + T_NORTH, seq, rows, |buf| {
+                    self.unpack_strip_from(field, 0, H, 0, pi, buf);
+                })?;
         }
+        Ok(())
     }
 
     // ---- allocating reference implementation ------------------------------

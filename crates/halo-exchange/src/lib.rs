@@ -24,11 +24,13 @@
 
 pub mod halo2d;
 pub mod halo3d;
+pub mod integrity;
 pub(crate) mod strip;
 pub mod transpose;
 
 pub use halo2d::{FoldKind, Halo2D};
 pub use halo3d::{Halo3D, Strategy3D};
+pub use integrity::{FrameFault, FrameSeq, HaloError, IntegrityConfig};
 
 /// Halo width (2 ghost + 2 real layers, fixed by LICOM's stencils).
 pub const HALO: usize = ocean_grid::decomp::HALO;

@@ -1,0 +1,178 @@
+//! Integrity-layer integration tests: halo exchanges against a faulted
+//! `mpi-sim` world. Corrupted or dropped strips must be repaired through
+//! the CRC + escrow-retransmission protocol, bitwise-identically to a
+//! fault-free run; unrecoverable losses must surface as typed errors on
+//! every rank instead of hanging the world.
+
+use std::time::Duration;
+
+use halo_exchange::{FoldKind, FrameFault, Halo2D, Halo3D, HaloError, IntegrityConfig, Strategy3D};
+use kokkos_rs::{View, View2, View3};
+use mpi_sim::{CartComm, FaultKind, FaultPlan, FaultRule, MatchSpec, World};
+
+const H: usize = halo_exchange::HALO;
+
+fn g2(j: usize, i: usize) -> f64 {
+    (j * 1000 + i) as f64 + 0.25
+}
+
+fn fill_owned_2d(h: &Halo2D, f: &View2<f64>) {
+    for j in 0..h.ny {
+        for i in 0..h.nx {
+            f.set_at(H + j, H + i, g2(h.y0 + j, h.x0 + i));
+        }
+    }
+}
+
+fn g3(k: usize, j: usize, i: usize) -> f64 {
+    (k * 1_000_000 + j * 1000 + i) as f64 + 0.125
+}
+
+fn fill_owned_3d(h: &Halo3D, f: &View3<f64>) {
+    for k in 0..h.nz {
+        for j in 0..h.h2.ny {
+            for i in 0..h.h2.nx {
+                f.set_at(k, H + j, H + i, g3(k, h.h2.y0 + j, h.h2.x0 + i));
+            }
+        }
+    }
+}
+
+/// One integrity-checked 2-D exchange per rank; returns the final field.
+fn run_2d(plan: Option<FaultPlan>) -> Vec<Vec<f64>> {
+    let body = |comm: &mpi_sim::Comm| {
+        let cart = CartComm::new(comm.clone(), 2, 2, true);
+        let h = Halo2D::new(&cart, 12, 10).with_integrity(IntegrityConfig::default());
+        h.begin_step(1);
+        let f: View2<f64> = View::host("f", [h.padded().0, h.padded().1]);
+        f.fill(0.0);
+        fill_owned_2d(&h, &f);
+        h.try_exchange(&f, FoldKind::Scalar, 0).unwrap();
+        f.to_vec()
+    };
+    match plan {
+        Some(plan) => World::run_faulted(4, plan, body).0,
+        None => World::run_traced(4, body).0,
+    }
+}
+
+#[test]
+fn bitflipped_2d_strip_recovers_bitwise() {
+    // Flip one bit in one westward strip; integrity must fetch the
+    // pristine escrowed copy and end bitwise identical to the clean run.
+    let plan = FaultPlan::new(0xB17F11)
+        .rule(FaultRule::new(FaultKind::BitFlip, MatchSpec::any()).max_hits(1));
+    let clean = run_2d(None);
+    let (_, t) = {
+        let plan2 = plan.clone();
+        let body = |comm: &mpi_sim::Comm| {
+            let cart = CartComm::new(comm.clone(), 2, 2, true);
+            let h = Halo2D::new(&cart, 12, 10).with_integrity(IntegrityConfig::default());
+            h.begin_step(1);
+            let f: View2<f64> = View::host("f", [h.padded().0, h.padded().1]);
+            f.fill(0.0);
+            fill_owned_2d(&h, &f);
+            h.try_exchange(&f, FoldKind::Scalar, 0).unwrap();
+        };
+        World::run_faulted(4, plan2, body)
+    };
+    assert!(t.faults_bitflipped >= 1, "the fault must actually fire");
+    assert!(t.crc_failures >= 1, "the flip must be detected");
+    assert!(t.resends_served >= 1, "recovery must come from escrow");
+    let faulted = run_2d(Some(plan));
+    assert_eq!(clean, faulted, "recovered exchange must be bitwise clean");
+}
+
+#[test]
+fn dropped_2d_strip_recovers_from_escrow() {
+    let plan = FaultPlan::new(0xD20B)
+        .rule(FaultRule::new(FaultKind::Drop { recoverable: true }, MatchSpec::any()).max_hits(2));
+    let clean = run_2d(None);
+    let faulted = run_2d(Some(plan));
+    assert_eq!(clean, faulted);
+}
+
+#[test]
+fn truncated_3d_batched_strip_recovers_bitwise() {
+    let run = |plan: Option<FaultPlan>| {
+        let body = |comm: &mpi_sim::Comm| {
+            let cart = CartComm::new(comm.clone(), 2, 2, true);
+            let h = Halo3D::new(Halo2D::new(&cart, 12, 10), 3, Strategy3D::Transpose)
+                .with_integrity(IntegrityConfig::default());
+            h.begin_step(7);
+            let u: View3<f64> = View::host("u", h.shape());
+            let v: View3<f64> = View::host("v", h.shape());
+            u.fill(0.0);
+            v.fill(0.0);
+            fill_owned_3d(&h, &u);
+            fill_owned_3d(&h, &v);
+            h.try_exchange_many(&[(&u, FoldKind::Vector), (&v, FoldKind::Scalar)], 0)
+                .unwrap();
+            (u.to_vec(), v.to_vec())
+        };
+        match plan {
+            Some(plan) => World::run_faulted(4, plan, body),
+            None => World::run_traced(4, body),
+        }
+    };
+    let plan = FaultPlan::new(0x7256)
+        .rule(FaultRule::new(FaultKind::Truncate { drop_words: 5 }, MatchSpec::any()).max_hits(1));
+    let (clean, _) = run(None);
+    let (faulted, t) = run(Some(plan));
+    assert!(t.faults_truncated >= 1);
+    assert_eq!(clean, faulted);
+}
+
+#[test]
+fn unrecoverable_drop_surfaces_typed_error_on_every_rank() {
+    // Drop *everything*, unrecoverably: no rank can finish, but with
+    // integrity timeouts none may hang either — each gets a typed error.
+    let plan = FaultPlan::new(0xDEAD).rule(FaultRule::new(
+        FaultKind::Drop { recoverable: false },
+        MatchSpec::any(),
+    ));
+    let cfg = IntegrityConfig {
+        max_retries: 1,
+        base_timeout: Duration::from_millis(20),
+        ..Default::default()
+    };
+    let (results, t) = World::run_faulted(4, plan, |comm| {
+        let cart = CartComm::new(comm.clone(), 2, 2, true);
+        let h = Halo2D::new(&cart, 12, 10).with_integrity(cfg);
+        h.begin_step(1);
+        let f: View2<f64> = View::host("f", [h.padded().0, h.padded().1]);
+        f.fill(0.0);
+        fill_owned_2d(&h, &f);
+        h.try_exchange(&f, FoldKind::Scalar, 0)
+    });
+    assert!(t.faults_dropped >= 4, "drops: {}", t.faults_dropped);
+    for (rank, r) in results.iter().enumerate() {
+        match r {
+            Err(HaloError::RetriesExhausted { last, attempts, .. }) => {
+                assert_eq!(*last, FrameFault::Timeout, "rank {rank}");
+                assert_eq!(*attempts, 2, "rank {rank}");
+            }
+            Ok(()) => panic!("rank {rank} cannot complete when all strips drop"),
+        }
+    }
+    assert!(t.recv_timeouts >= 4);
+    assert!(t.halo_retries >= 4);
+}
+
+#[test]
+fn integrity_framing_is_transparent_when_no_faults_fire() {
+    // Same final field with framing on and off on a clean network.
+    let unframed = {
+        let body = |comm: &mpi_sim::Comm| {
+            let cart = CartComm::new(comm.clone(), 2, 2, true);
+            let h = Halo2D::new(&cart, 12, 10);
+            let f: View2<f64> = View::host("f", [h.padded().0, h.padded().1]);
+            f.fill(0.0);
+            fill_owned_2d(&h, &f);
+            h.exchange(&f, FoldKind::Scalar, 0);
+            f.to_vec()
+        };
+        World::run_traced(4, body).0
+    };
+    assert_eq!(unframed, run_2d(None));
+}

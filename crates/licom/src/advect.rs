@@ -28,7 +28,7 @@ use kokkos_rs::{
     IterCost, ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View1, View2, View3,
 };
 
-use halo_exchange::HALO as H;
+use halo_exchange::{HaloError, HALO as H};
 
 use crate::localgrid::LocalGrid;
 
@@ -487,8 +487,8 @@ pub fn advect_tracer(
     dt: f64,
     limited: bool,
     wet_cols: Option<&ListPolicy>,
-    exchange_tmp: &dyn Fn(&View3<f64>),
-) {
+    exchange_tmp: &dyn Fn(&View3<f64>) -> Result<(), HaloError>,
+) -> Result<(), HaloError> {
     let (nx, ny, nz) = (g.nx, g.ny, g.nz);
     // X pass: q -> tmp.
     let fx = FunctorFluxX {
@@ -513,7 +513,7 @@ pub fn advect_tracer(
     };
     parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx]), &ax);
     // Refresh the intermediate field's halos before the y pass.
-    exchange_tmp(tmp);
+    exchange_tmp(tmp)?;
     // Y pass: tmp -> q_out.
     let fy = FunctorFluxY {
         q: tmp.clone(),
@@ -551,6 +551,7 @@ pub fn advect_tracer(
         Some(cols) => parallel_for_list(space, cols, &FunctorAdvectZList { f: az, pi: g.pi }),
         None => parallel_for_2d(space, MDRangePolicy2::new([ny, nx]), &az),
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use kokkos_rs::{
 };
 use ocean_grid::GRAVITY;
 
-use halo_exchange::{FoldKind, Halo2D, HALO as H};
+use halo_exchange::{FoldKind, Halo2D, HaloError, HALO as H};
 
 use crate::constants::ASSELIN;
 use crate::localgrid::LocalGrid;
@@ -359,6 +359,9 @@ pub fn register() {
 /// starting from `state.eta[cur]`, `state.ubt`, `state.vbt`, forced by
 /// the depth-mean tendencies `gu`, `gv`. On return `state.eta[new]`,
 /// `state.ubt`, `state.vbt` hold the window averages (with valid halos).
+/// `Err` means a per-substep halo update stayed unrecoverable after the
+/// integrity layer's retries; the barotropic work arrays are then in an
+/// undefined state and the caller must roll back.
 #[allow(clippy::too_many_arguments)]
 pub fn integrate(
     space: &Space,
@@ -371,7 +374,7 @@ pub fn integrate(
     substeps: usize,
     filter_rows: &View1<i32>,
     filter_passes: usize,
-) {
+) -> Result<(), HaloError> {
     let policy = MDRangePolicy2::new([g.ny, g.nx]);
     let full = MDRangePolicy2::new([g.pj, g.pi]);
     // Working triple: indices into state.bt_* (old, cur, new roles).
@@ -481,9 +484,9 @@ pub fn integrate(
             },
         );
         // Halo updates of the new level.
-        halo.exchange(&state.bt_eta[n], FoldKind::Scalar, 500);
-        halo.exchange(&state.bt_u[n], FoldKind::Vector, 510);
-        halo.exchange(&state.bt_v[n], FoldKind::Vector, 520);
+        halo.try_exchange(&state.bt_eta[n], FoldKind::Scalar, 500)?;
+        halo.try_exchange(&state.bt_u[n], FoldKind::Vector, 510)?;
+        halo.try_exchange(&state.bt_v[n], FoldKind::Vector, 520)?;
         // Polar filter on the new level.
         for _ in 0..filter_passes {
             for (field, kind, base) in [
@@ -508,7 +511,7 @@ pub fn integrate(
                         dst: field.clone(),
                     },
                 );
-                halo.exchange(field, kind, base);
+                halo.try_exchange(field, kind, base)?;
             }
         }
         // Accumulate window averages (full padded block: halos are valid).
@@ -571,6 +574,7 @@ pub fn integrate(
             scale,
         },
     );
+    Ok(())
 }
 
 #[cfg(test)]

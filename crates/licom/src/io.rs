@@ -114,10 +114,14 @@ impl Model {
     }
 
     /// Write a checkpoint. Each rank writes its own file; collective only
-    /// in the trivial sense (no communication).
+    /// in the trivial sense (no communication). The write is atomic —
+    /// tmp file, fsync, rename — so an interrupted save can never leave a
+    /// torn restart in place of a previous good one.
     pub fn save_restart(&self, dir: &Path) -> Result<(), RestartError> {
         std::fs::create_dir_all(dir)?;
-        let mut w = BufWriter::new(File::create(self.restart_path(dir))?);
+        let path = self.restart_path(dir);
+        let tmp = path.with_extension("tmp");
+        let mut w = BufWriter::new(File::create(&tmp)?);
         w.write_all(MAGIC)?;
         write_u64(&mut w, VERSION as u64)?;
         for v in [
@@ -146,6 +150,9 @@ impl Model {
         w2(&mut w, "ubt", &self.state.ubt)?;
         w2(&mut w, "vbt", &self.state.vbt)?;
         w.flush()?;
+        let f = w.into_inner().map_err(|e| RestartError::Io(e.into()))?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &path)?;
         Ok(())
     }
 

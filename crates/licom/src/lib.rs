@@ -26,9 +26,11 @@ pub mod advect;
 pub mod baroclinic;
 pub mod barotropic;
 pub mod canuto;
+pub mod checkpoint;
 pub mod diag;
 pub mod eos;
 pub mod forcing;
+pub mod guard;
 pub mod history;
 pub mod io;
 pub mod localgrid;
@@ -38,7 +40,11 @@ pub mod state;
 pub mod timers;
 pub mod vmix;
 
-pub use model::{Model, ModelOptions, StepStats};
+pub use checkpoint::{
+    CheckpointError, CheckpointManager, RecoveryError, RecoveryPolicy, RecoveryStats,
+};
+pub use guard::{GuardConfig, GuardViolation};
+pub use model::{Model, ModelOptions, StepError, StepStats};
 pub use state::State;
 pub use timers::Timers;
 
@@ -77,5 +83,6 @@ pub fn register_all_kernels() {
     vmix::register();
     forcing::register();
     diag::register();
+    guard::register();
     model::register();
 }

@@ -30,7 +30,7 @@ use kokkos_rs::{
 use mpi_sim::{CartComm, Comm, ReduceOp};
 use ocean_grid::{Bathymetry, GlobalGrid, ModelConfig, GRAVITY};
 
-use halo_exchange::{FoldKind, Halo2D, Halo3D, Strategy3D, HALO as H};
+use halo_exchange::{FoldKind, Halo2D, Halo3D, HaloError, IntegrityConfig, Strategy3D, HALO as H};
 
 use crate::advect::{self, FunctorDiagnoseW, FunctorDiagnoseWList};
 use crate::baroclinic::{
@@ -44,6 +44,7 @@ use crate::eos::{FunctorEos, FunctorEosList, FunctorPressure, FunctorPressureLis
 use crate::forcing::{
     FunctorSurfaceRestore, FunctorSurfaceRestoreList, FunctorWindStress, FunctorWindStressList,
 };
+use crate::guard::{self, GuardViolation};
 use crate::localgrid::LocalGrid;
 use crate::state::State;
 use crate::timers::Timers;
@@ -84,6 +85,16 @@ pub struct ModelOptions {
     /// (`ListPolicy`) instead of dense rectangles, skipping land work.
     /// Bitwise identical to the dense masked launches on every backend.
     pub active_set: bool,
+    /// Frame every halo strip with a CRC-protected header and recover
+    /// corrupted/dropped strips through bounded retry (§ robustness).
+    /// Bitwise identical on a clean network; adds 4 words per message.
+    pub integrity: bool,
+    /// Retry/timeout policy used when `integrity` is on. Tests shrink the
+    /// timeouts so unrecoverable-loss paths fail fast.
+    pub integrity_cfg: IntegrityConfig,
+    /// Per-step physics guard (NaN/velocity/tracer-bound scan over the
+    /// owned wet sets). `None` disables the scan.
+    pub guard: Option<crate::guard::GuardConfig>,
 }
 
 impl Default for ModelOptions {
@@ -98,9 +109,48 @@ impl Default for ModelOptions {
             polar_filter: true,
             vmix_team: false,
             active_set: true,
+            integrity: true,
+            integrity_cfg: IntegrityConfig::default(),
+            guard: Some(crate::guard::GuardConfig::default()),
         }
     }
 }
+
+/// Why a step could not be completed. The failing rank's state is
+/// whatever the partial step left behind — recover by rolling back to a
+/// checkpoint ([`Model::run_steps_resilient`]), not by retrying the step
+/// in place.
+#[derive(Debug)]
+pub enum StepError {
+    /// A halo strip stayed unrecoverable after the integrity layer's
+    /// bounded retry.
+    Halo(HaloError),
+    /// The physics guard found non-finite or out-of-bound state.
+    Guard(GuardViolation),
+}
+
+impl From<HaloError> for StepError {
+    fn from(e: HaloError) -> Self {
+        StepError::Halo(e)
+    }
+}
+
+impl From<GuardViolation> for StepError {
+    fn from(e: GuardViolation) -> Self {
+        StepError::Guard(e)
+    }
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::Halo(e) => write!(f, "{e}"),
+            StepError::Guard(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
 
 /// Explicit horizontal tracer diffusion: `q_new += dt · κ ∇² q_cur`,
 /// no-flux across land.
@@ -248,6 +298,10 @@ pub struct Model {
     filter_passes: usize,
     visc: f64,
     kappa: f64,
+    /// Effective |u| bound for the guard: `min(max_speed, CFL·Δx/Δt)`
+    /// over the *global* minimum spacing, so every rank enforces the
+    /// same limit.
+    guard_limit: f64,
     step_count: u64,
 }
 
@@ -274,7 +328,10 @@ impl Model {
         crate::register_all_kernels();
         let (px, py) = choose_dims(comm.size(), cfg.nx);
         let cart = CartComm::new(comm.clone(), px, py, true);
-        let halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny);
+        let mut halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny);
+        if opts.integrity {
+            halo2 = halo2.with_integrity(opts.integrity_cfg);
+        }
         let global = GlobalGrid::build(cfg.nx, cfg.ny, cfg.nz, &opts.bathymetry, cfg.full_depth);
         let grid = LocalGrid::build(&global, &halo2);
         // Pack/unpack kernels of the 3-D exchange dispatch on the model's
@@ -289,6 +346,9 @@ impl Model {
         let dt = cfg.dt_baroclinic;
         let visc = (0.02 * dx_min * dx_min / dt).min(dx_min * dx_min / (16.0 * dt));
         let kappa = 0.25 * visc;
+        let guard_limit = opts
+            .guard
+            .map_or(f64::INFINITY, |gc| gc.speed_limit(dx_min, dt));
 
         // Polar filter rows: where the barotropic leapfrog CFL is tight.
         let c_wave = (GRAVITY * global.vert.max_depth()).sqrt();
@@ -325,6 +385,7 @@ impl Model {
             filter_passes,
             visc,
             kappa,
+            guard_limit,
             step_count: 0,
         };
         model.exchange_all_initial();
@@ -381,8 +442,33 @@ impl Model {
         self.filter_passes
     }
 
-    /// Advance one baroclinic step.
+    /// Advance one baroclinic step, panicking on failure. Production
+    /// drivers should prefer [`Model::try_step`] (or
+    /// [`Model::run_steps_resilient`]) so halo corruption and guard trips
+    /// are recoverable instead of fatal.
     pub fn step(&mut self) {
+        let at = self.step_count;
+        self.try_step()
+            .unwrap_or_else(|e| panic!("model step {at} failed: {e}"));
+    }
+
+    /// Advance one baroclinic step, surfacing halo-integrity failures and
+    /// physics-guard trips as typed errors.
+    ///
+    /// On `Err` the prognostic state is whatever the aborted step left
+    /// behind — not a usable model state. Recovery is rollback: restore a
+    /// checkpoint and replay. The step body contains **no collectives**,
+    /// so one rank aborting cannot strand its peers in a rendezvous; with
+    /// integrity framing on, peers time out on the missing strips and
+    /// abort too. Every exchange of the step is sequenced by
+    /// `(epoch = step, ordinal)` so leftover frames from an aborted step
+    /// are either bit-identical to the replay's (deterministic traffic)
+    /// or discarded as stale.
+    pub fn try_step(&mut self) -> Result<(), StepError> {
+        let epoch = self.step_count;
+        self.comm.set_epoch(epoch);
+        self.halo2.begin_step(epoch);
+        self.halo3.begin_step(epoch);
         let tr0 = self.comm.traffic();
         let g = &self.grid;
         let (o, c, n) = (self.state.old(), self.state.cur(), self.state.new_lev());
@@ -528,7 +614,7 @@ impl Model {
         let (gu, gv) = (self.gu.clone(), self.gv.clone());
         let filter_rows = self.filter_rows.clone();
         let (dtb, passes) = (self.cfg.dt_barotropic, self.filter_passes);
-        {
+        let bt_res = {
             let grid = &self.grid;
             barotropic::integrate(
                 &space,
@@ -541,9 +627,10 @@ impl Model {
                 substeps,
                 &filter_rows,
                 passes,
-            );
-        }
+            )
+        };
         self.timers.stop("barotropic");
+        bt_res?;
         let g = &self.grid;
 
         // 5. Leapfrog momentum update + implicit friction + mode fix.
@@ -606,17 +693,20 @@ impl Model {
             pi: g.pi,
         };
         let wet_t_cols = &self.wet.cols;
-        if self.opts.overlap {
+        let uv_res = if self.opts.overlap {
             let sp = space.clone();
             self.halo3
-                .exchange_overlap(&self.state.u[n], FoldKind::Vector, 800, || {
+                .try_exchange_overlap(&self.state.u[n], FoldKind::Vector, 800, || {
                     if active {
                         parallel_for_list(&sp, wet_t_cols, &w_list);
                     } else {
                         parallel_for_2d(&sp, p2, &w_functor);
                     }
-                });
-            self.halo3.exchange(&self.state.v[n], FoldKind::Vector, 810);
+                })
+                .and_then(|()| {
+                    self.halo3
+                        .try_exchange(&self.state.v[n], FoldKind::Vector, 810)
+                })
         } else {
             if active {
                 parallel_for_list(&space, wet_t_cols, &w_list);
@@ -624,29 +714,35 @@ impl Model {
                 parallel_for_2d(&space, p2, &w_functor);
             }
             if self.opts.batched_halo {
-                self.halo3.exchange_many(
+                self.halo3.try_exchange_many(
                     &[
                         (&self.state.u[n], FoldKind::Vector),
                         (&self.state.v[n], FoldKind::Vector),
                     ],
                     800,
-                );
+                )
             } else {
-                self.halo3.exchange(&self.state.u[n], FoldKind::Vector, 800);
-                self.halo3.exchange(&self.state.v[n], FoldKind::Vector, 810);
+                self.halo3
+                    .try_exchange(&self.state.u[n], FoldKind::Vector, 800)
+                    .and_then(|()| {
+                        self.halo3
+                            .try_exchange(&self.state.v[n], FoldKind::Vector, 810)
+                    })
             }
-        }
+        };
         self.timers.stop("halo_uv");
+        uv_res?;
 
         // 7. Tracers: two-step shape-preserving advection (+ halo for the
         // intermediate field between the x and y passes), diffusion,
         // implicit vertical mixing, surface restoring.
         self.timers.start("advection_tracer");
+        let mut adv_res = Ok(());
         for (cur, new) in [
             (&self.state.t[c], &self.state.t[n]),
             (&self.state.s[c], &self.state.s[n]),
         ] {
-            advect::advect_tracer(
+            adv_res = advect::advect_tracer(
                 &space,
                 g,
                 cur,
@@ -659,10 +755,14 @@ impl Model {
                 dt,
                 self.opts.limiter,
                 if active { Some(wet_t_cols) } else { None },
-                &|tmp| self.halo3.exchange(tmp, FoldKind::Scalar, 820),
+                &|tmp| self.halo3.try_exchange(tmp, FoldKind::Scalar, 820),
             );
+            if adv_res.is_err() {
+                break;
+            }
         }
         self.timers.stop("advection_tracer");
+        adv_res?;
         self.timers.start("hdiff");
         for (cur, new) in [
             (&self.state.t[c], &self.state.t[n]),
@@ -721,19 +821,24 @@ impl Model {
 
         // 8. Tracer halo update + Asselin on the leapfrogged fields.
         self.timers.start("halo_ts");
-        if self.opts.batched_halo {
-            self.halo3.exchange_many(
+        let ts_res = if self.opts.batched_halo {
+            self.halo3.try_exchange_many(
                 &[
                     (&self.state.t[n], FoldKind::Scalar),
                     (&self.state.s[n], FoldKind::Scalar),
                 ],
                 830,
-            );
+            )
         } else {
-            self.halo3.exchange(&self.state.t[n], FoldKind::Scalar, 830);
-            self.halo3.exchange(&self.state.s[n], FoldKind::Scalar, 840);
-        }
+            self.halo3
+                .try_exchange(&self.state.t[n], FoldKind::Scalar, 830)
+                .and_then(|()| {
+                    self.halo3
+                        .try_exchange(&self.state.s[n], FoldKind::Scalar, 840)
+                })
+        };
         self.timers.stop("halo_ts");
+        ts_res?;
         self.timers.start("asselin");
         for (old, cur, new) in [
             (&self.state.u[o], &self.state.u[c], &self.state.u[n]),
@@ -750,9 +855,36 @@ impl Model {
             );
         }
         // The filtered cur level needs fresh halos for the next step.
-        self.halo3.exchange(&self.state.u[c], FoldKind::Vector, 850);
-        self.halo3.exchange(&self.state.v[c], FoldKind::Vector, 860);
+        let as_res = self
+            .halo3
+            .try_exchange(&self.state.u[c], FoldKind::Vector, 850)
+            .and_then(|()| {
+                self.halo3
+                    .try_exchange(&self.state.v[c], FoldKind::Vector, 860)
+            });
         self.timers.stop("asselin");
+        as_res?;
+
+        // Physics guard: scan the freshly computed level for non-finite
+        // values, runaway velocities, and out-of-bound tracers before the
+        // step is committed (rotated in). Local only — agreement on
+        // success/failure is the caller's status vote.
+        if let Some(gcfg) = self.opts.guard {
+            self.timers.start("guard");
+            let report = guard::scan(
+                &space,
+                &self.state,
+                n,
+                &self.wet.ucells,
+                &self.wet.cells,
+                &gcfg,
+            );
+            let verdict = report.violation(&gcfg, self.guard_limit);
+            self.timers.stop("guard");
+            if let Some(v) = verdict {
+                return Err(StepError::Guard(v));
+            }
+        }
 
         // Communication/allocation accounting for this step (world-level
         // counters: exact on one rank, aggregate otherwise). In steady
@@ -792,6 +924,36 @@ impl Model {
 
         self.step_count += 1;
         self.state.rotate();
+        Ok(())
+    }
+
+    /// Zero every non-prognostic work array and reset the mixing
+    /// coefficients to their background values, so a model restored from
+    /// a checkpoint is indistinguishable from a freshly constructed one
+    /// that loaded the same state. Asserted bitwise by the checkpoint
+    /// round-trip tests.
+    pub fn reset_transients(&mut self) {
+        use crate::constants::{KH_BACKGROUND, KM_BACKGROUND};
+        let s = &mut self.state;
+        for v in [&s.w, &s.rho, &s.pressure, &s.ut, &s.vt] {
+            v.fill(0.0);
+        }
+        for v in [&s.work.adv_flux, &s.work.adv_tmp] {
+            v.fill(0.0);
+        }
+        s.work.filter2.fill(0.0);
+        s.work.acc_eta.fill(0.0);
+        s.work.acc_u.fill(0.0);
+        s.work.acc_v.fill(0.0);
+        for lev in 0..crate::state::LEVELS {
+            s.bt_eta[lev].fill(0.0);
+            s.bt_u[lev].fill(0.0);
+            s.bt_v[lev].fill(0.0);
+        }
+        s.km.fill(KM_BACKGROUND);
+        s.kh.fill(KH_BACKGROUND);
+        self.gu.fill(0.0);
+        self.gv.fill(0.0);
     }
 
     /// Launch one implicit vertical solve through the configured shape

@@ -144,8 +144,12 @@ fn revolve(limited: bool) -> (Vec<f64>, f64, f64, Vec<f64>) {
                 dt,
                 limited,
                 None,
-                &|t| s.halo.exchange(t, FoldKind::Scalar, 10),
-            );
+                &|t| {
+                    s.halo.exchange(t, FoldKind::Scalar, 10);
+                    Ok(())
+                },
+            )
+            .unwrap();
             q.copy_from_slice(out.as_slice());
         }
         let mass1 = mass(&q);

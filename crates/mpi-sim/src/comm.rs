@@ -9,15 +9,56 @@
 //!   delivered in send order (non-overtaking);
 //! * payloads are typed `Vec<T>`; a type mismatch between sender and
 //!   receiver panics with a diagnostic rather than reinterpreting bytes.
+//!
+//! ## Robustness
+//!
+//! * Every blocking receive is bounded: the plain `recv`/`recv_into`
+//!   APIs abort with a diagnostic after the world's `recv_timeout`
+//!   (default 60 s) instead of deadlocking forever on a missing message,
+//!   and the `*_deadline` variants return a typed [`CommError`] so
+//!   callers can retry.
+//! * A seeded [`crate::fault::FaultPlan`] installed via
+//!   [`WorldConfig::faults`] corrupts matching messages inside this
+//!   module's single delivery funnel — both the pooled `send_into` and
+//!   the allocating `send` pass through it — and parks pristine copies in
+//!   an escrow that [`Comm::fetch_resend`] serves, simulating link-level
+//!   retransmission.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::collective::CollectiveState;
+use crate::fault::{Action, FaultPlan, FaultState};
 use crate::pool::BufferPool;
 use crate::stats::{Traffic, TrafficSnapshot};
+
+/// Typed point-to-point communication failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the allotted time.
+    Timeout {
+        src: usize,
+        tag: u64,
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { src, tag, waited } => write!(
+                f,
+                "receive from rank {src} tag {tag} timed out after {waited:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Message payload. Pooled `f64` buffers travel unboxed so a pooled
 /// send/recv round-trip touches the heap only on pool misses.
@@ -52,6 +93,13 @@ pub(crate) struct WorldShared {
     /// which makes steady-state allocation counts deterministic (a single
     /// world-shared free list would make them scheduling-dependent).
     pub(crate) pools: Vec<BufferPool>,
+    /// Installed fault plan, if any (see [`WorldConfig::faults`]).
+    faults: Option<FaultState>,
+    /// Per-rank epoch (model step) used by fault rules' step windows.
+    epochs: Vec<AtomicU64>,
+    /// Upper bound a plain blocking receive waits before aborting with a
+    /// deadlock diagnostic.
+    recv_timeout: Duration,
 }
 
 /// A communicator handle owned by one rank. Cheap to clone.
@@ -112,7 +160,81 @@ impl Comm {
         self.deliver(dst, tag, Payload::PooledF64(buf));
     }
 
+    /// Single delivery funnel for `send` and `send_into`; fault injection
+    /// happens here so pooled and allocating sends are both exercised.
     fn deliver(&self, dst: usize, tag: u64, payload: Payload) {
+        let Some(fs) = self.shared.faults.as_ref() else {
+            self.push_message(dst, tag, payload);
+            return;
+        };
+        // Only f64 payloads are subject to injection (the only kind the
+        // model sends); anything else passes through untouched.
+        let data: Vec<f64> = match payload {
+            Payload::PooledF64(b) => b,
+            Payload::Boxed { data, type_name } => match data.downcast::<Vec<f64>>() {
+                Ok(v) => *v,
+                Err(data) => {
+                    self.push_message(dst, tag, Payload::Boxed { data, type_name });
+                    self.flush_delayed(fs);
+                    return;
+                }
+            },
+        };
+        let epoch = self.shared.epochs[self.rank].load(Ordering::Relaxed);
+        let t = &self.shared.traffic;
+        match fs.decide(self.rank, dst, tag, epoch) {
+            None => self.push_message(dst, tag, Payload::PooledF64(data)),
+            Some(Action::Drop { recoverable }) => {
+                t.record_fault_dropped();
+                if recoverable {
+                    fs.park(self.rank, dst, tag, data);
+                }
+            }
+            Some(Action::Duplicate) => {
+                t.record_fault_duplicated();
+                self.push_message(dst, tag, Payload::PooledF64(data.clone()));
+                self.push_message(dst, tag, Payload::PooledF64(data));
+            }
+            Some(Action::Delay { sends }) => {
+                t.record_fault_delayed();
+                // Escrow a pristine copy too: if the receiver gives up
+                // before the delayed frame lands, it can still resync.
+                fs.park(self.rank, dst, tag, data.clone());
+                fs.defer(self.rank, dst, tag, data, sends);
+            }
+            Some(Action::BitFlip { word_hash, bit }) => {
+                let mut data = data;
+                if !data.is_empty() {
+                    t.record_fault_bitflipped();
+                    fs.park(self.rank, dst, tag, data.clone());
+                    let w = (word_hash % data.len() as u64) as usize;
+                    data[w] = f64::from_bits(data[w].to_bits() ^ (1u64 << bit));
+                }
+                self.push_message(dst, tag, Payload::PooledF64(data));
+            }
+            Some(Action::Truncate { drop_words }) => {
+                t.record_fault_truncated();
+                fs.park(self.rank, dst, tag, data.clone());
+                let mut data = data;
+                let keep = data.len().saturating_sub(drop_words);
+                data.truncate(keep);
+                self.push_message(dst, tag, Payload::PooledF64(data));
+            }
+        }
+        self.flush_delayed(fs);
+    }
+
+    /// Deliver delayed frames whose send-clock has run out. Called after
+    /// every send by this rank, so a delayed message reorders past the
+    /// sender's subsequent traffic. (A sender that never sends again keeps
+    /// its frame parked — receivers recover via the escrowed copy.)
+    fn flush_delayed(&self, fs: &FaultState) {
+        for (dst, tag, data) in fs.tick_delayed(self.rank) {
+            self.push_message(dst, tag, Payload::PooledF64(data));
+        }
+    }
+
+    fn push_message(&self, dst: usize, tag: u64, payload: Payload) {
         let mb = &self.shared.mailboxes[dst];
         mb.queue.lock().push(Message {
             src: self.rank,
@@ -124,10 +246,31 @@ impl Comm {
 
     /// Blocking typed receive of the oldest message matching `(src, tag)`.
     ///
+    /// Bounded by the world's `recv_timeout`: a missing message aborts with
+    /// a deadlock diagnostic instead of hanging forever. Use
+    /// [`Comm::recv_deadline`] to handle the timeout as a value.
+    ///
     /// # Panics
-    /// If the matched message was sent with a different element type.
+    /// If the matched message was sent with a different element type, or
+    /// no message arrives within the world's `recv_timeout`.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        match self.take_message(src, tag).payload {
+        self.decode(src, tag, self.take_message(src, tag).payload)
+    }
+
+    /// Bounded typed receive: like [`Comm::recv`] but returns a typed
+    /// [`CommError::Timeout`] if no matching message arrives in `timeout`.
+    pub fn recv_deadline<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        let msg = self.take_message_for(src, tag, timeout)?;
+        Ok(self.decode(src, tag, msg.payload))
+    }
+
+    fn decode<T: Send + 'static>(&self, src: usize, tag: u64, payload: Payload) -> Vec<T> {
+        match payload {
             Payload::Boxed { data, type_name } => *data.downcast::<Vec<T>>().unwrap_or_else(|_| {
                 panic!(
                     "recv type mismatch: rank {} expected Vec<{}>, rank {} sent Vec<{}> (tag {})",
@@ -160,9 +303,33 @@ impl Comm {
     /// Pooled receive: block for the `(src, tag)` message, run `consume` on
     /// its payload, then recycle the buffer's storage into this rank's pool.
     /// Payloads sent with the plain [`Comm::send::<f64>`] are adopted into
-    /// the pool the same way.
+    /// the pool the same way. Bounded by the world's `recv_timeout` (see
+    /// [`Comm::recv`]).
     pub fn recv_into<R>(&self, src: usize, tag: u64, consume: impl FnOnce(&[f64]) -> R) -> R {
-        let buf: Vec<f64> = match self.take_message(src, tag).payload {
+        let buf = self.decode_f64(src, tag, self.take_message(src, tag).payload);
+        let out = consume(&buf);
+        self.shared.pools[self.rank].release(buf);
+        out
+    }
+
+    /// Bounded pooled receive: like [`Comm::recv_into`] but returns a typed
+    /// [`CommError::Timeout`] if no matching message arrives in `timeout`.
+    pub fn recv_into_deadline<R>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+        consume: impl FnOnce(&[f64]) -> R,
+    ) -> Result<R, CommError> {
+        let msg = self.take_message_for(src, tag, timeout)?;
+        let buf = self.decode_f64(src, tag, msg.payload);
+        let out = consume(&buf);
+        self.shared.pools[self.rank].release(buf);
+        Ok(out)
+    }
+
+    fn decode_f64(&self, src: usize, tag: u64, payload: Payload) -> Vec<f64> {
+        match payload {
             Payload::PooledF64(buf) => buf,
             Payload::Boxed { data, type_name } => *data.downcast::<Vec<f64>>().unwrap_or_else(|_| {
                 panic!(
@@ -170,21 +337,86 @@ impl Comm {
                     self.rank, src, type_name, tag
                 )
             }),
-        };
-        let out = consume(&buf);
-        self.shared.pools[self.rank].release(buf);
-        out
+        }
     }
 
     fn take_message(&self, src: usize, tag: u64) -> Message {
+        match self.take_message_for(src, tag, self.shared.recv_timeout) {
+            Ok(m) => m,
+            // A lost message used to deadlock the world here; now it aborts
+            // with a diagnostic. Callers that want to recover use the
+            // `*_deadline` APIs.
+            Err(e) => panic!(
+                "rank {}: blocking receive aborted (would deadlock): {e}",
+                self.rank
+            ),
+        }
+    }
+
+    fn take_message_for(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Message, CommError> {
         let mb = &self.shared.mailboxes[self.rank];
+        let deadline = Instant::now() + timeout;
         let mut q = mb.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                return q.remove(pos);
+                return Ok(q.remove(pos));
             }
-            mb.cv.wait(&mut q);
+            let now = Instant::now();
+            if now >= deadline {
+                self.shared.traffic.record_recv_timeout();
+                return Err(CommError::Timeout {
+                    src,
+                    tag,
+                    waited: timeout,
+                });
+            }
+            mb.cv.wait_for(&mut q, deadline - now);
         }
+    }
+
+    /// Set this rank's epoch (the model's step counter). Fault rules with
+    /// step windows match against it, and rank-stall rules trigger here.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.shared.epochs[self.rank].store(epoch, Ordering::Relaxed);
+        if let Some(fs) = self.shared.faults.as_ref() {
+            if let Some(millis) = fs.stall_for(self.rank, epoch) {
+                self.shared.traffic.record_rank_stall();
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+        }
+    }
+
+    /// This rank's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epochs[self.rank].load(Ordering::Relaxed)
+    }
+
+    /// Ask the fault layer's escrow for the pristine payload of an injected
+    /// message from `src` with `tag` — the simulated retransmission a
+    /// receiver falls back to after a CRC failure or timeout. Returns
+    /// `None` when no fault plan is installed or nothing is parked.
+    pub fn fetch_resend(&self, src: usize, tag: u64) -> Option<Vec<f64>> {
+        let fs = self.shared.faults.as_ref()?;
+        let data = fs.take_escrow(src, self.rank, tag)?;
+        self.shared
+            .traffic
+            .record_resend_served(data.len() * std::mem::size_of::<f64>());
+        Some(data)
+    }
+
+    /// Record that a receiver rejected a frame (bad CRC/header/length).
+    pub fn note_crc_failure(&self) {
+        self.shared.traffic.record_crc_failure();
+    }
+
+    /// Record that a receiver retried a strip (corrupt frame or timeout).
+    pub fn note_halo_retry(&self) {
+        self.shared.traffic.record_halo_retry();
     }
 
     /// Non-blocking send. With an in-process buffered transport this is the
@@ -230,6 +462,38 @@ impl RecvReq {
     }
 }
 
+/// World construction parameters: rank count plus the robustness knobs.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    n: usize,
+    faults: Option<FaultPlan>,
+    recv_timeout: Duration,
+}
+
+impl WorldConfig {
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            faults: None,
+            recv_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Install a seeded fault plan (ignored if the plan has no rules).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_empty() {
+            self.faults = Some(plan);
+        }
+        self
+    }
+
+    /// Upper bound a plain blocking receive waits before aborting.
+    pub fn recv_timeout(mut self, d: Duration) -> Self {
+        self.recv_timeout = d;
+        self
+    }
+}
+
 /// Factory for rank worlds.
 pub struct World;
 
@@ -251,6 +515,26 @@ impl World {
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
+        Self::run_cfg(WorldConfig::new(n), f)
+    }
+
+    /// Run with a seeded fault plan installed — every `f64` message is
+    /// matched against the plan inside the send path.
+    pub fn run_faulted<R, F>(n: usize, plan: FaultPlan, f: F) -> (Vec<R>, TrafficSnapshot)
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_cfg(WorldConfig::new(n).faults(plan), f)
+    }
+
+    /// Fully configured run; see [`WorldConfig`].
+    pub fn run_cfg<R, F>(cfg: WorldConfig, f: F) -> (Vec<R>, TrafficSnapshot)
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        let n = cfg.n;
         assert!(n > 0, "world must have at least one rank");
         let shared = Arc::new(WorldShared {
             n,
@@ -258,6 +542,9 @@ impl World {
             traffic: Traffic::default(),
             coll: CollectiveState::new(n),
             pools: (0..n).map(|_| BufferPool::default()).collect(),
+            faults: cfg.faults.map(|p| FaultState::new(p, n)),
+            epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            recv_timeout: cfg.recv_timeout,
         });
         let f = &f;
         let results: Vec<R> = std::thread::scope(|s| {
@@ -443,5 +730,224 @@ mod tests {
                 let _ = comm.recv::<i32>(0, 0);
             }
         });
+    }
+
+    // -- robustness: timeouts and fault injection ---------------------------
+
+    use crate::fault::{FaultKind, FaultPlan, FaultRule, MatchSpec};
+
+    #[test]
+    fn recv_deadline_times_out_with_typed_error() {
+        let (_, t) = World::run_traced(2, |comm| {
+            if comm.rank() == 0 {
+                let err = comm
+                    .recv_deadline::<f64>(1, 42, Duration::from_millis(20))
+                    .unwrap_err();
+                assert_eq!(
+                    err,
+                    CommError::Timeout {
+                        src: 1,
+                        tag: 42,
+                        waited: Duration::from_millis(20)
+                    }
+                );
+            }
+        });
+        assert_eq!(t.recv_timeouts, 1);
+    }
+
+    #[test]
+    fn recv_deadline_succeeds_when_message_arrives() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![2.5f64]);
+            } else {
+                let v = comm
+                    .recv_deadline::<f64>(0, 5, Duration::from_secs(5))
+                    .expect("message was sent");
+                assert_eq!(v, vec![2.5]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "would deadlock")]
+    fn blocking_recv_aborts_instead_of_hanging() {
+        let cfg = WorldConfig::new(1).recv_timeout(Duration::from_millis(20));
+        World::run_cfg(cfg, |comm| {
+            let _ = comm.recv::<f64>(0, 999); // nothing was ever sent
+        });
+    }
+
+    #[test]
+    fn dropped_message_is_counted_and_recoverable_from_escrow() {
+        let plan = FaultPlan::new(1).rule(
+            FaultRule::new(
+                FaultKind::Drop { recoverable: true },
+                MatchSpec::any().tag(7),
+            )
+            .max_hits(1),
+        );
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 7, 4, |b| b.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]));
+            } else {
+                let err = comm
+                    .recv_into_deadline(0, 7, Duration::from_millis(30), |b| b.to_vec())
+                    .unwrap_err();
+                assert!(matches!(err, CommError::Timeout { .. }));
+                let resent = comm.fetch_resend(0, 7).expect("escrowed payload");
+                assert_eq!(resent, vec![1.0, 2.0, 3.0, 4.0]);
+            }
+        });
+        assert_eq!(t.faults_dropped, 1);
+        assert_eq!(t.resends_served, 1);
+        assert_eq!(t.resend_bytes, 32);
+    }
+
+    #[test]
+    fn unrecoverable_drop_leaves_no_escrow() {
+        let plan = FaultPlan::new(1).rule(
+            FaultRule::new(
+                FaultKind::Drop { recoverable: false },
+                MatchSpec::any().tag(7),
+            )
+            .max_hits(1),
+        );
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 7, 2, |b| b.fill(1.0));
+            } else {
+                assert!(comm
+                    .recv_into_deadline(0, 7, Duration::from_millis(30), |b| b.to_vec())
+                    .is_err());
+                assert!(comm.fetch_resend(0, 7).is_none());
+            }
+        });
+        assert_eq!(t.faults_dropped, 1);
+        assert_eq!(t.resends_served, 0);
+    }
+
+    #[test]
+    fn bitflip_corrupts_exactly_one_bit_and_escrows_pristine_copy() {
+        let plan = FaultPlan::new(99)
+            .rule(FaultRule::new(FaultKind::BitFlip, MatchSpec::any().tag(3)).max_hits(1));
+        let sent = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 3, sent.len(), |b| b.copy_from_slice(&sent));
+            } else {
+                let got = comm.recv_into(0, 3, |b| b.to_vec());
+                let flipped_bits: u32 = got
+                    .iter()
+                    .zip(&sent)
+                    .map(|(a, b)| (a.to_bits() ^ b.to_bits()).count_ones())
+                    .sum();
+                assert_eq!(flipped_bits, 1, "exactly one bit flipped");
+                let pristine = comm.fetch_resend(0, 3).expect("pristine copy parked");
+                assert_eq!(pristine, sent);
+            }
+        });
+        assert_eq!(t.faults_bitflipped, 1);
+    }
+
+    #[test]
+    fn truncate_shortens_payload() {
+        let plan = FaultPlan::new(5).rule(
+            FaultRule::new(
+                FaultKind::Truncate { drop_words: 3 },
+                MatchSpec::any().tag(2),
+            )
+            .max_hits(1),
+        );
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 2, 8, |b| b.fill(9.0));
+            } else {
+                let got = comm.recv_into(0, 2, |b| b.to_vec());
+                assert_eq!(got.len(), 5);
+                assert_eq!(comm.fetch_resend(0, 2).unwrap().len(), 8);
+            }
+        });
+        assert_eq!(t.faults_truncated, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let plan = FaultPlan::new(5)
+            .rule(FaultRule::new(FaultKind::Duplicate, MatchSpec::any().tag(4)).max_hits(1));
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 4, 2, |b| b.copy_from_slice(&[7.0, 8.0]));
+            } else {
+                let a = comm.recv_into(0, 4, |b| b.to_vec());
+                let b = comm.recv_into(0, 4, |b| b.to_vec());
+                assert_eq!(a, b);
+                assert_eq!(a, vec![7.0, 8.0]);
+            }
+        });
+        assert_eq!(t.faults_duplicated, 1);
+    }
+
+    #[test]
+    fn delay_reorders_past_later_same_tag_traffic() {
+        let plan = FaultPlan::new(5).rule(
+            FaultRule::new(FaultKind::Delay { sends: 1 }, MatchSpec::any().tag(6)).max_hits(1),
+        );
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send_into(1, 6, 1, |b| b[0] = 1.0); // delayed
+                comm.send_into(1, 6, 1, |b| b[0] = 2.0); // overtakes it
+            } else {
+                let first = comm.recv_into(0, 6, |b| b[0]);
+                let second = comm.recv_into(0, 6, |b| b[0]);
+                assert_eq!((first, second), (2.0, 1.0), "messages reordered");
+            }
+        });
+        assert_eq!(t.faults_delayed, 1);
+    }
+
+    #[test]
+    fn epoch_windows_select_faults_and_stalls_fire() {
+        let plan = FaultPlan::new(0)
+            .rule(FaultRule::new(
+                FaultKind::Drop { recoverable: true },
+                MatchSpec::any().tag(1).epoch(2),
+            ))
+            .stall(1, (2, 3), 5);
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            let peer = 1 - comm.rank();
+            for epoch in 0..4u64 {
+                comm.set_epoch(epoch);
+                comm.barrier();
+                if comm.rank() == 0 {
+                    comm.send_into(peer, 1, 1, |b| b[0] = epoch as f64);
+                } else {
+                    let r = comm.recv_into_deadline(0, 1, Duration::from_millis(100), |b| b[0]);
+                    if epoch == 2 {
+                        assert!(r.is_err(), "epoch-2 message dropped");
+                        assert_eq!(comm.fetch_resend(0, 1), Some(vec![2.0]));
+                    } else {
+                        assert_eq!(r.unwrap(), epoch as f64);
+                    }
+                }
+                comm.barrier();
+            }
+        });
+        assert_eq!(t.faults_dropped, 1);
+        assert_eq!(t.rank_stalls, 1);
+    }
+
+    #[test]
+    fn faults_do_not_touch_non_f64_payloads() {
+        let plan = FaultPlan::new(0).rule(FaultRule::new(FaultKind::BitFlip, MatchSpec::any()));
+        let (_, t) = World::run_faulted(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1i32, 2, 3]);
+            } else {
+                assert_eq!(comm.recv::<i32>(0, 0), vec![1, 2, 3]);
+            }
+        });
+        assert_eq!(t.faults_bitflipped, 0);
     }
 }

@@ -1,0 +1,329 @@
+//! CRC32 — the integrity checks shared by the halo-message framing and the
+//! `licom` checkpoint files.
+//!
+//! Two variants:
+//!
+//! * [`crc32`] / [`Crc32`] — the IEEE 802.3 polynomial (reflected),
+//!   slicing-by-8 software implementation. Used by checkpoint files, where
+//!   hashing streams alongside disk I/O and is never the bottleneck.
+//! * [`crc32c`] — the Castagnoli polynomial, hardware-accelerated through
+//!   the SSE4.2 `crc32` instruction where available (three interleaved
+//!   dependency chains recombined by a precomputed GF(2) shift operator),
+//!   with a slicing-by-8 software fallback. Used by the halo frame
+//!   seal/verify, which runs on every message of every step and must stay
+//!   within a few percent of the unframed exchange.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+const POLY_C: u32 = 0x82F6_3B78;
+
+fn make_tables(poly: u32) -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    for i in 0..256u32 {
+        let mut c = i;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { (c >> 1) ^ poly } else { c >> 1 };
+        }
+        t[0][i as usize] = c;
+    }
+    for i in 0..256 {
+        let mut c = t[0][i];
+        for k in 1..8 {
+            c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+            t[k][i] = c;
+        }
+    }
+    t
+}
+
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| make_tables(POLY))
+}
+
+fn tables_c() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| make_tables(POLY_C))
+}
+
+/// Incremental CRC32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Fold `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = slice8(tables(), self.state, data);
+    }
+
+    /// Fold a slice of `f64` in by bit pattern (little-endian bytes).
+    pub fn update_f64(&mut self, data: &[f64]) {
+        // SAFETY: f64 has no padding or invalid bit patterns; reading its
+        // storage as bytes is always defined.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+        };
+        self.update(bytes);
+    }
+
+    /// Finish and return the checksum (the hasher can keep updating; this
+    /// just reports the value so far).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// Slicing-by-8 register update, shared by both polynomials.
+fn slice8(t: &[[u32; 256]; 8], mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+// ---- CRC32-C: the hot-path checksum for halo frames ----------------------
+
+/// Words per interleaved stream in the hardware path. Three streams of
+/// this size cover one 64 KiB block — big enough to amortize the
+/// recombination, small enough to stay cache-resident.
+const STREAM_WORDS: usize = 2730;
+
+/// GF(2) operator advancing a CRC32-C register over one stream's worth of
+/// zero bytes (`STREAM_WORDS * 8`), as a 32-column bit matrix.
+fn stream_shift_op() -> &'static [u32; 32] {
+    static OP: OnceLock<[u32; 32]> = OnceLock::new();
+    OP.get_or_init(|| zero_shift_operator(STREAM_WORDS * 8))
+}
+
+fn gf2_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+fn gf2_square(mat: &[u32; 32]) -> [u32; 32] {
+    std::array::from_fn(|n| gf2_times(mat, mat[n]))
+}
+
+/// Build the operator that advances a (reflected) CRC32-C register by
+/// `len` zero bytes, by square-and-multiply over the one-zero-bit matrix.
+fn zero_shift_operator(len: usize) -> [u32; 32] {
+    // One zero bit: reflected-domain shift right, feeding back the poly.
+    let mut op: [u32; 32] = std::array::from_fn(|n| if n == 0 { POLY_C } else { 1 << (n - 1) });
+    let mut bits = (len as u64) * 8;
+    // `op` currently advances by 2^0 bits; walk the bits of the distance.
+    let mut result: Option<[u32; 32]> = None;
+    while bits != 0 {
+        if bits & 1 != 0 {
+            result = Some(match result {
+                None => op,
+                Some(r) => std::array::from_fn(|n| gf2_times(&op, r[n])),
+            });
+        }
+        bits >>= 1;
+        if bits != 0 {
+            op = gf2_square(&op);
+        }
+    }
+    result.unwrap_or_else(|| std::array::from_fn(|n| 1 << n))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_update_hw(mut crc: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    const BLOCK: usize = 3 * STREAM_WORDS * 8;
+    let shift = stream_shift_op();
+    let mut rest = data;
+    while rest.len() >= BLOCK {
+        let p = rest.as_ptr() as *const u64;
+        // Three independent dependency chains hide the 3-cycle latency of
+        // the crc32 instruction; streams B and C start from a zero
+        // register and are folded in with the linear shift operator:
+        //   R(A||B, x) = Shift_|B|(R(A, x)) ^ R(B, 0).
+        let (mut a, mut b, mut c) = (crc as u64, 0u64, 0u64);
+        for i in 0..STREAM_WORDS {
+            a = _mm_crc32_u64(a, p.add(i).read_unaligned());
+            b = _mm_crc32_u64(b, p.add(STREAM_WORDS + i).read_unaligned());
+            c = _mm_crc32_u64(c, p.add(2 * STREAM_WORDS + i).read_unaligned());
+        }
+        crc = gf2_times(shift, gf2_times(shift, a as u32) ^ b as u32) ^ c as u32;
+        rest = &rest[BLOCK..];
+    }
+    let mut words = rest.chunks_exact(8);
+    let mut r = crc as u64;
+    for w in words.by_ref() {
+        r = _mm_crc32_u64(r, u64::from_le_bytes(w.try_into().unwrap()));
+    }
+    crc = r as u32;
+    for &byte in words.remainder() {
+        crc = _mm_crc32_u8(crc, byte);
+    }
+    crc
+}
+
+fn crc32c_update(crc: u32, data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            // SAFETY: feature presence checked at runtime.
+            return unsafe { crc32c_update_hw(crc, data) };
+        }
+    }
+    slice8(tables_c(), crc, data)
+}
+
+/// One-shot CRC32-C (Castagnoli) of a byte slice. Hardware-accelerated on
+/// x86-64 with SSE4.2; bitwise identical to the software fallback.
+pub fn crc32c(data: &[u8]) -> u32 {
+    !crc32c_update(!0, data)
+}
+
+/// One-shot CRC32-C of an `f64` slice's bit patterns.
+pub fn crc32c_f64(data: &[f64]) -> u32 {
+    // SAFETY: f64 has no padding or invalid bit patterns; reading its
+    // storage as bytes is always defined.
+    let bytes = unsafe {
+        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+    };
+    crc32c(bytes)
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// One-shot CRC32 of an `f64` slice's bit patterns.
+pub fn crc32_f64(data: &[f64]) -> u32 {
+    let mut h = Crc32::new();
+    h.update_f64(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 7, 8, 9, 500, 999, 1000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn f64_view_matches_byte_view() {
+        let vals = [1.5f64, -0.25, f64::INFINITY, 0.0, -0.0, 12345.6789];
+        let mut bytes = Vec::new();
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(crc32_f64(&vals), crc32(&bytes));
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // Standard Castagnoli check values.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        // 32 zero bytes: RFC 3720 test pattern.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn crc32c_hw_matches_sw_across_lengths() {
+        // Exercise the 3-stream block path, the word tail, and the byte
+        // tail against the table fallback — same answer at every length.
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i * 31 + 7) as u8).collect();
+        for len in [
+            0,
+            1,
+            7,
+            8,
+            9,
+            63,
+            4096,
+            3 * super::STREAM_WORDS * 8 - 1,
+            3 * super::STREAM_WORDS * 8,
+            3 * super::STREAM_WORDS * 8 + 13,
+            150_000,
+            200_000,
+        ] {
+            let d = &data[..len];
+            assert_eq!(
+                crc32c(d),
+                !super::slice8(super::tables_c(), !0, d),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32c_f64_detects_bit_flip() {
+        let mut data = vec![0.5f64; 9000];
+        let clean = crc32c_f64(&data);
+        data[8191] = f64::from_bits(data[8191].to_bits() ^ (1 << 42));
+        assert_ne!(crc32c_f64(&data), clean);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0.5f64; 64];
+        let clean = crc32_f64(&data);
+        data[17] = f64::from_bits(data[17].to_bits() ^ (1 << 13));
+        assert_ne!(crc32_f64(&data), clean);
+    }
+}

@@ -1,0 +1,457 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! At the paper's scale (98,375 Sunway nodes, 16,000 GPUs) message
+//! corruption, slow ranks and outright message loss are operational
+//! facts, not edge cases. This module lets a test or experiment install a
+//! seeded [`FaultPlan`] on a world: every point-to-point `f64` message is
+//! matched against the plan's rules inside the send path (both the pooled
+//! `send_into` and the allocating `send` funnel through the same delivery
+//! point), and matching messages are dropped, duplicated, delayed
+//! (reordered), bit-flipped or truncated. A separate rule kind stalls a
+//! rank for a configurable wall-clock time at an epoch boundary,
+//! simulating a slow node.
+//!
+//! **Determinism.** Whether a rule fires depends only on the plan seed,
+//! the rule index, the sender rank and a per-(rule, sender) match
+//! counter — each sender's program order is deterministic, so a given
+//! plan injects the same faults at the same points on every run,
+//! regardless of thread scheduling. Probabilistic rules hash those same
+//! inputs through SplitMix64.
+//!
+//! **Recoverability.** Unless a drop rule is marked unrecoverable, the
+//! pristine payload of every injected message is kept in a per-world
+//! escrow; a receiver that detects the fault (CRC mismatch, truncation,
+//! timeout) can fetch it with [`crate::Comm::fetch_resend`] — the
+//! simulated analogue of a retransmission protocol. Unrecoverable drops
+//! model loss the transport cannot repair, forcing the application layer
+//! (checkpoint/rollback in `licom`) to take over.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What to do to a matched message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Discard the message. If `recoverable`, the payload is escrowed for
+    /// [`crate::Comm::fetch_resend`]; if not, it is gone for good and only
+    /// checkpoint/rollback can save the run.
+    Drop { recoverable: bool },
+    /// Deliver the message twice.
+    Duplicate,
+    /// Hold the message back until the sender has performed `sends` more
+    /// sends (to anyone), then deliver it — reordering it past later
+    /// same-tag traffic.
+    Delay { sends: u32 },
+    /// Flip one bit of one payload word (chosen by the seeded hash).
+    BitFlip,
+    /// Chop `drop_words` trailing words off the payload.
+    Truncate { drop_words: usize },
+}
+
+/// Message selector: `None` fields match anything; ranges are
+/// half-open `[lo, hi)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchSpec {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    pub tags: Option<(u64, u64)>,
+    pub epochs: Option<(u64, u64)>,
+}
+
+impl MatchSpec {
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    pub fn src(mut self, r: usize) -> Self {
+        self.src = Some(r);
+        self
+    }
+
+    pub fn dst(mut self, r: usize) -> Self {
+        self.dst = Some(r);
+        self
+    }
+
+    /// Match tags in `[lo, hi)`.
+    pub fn tags(mut self, lo: u64, hi: u64) -> Self {
+        self.tags = Some((lo, hi));
+        self
+    }
+
+    pub fn tag(self, t: u64) -> Self {
+        self.tags(t, t + 1)
+    }
+
+    /// Match epochs (model steps; see [`crate::Comm::set_epoch`]) in
+    /// `[lo, hi)`.
+    pub fn epochs(mut self, lo: u64, hi: u64) -> Self {
+        self.epochs = Some((lo, hi));
+        self
+    }
+
+    pub fn epoch(self, e: u64) -> Self {
+        self.epochs(e, e + 1)
+    }
+
+    fn matches(&self, src: usize, dst: usize, tag: u64, epoch: u64) -> bool {
+        self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+            && self.tags.is_none_or(|(lo, hi)| (lo..hi).contains(&tag))
+            && self.epochs.is_none_or(|(lo, hi)| (lo..hi).contains(&epoch))
+    }
+}
+
+/// One injection rule: a [`FaultKind`] plus a [`MatchSpec`], an optional
+/// firing probability and a cap on how often it fires per sender rank.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    pub kind: FaultKind,
+    pub spec: MatchSpec,
+    /// Probability a matched message is hit (1.0 = every match).
+    pub probability: f64,
+    /// Maximum firings per sender rank (`u64::MAX` = unlimited). Bounding
+    /// this is what lets a rollback replay run past the fault the second
+    /// time around.
+    pub max_hits: u64,
+}
+
+impl FaultRule {
+    pub fn new(kind: FaultKind, spec: MatchSpec) -> Self {
+        Self {
+            kind,
+            spec,
+            probability: 1.0,
+            max_hits: u64::MAX,
+        }
+    }
+
+    pub fn probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.probability = p;
+        self
+    }
+
+    pub fn max_hits(mut self, n: u64) -> Self {
+        self.max_hits = n;
+        self
+    }
+}
+
+/// Rank-stall rule: sleep `millis` when a matching rank enters a matching
+/// epoch, simulating a slow or hiccuping node.
+#[derive(Debug, Clone)]
+pub struct StallRule {
+    pub rank: Option<usize>,
+    pub epochs: Option<(u64, u64)>,
+    pub millis: u64,
+    pub max_hits: u64,
+}
+
+/// A seeded, deterministic schedule of message faults and rank stalls.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    stalls: Vec<StallRule>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+            stalls: Vec::new(),
+        }
+    }
+
+    /// Add a message-fault rule.
+    pub fn rule(mut self, r: FaultRule) -> Self {
+        self.rules.push(r);
+        self
+    }
+
+    /// Add a rank stall of `millis` for `rank` over `epochs`.
+    pub fn stall(mut self, rank: usize, epochs: (u64, u64), millis: u64) -> Self {
+        self.stalls.push(StallRule {
+            rank: Some(rank),
+            epochs: Some(epochs),
+            millis,
+            max_hits: u64::MAX,
+        });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.stalls.is_empty()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Resolved injection decision handed back to the delivery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Action {
+    Drop {
+        recoverable: bool,
+    },
+    Duplicate,
+    Delay {
+        sends: u32,
+    },
+    /// Flip bit `bit` of payload word `word_hash % len`.
+    BitFlip {
+        word_hash: u64,
+        bit: u32,
+    },
+    Truncate {
+        drop_words: usize,
+    },
+}
+
+/// A pristine payload parked for retransmission.
+struct EscrowedFrame {
+    src: usize,
+    dst: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// A message held back by a [`FaultKind::Delay`] rule.
+struct DelayedFrame {
+    dst: usize,
+    tag: u64,
+    data: Vec<f64>,
+    sends_left: u32,
+}
+
+/// Per-world runtime state instantiated from a [`FaultPlan`].
+pub(crate) struct FaultState {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    stalls: Vec<StallRule>,
+    /// Per rule, per sender rank: how many messages matched (drives the
+    /// probabilistic hash) and how many actually fired (drives max_hits).
+    matches: Vec<Vec<AtomicU64>>,
+    hits: Vec<Vec<AtomicU64>>,
+    stall_hits: Vec<Vec<AtomicU64>>,
+    escrow: Mutex<Vec<EscrowedFrame>>,
+    /// Delayed frames, one queue per sender (only the sender thread
+    /// touches its queue, but a Mutex keeps the type Sync).
+    delayed: Vec<Mutex<Vec<DelayedFrame>>>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, nranks: usize) -> Self {
+        let counters = |n: usize| -> Vec<Vec<AtomicU64>> {
+            (0..n)
+                .map(|_| (0..nranks).map(|_| AtomicU64::new(0)).collect())
+                .collect()
+        };
+        Self {
+            seed: plan.seed,
+            matches: counters(plan.rules.len()),
+            hits: counters(plan.rules.len()),
+            stall_hits: counters(plan.stalls.len()),
+            rules: plan.rules,
+            stalls: plan.stalls,
+            escrow: Mutex::new(Vec::new()),
+            delayed: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Decide whether (and how) to corrupt the message `src -> dst` with
+    /// `tag` in `epoch`. First firing rule wins. Deterministic given the
+    /// sender's program order.
+    pub(crate) fn decide(&self, src: usize, dst: usize, tag: u64, epoch: u64) -> Option<Action> {
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if !rule.spec.matches(src, dst, tag, epoch) {
+                continue;
+            }
+            let seq = self.matches[ri][src].fetch_add(1, Ordering::Relaxed);
+            let h = splitmix64(self.seed ^ ((ri as u64) << 48) ^ ((src as u64) << 32) ^ seq);
+            if rule.probability < 1.0 {
+                let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if unit >= rule.probability {
+                    continue;
+                }
+            }
+            // Reserve a hit slot; back off if the rule is exhausted.
+            let prior = self.hits[ri][src].fetch_add(1, Ordering::Relaxed);
+            if prior >= rule.max_hits {
+                continue;
+            }
+            let h2 = splitmix64(h);
+            return Some(match rule.kind {
+                FaultKind::Drop { recoverable } => Action::Drop { recoverable },
+                FaultKind::Duplicate => Action::Duplicate,
+                FaultKind::Delay { sends } => Action::Delay { sends },
+                FaultKind::BitFlip => Action::BitFlip {
+                    word_hash: h2,
+                    bit: (h2 >> 32) as u32 % 64,
+                },
+                FaultKind::Truncate { drop_words } => Action::Truncate { drop_words },
+            });
+        }
+        None
+    }
+
+    /// Millis to stall `rank` entering `epoch`, if a stall rule matches.
+    pub(crate) fn stall_for(&self, rank: usize, epoch: u64) -> Option<u64> {
+        for (si, s) in self.stalls.iter().enumerate() {
+            let rank_ok = s.rank.is_none_or(|r| r == rank);
+            let epoch_ok = s.epochs.is_none_or(|(lo, hi)| (lo..hi).contains(&epoch));
+            if rank_ok && epoch_ok {
+                let prior = self.stall_hits[si][rank].fetch_add(1, Ordering::Relaxed);
+                if prior < s.max_hits {
+                    return Some(s.millis);
+                }
+            }
+        }
+        None
+    }
+
+    /// Park a pristine payload for later retransmission.
+    pub(crate) fn park(&self, src: usize, dst: usize, tag: u64, data: Vec<f64>) {
+        self.escrow.lock().push(EscrowedFrame {
+            src,
+            dst,
+            tag,
+            data,
+        });
+    }
+
+    /// Remove and return the oldest escrowed payload for `(src, dst, tag)`.
+    pub(crate) fn take_escrow(&self, src: usize, dst: usize, tag: u64) -> Option<Vec<f64>> {
+        let mut e = self.escrow.lock();
+        let pos = e
+            .iter()
+            .position(|f| f.src == src && f.dst == dst && f.tag == tag)?;
+        Some(e.remove(pos).data)
+    }
+
+    /// Hold a message back on the sender's delay queue.
+    pub(crate) fn defer(&self, src: usize, dst: usize, tag: u64, data: Vec<f64>, sends: u32) {
+        self.delayed[src].lock().push(DelayedFrame {
+            dst,
+            tag,
+            data,
+            sends_left: sends,
+        });
+    }
+
+    /// Advance the sender's delay clocks by one send; frames whose time is
+    /// up are returned for delivery (in the order they were deferred).
+    pub(crate) fn tick_delayed(&self, src: usize) -> Vec<(usize, u64, Vec<f64>)> {
+        let mut q = self.delayed[src].lock();
+        if q.is_empty() {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < q.len() {
+            if q[i].sends_left == 0 {
+                let f = q.remove(i);
+                due.push((f.dst, f.tag, f.data));
+            } else {
+                q[i].sends_left -= 1;
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Frames still parked (undelivered drops/delays) — diagnostics only.
+    #[cfg(test)]
+    pub(crate) fn escrow_len(&self) -> usize {
+        self.escrow.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_spec_filters() {
+        let m = MatchSpec::any().src(1).tags(10, 20).epochs(5, 6);
+        assert!(m.matches(1, 0, 15, 5));
+        assert!(!m.matches(0, 0, 15, 5), "wrong src");
+        assert!(!m.matches(1, 0, 20, 5), "tag range is half-open");
+        assert!(!m.matches(1, 0, 15, 6), "epoch range is half-open");
+        assert!(MatchSpec::any().matches(3, 4, 999, 42));
+    }
+
+    #[test]
+    fn max_hits_bounds_firing() {
+        let plan = FaultPlan::new(7)
+            .rule(FaultRule::new(FaultKind::Duplicate, MatchSpec::any().tag(3)).max_hits(2));
+        let fs = FaultState::new(plan, 2);
+        let fired: usize = (0..10).filter(|_| fs.decide(0, 1, 3, 0).is_some()).count();
+        assert_eq!(fired, 2);
+        // A different sender has its own budget.
+        assert!(fs.decide(1, 0, 3, 0).is_some());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed)
+                .rule(FaultRule::new(FaultKind::BitFlip, MatchSpec::any()).probability(0.5));
+            let fs = FaultState::new(plan, 1);
+            (0..64).map(|_| fs.decide(0, 0, 0, 0).is_some()).collect()
+        };
+        assert_eq!(run(1), run(1), "same seed, same schedule");
+        assert_ne!(run(1), run(2), "different seed, different schedule");
+        let hits = run(1).iter().filter(|&&b| b).count();
+        assert!((10..=54).contains(&hits), "p=0.5 should fire roughly half");
+    }
+
+    #[test]
+    fn escrow_roundtrip_and_delay_clock() {
+        let fs = FaultState::new(FaultPlan::new(0), 2);
+        fs.park(0, 1, 9, vec![1.0, 2.0]);
+        assert_eq!(fs.escrow_len(), 1);
+        assert!(fs.take_escrow(1, 0, 9).is_none(), "direction matters");
+        assert_eq!(fs.take_escrow(0, 1, 9), Some(vec![1.0, 2.0]));
+        assert!(fs.take_escrow(0, 1, 9).is_none());
+
+        fs.defer(0, 1, 5, vec![3.0], 1);
+        assert!(fs.tick_delayed(0).is_empty(), "one send still to go");
+        let due = fs.tick_delayed(0);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0], (1, 5, vec![3.0]));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new(0)
+            .rule(FaultRule::new(
+                FaultKind::Drop { recoverable: true },
+                MatchSpec::any().tag(1),
+            ))
+            .rule(FaultRule::new(FaultKind::Duplicate, MatchSpec::any()));
+        let fs = FaultState::new(plan, 1);
+        assert_eq!(
+            fs.decide(0, 0, 1, 0),
+            Some(Action::Drop { recoverable: true })
+        );
+        assert_eq!(fs.decide(0, 0, 2, 0), Some(Action::Duplicate));
+    }
+
+    #[test]
+    fn stalls_match_rank_and_epoch() {
+        let plan = FaultPlan::new(0).stall(1, (3, 5), 20);
+        let fs = FaultState::new(plan, 4);
+        assert_eq!(fs.stall_for(0, 3), None);
+        assert_eq!(fs.stall_for(1, 2), None);
+        assert_eq!(fs.stall_for(1, 3), Some(20));
+        assert_eq!(fs.stall_for(1, 4), Some(20));
+        assert_eq!(fs.stall_for(1, 5), None);
+    }
+}

@@ -24,12 +24,16 @@
 pub mod cart;
 pub mod collective;
 pub mod comm;
+pub mod crc;
+pub mod fault;
 pub(crate) mod pool;
 pub mod stats;
 pub mod subcomm;
 
 pub use cart::{CartComm, Dir, Neighbor};
 pub use collective::ReduceOp;
-pub use comm::{Comm, RecvReq, World};
+pub use comm::{Comm, CommError, RecvReq, World, WorldConfig};
+pub use crc::{crc32, crc32_f64, crc32c, crc32c_f64, Crc32};
+pub use fault::{FaultKind, FaultPlan, FaultRule, MatchSpec};
 pub use stats::Traffic;
 pub use subcomm::SubComm;

@@ -30,6 +30,31 @@ pub struct Traffic {
     pub pool_reuses: AtomicU64,
     /// Payload bytes that traveled through pooled buffers.
     pub pooled_bytes: AtomicU64,
+    // -- fault injection (what the plan did to the wire) -------------------
+    /// Messages discarded by a drop rule.
+    pub faults_dropped: AtomicU64,
+    /// Messages delivered twice by a duplicate rule.
+    pub faults_duplicated: AtomicU64,
+    /// Messages held back (reordered) by a delay rule.
+    pub faults_delayed: AtomicU64,
+    /// Messages with one payload bit flipped.
+    pub faults_bitflipped: AtomicU64,
+    /// Messages with trailing payload words chopped off.
+    pub faults_truncated: AtomicU64,
+    /// Simulated rank stalls entered.
+    pub rank_stalls: AtomicU64,
+    // -- detection and recovery (what the receivers did about it) ----------
+    /// Integrity-framed messages rejected on receive (bad CRC, bad header,
+    /// wrong length).
+    pub crc_failures: AtomicU64,
+    /// Receive attempts that had to be retried (corrupt frame or timeout).
+    pub halo_retries: AtomicU64,
+    /// Pristine payloads served from the retransmission escrow.
+    pub resends_served: AtomicU64,
+    /// Bytes served from the retransmission escrow.
+    pub resend_bytes: AtomicU64,
+    /// Bounded receives that expired without a matching message.
+    pub recv_timeouts: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Traffic`].
@@ -43,6 +68,28 @@ pub struct TrafficSnapshot {
     pub pool_allocations: u64,
     pub pool_reuses: u64,
     pub pooled_bytes: u64,
+    pub faults_dropped: u64,
+    pub faults_duplicated: u64,
+    pub faults_delayed: u64,
+    pub faults_bitflipped: u64,
+    pub faults_truncated: u64,
+    pub rank_stalls: u64,
+    pub crc_failures: u64,
+    pub halo_retries: u64,
+    pub resends_served: u64,
+    pub resend_bytes: u64,
+    pub recv_timeouts: u64,
+}
+
+impl TrafficSnapshot {
+    /// Total faults the plan injected into the message stream.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_dropped
+            + self.faults_duplicated
+            + self.faults_delayed
+            + self.faults_bitflipped
+            + self.faults_truncated
+    }
 }
 
 impl Traffic {
@@ -76,6 +123,47 @@ impl Traffic {
         self.pooled_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    pub fn record_fault_dropped(&self) {
+        self.faults_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fault_duplicated(&self) {
+        self.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fault_delayed(&self) {
+        self.faults_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fault_bitflipped(&self) {
+        self.faults_bitflipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fault_truncated(&self) {
+        self.faults_truncated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rank_stall(&self) {
+        self.rank_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_crc_failure(&self) {
+        self.crc_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_halo_retry(&self) {
+        self.halo_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_resend_served(&self, bytes: usize) {
+        self.resends_served.fetch_add(1, Ordering::Relaxed);
+        self.resend_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_recv_timeout(&self) {
+        self.recv_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the counters out.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
@@ -87,6 +175,17 @@ impl Traffic {
             pool_allocations: self.pool_allocations.load(Ordering::Relaxed),
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
             pooled_bytes: self.pooled_bytes.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            faults_duplicated: self.faults_duplicated.load(Ordering::Relaxed),
+            faults_delayed: self.faults_delayed.load(Ordering::Relaxed),
+            faults_bitflipped: self.faults_bitflipped.load(Ordering::Relaxed),
+            faults_truncated: self.faults_truncated.load(Ordering::Relaxed),
+            rank_stalls: self.rank_stalls.load(Ordering::Relaxed),
+            crc_failures: self.crc_failures.load(Ordering::Relaxed),
+            halo_retries: self.halo_retries.load(Ordering::Relaxed),
+            resends_served: self.resends_served.load(Ordering::Relaxed),
+            resend_bytes: self.resend_bytes.load(Ordering::Relaxed),
+            recv_timeouts: self.recv_timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,5 +216,34 @@ mod tests {
         assert_eq!(s.pool_allocations, 1);
         assert_eq!(s.pool_reuses, 2);
         assert_eq!(s.pooled_bytes, 64);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let t = Traffic::default();
+        t.record_fault_dropped();
+        t.record_fault_duplicated();
+        t.record_fault_delayed();
+        t.record_fault_bitflipped();
+        t.record_fault_bitflipped();
+        t.record_fault_truncated();
+        t.record_rank_stall();
+        t.record_crc_failure();
+        t.record_halo_retry();
+        t.record_resend_served(128);
+        t.record_recv_timeout();
+        let s = t.snapshot();
+        assert_eq!(s.faults_dropped, 1);
+        assert_eq!(s.faults_duplicated, 1);
+        assert_eq!(s.faults_delayed, 1);
+        assert_eq!(s.faults_bitflipped, 2);
+        assert_eq!(s.faults_truncated, 1);
+        assert_eq!(s.faults_injected(), 6);
+        assert_eq!(s.rank_stalls, 1);
+        assert_eq!(s.crc_failures, 1);
+        assert_eq!(s.halo_retries, 1);
+        assert_eq!(s.resends_served, 1);
+        assert_eq!(s.resend_bytes, 128);
+        assert_eq!(s.recv_timeouts, 1);
     }
 }

@@ -10,11 +10,15 @@
 //! * `Condvar::wait` takes `&mut MutexGuard` instead of consuming the guard,
 //!   which is why [`MutexGuard`] wraps the std guard in an `Option`.
 //!
-//! Fairness, timeouts, `RwLock`, and the rest of parking_lot are
-//! intentionally absent — nothing in this workspace needs them.
+//! * `Condvar::wait_for` returns a [`WaitTimeoutResult`] like parking_lot's,
+//!   built on std's `wait_timeout`; `mpi-sim` uses it for bounded receives.
+//!
+//! Fairness, `RwLock`, and the rest of parking_lot are intentionally
+//! absent — nothing in this workspace needs them.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
@@ -119,12 +123,46 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Bounded wait: releases the guarded mutex, blocks for at most
+    /// `timeout`, and re-acquires into the same guard slot. Mirrors
+    /// parking_lot's `wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard taken");
+        let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Result of [`Condvar::wait_for`]; says whether the wait hit the timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -156,5 +194,35 @@ mod tests {
         }
         h.join().unwrap();
         assert!(*g);
+    }
+
+    #[test]
+    fn wait_for_times_out_when_never_notified() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+        // The guard is usable again after the timed-out wait.
+        *g += 1;
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn wait_for_returns_early_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            let r = cv.wait_for(&mut g, Duration::from_secs(5));
+            assert!(!r.timed_out() || *g, "should be woken, not timed out");
+        }
+        h.join().unwrap();
     }
 }

@@ -110,8 +110,12 @@ fn advection_conserves_and_preserves_bounds_in_closed_basin() {
                 cfg.dt_tracer,
                 true,
                 None,
-                &|tmp| m.halo3().exchange(tmp, FoldKind::Scalar, 910),
-            );
+                &|tmp| {
+                    m.halo3().exchange(tmp, FoldKind::Scalar, 910);
+                    Ok(())
+                },
+            )
+            .unwrap();
             // Copy back.
             q.copy_from_slice(out.as_slice());
         }
