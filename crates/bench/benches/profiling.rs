@@ -1,0 +1,104 @@
+//! Profiling-hook overhead microbenchmarks.
+//!
+//! The contract of the `kokkos-profiling` subsystem is that the
+//! *disabled* path costs one relaxed atomic load per dispatch — no
+//! allocation, no lock, no clock read — so production runs without an
+//! attached tool keep PR-1's zero-allocation steady state. This bench
+//! measures (a) region push/pop and kernel launch with no tool attached,
+//! (b) the same with the aggregating [`Profiler`] attached, and *asserts*
+//! an absolute bound on the disabled-path cost so a regression (say, an
+//! accidental `Instant::now()` before the enabled check) fails the bench
+//! run instead of silently taxing every launch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kokkos_profiling::{attach, detach, Profiler};
+use kokkos_rs::{parallel_for_1d, Functor1D, RangePolicy, Space, View, View1};
+
+struct Nop {
+    x: View1<f64>,
+}
+impl Functor1D for Nop {
+    fn operator(&self, i: usize) {
+        self.x.set_at(i, i as f64);
+    }
+}
+kokkos_rs::register_for_1d!(bench_profiling_nop, Nop);
+
+/// Upper bound on the mean disabled-path cost of one region guard
+/// (push + pop), in nanoseconds. The real cost is two relaxed atomic
+/// loads (~1-2 ns); the bound is two orders of magnitude above that to
+/// stay robust on loaded CI machines while still catching any
+/// allocation, lock or clock read sneaking onto the disabled path.
+const DISABLED_REGION_NS_BOUND: f64 = 250.0;
+
+fn assert_disabled_region_overhead() {
+    let _serial = kokkos_profiling::test_registry_lock();
+    detach(); // ensure no tool from a previous bench
+              // Warm up, then measure.
+    for _ in 0..10_000 {
+        let _r = kokkos_rs::profiling::region("bench_warmup");
+    }
+    let iters = 1_000_000u32;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _r = kokkos_rs::profiling::region("bench_disabled");
+    }
+    let per_op = t0.elapsed().as_nanos() as f64 / iters as f64;
+    assert!(
+        per_op < DISABLED_REGION_NS_BOUND,
+        "disabled region guard costs {per_op:.1} ns/op (bound {DISABLED_REGION_NS_BOUND} ns): \
+         something expensive leaked onto the disabled path"
+    );
+    println!("disabled region guard: {per_op:.1} ns/op (bound {DISABLED_REGION_NS_BOUND} ns)");
+}
+
+fn bench_region_guard(c: &mut Criterion) {
+    assert_disabled_region_overhead();
+    let mut g = c.benchmark_group("region_guard");
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let _r = kokkos_rs::profiling::region("bench_region");
+        })
+    });
+    let prof = Arc::new(Profiler::default());
+    attach(prof);
+    g.bench_function("profiler_attached", |b| {
+        b.iter(|| {
+            let _r = kokkos_rs::profiling::region("bench_region");
+        })
+    });
+    detach();
+    g.finish();
+}
+
+fn bench_launch_with_tool(c: &mut Criterion) {
+    bench_profiling_nop();
+    let n = 1024;
+    let mut g = c.benchmark_group("launch_nop_1024");
+    for (label, space) in [
+        ("Serial", Space::serial()),
+        (
+            "SwAthread",
+            Space::sw_athread_with(sunway_sim::CgConfig::test_small()),
+        ),
+    ] {
+        let x: View1<f64> = View::host("x", [n]);
+        let f = Nop { x };
+        g.bench_function(format!("{label}/disabled"), |b| {
+            b.iter(|| parallel_for_1d(&space, RangePolicy::new(n), &f))
+        });
+        let prof = Arc::new(Profiler::default());
+        attach(prof);
+        g.bench_function(format!("{label}/profiled"), |b| {
+            b.iter(|| parallel_for_1d(&space, RangePolicy::new(n), &f))
+        });
+        detach();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_region_guard, bench_launch_with_tool);
+criterion_main!(benches);

@@ -159,6 +159,7 @@ impl Halo2D {
         len: usize,
         fill: impl FnOnce(&mut [f64]),
     ) {
+        let _r = kokkos_rs::profiling::region("halo:pack");
         match seq {
             Some(seq) => integrity::send_framed(comm, dst, tag, seq, len, fill),
             None => comm.send_into(dst, tag, len, fill),
@@ -175,6 +176,7 @@ impl Halo2D {
         len: usize,
         unpack: impl Fn(&[f64]),
     ) -> Result<(), HaloError> {
+        let _r = kokkos_rs::profiling::region("halo:unpack");
         match seq {
             Some(seq) => integrity::recv_framed(
                 comm,
@@ -387,6 +389,7 @@ impl Halo2D {
         kind: FoldKind,
         tag_base: u64,
     ) -> Result<(), HaloError> {
+        let _r = kokkos_rs::profiling::region("halo:exchange2d");
         self.check(field);
         let seq = self.next_seq();
         self.exchange_ew(field, tag_base, seq)?;
@@ -415,6 +418,9 @@ impl Halo2D {
         tag_base: u64,
         interior: impl FnOnce(),
     ) -> Result<(), HaloError> {
+        // No whole-call region here: `interior` is caller compute and must
+        // not be attributed to the halo phase. The send/recv strips inside
+        // still carry halo:pack / halo:unpack.
         self.check(field);
         let seq = self.next_seq();
         let comm = self.cart.comm();

@@ -325,6 +325,7 @@ impl Halo3D {
         kind: FoldKind,
         tag_base: u64,
     ) -> Result<(), HaloError> {
+        let _r = kokkos_rs::profiling::region("halo:exchange3d");
         self.check(field);
         let seq = self.h2.next_seq();
         self.exchange_ew(field, tag_base, seq)?;
@@ -407,6 +408,7 @@ impl Halo3D {
         fields: &[(&View3<f64>, FoldKind)],
         tag_base: u64,
     ) -> Result<(), HaloError> {
+        let _r = kokkos_rs::profiling::region("halo:exchange3d");
         for (f, _) in fields {
             self.check(f);
         }

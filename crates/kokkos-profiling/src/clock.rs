@@ -1,0 +1,36 @@
+//! Monotone nanosecond clock shared by every profiling consumer.
+//!
+//! Chrome-trace timestamps must come from one common epoch so kernel
+//! spans, comm events and counter samples from different threads line up
+//! on the same timeline. The epoch is the first call to [`now_ns`] in the
+//! process (lazily pinned with a `OnceLock`), which keeps raw timestamp
+//! values small enough that microsecond rendering never loses precision.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-wide trace epoch. First caller pins it.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the trace epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        let c = now_ns();
+        assert!(a <= b && b <= c);
+    }
+}

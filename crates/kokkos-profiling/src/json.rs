@@ -1,0 +1,385 @@
+//! Minimal JSON parser + chrome-trace schema validator.
+//!
+//! The container has no serde, so trace files are validated with a small
+//! recursive-descent parser — enough JSON to round-trip what
+//! [`crate::trace`] emits, used by the golden-schema tests and the CI
+//! profiling job to prove the exported file is Perfetto-loadable.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let s = &self.bytes[self.pos..];
+                    let ch_len = match s[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xf0 => 4,
+                        b if b >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&s[..ch_len.min(s.len())])
+                            .map_err(|_| self.err("bad utf8"))?,
+                    );
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// What the validator measured about a trace document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub events: usize,
+    pub spans: usize,
+    pub instants: usize,
+    pub counters: usize,
+    pub metadata: usize,
+    /// Distinct `(pid, tid)` tracks carrying non-metadata events.
+    pub tracks: usize,
+}
+
+/// Validate an already-parsed chrome-trace document: the `traceEvents`
+/// array exists, every event has `name`/`ph`/`ts`/`pid`/`tid`, every
+/// `"X"` span a non-negative `dur`, and timestamps are monotone within
+/// each `(pid, tid)` track.
+pub fn validate_chrome_trace_value(doc: &Json) -> Result<TraceSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    let mut summary = TraceSummary::default();
+    let mut last_ts: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: bad or missing `{field}`");
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("pid"))? as i64;
+        summary.events += 1;
+        match ph {
+            "M" => {
+                summary.metadata += 1;
+                continue;
+            }
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+                summary.spans += 1;
+            }
+            "i" => summary.instants += 1,
+            "C" => summary.counters += 1,
+            other => return Err(format!("event {i}: unknown ph `{other}`")),
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("tid"))? as i64;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("ts"))?;
+        if let Some(prev) = last_ts.get(&(pid, tid)) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {i}: ts {ts} < {prev} — track ({pid},{tid}) not monotone"
+                ));
+            }
+        }
+        last_ts.insert((pid, tid), ts);
+    }
+    summary.tracks = last_ts.len();
+    Ok(summary)
+}
+
+/// Parse + validate in one call (what the CI job and `exp_profile` use).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    validate_chrome_trace_value(&parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\ny","d":null,"e":true}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2], Json::Num(-300.0));
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str().unwrap(),
+            "x\ny"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse(r#"{"a"}"#).is_err());
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_trace() {
+        let doc = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"rank 0"}},
+            {"name":"k1","cat":"kernel","ph":"X","ts":1.0,"dur":5.0,"pid":0,"tid":0},
+            {"name":"k2","cat":"kernel","ph":"X","ts":6.0,"dur":2.0,"pid":0,"tid":0},
+            {"name":"send","cat":"comm","ph":"i","ts":3.0,"pid":0,"tid":9},
+            {"name":"dma","cat":"counter","ph":"C","ts":7.0,"pid":0,"tid":9,"args":{"bytes":12}}
+        ]}"#;
+        let s = validate_chrome_trace(doc).unwrap();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.instants, 1);
+        assert_eq!(s.counters, 1);
+        assert_eq!(s.metadata, 1);
+        assert_eq!(s.tracks, 2);
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_track() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":5.0,"dur":1.0,"pid":0,"tid":0},
+            {"name":"b","ph":"X","ts":4.0,"dur":1.0,"pid":0,"tid":0}
+        ]}"#;
+        let err = validate_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_span_without_dur() {
+        let doc = r#"{"traceEvents":[{"name":"a","ph":"X","ts":5.0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(doc).is_err());
+    }
+}

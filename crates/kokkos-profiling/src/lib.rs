@@ -1,0 +1,40 @@
+//! # kokkos-profiling — Kokkos-Tools-style observability
+//!
+//! The consumer side of the hook interface `kokkos-rs` exposes from every
+//! dispatch site (`kokkos_rs::profiling`), mirroring the Kokkos Tools
+//! ecosystem the paper's performance analysis leans on:
+//!
+//! | Kokkos Tools piece          | Here                                  |
+//! |-----------------------------|---------------------------------------|
+//! | `kokkosp_*` callbacks       | [`kokkos_rs::ProfilingHooks`]         |
+//! | simple-kernel-timer         | [`Profiler`] tables + `render_report` |
+//! | kernel-logger / Caliper     | chrome-trace export ([`trace`])       |
+//! | space-time-stack regions    | [`kokkos_rs::profiling::region`]      |
+//! | paper SYPD / hotspot shares | [`SypdReporter`] ([`sypd`])           |
+//!
+//! A single [`Profiler`] aggregates every rank of an `mpi-sim` job
+//! (ranks are threads; see [`set_thread_rank`]), interleaves kernel spans
+//! with halo-traffic instants and Sunway CPE/DMA counter samples on
+//! per-rank tracks, and writes a Perfetto-loadable JSON atomically at run
+//! end. With no tool attached, the hook layer costs one atomic load per
+//! dispatch — the model's zero-allocation steady state is untouched.
+
+pub mod clock;
+pub mod json;
+pub mod profiler;
+pub mod stats;
+pub mod sypd;
+pub mod trace;
+
+pub use clock::now_ns;
+pub use json::{parse as parse_json, validate_chrome_trace, Json, TraceSummary};
+pub use profiler::{attach, detach, set_thread_rank, KernelKey, Profiler};
+pub use stats::{CounterTable, Stat, StatsTable};
+pub use sypd::{bucket_of, hotspot_shares, sypd, HotspotRow, SypdReporter, BUCKETS};
+pub use trace::{ArgValue, TraceEvent, COMM_TRACK, COUNTER_TRACK};
+
+/// Re-export of the hook side so consumers need only this crate.
+pub use kokkos_rs::profiling::{
+    enabled, region, test_registry_lock, DeepCopyInfo, KernelId, KernelInfo, PatternKind,
+    PolicyKind, ProfilingHooks,
+};

@@ -40,6 +40,7 @@ pub mod functor;
 pub mod memspace;
 pub mod parallel;
 pub mod policy;
+pub mod profiling;
 pub mod registry;
 pub mod space;
 pub mod team;
@@ -50,11 +51,13 @@ pub use functor::{
     ReduceFunctor3D, ReduceFunctorList, Reducer,
 };
 pub use memspace::MemSpace;
+pub use parallel::fence;
 pub use parallel::{
     parallel_for_1d, parallel_for_2d, parallel_for_3d, parallel_for_list, parallel_reduce_1d,
     parallel_reduce_2d, parallel_reduce_3d, parallel_reduce_list,
 };
 pub use policy::{ListPolicy, MDRangePolicy2, MDRangePolicy3, RangePolicy};
+pub use profiling::{DeepCopyInfo, KernelId, KernelInfo, PatternKind, PolicyKind, ProfilingHooks};
 pub use space::Space;
 pub use team::{parallel_for_team, FunctorTeam, TeamPolicy};
 pub use view::{deep_copy, Layout, View, View1, View2, View3, View4};

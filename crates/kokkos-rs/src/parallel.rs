@@ -20,6 +20,7 @@ use crate::functor::{
     ReduceFunctor3D, ReduceFunctorList, Reducer,
 };
 use crate::policy::{ListPolicy, MDRangePolicy2, MDRangePolicy3, RangePolicy};
+use crate::profiling::{self, PatternKind, PolicyKind};
 use crate::registry::{self, KernelKind};
 use crate::space::Space;
 
@@ -45,14 +46,12 @@ fn not_registered<F>(kind: &str) -> ! {
 // trampolines in each entry point.
 
 /// Run `run_tile` over `0..total` tiles on a host backend (count split).
+/// Launch accounting happens at the dispatch chokepoint
+/// ([`profiling::begin_kernel`]), not here.
 fn drive_tiles(space: &Space, total: usize, run_tile: impl Fn(usize) + Sync) {
     match space {
         Space::Serial => (0..total).for_each(run_tile),
-        Space::Threads(_) => (0..total).into_par_iter().for_each(run_tile),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            (0..total).into_par_iter().for_each(run_tile);
-        }
+        Space::Threads(_) | Space::DeviceSim(_) => (0..total).into_par_iter().for_each(run_tile),
         Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
     }
 }
@@ -65,9 +64,7 @@ fn collect_partials(
 ) -> Vec<f64> {
     match space {
         Space::Serial => (0..total).map(tile_partial).collect(),
-        Space::Threads(_) => (0..total).into_par_iter().map(tile_partial).collect(),
-        Space::DeviceSim(d) => {
-            d.record_launch();
+        Space::Threads(_) | Space::DeviceSim(_) => {
             (0..total).into_par_iter().map(tile_partial).collect()
         }
         Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
@@ -91,11 +88,7 @@ fn drive_list_tiles(space: &Space, policy: &ListPolicy, run_tile: impl Fn(usize)
     };
     match space {
         Space::Serial => (0..total).for_each(run_tile),
-        Space::Threads(_) => par(rayon::current_num_threads()),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            par(rayon::current_num_threads());
-        }
+        Space::Threads(_) | Space::DeviceSim(_) => par(rayon::current_num_threads()),
         Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
     }
 }
@@ -122,11 +115,7 @@ fn collect_list_partials(
     };
     match space {
         Space::Serial => (0..total).map(tile_partial).collect(),
-        Space::Threads(_) => par(rayon::current_num_threads()),
-        Space::DeviceSim(d) => {
-            d.record_launch();
-            par(rayon::current_num_threads())
-        }
+        Space::Threads(_) | Space::DeviceSim(_) => par(rayon::current_num_threads()),
         Space::SwAthread(_) => unreachable!("SwAthread dispatch goes through the registry"),
     }
 }
@@ -137,6 +126,13 @@ fn collect_list_partials(
 
 /// 1-D parallel for over `policy` on `space`.
 pub fn parallel_for_1d<F: Functor1D + 'static>(space: &Space, policy: RangePolicy, f: &F) {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelFor,
+        std::any::type_name::<F>(),
+        PolicyKind::Range,
+        policy.len() as u64,
+    );
     let total = policy.total_tiles();
     let run_tile = |t: usize| {
         let (lo, hi) = policy.tile_range(t);
@@ -164,6 +160,13 @@ pub fn parallel_for_1d<F: Functor1D + 'static>(space: &Space, policy: RangePolic
 
 /// 2-D parallel for; index order `(j, i)`.
 pub fn parallel_for_2d<F: Functor2D + 'static>(space: &Space, policy: MDRangePolicy2, f: &F) {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelFor,
+        std::any::type_name::<F>(),
+        PolicyKind::MDRange2,
+        (policy.extent[0] * policy.extent[1]) as u64,
+    );
     let total = policy.total_tiles();
     let run_tile = |t: usize| {
         let [(j0, j1), (i0, i1)] = policy.tile_bounds(t);
@@ -193,6 +196,13 @@ pub fn parallel_for_2d<F: Functor2D + 'static>(space: &Space, policy: MDRangePol
 
 /// 3-D parallel for; index order `(k, j, i)`.
 pub fn parallel_for_3d<F: Functor3D + 'static>(space: &Space, policy: MDRangePolicy3, f: &F) {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelFor,
+        std::any::type_name::<F>(),
+        PolicyKind::MDRange3,
+        (policy.extent[0] * policy.extent[1] * policy.extent[2]) as u64,
+    );
     let total = policy.total_tiles();
     let run_tile = |t: usize| {
         let [(k0, k1), (j0, j1), (i0, i1)] = policy.tile_bounds(t);
@@ -228,6 +238,13 @@ pub fn parallel_for_3d<F: Functor3D + 'static>(space: &Space, policy: MDRangePol
 /// the registry to [`registry::tramp_for_list`], whose per-CPE tile ranges
 /// are cost-weighted the same way.
 pub fn parallel_for_list<F: FunctorList + 'static>(space: &Space, policy: &ListPolicy, f: &F) {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelFor,
+        std::any::type_name::<F>(),
+        PolicyKind::List,
+        policy.len() as u64,
+    );
     let run_tile = |t: usize| {
         let (lo, hi) = policy.tile_range(t);
         for n in lo..hi {
@@ -260,6 +277,13 @@ pub fn parallel_reduce_list<F: ReduceFunctorList + 'static>(
     f: &F,
     op: Reducer,
 ) -> f64 {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelReduce,
+        std::any::type_name::<F>(),
+        PolicyKind::List,
+        policy.len() as u64,
+    );
     let tile_partial = |t: usize| {
         let (lo, hi) = policy.tile_range(t);
         let mut acc = op.identity();
@@ -308,6 +332,13 @@ pub fn parallel_reduce_1d<F: ReduceFunctor1D + 'static>(
     f: &F,
     op: Reducer,
 ) -> f64 {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelReduce,
+        std::any::type_name::<F>(),
+        PolicyKind::Range,
+        policy.len() as u64,
+    );
     let total = policy.total_tiles();
     let tile_partial = |t: usize| {
         let (lo, hi) = policy.tile_range(t);
@@ -348,6 +379,13 @@ pub fn parallel_reduce_2d<F: ReduceFunctor2D + 'static>(
     f: &F,
     op: Reducer,
 ) -> f64 {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelReduce,
+        std::any::type_name::<F>(),
+        PolicyKind::MDRange2,
+        (policy.extent[0] * policy.extent[1]) as u64,
+    );
     let total = policy.total_tiles();
     let tile_partial = |t: usize| {
         let [(j0, j1), (i0, i1)] = policy.tile_bounds(t);
@@ -390,6 +428,13 @@ pub fn parallel_reduce_3d<F: ReduceFunctor3D + 'static>(
     f: &F,
     op: Reducer,
 ) -> f64 {
+    let _span = profiling::begin_kernel(
+        space,
+        PatternKind::ParallelReduce,
+        std::any::type_name::<F>(),
+        PolicyKind::MDRange3,
+        (policy.extent[0] * policy.extent[1] * policy.extent[2]) as u64,
+    );
     let total = policy.total_tiles();
     let tile_partial = |t: usize| {
         let [(k0, k1), (j0, j1), (i0, i1)] = policy.tile_bounds(t);
@@ -428,9 +473,11 @@ pub fn parallel_reduce_3d<F: ReduceFunctor3D + 'static>(
 }
 
 /// Block until all outstanding work on `space` completes (Kokkos `fence`).
-/// All our backends launch synchronously, so this is a no-op kept for API
-/// parity with the C++ model code.
-pub fn fence(_space: &Space) {}
+/// All our backends launch synchronously, so this only marks the fence
+/// for an attached profiling tool (Kokkos Tools `kokkosp_*_fence`).
+pub fn fence(space: &Space) {
+    profiling::mark_fence("fence", space.name());
+}
 
 #[cfg(test)]
 mod tests {

@@ -90,6 +90,13 @@ macro_rules! register_team {
 
 /// Launch a team kernel on `space`.
 pub fn parallel_for_team<F: FunctorTeam + 'static>(space: &Space, policy: TeamPolicy, f: &F) {
+    let _span = crate::profiling::begin_kernel(
+        space,
+        crate::profiling::PatternKind::ParallelFor,
+        std::any::type_name::<F>(),
+        crate::profiling::PolicyKind::Team,
+        policy.league_size as u64,
+    );
     match space {
         Space::Serial => {
             let mut scratch = vec![0.0f64; policy.scratch_len];
@@ -100,9 +107,6 @@ pub fn parallel_for_team<F: FunctorTeam + 'static>(space: &Space, policy: TeamPo
         }
         Space::Threads(_) | Space::DeviceSim(_) => {
             use rayon::prelude::*;
-            if let Space::DeviceSim(d) = space {
-                d.record_launch();
-            }
             (0..policy.league_size).into_par_iter().for_each(|league| {
                 let mut scratch = vec![0.0f64; policy.scratch_len];
                 f.operator(league, &mut scratch);

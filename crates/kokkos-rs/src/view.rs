@@ -316,6 +316,13 @@ impl<T: Copy> View<T, 4> {
 pub fn deep_copy<T: Copy + Send + Sync, const R: usize>(dst: &View<T, R>, src: &View<T, R>) {
     assert_eq!(dst.dims(), src.dims(), "deep_copy shape mismatch");
     let bytes = std::mem::size_of::<T>() * src.len();
+    let _span = crate::profiling::begin_deep_copy(&crate::profiling::DeepCopyInfo {
+        dst_label: dst.label(),
+        src_label: src.label(),
+        dst_space: dst.space(),
+        src_space: src.space(),
+        bytes: bytes as u64,
+    });
     match (src.space(), dst.space()) {
         (MemSpace::Host, MemSpace::Device) => memspace::record_h2d(bytes),
         (MemSpace::Device, MemSpace::Host) => memspace::record_d2h(bytes),

@@ -491,52 +491,62 @@ pub fn advect_tracer(
 ) -> Result<(), HaloError> {
     let (nx, ny, nz) = (g.nx, g.ny, g.nz);
     // X pass: q -> tmp.
-    let fx = FunctorFluxX {
-        q: q.clone(),
-        u: u.clone(),
-        flux: flux.clone(),
-        kmt: g.kmt.clone(),
-        dxt: g.dxt.clone(),
-        dyt: g.dyt,
-        dt,
-        limited,
-    };
-    parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx + 1]), &fx);
-    let ax = FunctorApplyX {
-        q: q.clone(),
-        q1: tmp.clone(),
-        flux: flux.clone(),
-        kmt: g.kmt.clone(),
-        dxt: g.dxt.clone(),
-        dyt: g.dyt,
-        dt,
-    };
-    parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx]), &ax);
+    {
+        let _r = kokkos_rs::profiling::region("adv:xpass");
+        let fx = FunctorFluxX {
+            q: q.clone(),
+            u: u.clone(),
+            flux: flux.clone(),
+            kmt: g.kmt.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dt,
+            limited,
+        };
+        parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx + 1]), &fx);
+        let ax = FunctorApplyX {
+            q: q.clone(),
+            q1: tmp.clone(),
+            flux: flux.clone(),
+            kmt: g.kmt.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dt,
+        };
+        parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx]), &ax);
+    }
     // Refresh the intermediate field's halos before the y pass.
-    exchange_tmp(tmp)?;
+    {
+        let _r = kokkos_rs::profiling::region("adv:halo");
+        exchange_tmp(tmp)?;
+    }
     // Y pass: tmp -> q_out.
-    let fy = FunctorFluxY {
-        q: tmp.clone(),
-        v: v.clone(),
-        flux: flux.clone(),
-        kmt: g.kmt.clone(),
-        dxt: g.dxt.clone(),
-        dyt: g.dyt,
-        dt,
-        limited,
-    };
-    parallel_for_3d(space, MDRangePolicy3::new([nz, ny + 1, nx]), &fy);
-    let ay = FunctorApplyY {
-        q: tmp.clone(),
-        q1: q_out.clone(),
-        flux: flux.clone(),
-        kmt: g.kmt.clone(),
-        dxt: g.dxt.clone(),
-        dyt: g.dyt,
-        dt,
-    };
-    parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx]), &ay);
+    {
+        let _r = kokkos_rs::profiling::region("adv:ypass");
+        let fy = FunctorFluxY {
+            q: tmp.clone(),
+            v: v.clone(),
+            flux: flux.clone(),
+            kmt: g.kmt.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dt,
+            limited,
+        };
+        parallel_for_3d(space, MDRangePolicy3::new([nz, ny + 1, nx]), &fy);
+        let ay = FunctorApplyY {
+            q: tmp.clone(),
+            q1: q_out.clone(),
+            flux: flux.clone(),
+            kmt: g.kmt.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dt,
+        };
+        parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx]), &ay);
+    }
     // Z pass in place on q_out (column-local, no halo needed).
+    let _r = kokkos_rs::profiling::region("adv:zpass");
     let az = FunctorAdvectZ {
         q: q_out.clone(),
         q1: q_out.clone(),

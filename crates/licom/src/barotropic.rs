@@ -379,6 +379,7 @@ pub fn integrate(
     let full = MDRangePolicy2::new([g.pj, g.pi]);
     // Working triple: indices into state.bt_* (old, cur, new roles).
     let (mut o, mut c, mut n) = (0usize, 1usize, 2usize);
+    let init_region = kokkos_rs::profiling::region("bt:init");
     for lev in 0..3 {
         parallel_for_2d(
             space,
@@ -416,8 +417,10 @@ pub fn integrate(
     acc_eta.fill(0.0);
     acc_u.fill(0.0);
     acc_v.fill(0.0);
+    drop(init_region);
 
     for step in 0..substeps {
+        let _substep = kokkos_rs::profiling::region("bt:substep");
         // First substep is forward Euler (old == cur at entry).
         let dt2 = if step == 0 { dtb } else { 2.0 * dtb };
         parallel_for_2d(
@@ -484,10 +487,14 @@ pub fn integrate(
             },
         );
         // Halo updates of the new level.
-        halo.try_exchange(&state.bt_eta[n], FoldKind::Scalar, 500)?;
-        halo.try_exchange(&state.bt_u[n], FoldKind::Vector, 510)?;
-        halo.try_exchange(&state.bt_v[n], FoldKind::Vector, 520)?;
+        {
+            let _r = kokkos_rs::profiling::region("bt:halo");
+            halo.try_exchange(&state.bt_eta[n], FoldKind::Scalar, 500)?;
+            halo.try_exchange(&state.bt_u[n], FoldKind::Vector, 510)?;
+            halo.try_exchange(&state.bt_v[n], FoldKind::Vector, 520)?;
+        }
         // Polar filter on the new level.
+        let filter_region = kokkos_rs::profiling::region("bt:filter");
         for _ in 0..filter_passes {
             for (field, kind, base) in [
                 (&state.bt_eta[n], FoldKind::Scalar, 530u64),
@@ -514,6 +521,7 @@ pub fn integrate(
                 halo.try_exchange(field, kind, base)?;
             }
         }
+        drop(filter_region);
         // Accumulate window averages (full padded block: halos are valid).
         parallel_for_2d(
             space,
@@ -545,6 +553,7 @@ pub fn integrate(
         c = n;
         n = t;
     }
+    let _average = kokkos_rs::profiling::region("bt:average");
     let scale = 1.0 / substeps as f64;
     let nl = state.new_lev();
     parallel_for_2d(

@@ -219,6 +219,7 @@ pub fn balanced_cross_rank(
     wet_cols: &[i32],
     pi: usize,
 ) -> BalanceReport {
+    let _r = kokkos_rs::profiling::region("canuto:balance");
     let nz = fields.nz;
     let nranks = comm.size();
     let counts: Vec<usize> = comm

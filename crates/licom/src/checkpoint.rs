@@ -477,7 +477,12 @@ impl Model {
         );
         let mut stats = RecoveryStats::default();
         let mut last_err: Option<StepError> = None;
+        // Window every monotone counter against its value at entry: the
+        // manager and the transport both outlive this call, so a resumed
+        // run re-publishing their lifetime totals would double-count
+        // earlier windows in the timers report.
         let t0 = self.comm().traffic();
+        let ckpt0 = mgr.checkpoints_written();
         if self.steps_taken() < target {
             mgr.save(self)?;
         }
@@ -515,8 +520,9 @@ impl Model {
             } else {
                 stats.rollbacks += 1;
                 if stats.rollbacks > policy.max_rollbacks {
-                    stats.checkpoints_written = mgr.checkpoints_written();
+                    stats.checkpoints_written = mgr.checkpoints_written() - ckpt0;
                     publish(&mut self.timers, &stats);
+                    self.fold_traffic_window(&t0);
                     return Err(RecoveryError::RollbackBudgetExhausted {
                         stats,
                         last: last_err,
@@ -527,26 +533,26 @@ impl Model {
                 since_ckpt = 0;
             }
         }
-        stats.checkpoints_written = mgr.checkpoints_written();
+        stats.checkpoints_written = mgr.checkpoints_written() - ckpt0;
         publish(&mut self.timers, &stats);
-        // Fold the transport's fault/recovery counters for this window
-        // into the timers so one report shows the whole story.
-        let t1 = self.comm().traffic();
-        self.timers.add_count(
-            "faults_injected",
-            t1.faults_injected() - t0.faults_injected(),
-        );
-        self.timers
-            .add_count("crc_failures", t1.crc_failures - t0.crc_failures);
-        self.timers
-            .add_count("halo_retries", t1.halo_retries - t0.halo_retries);
-        self.timers
-            .add_count("resends_served", t1.resends_served - t0.resends_served);
-        self.timers
-            .add_count("recv_timeouts", t1.recv_timeouts - t0.recv_timeouts);
-        self.timers
-            .add_count("rank_stalls", t1.rank_stalls - t0.rank_stalls);
+        self.fold_traffic_window(&t0);
         Ok(stats)
+    }
+
+    /// Fold the transport's fault/recovery counters accumulated since the
+    /// `t0` snapshot into the timers so one report shows the whole story.
+    /// Runs on both the success and the budget-exhausted exit of
+    /// [`Model::run_steps_resilient`] — skipping it on the error path
+    /// would silently lose the failed window's retries from the report.
+    fn fold_traffic_window(&mut self, t0: &mpi_sim::TrafficSnapshot) {
+        let w = self.comm().traffic().delta(t0);
+        self.timers
+            .add_count("faults_injected", w.faults_injected());
+        self.timers.add_count("crc_failures", w.crc_failures);
+        self.timers.add_count("halo_retries", w.halo_retries);
+        self.timers.add_count("resends_served", w.resends_served);
+        self.timers.add_count("recv_timeouts", w.recv_timeouts);
+        self.timers.add_count("rank_stalls", w.rank_stalls);
     }
 }
 

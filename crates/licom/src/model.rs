@@ -326,6 +326,9 @@ impl Model {
     /// call it with identical arguments.
     pub fn new(comm: &Comm, cfg: ModelConfig, space: Space, opts: ModelOptions) -> Self {
         crate::register_all_kernels();
+        // Rank threads tag themselves so an attached profiler lands this
+        // rank's kernel spans and regions on its own chrome-trace track.
+        kokkos_profiling::set_thread_rank(comm.rank() as i64);
         let (px, py) = choose_dims(comm.size(), cfg.nx);
         let cart = CartComm::new(comm.clone(), px, py, true);
         let mut halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny);
@@ -909,18 +912,11 @@ impl Model {
             "pooled_bytes",
             tr1.pooled_bytes.saturating_sub(tr0.pooled_bytes),
         );
-        // Active-set accounting: wet points iterated this step and the
-        // dense-rectangle iterations the packed lists skipped.
-        if self.opts.active_set {
-            let g = &self.grid;
-            let wet_cells = g.wet.cells3_own.len() as u64;
-            self.timers.add_count("wet_cells", wet_cells);
-            self.timers
-                .add_count("wet_cols", g.wet.cols_own.len() as u64);
-            let dense_cells = (g.nz * g.ny * g.nx) as u64;
-            self.timers
-                .add_count("land_skipped", dense_cells.saturating_sub(wet_cells));
-        }
+        // Active-set accounting (wet cells iterated, land skipped) is no
+        // longer tallied here: every List-policy launch reports its
+        // work-item count through the profiling hook chokepoint, so an
+        // attached profiler derives the same numbers from the event
+        // stream (see `Profiler::kernels` work_items per List dispatch).
 
         self.step_count += 1;
         self.state.rotate();
@@ -969,6 +965,7 @@ impl Model {
         active: bool,
     ) {
         let g = &self.grid;
+        let _r = kokkos_rs::profiling::region("vmix:solve");
         if self.opts.vmix_team {
             kokkos_rs::parallel_for_team(
                 space,

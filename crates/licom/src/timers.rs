@@ -8,9 +8,20 @@
 //! accumulate non-time quantities the same way — halo messages/bytes and
 //! buffer-pool allocations vs reuses, so a run can show its steady-state
 //! allocation profile next to its time profile.
+//!
+//! Internally the aggregation lives in `kokkos-profiling`'s lock-sharded
+//! [`StatsTable`]/[`CounterTable`] — the same machinery behind the
+//! profiler's kernel tables — and every `start`/`stop` additionally
+//! pushes/pops a Kokkos profiling **region** of the same name, so when a
+//! profiler is attached the model's phase structure appears in the
+//! chrome trace with kernels nested inside their phases. With no
+//! profiler attached the region calls are a single atomic load.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+use kokkos_profiling::{CounterTable, StatsTable};
+use kokkos_rs::profiling as hooks;
 
 /// One timer's accumulated statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,20 +32,40 @@ pub struct TimerStat {
 }
 
 /// A set of named accumulating timers and counters.
-#[derive(Debug, Default)]
 pub struct Timers {
-    stats: HashMap<&'static str, TimerStat>,
+    stats: StatsTable<&'static str>,
+    counters: CounterTable<&'static str>,
     running: HashMap<&'static str, Instant>,
-    counters: HashMap<&'static str, u64>,
+}
+
+impl Default for Timers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Timers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timers")
+            .field("timers", &self.stats.len())
+            .field("running", &self.running.keys().collect::<Vec<_>>())
+            .finish()
+    }
 }
 
 impl Timers {
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            stats: StatsTable::new(),
+            counters: CounterTable::new(),
+            running: HashMap::new(),
+        }
     }
 
-    /// Start timer `name` (GPTL `GPTLstart`).
+    /// Start timer `name` (GPTL `GPTLstart`). Also opens a profiling
+    /// region of the same name when a tool is attached.
     pub fn start(&mut self, name: &'static str) {
+        hooks::push_region(name);
         let prev = self.running.insert(name, Instant::now());
         assert!(prev.is_none(), "timer '{name}' started twice");
     }
@@ -46,10 +77,8 @@ impl Timers {
             .remove(name)
             .unwrap_or_else(|| panic!("timer '{name}' stopped without start"));
         let dt = t0.elapsed();
-        let s = self.stats.entry(name).or_default();
-        s.calls += 1;
-        s.total += dt;
-        s.max = s.max.max(dt);
+        self.stats.record(name, dt.as_nanos() as u64, 0, 0);
+        hooks::pop_region(name);
     }
 
     /// Time a closure under `name`.
@@ -62,39 +91,77 @@ impl Timers {
 
     /// Accumulated seconds of `name` (0 if never stopped).
     pub fn seconds(&self, name: &str) -> f64 {
+        // Keys are &'static str but lookups may arrive as &str; the
+        // snapshot path below keeps the borrowed-key lookup working
+        // without a HashMap borrow trick through the sharded table.
         self.stats
-            .get(name)
-            .map(|s| s.total.as_secs_f64())
+            .snapshot()
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, s)| s.total_ns as f64 * 1e-9)
             .unwrap_or(0.0)
     }
 
     /// Call count of `name`.
     pub fn calls(&self, name: &str) -> u64 {
-        self.stats.get(name).map(|s| s.calls).unwrap_or(0)
+        self.stats
+            .snapshot()
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, s)| s.count)
+            .unwrap_or(0)
     }
 
     /// Accumulate `delta` into counter `name`.
     pub fn add_count(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+        self.counters.add(name, delta);
     }
 
     /// Current value of counter `name` (0 if never touched).
     pub fn count(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .snapshot()
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
-        let mut v: Vec<_> = self.counters.iter().map(|(k, c)| (*k, *c)).collect();
+        let mut v = self.counters.snapshot();
         v.sort_by_key(|e| e.0);
         v
     }
 
     /// All stats, sorted by descending total time.
     pub fn sorted(&self) -> Vec<(&'static str, TimerStat)> {
-        let mut v: Vec<_> = self.stats.iter().map(|(k, s)| (*k, *s)).collect();
+        let mut v: Vec<(&'static str, TimerStat)> = self
+            .stats
+            .snapshot()
+            .into_iter()
+            .map(|(k, s)| {
+                (
+                    k,
+                    TimerStat {
+                        calls: s.count,
+                        total: Duration::from_nanos(s.total_ns),
+                        max: Duration::from_nanos(s.max_ns),
+                    },
+                )
+            })
+            .collect();
         v.sort_by_key(|e| std::cmp::Reverse(e.1.total));
         v
+    }
+
+    /// `(name, seconds)` pairs for every timer — the input shape
+    /// [`kokkos_profiling::hotspot_shares`] consumes.
+    pub fn phase_seconds(&self) -> Vec<(&'static str, f64)> {
+        self.sorted()
+            .into_iter()
+            .map(|(name, s)| (name, s.total.as_secs_f64()))
+            .collect()
     }
 
     /// Render a breakdown table.
@@ -112,9 +179,10 @@ impl Timers {
                 s.max.as_secs_f64() * 1e3
             ));
         }
-        if !self.counters.is_empty() {
+        let counters = self.counters();
+        if !counters.is_empty() {
             out.push_str(&format!("{:<24} {:>16}\n", "counter", "value"));
-            for (name, c) in self.counters() {
+            for (name, c) in counters {
                 out.push_str(&format!("{name:<24} {c:>16}\n"));
             }
         }
@@ -204,5 +272,35 @@ mod tests {
         let r = t.report();
         assert!(r.contains("pool_allocs"));
         assert!(r.contains("1024"));
+    }
+
+    #[test]
+    fn phase_seconds_mirror_sorted() {
+        let mut t = Timers::new();
+        t.time("barotropic", || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        let phases = t.phase_seconds();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].0, "barotropic");
+        assert!(phases[0].1 > 0.0);
+    }
+
+    #[test]
+    fn start_stop_emit_profiling_regions() {
+        use std::sync::Arc;
+        let _serial = kokkos_profiling::test_registry_lock();
+        let prof = Arc::new(kokkos_profiling::Profiler::default());
+        kokkos_profiling::attach(prof.clone());
+        let mut t = Timers::new();
+        t.time("timer_region_probe", || {});
+        kokkos_profiling::detach();
+        let regions = prof.region_table();
+        assert!(
+            regions
+                .iter()
+                .any(|(n, s)| *n == "timer_region_probe" && s.count == 1),
+            "timer did not surface as a profiling region: {regions:?}"
+        );
     }
 }

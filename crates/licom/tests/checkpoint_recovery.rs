@@ -141,6 +141,65 @@ fn checkpoint_resume_is_bitwise_on_all_spaces() {
     }
 }
 
+/// Regression (counter windowing): two successive `run_steps_resilient`
+/// calls sharing one manager and one model must each publish only their
+/// *own* window of checkpoints and traffic into the timers. Before the
+/// fix, the second call re-published the manager's and transport's
+/// lifetime totals, double-counting the first window.
+#[test]
+fn resumed_resilient_run_does_not_double_count() {
+    use licom::checkpoint::RecoveryPolicy;
+    let dir = std::env::temp_dir().join("licom_ckpt_resume_counters");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (stats, counts) = World::run(3, {
+        let dir = dir.clone();
+        move |comm| {
+            let mut mgr = CheckpointManager::new(&dir, 3);
+            let mut m = Model::new(
+                comm,
+                cfg(),
+                kokkos_rs::Space::serial(),
+                ModelOptions::default(),
+            );
+            let policy = RecoveryPolicy {
+                checkpoint_every: 2,
+                max_rollbacks: 4,
+            };
+            let s1 = m.run_steps_resilient(4, &mut mgr, &policy).unwrap();
+            let s2 = m.run_steps_resilient(8, &mut mgr, &policy).unwrap();
+            (
+                (s1, s2),
+                (
+                    m.timers.count("checkpoints_written"),
+                    m.timers.count("halo_retries"),
+                    m.timers.count("resends_served"),
+                    mgr.checkpoints_written(),
+                ),
+            )
+        }
+    })
+    .pop()
+    .unwrap();
+    let (s1, s2) = stats;
+    let (timer_ckpts, retries, resends, mgr_total) = counts;
+    // Per-window stats must describe only their own window…
+    assert_eq!(s1.steps_completed, 4);
+    assert_eq!(s2.steps_completed, 4);
+    assert_eq!(
+        s1.checkpoints_written + s2.checkpoints_written,
+        mgr_total,
+        "windows must partition the manager's lifetime total"
+    );
+    // …and the accumulated timer counter equals the sum of the windows,
+    // not (window1) + (window1 + window2).
+    assert_eq!(timer_ckpts, mgr_total, "timer counter double-counted");
+    // Clean run: no retries/resends, and in particular not a negative
+    // wrap from subtracting a stale snapshot.
+    assert_eq!(retries, 0);
+    assert_eq!(resends, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Multi-rank: ranks with *different* newest checkpoints (one rank's is
 /// corrupt) must still agree on the newest step every rank can verify.
 #[test]

@@ -35,6 +35,7 @@ use crate::collective::CollectiveState;
 use crate::fault::{Action, FaultPlan, FaultState};
 use crate::pool::BufferPool;
 use crate::stats::{Traffic, TrafficSnapshot};
+use crate::tap::{self, CommEvent, CommEventKind};
 
 /// Typed point-to-point communication failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +135,7 @@ impl Comm {
         assert!(dst < self.shared.n, "send to invalid rank {dst}");
         let bytes = data.len() * std::mem::size_of::<T>();
         self.shared.traffic.record_p2p(bytes);
+        self.tap_event(CommEventKind::Send, dst, tag, bytes as u64);
         self.deliver(
             dst,
             tag,
@@ -157,6 +159,7 @@ impl Comm {
         let bytes = len * std::mem::size_of::<f64>();
         self.shared.traffic.record_p2p(bytes);
         self.shared.traffic.record_pooled_bytes(bytes);
+        self.tap_event(CommEventKind::Send, dst, tag, bytes as u64);
         self.deliver(dst, tag, Payload::PooledF64(buf));
     }
 
@@ -186,17 +189,20 @@ impl Comm {
             None => self.push_message(dst, tag, Payload::PooledF64(data)),
             Some(Action::Drop { recoverable }) => {
                 t.record_fault_dropped();
+                self.tap_event(CommEventKind::FaultDropped, dst, tag, 0);
                 if recoverable {
                     fs.park(self.rank, dst, tag, data);
                 }
             }
             Some(Action::Duplicate) => {
                 t.record_fault_duplicated();
+                self.tap_event(CommEventKind::FaultDuplicated, dst, tag, 0);
                 self.push_message(dst, tag, Payload::PooledF64(data.clone()));
                 self.push_message(dst, tag, Payload::PooledF64(data));
             }
             Some(Action::Delay { sends }) => {
                 t.record_fault_delayed();
+                self.tap_event(CommEventKind::FaultDelayed, dst, tag, 0);
                 // Escrow a pristine copy too: if the receiver gives up
                 // before the delayed frame lands, it can still resync.
                 fs.park(self.rank, dst, tag, data.clone());
@@ -206,6 +212,7 @@ impl Comm {
                 let mut data = data;
                 if !data.is_empty() {
                     t.record_fault_bitflipped();
+                    self.tap_event(CommEventKind::FaultBitflipped, dst, tag, 0);
                     fs.park(self.rank, dst, tag, data.clone());
                     let w = (word_hash % data.len() as u64) as usize;
                     data[w] = f64::from_bits(data[w].to_bits() ^ (1u64 << bit));
@@ -214,6 +221,7 @@ impl Comm {
             }
             Some(Action::Truncate { drop_words }) => {
                 t.record_fault_truncated();
+                self.tap_event(CommEventKind::FaultTruncated, dst, tag, 0);
                 fs.park(self.rank, dst, tag, data.clone());
                 let mut data = data;
                 let keep = data.len().saturating_sub(drop_words);
@@ -232,6 +240,18 @@ impl Comm {
         for (dst, tag, data) in fs.tick_delayed(self.rank) {
             self.push_message(dst, tag, Payload::PooledF64(data));
         }
+    }
+
+    /// Forward one event to the installed traffic tap (no-op without one).
+    #[inline]
+    fn tap_event(&self, kind: CommEventKind, peer: usize, tag: u64, bytes: u64) {
+        tap::emit(CommEvent {
+            kind,
+            rank: self.rank,
+            peer,
+            tag,
+            bytes,
+        });
     }
 
     fn push_message(&self, dst: usize, tag: u64, payload: Payload) {
@@ -364,11 +384,20 @@ impl Comm {
         let mut q = mb.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                return Ok(q.remove(pos));
+                let msg = q.remove(pos);
+                let bytes = match &msg.payload {
+                    Payload::PooledF64(b) => (b.len() * std::mem::size_of::<f64>()) as u64,
+                    // The concrete element type is behind `dyn Any`; the
+                    // matching send event carried the byte count.
+                    Payload::Boxed { .. } => 0,
+                };
+                self.tap_event(CommEventKind::Recv, src, tag, bytes);
+                return Ok(msg);
             }
             let now = Instant::now();
             if now >= deadline {
                 self.shared.traffic.record_recv_timeout();
+                self.tap_event(CommEventKind::RecvTimeout, src, tag, 0);
                 return Err(CommError::Timeout {
                     src,
                     tag,
@@ -403,9 +432,9 @@ impl Comm {
     pub fn fetch_resend(&self, src: usize, tag: u64) -> Option<Vec<f64>> {
         let fs = self.shared.faults.as_ref()?;
         let data = fs.take_escrow(src, self.rank, tag)?;
-        self.shared
-            .traffic
-            .record_resend_served(data.len() * std::mem::size_of::<f64>());
+        let bytes = data.len() * std::mem::size_of::<f64>();
+        self.shared.traffic.record_resend_served(bytes);
+        self.tap_event(CommEventKind::ResendServed, src, tag, bytes as u64);
         Some(data)
     }
 

@@ -29,11 +29,13 @@ pub mod fault;
 pub(crate) mod pool;
 pub mod stats;
 pub mod subcomm;
+pub mod tap;
 
 pub use cart::{CartComm, Dir, Neighbor};
 pub use collective::ReduceOp;
 pub use comm::{Comm, CommError, RecvReq, World, WorldConfig};
 pub use crc::{crc32, crc32_f64, crc32c, crc32c_f64, Crc32};
 pub use fault::{FaultKind, FaultPlan, FaultRule, MatchSpec};
-pub use stats::Traffic;
+pub use stats::{Traffic, TrafficSnapshot};
 pub use subcomm::SubComm;
+pub use tap::{clear_tap, set_tap, CommEvent, CommEventKind, CommTap};

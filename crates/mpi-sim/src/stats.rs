@@ -90,6 +90,44 @@ impl TrafficSnapshot {
             + self.faults_bitflipped
             + self.faults_truncated
     }
+
+    /// Field-wise `self − earlier`, saturating at zero. The counters are
+    /// monotone over a world's lifetime, so windowed accounting (e.g.
+    /// per-resilient-run deltas in `licom::checkpoint`) must subtract a
+    /// baseline snapshot rather than re-publish lifetime totals.
+    pub fn delta(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            p2p_messages: self.p2p_messages.saturating_sub(earlier.p2p_messages),
+            p2p_bytes: self.p2p_bytes.saturating_sub(earlier.p2p_bytes),
+            collectives: self.collectives.saturating_sub(earlier.collectives),
+            collective_bytes: self
+                .collective_bytes
+                .saturating_sub(earlier.collective_bytes),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
+            pool_allocations: self
+                .pool_allocations
+                .saturating_sub(earlier.pool_allocations),
+            pool_reuses: self.pool_reuses.saturating_sub(earlier.pool_reuses),
+            pooled_bytes: self.pooled_bytes.saturating_sub(earlier.pooled_bytes),
+            faults_dropped: self.faults_dropped.saturating_sub(earlier.faults_dropped),
+            faults_duplicated: self
+                .faults_duplicated
+                .saturating_sub(earlier.faults_duplicated),
+            faults_delayed: self.faults_delayed.saturating_sub(earlier.faults_delayed),
+            faults_bitflipped: self
+                .faults_bitflipped
+                .saturating_sub(earlier.faults_bitflipped),
+            faults_truncated: self
+                .faults_truncated
+                .saturating_sub(earlier.faults_truncated),
+            rank_stalls: self.rank_stalls.saturating_sub(earlier.rank_stalls),
+            crc_failures: self.crc_failures.saturating_sub(earlier.crc_failures),
+            halo_retries: self.halo_retries.saturating_sub(earlier.halo_retries),
+            resends_served: self.resends_served.saturating_sub(earlier.resends_served),
+            resend_bytes: self.resend_bytes.saturating_sub(earlier.resend_bytes),
+            recv_timeouts: self.recv_timeouts.saturating_sub(earlier.recv_timeouts),
+        }
+    }
 }
 
 impl Traffic {

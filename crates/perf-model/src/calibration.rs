@@ -12,6 +12,16 @@
 //!
 //! EXPERIMENTS.md tabulates paper-vs-model for every point so the fit
 //! quality (and the residual 10-km discrepancy) is visible.
+//!
+//! The second half of this module closes the loop with the profiler:
+//! [`predicted_shares`] renders the census as per-kernel *shares* of a
+//! step's compute time, and [`compare_kernels`] lines those up against a
+//! measured per-kernel profile (e.g. `kokkos-profiling`'s kernel table)
+//! so census drift shows up as a ratio ≠ 1 per kernel instead of a single
+//! opaque multiplier.
+
+use crate::machine::Machine;
+use crate::workload::{ProblemSpec, PASSES_2D_SUBSTEP, PASSES_3D};
 
 /// Calibrated compute-cost multiplier for `config` (`ModelConfig::name`)
 /// on `machine` (`Machine::name`). Unknown pairs return 1.0.
@@ -34,9 +44,141 @@ pub fn cost_multiplier(config: &str, machine: &str) -> f64 {
     }
 }
 
+/// Census-predicted per-kernel compute time for one baroclinic step on
+/// one rank of `devices` — the per-kernel decomposition of
+/// `project()`'s `t_compute3d + t_compute2d` (without the residual
+/// imbalance factor, which is kernel-agnostic). Barotropic passes are
+/// already multiplied by the substep count so the entries are directly
+/// comparable with wall-clock measurements of one step.
+pub fn predicted_kernel_times(
+    spec: &ProblemSpec,
+    m: &Machine,
+    devices: usize,
+) -> Vec<(&'static str, f64)> {
+    assert!(devices >= 1);
+    let ranks = devices as f64;
+    let wet_pts = spec.wet_points() / ranks;
+    let wet_cols = spec.wet_columns() / ranks;
+    let mut out = Vec::with_capacity(PASSES_3D.len() + PASSES_2D_SUBSTEP.len());
+    for k in PASSES_3D {
+        out.push((
+            k.name,
+            m.kernel_time(
+                wet_pts,
+                k.flops_per_pt * spec.cost_multiplier,
+                k.bytes_per_pt * spec.cost_multiplier,
+            ),
+        ));
+    }
+    for k in PASSES_2D_SUBSTEP {
+        out.push((
+            k.name,
+            spec.substeps as f64
+                * m.kernel_time(
+                    wet_cols,
+                    k.flops_per_pt * spec.cost_multiplier,
+                    k.bytes_per_pt * spec.cost_multiplier,
+                ),
+        ));
+    }
+    out
+}
+
+/// [`predicted_kernel_times`] normalised to shares of the compute total.
+pub fn predicted_shares(
+    spec: &ProblemSpec,
+    m: &Machine,
+    devices: usize,
+) -> Vec<(&'static str, f64)> {
+    let times = predicted_kernel_times(spec, m, devices);
+    let total: f64 = times.iter().map(|(_, t)| t).sum();
+    if total <= 0.0 {
+        return times.into_iter().map(|(n, _)| (n, 0.0)).collect();
+    }
+    times.into_iter().map(|(n, t)| (n, t / total)).collect()
+}
+
+/// One kernel's measured-vs-census comparison.
+#[derive(Debug, Clone)]
+pub struct KernelComparison {
+    pub name: String,
+    /// Share of the measured compute total.
+    pub measured_share: f64,
+    /// Share of the census-predicted compute total.
+    pub predicted_share: f64,
+    /// `measured_share / predicted_share` (infinite when the census
+    /// predicts 0 for a kernel that was measured).
+    pub ratio: f64,
+}
+
+/// Line a measured per-kernel profile up against the census prediction.
+///
+/// `measured` is `(kernel name, seconds)` — e.g. the profiler's kernel
+/// table mapped to census names. Both sides are renormalised over the
+/// *intersection* of names so instrumentation gaps on either side don't
+/// skew the shares; unmatched entries are dropped. Result is sorted by
+/// descending measured share.
+pub fn compare_kernels(
+    measured: &[(String, f64)],
+    predicted: &[(&'static str, f64)],
+) -> Vec<KernelComparison> {
+    let matched: Vec<(&str, f64, f64)> = measured
+        .iter()
+        .filter_map(|(name, secs)| {
+            predicted
+                .iter()
+                .find(|(p, _)| p == name)
+                .map(|(_, pt)| (name.as_str(), *secs, *pt))
+        })
+        .collect();
+    let m_total: f64 = matched.iter().map(|(_, m, _)| m).sum();
+    let p_total: f64 = matched.iter().map(|(_, _, p)| p).sum();
+    if m_total <= 0.0 || p_total <= 0.0 {
+        return Vec::new();
+    }
+    let mut out: Vec<KernelComparison> = matched
+        .into_iter()
+        .map(|(name, m, p)| {
+            let measured_share = m / m_total;
+            let predicted_share = p / p_total;
+            KernelComparison {
+                name: name.to_string(),
+                measured_share,
+                predicted_share,
+                ratio: if predicted_share > 0.0 {
+                    measured_share / predicted_share
+                } else {
+                    f64::INFINITY
+                },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.measured_share.total_cmp(&a.measured_share));
+    out
+}
+
+/// Render a [`compare_kernels`] result as an aligned table.
+pub fn render_comparison(rows: &[KernelComparison]) -> String {
+    let mut out = format!(
+        "{:<20} {:>12} {:>12} {:>8}\n",
+        "kernel", "measured %", "census %", "ratio"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>12.2} {:>12.2} {:>8.2}\n",
+            r.name,
+            100.0 * r.measured_share,
+            100.0 * r.predicted_share,
+            r.ratio
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocean_grid::Resolution;
 
     #[test]
     fn km_scale_is_uncalibrated() {
@@ -48,5 +190,44 @@ mod tests {
     fn fig7_pairs_present() {
         assert!(cost_multiplier("O(100 km)", "V100 GPU") > 1.0);
         assert!(cost_multiplier("O(100 km)", "6x MPE (Fortran)") > 1.0);
+    }
+
+    #[test]
+    fn predicted_shares_sum_to_one_and_rank_advection_first() {
+        let spec = ProblemSpec::from_config(&Resolution::Km1.config());
+        let shares = predicted_shares(&spec, &Machine::orise(), 4000);
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12, "shares sum {total}");
+        let top = shares.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+        // The census's heaviest 3-D pass by bytes is tracer advection.
+        assert_eq!(top, "advection_tracer");
+    }
+
+    #[test]
+    fn compare_kernels_matches_by_name_and_renormalises() {
+        let predicted: Vec<(&'static str, f64)> =
+            vec![("eos", 1.0), ("canuto", 3.0), ("advection_tracer", 6.0)];
+        let measured = vec![
+            ("eos".to_string(), 0.1),
+            ("advection_tracer".to_string(), 0.6),
+            ("not_in_census".to_string(), 99.0),
+        ];
+        let rows = compare_kernels(&measured, &predicted);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "advection_tracer");
+        // Intersection is {eos, advection_tracer}: measured 0.1/0.6,
+        // predicted 1/6 — identical shares, ratio 1.
+        for r in &rows {
+            assert!((r.ratio - 1.0).abs() < 1e-12, "{}: {}", r.name, r.ratio);
+        }
+        let rendered = render_comparison(&rows);
+        assert!(rendered.contains("advection_tracer"));
+        assert!(rendered.contains("ratio"));
+    }
+
+    #[test]
+    fn compare_kernels_empty_on_no_overlap() {
+        let rows = compare_kernels(&[("x".to_string(), 1.0)], &[("y", 1.0)]);
+        assert!(rows.is_empty());
     }
 }

@@ -30,6 +30,10 @@ pub mod machine;
 pub mod project;
 pub mod workload;
 
+pub use calibration::{
+    compare_kernels, cost_multiplier, predicted_kernel_times, predicted_shares, render_comparison,
+    KernelComparison,
+};
 pub use machine::Machine;
 pub use project::{project, strong_scaling, weak_scaling, Projection, SunwayVariant};
 pub use workload::ProblemSpec;

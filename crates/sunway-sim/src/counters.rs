@@ -44,6 +44,24 @@ impl CpeCounters {
         self.tiles += other.tiles;
         // `cycles` is handled separately (max, not sum) by the CG.
     }
+
+    /// Field-wise difference against an `earlier` snapshot of the same
+    /// monotone counters (peaks keep the current value). Lets a profiler
+    /// window "counters since last sample" out of lifetime aggregates.
+    pub fn delta(&self, earlier: &CpeCounters) -> CpeCounters {
+        CpeCounters {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            flops: self.flops.saturating_sub(earlier.flops),
+            dma_get_bytes: self.dma_get_bytes.saturating_sub(earlier.dma_get_bytes),
+            dma_put_bytes: self.dma_put_bytes.saturating_sub(earlier.dma_put_bytes),
+            dma_transactions: self
+                .dma_transactions
+                .saturating_sub(earlier.dma_transactions),
+            ldm_bytes: self.ldm_bytes.saturating_sub(earlier.ldm_bytes),
+            ldm_high_water: self.ldm_high_water,
+            tiles: self.tiles.saturating_sub(earlier.tiles),
+        }
+    }
 }
 
 /// Aggregated core-group counters over the lifetime of a [`crate::CoreGroup`].
@@ -92,6 +110,22 @@ impl CgCounters {
             return 1.0;
         }
         self.kernel_cycles_mean as f64 / self.kernel_cycles as f64
+    }
+
+    /// Windowed difference against an `earlier` snapshot (saturating, so a
+    /// reset aggregate against a stale snapshot degrades to the current
+    /// values instead of wrapping).
+    pub fn delta(&self, earlier: &CgCounters) -> CgCounters {
+        CgCounters {
+            kernels_launched: self
+                .kernels_launched
+                .saturating_sub(earlier.kernels_launched),
+            kernel_cycles: self.kernel_cycles.saturating_sub(earlier.kernel_cycles),
+            kernel_cycles_mean: self
+                .kernel_cycles_mean
+                .saturating_sub(earlier.kernel_cycles_mean),
+            totals: self.totals.delta(&earlier.totals),
+        }
     }
 
     /// Achieved FLOP rate against simulated time.
@@ -145,6 +179,22 @@ mod tests {
         assert_eq!(cg.kernels_launched, 2);
         assert_eq!(cg.kernel_cycles, 30);
         assert_eq!(cg.totals.flops, 3);
+    }
+
+    #[test]
+    fn delta_windows_monotone_counters() {
+        let mut cg = CgCounters::default();
+        cg.record_kernel(&[cpe(10, 1), cpe(30, 3)]);
+        let snap = cg.clone();
+        cg.record_kernel(&[cpe(20, 2)]);
+        let w = cg.delta(&snap);
+        assert_eq!(w.kernels_launched, 1);
+        assert_eq!(w.kernel_cycles, 20);
+        assert_eq!(w.totals.flops, 2);
+        // Stale (larger) snapshot saturates instead of wrapping.
+        let stale = cg.delta(&cg);
+        assert_eq!(stale.kernels_launched, 0);
+        assert_eq!(CgCounters::default().delta(&cg).kernel_cycles, 0);
     }
 
     #[test]

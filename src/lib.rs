@@ -24,7 +24,11 @@
 //!   two-step shape-preserving advection, canuto mixing with load
 //!   balancing, diagnostics and GPTL-style timers;
 //! * [`perf`] (`perf-model`) — calibrated machine models projecting the
-//!   paper's full-scale results (Figs. 7–9, Table V).
+//!   paper's full-scale results (Figs. 7–9, Table V);
+//! * [`profiling`] (`kokkos-profiling`) — Kokkos-Tools-style observability:
+//!   kernel/region aggregation over the `kokkos` hook registry,
+//!   Perfetto-loadable chrome-trace export with comm and CPE/DMA counter
+//!   tracks, SYPD + paper-hotspot reporting.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@
 //! for the per-table/figure experiment harness.
 
 pub use halo_exchange as halo;
+pub use kokkos_profiling as profiling;
 pub use kokkos_rs as kokkos;
 pub use licom as model;
 pub use mpi_sim as mpi;
