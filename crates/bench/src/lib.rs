@@ -21,6 +21,8 @@
 //! registry matching, views, halo pack/transpose, hotspot kernels,
 //! message passing).
 
+pub mod gate;
+
 /// Render one formatted table row (fixed-width columns).
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     let mut out = String::new();

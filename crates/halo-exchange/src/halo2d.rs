@@ -28,6 +28,9 @@
 //! — the bitwise-identity reference.
 
 use std::cell::{Cell, RefCell, RefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use kokkos_rs::View2;
 use mpi_sim::{CartComm, Comm, Dir, Neighbor};
@@ -84,6 +87,12 @@ pub struct Halo2D {
     /// order, so sender and receiver agree on both without negotiation.
     epoch: Cell<u64>,
     ordinal: Cell<u64>,
+    /// Nanoseconds this rank spent inside receive calls — the wait/unpack
+    /// side of every networked strip, including the overlap variants whose
+    /// whole-call time is deliberately not attributed to the halo phase.
+    /// Shared across clones (`Halo3D` wraps a clone of the model's 2-D
+    /// context) so one counter sees both 2-D and 3-D traffic.
+    wait_ns: Arc<AtomicU64>,
 }
 
 impl Halo2D {
@@ -114,7 +123,16 @@ impl Halo2D {
             integrity: None,
             epoch: Cell::new(0),
             ordinal: Cell::new(0),
+            wait_ns: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Cumulative nanoseconds spent waiting in halo receives (wait +
+    /// unpack) on this rank, over every exchange routed through this
+    /// context or any clone of it. Monotone; sample before/after a step
+    /// and subtract for per-step attribution.
+    pub fn halo_wait_ns(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
     }
 
     /// Enable CRC32 frame integrity + bounded retry on every networked
@@ -177,7 +195,8 @@ impl Halo2D {
         unpack: impl Fn(&[f64]),
     ) -> Result<(), HaloError> {
         let _r = kokkos_rs::profiling::region("halo:unpack");
-        match seq {
+        let t0 = Instant::now();
+        let out = match seq {
             Some(seq) => integrity::recv_framed(
                 comm,
                 self.integrity.as_ref().expect("seq implies integrity"),
@@ -191,7 +210,10 @@ impl Halo2D {
                 comm.recv_into(src, tag, |buf| unpack(buf));
                 Ok(())
             }
-        }
+        };
+        self.wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
     }
 
     /// Padded local extents `(ny_pad, nx_pad)` a field must have.

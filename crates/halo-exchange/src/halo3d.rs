@@ -112,6 +112,11 @@ impl Halo3D {
         self.h2.begin_step(epoch);
     }
 
+    /// Cumulative halo receive-wait nanoseconds; see [`Halo2D::halo_wait_ns`].
+    pub fn halo_wait_ns(&self) -> u64 {
+        self.h2.halo_wait_ns()
+    }
+
     /// The execution space pack/unpack kernels run on.
     pub fn space(&self) -> &Space {
         &self.space

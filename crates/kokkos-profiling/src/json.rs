@@ -1,9 +1,13 @@
-//! Minimal JSON parser + chrome-trace schema validator.
+//! Minimal JSON parser, serializer and chrome-trace schema validator.
 //!
 //! The container has no serde, so trace files are validated with a small
 //! recursive-descent parser — enough JSON to round-trip what
 //! [`crate::trace`] emits, used by the golden-schema tests and the CI
-//! profiling job to prove the exported file is Perfetto-loadable.
+//! profiling job to prove the exported file is Perfetto-loadable. The
+//! [`render`]/[`render_pretty`] serializers close the loop for documents
+//! we *write* (the telemetry layer's `BENCH_run.json`): build a [`Json`]
+//! tree, render it, and re-parse to schema-validate what actually landed
+//! on disk.
 
 use std::collections::BTreeMap;
 
@@ -45,6 +49,152 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Insert into an object; panics on non-objects (builder misuse).
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(m) => {
+                m.insert(key.to_string(), value);
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no spelling for NaN/Inf; null keeps the document valid
+        // and the gap visible.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn render_into(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => render_num(*n, out),
+        Json::Str(s) => render_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                render_into(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                render_string(k, out);
+                out.push_str(colon);
+                render_into(val, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize compactly. Object keys render in `BTreeMap` order, so the
+/// output is deterministic for a given tree.
+pub fn render(v: &Json) -> String {
+    let mut out = String::new();
+    render_into(v, None, 0, &mut out);
+    out
+}
+
+/// Serialize with 2-space indentation — the diff-friendly form used for
+/// committed artifacts like `BENCH_baseline.json`.
+pub fn render_pretty(v: &Json) -> String {
+    let mut out = String::new();
+    render_into(v, Some(2), 0, &mut out);
+    out.push('\n');
+    out
 }
 
 struct Parser<'a> {
@@ -381,5 +531,33 @@ mod tests {
     fn validator_rejects_span_without_dur() {
         let doc = r#"{"traceEvents":[{"name":"a","ph":"X","ts":5.0,"pid":0,"tid":0}]}"#;
         assert!(validate_chrome_trace(doc).is_err());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let doc = Json::obj([
+            ("pi", Json::Num(3.25)),
+            ("count", Json::from(42u64)),
+            ("name", Json::from("line\n\"quoted\"")),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("nested", Json::obj([("empty", Json::Arr(vec![]))])),
+        ]);
+        for text in [render(&doc), render_pretty(&doc)] {
+            assert_eq!(parse(&text).unwrap(), doc, "round-trip of: {text}");
+        }
+    }
+
+    #[test]
+    fn render_integers_without_fraction() {
+        assert_eq!(render(&Json::Num(7.0)), "7");
+        assert_eq!(render(&Json::Num(-2.5)), "-2.5");
+        assert_eq!(render(&Json::Num(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn render_is_deterministic_across_insertion_order() {
+        let a = Json::obj([("x", Json::Num(1.0)), ("a", Json::Num(2.0))]);
+        let b = Json::obj([("a", Json::Num(2.0)), ("x", Json::Num(1.0))]);
+        assert_eq!(render(&a), render(&b));
     }
 }

@@ -22,15 +22,27 @@
 pub mod clock;
 pub mod json;
 pub mod profiler;
+pub mod prometheus;
 pub mod stats;
 pub mod sypd;
+pub mod telemetry;
 pub mod trace;
 
 pub use clock::now_ns;
-pub use json::{parse as parse_json, validate_chrome_trace, Json, TraceSummary};
+pub use json::{
+    parse as parse_json, render as render_json, render_pretty as render_json_pretty,
+    validate_chrome_trace, Json, TraceSummary,
+};
 pub use profiler::{attach, detach, set_thread_rank, KernelKey, Profiler};
+pub use prometheus::{
+    render_named_counters, render_phase_seconds, render_prometheus, render_traffic,
+};
 pub use stats::{CounterTable, Stat, StatsTable};
-pub use sypd::{bucket_of, hotspot_shares, sypd, HotspotRow, SypdReporter, BUCKETS};
+pub use sypd::{bucket_of, hotspot_shares, is_enclosing, sypd, HotspotRow, SypdReporter, BUCKETS};
+pub use telemetry::{
+    gather_phases, CriticalPath, DriftBank, DriftDetector, DriftEvent, ImbalanceReport,
+    PhaseImbalance, PhaseProfile, RingBuffer, WaitComputeSplit,
+};
 pub use trace::{ArgValue, TraceEvent, COMM_TRACK, COUNTER_TRACK};
 
 /// Re-export of the hook side so consumers need only this crate.

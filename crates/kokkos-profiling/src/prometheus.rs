@@ -1,0 +1,135 @@
+//! Prometheus text exposition for the simulator's counter surfaces.
+//!
+//! Renders `mpi-sim` traffic snapshots, named event counters (e.g.
+//! `licom::Timers::counters`) and phase timings in the Prometheus
+//! text-based exposition format (`# HELP` / `# TYPE` headers followed by
+//! `name{labels} value` samples). No client library — the format is
+//! three line shapes — but the output is stable and scrape-compatible,
+//! so a run can be diffed against a golden file or dropped behind a
+//! trivial HTTP handler.
+
+use mpi_sim::TrafficSnapshot;
+
+/// Escape a label value per the exposition format.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `mpi-sim` [`TrafficSnapshot`] as one counter family per
+/// field: `mpi_traffic_<field>_total <value>`.
+pub fn render_traffic(t: &TrafficSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in t.fields() {
+        out.push_str(&format!(
+            "# HELP mpi_traffic_{name}_total Cumulative mpi-sim {} counter.\n\
+             # TYPE mpi_traffic_{name}_total counter\n\
+             mpi_traffic_{name}_total {value}\n",
+            name.replace('_', " ")
+        ));
+    }
+    out
+}
+
+/// Render a named counter table (e.g. `Timers::counters`) as one family
+/// with a `name` label. Entries are sorted by name for stable output.
+pub fn render_named_counters(family: &str, help: &str, entries: &[(&str, u64)]) -> String {
+    let mut sorted: Vec<&(&str, u64)> = entries.iter().collect();
+    sorted.sort_by_key(|(n, _)| *n);
+    let mut out = format!("# HELP {family} {help}\n# TYPE {family} counter\n");
+    for (name, value) in sorted {
+        out.push_str(&format!(
+            "{family}{{name=\"{}\"}} {value}\n",
+            escape_label(name)
+        ));
+    }
+    out
+}
+
+/// Render a phase/kernel seconds table as a gauge family with a `name`
+/// label, in fixed 9-decimal notation so output never depends on float
+/// shortest-representation quirks.
+pub fn render_phase_seconds(family: &str, help: &str, entries: &[(&str, f64)]) -> String {
+    let mut sorted: Vec<&(&str, f64)> = entries.iter().collect();
+    sorted.sort_by_key(|(n, _)| *n);
+    let mut out = format!("# HELP {family} {help}\n# TYPE {family} gauge\n");
+    for (name, secs) in sorted {
+        out.push_str(&format!(
+            "{family}{{name=\"{}\"}} {secs:.9}\n",
+            escape_label(name)
+        ));
+    }
+    out
+}
+
+/// One-call exposition of a run's counter surfaces: traffic, named event
+/// counters, and phase seconds.
+pub fn render_prometheus(
+    traffic: &TrafficSnapshot,
+    counters: &[(&str, u64)],
+    phases: &[(&str, f64)],
+) -> String {
+    let mut out = render_traffic(traffic);
+    out.push_str(&render_named_counters(
+        "model_counter_total",
+        "Named model event counters (licom::Timers).",
+        counters,
+    ));
+    out.push_str(&render_phase_seconds(
+        "model_phase_seconds",
+        "Accumulated wall seconds per model phase timer.",
+        phases,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn families_have_help_and_type() {
+        let text = render_named_counters("f_total", "Help text.", &[("b", 2), ("a", 1)]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# HELP f_total Help text.");
+        assert_eq!(lines[1], "# TYPE f_total counter");
+        // Sorted by name regardless of input order.
+        assert_eq!(lines[2], "f_total{name=\"a\"} 1");
+        assert_eq!(lines[3], "f_total{name=\"b\"} 2");
+    }
+
+    #[test]
+    fn traffic_renders_every_field() {
+        let t = TrafficSnapshot {
+            p2p_messages: 7,
+            ..Default::default()
+        };
+        let text = render_traffic(&t);
+        assert!(text.contains("mpi_traffic_p2p_messages_total 7"));
+        assert!(text.contains("mpi_traffic_recv_timeouts_total 0"));
+        assert_eq!(
+            text.lines().filter(|l| !l.starts_with('#')).count(),
+            t.fields().len()
+        );
+    }
+
+    #[test]
+    fn phase_seconds_fixed_notation() {
+        let text = render_phase_seconds("p_seconds", "h", &[("eos", 0.5)]);
+        assert!(text.contains("p_seconds{name=\"eos\"} 0.500000000"));
+    }
+}

@@ -22,6 +22,13 @@ pub const BUCKETS: [&str; 6] = [
 /// timers and would double-count).
 const ENCLOSING: [&str; 2] = ["daily_loop", "step"];
 
+/// `true` for enclosing timers ("daily_loop", "step") that contain the
+/// leaf phases — telemetry consumers must drop them before summing or
+/// attributing per-phase time, or every second counts three times.
+pub fn is_enclosing(timer: &str) -> bool {
+    ENCLOSING.contains(&timer)
+}
+
 /// Map one `licom` phase-timer name onto its paper bucket.
 pub fn bucket_of(timer: &str) -> &'static str {
     match timer {

@@ -409,6 +409,9 @@ pub struct RecoveryStats {
     pub steps_replayed: u64,
     pub halo_errors: u64,
     pub guard_trips: u64,
+    /// Physics drift trips escalated by the telemetry monitor
+    /// ([`crate::telemetry::TelemetryConfig::escalate`]).
+    pub drift_trips: u64,
     pub checkpoints_written: u64,
 }
 
@@ -451,6 +454,7 @@ fn publish(timers: &mut Timers, stats: &RecoveryStats) {
     timers.add_count("steps_replayed", stats.steps_replayed);
     timers.add_count("halo_errors", stats.halo_errors);
     timers.add_count("guard_trips", stats.guard_trips);
+    timers.add_count("escalated_drift_trips", stats.drift_trips);
     timers.add_count("checkpoints_written", stats.checkpoints_written);
 }
 
@@ -496,6 +500,7 @@ impl Model {
                     match e {
                         StepError::Halo(_) => stats.halo_errors += 1,
                         StepError::Guard(_) => stats.guard_trips += 1,
+                        StepError::Drift(_) => stats.drift_trips += 1,
                     }
                     last_err = Some(res.unwrap_err());
                     false

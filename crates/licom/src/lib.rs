@@ -37,6 +37,7 @@ pub mod localgrid;
 pub mod model;
 pub mod spectra;
 pub mod state;
+pub mod telemetry;
 pub mod timers;
 pub mod vmix;
 
@@ -46,6 +47,7 @@ pub use checkpoint::{
 pub use guard::{GuardConfig, GuardViolation};
 pub use model::{Model, ModelOptions, StepError, StepStats};
 pub use state::State;
+pub use telemetry::{DriftTrip, StepMonitor, StepObservation, StepSample, TelemetryConfig};
 pub use timers::Timers;
 
 /// Physical constants (SI) shared by the dynamics.

@@ -47,6 +47,7 @@ use crate::forcing::{
 use crate::guard::{self, GuardViolation};
 use crate::localgrid::LocalGrid;
 use crate::state::State;
+use crate::telemetry::{DriftTrip, StepMonitor, StepSample, TelemetryConfig};
 use crate::timers::Timers;
 use crate::vmix::{FunctorVmixImplicit, FunctorVmixList, FunctorVmixTeam};
 
@@ -95,6 +96,10 @@ pub struct ModelOptions {
     /// Per-step physics guard (NaN/velocity/tracer-bound scan over the
     /// owned wet sets). `None` disables the scan.
     pub guard: Option<crate::guard::GuardConfig>,
+    /// Streaming per-step telemetry (sample ring + EWMA drift detection);
+    /// `None` disables it. Escalation of physics drift to the rollback
+    /// path is a separate switch inside the config.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ModelOptions {
@@ -112,6 +117,7 @@ impl Default for ModelOptions {
             integrity: true,
             integrity_cfg: IntegrityConfig::default(),
             guard: Some(crate::guard::GuardConfig::default()),
+            telemetry: Some(TelemetryConfig::default()),
         }
     }
 }
@@ -127,6 +133,9 @@ pub enum StepError {
     Halo(HaloError),
     /// The physics guard found non-finite or out-of-bound state.
     Guard(GuardViolation),
+    /// The telemetry monitor flagged physics drift and
+    /// [`TelemetryConfig::escalate`] is set.
+    Drift(DriftTrip),
 }
 
 impl From<HaloError> for StepError {
@@ -146,6 +155,7 @@ impl std::fmt::Display for StepError {
         match self {
             StepError::Halo(e) => write!(f, "{e}"),
             StepError::Guard(e) => write!(f, "{e}"),
+            StepError::Drift(e) => write!(f, "{e}"),
         }
     }
 }
@@ -303,6 +313,7 @@ pub struct Model {
     /// same limit.
     guard_limit: f64,
     step_count: u64,
+    monitor: Option<StepMonitor>,
 }
 
 /// Pick `px × py = n` with `px ≥ py` and `nxg % px == 0` (required by the
@@ -370,6 +381,7 @@ impl Model {
         let zero2: View2<f64> = View::host("zero2", [grid.pj, grid.pi]);
         let wet = WetPolicies::build(&grid);
 
+        let monitor = opts.telemetry.map(StepMonitor::new);
         let mut model = Self {
             cfg,
             space,
@@ -390,6 +402,7 @@ impl Model {
             kappa,
             guard_limit,
             step_count: 0,
+            monitor,
         };
         model.exchange_all_initial();
         model
@@ -473,6 +486,9 @@ impl Model {
         self.halo2.begin_step(epoch);
         self.halo3.begin_step(epoch);
         let tr0 = self.comm.traffic();
+        let step_t0 = std::time::Instant::now();
+        // halo2 and halo3 share one wait counter (halo3 wraps a clone).
+        let hw0 = self.halo2.halo_wait_ns();
         let g = &self.grid;
         let (o, c, n) = (self.state.old(), self.state.cur(), self.state.new_lev());
         let dt = self.cfg.dt_baroclinic;
@@ -912,6 +928,39 @@ impl Model {
             "pooled_bytes",
             tr1.pooled_bytes.saturating_sub(tr0.pooled_bytes),
         );
+        let halo_wait_delta = self.halo2.halo_wait_ns().saturating_sub(hw0);
+        self.timers.add_count("halo_wait_ns", halo_wait_delta);
+
+        // Streaming telemetry: fold this step's sample into the monitor,
+        // under its own phase timer so the step stays fully attributed.
+        // Physics drift escalates (when configured) before the step is
+        // committed, mirroring the guard.
+        if let Some(mut monitor) = self.monitor.take() {
+            self.timers.start("telemetry");
+            let (surface_mean_t, surface_ke) = self.surface_scalars(n);
+            let obs = monitor.observe(StepSample {
+                step: self.step_count,
+                wall_seconds: step_t0.elapsed().as_secs_f64(),
+                halo_wait_seconds: halo_wait_delta as f64 * 1e-9,
+                p2p_messages: tr1.p2p_messages.saturating_sub(tr0.p2p_messages),
+                p2p_bytes: tr1.p2p_bytes.saturating_sub(tr0.p2p_bytes),
+                pool_allocations: tr1.pool_allocations.saturating_sub(tr0.pool_allocations),
+                wet_cells: self.grid.wet.cells3_own.indices.len() as u64,
+                surface_mean_t,
+                surface_ke,
+            });
+            self.timers.add_count("drift_perf_trips", obs.perf_trips);
+            self.timers
+                .add_count("drift_physics_trips", obs.physics_trips);
+            let escalate = monitor.config().escalate;
+            self.monitor = Some(monitor);
+            self.timers.stop("telemetry");
+            if escalate {
+                if let Some(trip) = obs.physics_trip {
+                    return Err(StepError::Drift(trip));
+                }
+            }
+        }
         // Active-set accounting (wet cells iterated, land skipped) is no
         // longer tallied here: every List-policy launch reports its
         // work-item count through the profiling hook chokepoint, so an
@@ -1004,6 +1053,46 @@ impl Model {
                 parallel_for_2d(space, MDRangePolicy2::new([g.ny, g.nx]), &f);
             }
         }
+    }
+
+    /// Cheap per-step physics scalars over the owned surface at level
+    /// `lev`: mean SST over wet T cells and total surface kinetic energy
+    /// over wet U cells. Serial on purpose — no kernel launches and no
+    /// collectives, so the step's event stream and traffic are unchanged
+    /// by telemetry being on.
+    fn surface_scalars(&self, lev: usize) -> (f64, f64) {
+        let g = &self.grid;
+        let t = &self.state.t[lev];
+        let u = &self.state.u[lev];
+        let v = &self.state.v[lev];
+        let mut t_sum = 0.0;
+        let mut wet = 0u64;
+        let mut ke = 0.0;
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                let (jl, il) = (j + H, i + H);
+                if g.kmt.at(jl, il) > 0 {
+                    t_sum += t.at(0, jl, il);
+                    wet += 1;
+                }
+                if g.kmu.at(jl, il) > 0 {
+                    let (uu, vv) = (u.at(0, jl, il), v.at(0, jl, il));
+                    ke += 0.5 * (uu * uu + vv * vv);
+                }
+            }
+        }
+        (if wet > 0 { t_sum / wet as f64 } else { 0.0 }, ke)
+    }
+
+    /// The streaming telemetry monitor, when enabled.
+    pub fn telemetry(&self) -> Option<&StepMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Cumulative halo receive-wait nanoseconds on this rank (shared by
+    /// the 2-D and 3-D halo engines).
+    pub fn halo_wait_ns(&self) -> u64 {
+        self.halo2.halo_wait_ns()
     }
 
     /// Steps taken so far.

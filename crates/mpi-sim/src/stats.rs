@@ -82,6 +82,33 @@ pub struct TrafficSnapshot {
 }
 
 impl TrafficSnapshot {
+    /// Every counter as a `(name, value)` pair in declaration order — the
+    /// stable enumeration the exporters (Prometheus text exposition,
+    /// bench-gate JSON) walk so new counters flow through automatically.
+    pub fn fields(&self) -> [(&'static str, u64); 19] {
+        [
+            ("p2p_messages", self.p2p_messages),
+            ("p2p_bytes", self.p2p_bytes),
+            ("collectives", self.collectives),
+            ("collective_bytes", self.collective_bytes),
+            ("barriers", self.barriers),
+            ("pool_allocations", self.pool_allocations),
+            ("pool_reuses", self.pool_reuses),
+            ("pooled_bytes", self.pooled_bytes),
+            ("faults_dropped", self.faults_dropped),
+            ("faults_duplicated", self.faults_duplicated),
+            ("faults_delayed", self.faults_delayed),
+            ("faults_bitflipped", self.faults_bitflipped),
+            ("faults_truncated", self.faults_truncated),
+            ("rank_stalls", self.rank_stalls),
+            ("crc_failures", self.crc_failures),
+            ("halo_retries", self.halo_retries),
+            ("resends_served", self.resends_served),
+            ("resend_bytes", self.resend_bytes),
+            ("recv_timeouts", self.recv_timeouts),
+        ]
+    }
+
     /// Total faults the plan injected into the message stream.
     pub fn faults_injected(&self) -> u64 {
         self.faults_dropped
@@ -254,6 +281,24 @@ mod tests {
         assert_eq!(s.pool_allocations, 1);
         assert_eq!(s.pool_reuses, 2);
         assert_eq!(s.pooled_bytes, 64);
+    }
+
+    #[test]
+    fn fields_enumerate_every_counter() {
+        let t = Traffic::default();
+        t.record_p2p(100);
+        t.record_recv_timeout();
+        let s = t.snapshot();
+        let fields = s.fields();
+        assert_eq!(fields.len(), 19);
+        assert_eq!(fields[0], ("p2p_messages", 1));
+        assert_eq!(fields[1], ("p2p_bytes", 100));
+        assert_eq!(fields[18], ("recv_timeouts", 1));
+        // Names are unique — an exporter can key on them.
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
     }
 
     #[test]

@@ -98,6 +98,26 @@ pub fn predicted_shares(
     times.into_iter().map(|(n, t)| (n, t / total)).collect()
 }
 
+/// Census-predicted load-imbalance ratio (max/mean) for a set of
+/// per-rank wet-point counts. The census models compute time as linear
+/// in local wet points, so the predicted per-phase max/mean imbalance
+/// is exactly the wet-point max/mean. Measured imbalance sits on top of
+/// this floor — the excess is scheduling and communication jitter, which
+/// the telemetry report attributes separately. Returns 1.0 for empty or
+/// all-dry inputs.
+pub fn predicted_imbalance(wet_points_per_rank: &[u64]) -> f64 {
+    if wet_points_per_rank.is_empty() {
+        return 1.0;
+    }
+    let max = wet_points_per_rank.iter().copied().max().unwrap_or(0) as f64;
+    let mean = wet_points_per_rank.iter().sum::<u64>() as f64 / wet_points_per_rank.len() as f64;
+    if mean <= 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
 /// One kernel's measured-vs-census comparison.
 #[derive(Debug, Clone)]
 pub struct KernelComparison {
@@ -190,6 +210,15 @@ mod tests {
     fn fig7_pairs_present() {
         assert!(cost_multiplier("O(100 km)", "V100 GPU") > 1.0);
         assert!(cost_multiplier("O(100 km)", "6x MPE (Fortran)") > 1.0);
+    }
+
+    #[test]
+    fn predicted_imbalance_is_wet_point_max_over_mean() {
+        assert_eq!(predicted_imbalance(&[]), 1.0);
+        assert_eq!(predicted_imbalance(&[0, 0]), 1.0);
+        assert_eq!(predicted_imbalance(&[100, 100, 100, 100]), 1.0);
+        // mean 75, max 120 → 1.6
+        assert!((predicted_imbalance(&[120, 80, 60, 40]) - 1.6).abs() < 1e-12);
     }
 
     #[test]

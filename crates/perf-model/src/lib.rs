@@ -31,8 +31,8 @@ pub mod project;
 pub mod workload;
 
 pub use calibration::{
-    compare_kernels, cost_multiplier, predicted_kernel_times, predicted_shares, render_comparison,
-    KernelComparison,
+    compare_kernels, cost_multiplier, predicted_imbalance, predicted_kernel_times,
+    predicted_shares, render_comparison, KernelComparison,
 };
 pub use machine::Machine;
 pub use project::{project, strong_scaling, weak_scaling, Projection, SunwayVariant};

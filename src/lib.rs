@@ -28,7 +28,11 @@
 //! * [`profiling`] (`kokkos-profiling`) — Kokkos-Tools-style observability:
 //!   kernel/region aggregation over the `kokkos` hook registry,
 //!   Perfetto-loadable chrome-trace export with comm and CPE/DMA counter
-//!   tracks, SYPD + paper-hotspot reporting.
+//!   tracks, SYPD + paper-hotspot reporting, plus cross-rank telemetry:
+//!   per-phase load-imbalance attribution, halo-wait vs compute
+//!   decomposition with a critical-path estimate, streaming drift
+//!   detection (`model::telemetry`), Prometheus exposition, and the
+//!   `exp_bench_gate` CI perf-regression gate over `BENCH_baseline.json`.
 //!
 //! ## Quickstart
 //!
