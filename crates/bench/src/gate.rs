@@ -8,9 +8,12 @@
 //!   generous: only a >25% *regression* fails; any improvement passes.
 //!   Wall-clock on shared CI runners is noisy. `halo_wait_seconds` gets
 //!   an even wider band (75%) — receive-wait swings with scheduling.
-//! * **fractions/ratios** (`halo_wait_fraction`, `max_over_mean`,
-//!   `overlap_efficiency`) — wider bands plus an absolute floor so
+//! * **fractions/ratios** — direction-aware with an absolute floor so
 //!   micro-jitter on tiny denominators never trips the gate.
+//!   `halo_wait_fraction` (lower is better, 50% band) and
+//!   `overlap_efficiency` (higher is better, 25% band) are gated
+//!   deliverables of the overlap engine; `max_over_mean` stays
+//!   informational.
 //! * **deterministic counters** (`p2p_messages_total`, `p2p_bytes_total`, `wet_cells`,
 //!   `steps`, `drift_*_trips`) — exact: the simulated transport is
 //!   deterministic, so *any* difference is a real behaviour change.
@@ -70,12 +73,22 @@ pub fn policy_for(name: &str) -> MetricPolicy {
             rel_tol: 0.75,
             abs_floor: 2.0e-3,
         },
+        // With the overlap engine in place the wait fraction is a
+        // first-class deliverable: hold it to a tight band so a schedule
+        // change that reintroduces blocking waits gates the build.
         "halo_wait_fraction" => MetricPolicy {
             direction: Direction::LowerIsBetter,
-            rel_tol: 2.0,
+            rel_tol: 0.5,
             abs_floor: 0.05,
         },
-        "max_over_mean" | "overlap_efficiency" => MetricPolicy {
+        // Overlap efficiency is the companion deliverable: losing more
+        // than a quarter of the achieved comm/compute overlap regresses.
+        "overlap_efficiency" => MetricPolicy {
+            direction: Direction::HigherIsBetter,
+            rel_tol: 0.25,
+            abs_floor: 0.1,
+        },
+        "max_over_mean" => MetricPolicy {
             direction: Direction::Informational,
             rel_tol: 0.0,
             abs_floor: 0.0,
@@ -417,6 +430,28 @@ mod tests {
         let base = table(&[("serial.max_over_mean", 1.0)]);
         let run = table(&[("serial.max_over_mean", 50.0)]);
         assert!(gate_passes(&compare_metrics(&base, &run)));
+    }
+
+    #[test]
+    fn overlap_metrics_are_direction_aware() {
+        // Wait fraction creeping back up past the 50% band regresses…
+        let base = table(&[("serial.halo_wait_fraction", 0.15)]);
+        let bad = table(&[("serial.halo_wait_fraction", 0.40)]);
+        assert!(!gate_passes(&compare_metrics(&base, &bad)));
+        // …but dropping it further is an improvement, never a failure.
+        let good = table(&[("serial.halo_wait_fraction", 0.02)]);
+        assert!(gate_passes(&compare_metrics(&base, &good)));
+
+        // Overlap efficiency falling more than 25% (and above the 0.1
+        // absolute floor) regresses; rising never does.
+        let base = table(&[("serial.overlap_efficiency", 2.4)]);
+        let bad = table(&[("serial.overlap_efficiency", 1.5)]);
+        assert!(!gate_passes(&compare_metrics(&base, &bad)));
+        let good = table(&[("serial.overlap_efficiency", 3.0)]);
+        assert!(gate_passes(&compare_metrics(&base, &good)));
+        // Tiny absolute dips under the floor are jitter, not regressions.
+        let jitter = table(&[("serial.overlap_efficiency", 2.31)]);
+        assert!(gate_passes(&compare_metrics(&base, &jitter)));
     }
 
     #[test]

@@ -63,6 +63,36 @@ impl FoldKind {
     }
 }
 
+/// Where the northward leg of an exchange goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NorthPath {
+    /// Ordinary interior neighbor.
+    Interior(usize),
+    /// Tripolar fold partner on another rank.
+    FoldOther(usize),
+    /// This rank is its own fold partner (self-copy through scratch).
+    FoldSelf,
+    /// Closed wall (no transfer).
+    Closed,
+}
+
+/// The per-exchange transfer plan shared by every exchange flavor: which
+/// peers to talk to, which north path applies, and the per-field message
+/// lengths. See [`Halo2D::plan`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StripPlan {
+    pub west: usize,
+    pub east: usize,
+    /// px == 1: the east/west wrap is a local copy, not a message.
+    pub ew_self: bool,
+    pub south: Option<usize>,
+    pub north: NorthPath,
+    /// East/west message length per field (`ny * H`).
+    pub strip: usize,
+    /// North/south message length per field (`H * pi`, full padded width).
+    pub rows: usize,
+}
+
 /// Per-rank halo exchange context for one decomposition.
 #[derive(Clone)]
 pub struct Halo2D {
@@ -93,6 +123,13 @@ pub struct Halo2D {
     /// Shared across clones (`Halo3D` wraps a clone of the model's 2-D
     /// context) so one counter sees both 2-D and 3-D traffic.
     wait_ns: Arc<AtomicU64>,
+    /// Nanoseconds of exchange *span* — begin-to-done for split-phase
+    /// exchanges (which covers whatever compute ran while the strips were
+    /// in flight), whole-call for blocking ones. Concurrent pending spans
+    /// sum additively, so this counts comm·seconds in flight; dividing a
+    /// step's delta by wall time measures how much communication the step
+    /// kept airborne per wall second. Shared across clones like `wait_ns`.
+    inflight_ns: Arc<AtomicU64>,
 }
 
 impl Halo2D {
@@ -124,6 +161,7 @@ impl Halo2D {
             epoch: Cell::new(0),
             ordinal: Cell::new(0),
             wait_ns: Arc::new(AtomicU64::new(0)),
+            inflight_ns: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -133,6 +171,17 @@ impl Halo2D {
     /// and subtract for per-step attribution.
     pub fn halo_wait_ns(&self) -> u64 {
         self.wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative exchange-span nanoseconds (see the `inflight_ns` field
+    /// docs): comm·time in flight, summed over every exchange routed
+    /// through this context or any clone of it.
+    pub fn halo_inflight_ns(&self) -> u64 {
+        self.inflight_ns.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn add_inflight(&self, ns: u64) {
+        self.inflight_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Enable CRC32 frame integrity + bounded retry on every networked
@@ -386,6 +435,37 @@ impl Halo2D {
         self.nxg - self.x0 - self.nx
     }
 
+    /// The transfer plan for one exchange: peers, paths, and per-field
+    /// message lengths. Computed in one place so the pooled, allocating,
+    /// and split-phase paths cannot drift apart — they differ only in
+    /// transport, never in protocol.
+    pub(crate) fn plan(&self) -> StripPlan {
+        let comm = self.cart.comm();
+        let (Neighbor::Interior(west), Neighbor::Interior(east)) =
+            (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
+        else {
+            unreachable!("zonal neighbors always exist")
+        };
+        let (_, pi) = self.padded();
+        StripPlan {
+            west,
+            east,
+            ew_self: west == comm.rank(),
+            south: match self.cart.neighbor(Dir::South) {
+                Neighbor::Interior(s) => Some(s),
+                _ => None,
+            },
+            north: match self.cart.neighbor(Dir::North) {
+                Neighbor::Interior(n) => NorthPath::Interior(n),
+                Neighbor::Fold(p) if p == comm.rank() => NorthPath::FoldSelf,
+                Neighbor::Fold(p) => NorthPath::FoldOther(p),
+                Neighbor::Closed => NorthPath::Closed,
+            },
+            strip: self.ny * H,
+            rows: H * pi,
+        }
+    }
+
     // -- the update ---------------------------------------------------------
 
     /// Blocking 2-layer halo update of `field`. Allocation-free in steady
@@ -412,10 +492,13 @@ impl Halo2D {
         tag_base: u64,
     ) -> Result<(), HaloError> {
         let _r = kokkos_rs::profiling::region("halo:exchange2d");
+        let t0 = Instant::now();
         self.check(field);
         let seq = self.next_seq();
         self.exchange_ew(field, tag_base, seq)?;
-        self.exchange_ns(field, kind, tag_base, seq)
+        let out = self.exchange_ns(field, kind, tag_base, seq);
+        self.add_inflight(t0.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Overlapped variant: posts the east/west messages, runs `interior`
@@ -442,36 +525,42 @@ impl Halo2D {
     ) -> Result<(), HaloError> {
         // No whole-call region here: `interior` is caller compute and must
         // not be attributed to the halo phase. The send/recv strips inside
-        // still carry halo:pack / halo:unpack.
+        // still carry halo:pack / halo:unpack, and `interior` gets its own
+        // region so `WaitComputeSplit` sees the overlapped compute.
+        let t0 = Instant::now();
         self.check(field);
         let seq = self.next_seq();
         let comm = self.cart.comm();
-        let (Neighbor::Interior(w), Neighbor::Interior(e)) =
-            (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
-        else {
-            unreachable!("zonal neighbors always exist")
-        };
-        if w == comm.rank() {
+        let plan = self.plan();
+        if plan.ew_self {
             // Single zonal block: no overlap possible; do it directly.
             self.exchange_ew(field, tag_base, seq)?;
-            interior();
+            {
+                let _c = kokkos_rs::profiling::region("halo:overlap-compute");
+                interior();
+            }
         } else {
-            let strip = self.ny * H;
-            self.send_strip(comm, w, tag_base + T_WEST, seq, strip, |buf| {
+            let strip = plan.strip;
+            self.send_strip(comm, plan.west, tag_base + T_WEST, seq, strip, |buf| {
                 self.pack_cols_into(field, H, buf);
             });
-            self.send_strip(comm, e, tag_base + T_EAST, seq, strip, |buf| {
+            self.send_strip(comm, plan.east, tag_base + T_EAST, seq, strip, |buf| {
                 self.pack_cols_into(field, self.nx, buf);
             });
-            interior();
-            self.recv_strip(comm, e, tag_base + T_WEST, seq, strip, |buf| {
+            {
+                let _c = kokkos_rs::profiling::region("halo:overlap-compute");
+                interior();
+            }
+            self.recv_strip(comm, plan.east, tag_base + T_WEST, seq, strip, |buf| {
                 self.unpack_cols_from(field, H + self.nx, buf);
             })?;
-            self.recv_strip(comm, w, tag_base + T_EAST, seq, strip, |buf| {
+            self.recv_strip(comm, plan.west, tag_base + T_EAST, seq, strip, |buf| {
                 self.unpack_cols_from(field, 0, buf);
             })?;
         }
-        self.exchange_ns(field, kind, tag_base, seq)
+        let out = self.exchange_ns(field, kind, tag_base, seq);
+        self.add_inflight(t0.elapsed().as_nanos() as u64);
+        out
     }
 
     fn exchange_ew(
@@ -481,13 +570,9 @@ impl Halo2D {
         seq: Option<FrameSeq>,
     ) -> Result<(), HaloError> {
         let comm = self.cart.comm();
-        let (Neighbor::Interior(w), Neighbor::Interior(e)) =
-            (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
-        else {
-            unreachable!("zonal neighbors always exist")
-        };
-        let strip = self.ny * H;
-        if w == comm.rank() {
+        let plan = self.plan();
+        let strip = plan.strip;
+        if plan.ew_self {
             // px == 1: periodic wrap within the block, through scratch.
             let mut wb = Self::scratch(&self.scratch_a, strip);
             let mut eb = Self::scratch(&self.scratch_b, strip);
@@ -497,16 +582,16 @@ impl Halo2D {
             self.unpack_cols_from(field, 0, &eb[..strip]);
             return Ok(());
         }
-        self.send_strip(comm, w, tag_base + T_WEST, seq, strip, |buf| {
+        self.send_strip(comm, plan.west, tag_base + T_WEST, seq, strip, |buf| {
             self.pack_cols_into(field, H, buf);
         });
-        self.send_strip(comm, e, tag_base + T_EAST, seq, strip, |buf| {
+        self.send_strip(comm, plan.east, tag_base + T_EAST, seq, strip, |buf| {
             self.pack_cols_into(field, self.nx, buf);
         });
-        self.recv_strip(comm, e, tag_base + T_WEST, seq, strip, |buf| {
+        self.recv_strip(comm, plan.east, tag_base + T_WEST, seq, strip, |buf| {
             self.unpack_cols_from(field, H + self.nx, buf);
         })?;
-        self.recv_strip(comm, w, tag_base + T_EAST, seq, strip, |buf| {
+        self.recv_strip(comm, plan.west, tag_base + T_EAST, seq, strip, |buf| {
             self.unpack_cols_from(field, 0, buf);
         })
     }
@@ -519,55 +604,106 @@ impl Halo2D {
         seq: Option<FrameSeq>,
     ) -> Result<(), HaloError> {
         let comm = self.cart.comm();
-        let (_, pi) = self.padded();
-        let rows = H * pi;
+        let plan = self.plan();
+        let rows = plan.rows;
         // Send southward (fills south neighbor's north ghost).
-        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+        if let Some(s) = plan.south {
             self.send_strip(comm, s, tag_base + T_SOUTH, seq, rows, |buf| {
                 self.pack_rows_into(field, H, buf);
             });
         }
         // Send northward / foldward.
-        match self.cart.neighbor(Dir::North) {
-            Neighbor::Interior(n) => {
+        match plan.north {
+            NorthPath::Interior(n) => {
                 self.send_strip(comm, n, tag_base + T_NORTH, seq, rows, |buf| {
                     self.pack_rows_into(field, self.ny, buf);
                 });
             }
-            Neighbor::Fold(p) if p != comm.rank() => {
+            NorthPath::FoldOther(p) => {
                 self.send_strip(comm, p, tag_base + T_FOLD, seq, rows, |buf| {
                     self.pack_fold_into(field, buf);
                 });
             }
-            _ => {}
+            NorthPath::FoldSelf | NorthPath::Closed => {}
         }
         // Receive from north (their southward message fills my north ghost).
-        match self.cart.neighbor(Dir::North) {
-            Neighbor::Interior(n) => {
+        match plan.north {
+            NorthPath::Interior(n) => {
                 self.recv_strip(comm, n, tag_base + T_SOUTH, seq, rows, |buf| {
                     self.unpack_rows_from(field, H + self.ny, buf);
                 })?;
             }
-            Neighbor::Fold(p) => {
-                if p == comm.rank() {
-                    let mut fb = Self::scratch(&self.scratch_a, rows);
-                    self.pack_fold_into(field, &mut fb[..rows]);
-                    self.unpack_fold(field, &fb[..rows], kind, self.fold_partner_x0());
-                } else {
-                    self.recv_strip(comm, p, tag_base + T_FOLD, seq, rows, |buf| {
-                        self.unpack_fold(field, buf, kind, self.fold_partner_x0());
-                    })?;
-                }
+            NorthPath::FoldSelf => {
+                let mut fb = Self::scratch(&self.scratch_a, rows);
+                self.pack_fold_into(field, &mut fb[..rows]);
+                self.unpack_fold(field, &fb[..rows], kind, self.fold_partner_x0());
             }
-            Neighbor::Closed => {}
+            NorthPath::FoldOther(p) => {
+                self.recv_strip(comm, p, tag_base + T_FOLD, seq, rows, |buf| {
+                    self.unpack_fold(field, buf, kind, self.fold_partner_x0());
+                })?;
+            }
+            NorthPath::Closed => {}
         }
         // Receive from south (their northward message fills my south ghost).
-        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+        if let Some(s) = plan.south {
             self.recv_strip(comm, s, tag_base + T_NORTH, seq, rows, |buf| {
                 self.unpack_rows_from(field, 0, buf);
             })?;
         }
         Ok(())
+    }
+
+    // -- batched + split-phase exchanges ------------------------------------
+
+    /// Blocking batched update: all `fields` share one message per
+    /// direction (buffers concatenated in field order), cutting the
+    /// message count by the batch factor. Bitwise identical to updating
+    /// each field separately with [`Halo2D::try_exchange`].
+    pub fn try_exchange_many(
+        &self,
+        fields: &[(&View2<f64>, FoldKind)],
+        tag_base: u64,
+    ) -> Result<(), HaloError> {
+        let _r = kokkos_rs::profiling::region("halo:exchange2d");
+        self.begin_exchange_many(fields, tag_base)?.finish()
+    }
+
+    /// Split-phase batched update: posts the east/west messages and
+    /// returns a [`PendingExchange2`] that the caller drives with
+    /// [`PendingExchange2::poll`] between compute launches and
+    /// [`PendingExchange2::finish`] once the ghosts are needed. The field
+    /// contents on completion are bitwise identical to the blocking
+    /// [`Halo2D::try_exchange_many`] (which is begin + finish).
+    ///
+    /// At most one pending exchange may be outstanding per `tag_base`; the
+    /// caller must finish it within the same epoch it was begun.
+    pub fn begin_exchange_many(
+        &self,
+        fields: &[(&View2<f64>, FoldKind)],
+        tag_base: u64,
+    ) -> Result<PendingExchange2<'_>, HaloError> {
+        for (f, _) in fields {
+            self.check(f);
+        }
+        // An empty batch claims no frame ordinal, matching a zero-length
+        // run of per-field exchanges.
+        let seq = if fields.is_empty() {
+            None
+        } else {
+            self.next_seq()
+        };
+        let mut p = PendingExchange2 {
+            h: self,
+            fields: fields.iter().map(|(f, k)| ((*f).clone(), *k)).collect(),
+            tag_base,
+            seq,
+            plan: self.plan(),
+            stage: PendingStage::EwPosted,
+            t0: Instant::now(),
+        };
+        p.post_ew()?;
+        Ok(p)
     }
 
     // -- allocating reference implementation --------------------------------
@@ -583,12 +719,8 @@ impl Halo2D {
 
     fn exchange_ew_alloc(&self, field: &View2<f64>, tag_base: u64) {
         let comm = self.cart.comm();
-        let (Neighbor::Interior(w), Neighbor::Interior(e)) =
-            (self.cart.neighbor(Dir::West), self.cart.neighbor(Dir::East))
-        else {
-            unreachable!("zonal neighbors always exist")
-        };
-        if w == comm.rank() {
+        let plan = self.plan();
+        if plan.ew_self {
             // px == 1: periodic wrap within the block.
             let west_real = self.pack_cols(field, H);
             let east_real = self.pack_cols(field, self.nx);
@@ -596,51 +728,355 @@ impl Halo2D {
             self.unpack_cols(field, 0, &east_real);
             return;
         }
-        comm.isend(w, tag_base + T_WEST, self.pack_cols(field, H));
-        comm.isend(e, tag_base + T_EAST, self.pack_cols(field, self.nx));
-        let from_e = comm.recv::<f64>(e, tag_base + T_WEST);
+        comm.isend(plan.west, tag_base + T_WEST, self.pack_cols(field, H));
+        comm.isend(plan.east, tag_base + T_EAST, self.pack_cols(field, self.nx));
+        let from_e = comm.recv::<f64>(plan.east, tag_base + T_WEST);
         self.unpack_cols(field, H + self.nx, &from_e);
-        let from_w = comm.recv::<f64>(w, tag_base + T_EAST);
+        let from_w = comm.recv::<f64>(plan.west, tag_base + T_EAST);
         self.unpack_cols(field, 0, &from_w);
     }
 
     fn exchange_ns_alloc(&self, field: &View2<f64>, kind: FoldKind, tag_base: u64) {
         let comm = self.cart.comm();
+        let plan = self.plan();
         // Send southward (fills south neighbor's north ghost).
-        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+        if let Some(s) = plan.south {
             comm.isend(s, tag_base + T_SOUTH, self.pack_rows(field, H));
         }
         // Send northward / foldward.
-        match self.cart.neighbor(Dir::North) {
-            Neighbor::Interior(n) => {
+        match plan.north {
+            NorthPath::Interior(n) => {
                 comm.isend(n, tag_base + T_NORTH, self.pack_rows(field, self.ny));
             }
-            Neighbor::Fold(p) if p != comm.rank() => {
+            NorthPath::FoldOther(p) => {
                 comm.isend(p, tag_base + T_FOLD, self.pack_fold(field));
             }
-            _ => {}
+            NorthPath::FoldSelf | NorthPath::Closed => {}
         }
         // Receive from north (their southward message fills my north ghost).
-        match self.cart.neighbor(Dir::North) {
-            Neighbor::Interior(n) => {
+        match plan.north {
+            NorthPath::Interior(n) => {
                 let buf = comm.recv::<f64>(n, tag_base + T_SOUTH);
                 self.unpack_rows(field, H + self.ny, &buf);
             }
-            Neighbor::Fold(p) => {
-                let buf = if p == comm.rank() {
-                    self.pack_fold(field)
-                } else {
-                    comm.recv::<f64>(p, tag_base + T_FOLD)
-                };
+            NorthPath::FoldSelf => {
+                let buf = self.pack_fold(field);
                 self.unpack_fold(field, &buf, kind, self.fold_partner_x0());
             }
-            Neighbor::Closed => {}
+            NorthPath::FoldOther(p) => {
+                let buf = comm.recv::<f64>(p, tag_base + T_FOLD);
+                self.unpack_fold(field, &buf, kind, self.fold_partner_x0());
+            }
+            NorthPath::Closed => {}
         }
         // Receive from south (their northward message fills my south ghost).
-        if let Neighbor::Interior(s) = self.cart.neighbor(Dir::South) {
+        if let Some(s) = plan.south {
             let buf = comm.recv::<f64>(s, tag_base + T_NORTH);
             self.unpack_rows(field, 0, &buf);
         }
+    }
+}
+
+/// Progress state of a split-phase exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PendingStage {
+    /// East/west strips posted; waiting on both zonal receives.
+    EwPosted,
+    /// North/south strips posted; waiting on the meridional receives.
+    NsPosted,
+    /// All ghosts filled.
+    Done,
+}
+
+/// A batched 2-D halo exchange in flight (see
+/// [`Halo2D::begin_exchange_many`]). Holds clones of the field views —
+/// `View` is a shared handle, so the caller keeps using its own handles —
+/// and borrows the context so frame sequencing stays collective.
+pub struct PendingExchange2<'a> {
+    h: &'a Halo2D,
+    fields: Vec<(View2<f64>, FoldKind)>,
+    tag_base: u64,
+    seq: Option<FrameSeq>,
+    plan: StripPlan,
+    stage: PendingStage,
+    t0: Instant,
+}
+
+impl PendingExchange2<'_> {
+    /// Post the east/west leg (or run it locally when px == 1, in which
+    /// case the north/south leg is posted immediately too).
+    fn post_ew(&mut self) -> Result<(), HaloError> {
+        if self.fields.is_empty() {
+            self.stage = PendingStage::Done;
+            return Ok(());
+        }
+        let h = self.h;
+        let comm = h.cart.comm();
+        let (nf, strip) = (self.fields.len(), self.plan.strip);
+        if self.plan.ew_self {
+            let mut wb = Halo2D::scratch(&h.scratch_a, nf * strip);
+            let mut eb = Halo2D::scratch(&h.scratch_b, nf * strip);
+            for (n, (f, _)) in self.fields.iter().enumerate() {
+                h.pack_cols_into(f, H, &mut wb[n * strip..(n + 1) * strip]);
+                h.pack_cols_into(f, h.nx, &mut eb[n * strip..(n + 1) * strip]);
+            }
+            for (n, (f, _)) in self.fields.iter().enumerate() {
+                h.unpack_cols_from(f, H + h.nx, &wb[n * strip..(n + 1) * strip]);
+                h.unpack_cols_from(f, 0, &eb[n * strip..(n + 1) * strip]);
+            }
+            drop((wb, eb));
+            self.post_ns();
+            return Ok(());
+        }
+        let fields = &self.fields;
+        h.send_strip(
+            comm,
+            self.plan.west,
+            self.tag_base + T_WEST,
+            self.seq,
+            nf * strip,
+            |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    h.pack_cols_into(f, H, &mut buf[n * strip..(n + 1) * strip]);
+                }
+            },
+        );
+        h.send_strip(
+            comm,
+            self.plan.east,
+            self.tag_base + T_EAST,
+            self.seq,
+            nf * strip,
+            |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    h.pack_cols_into(f, h.nx, &mut buf[n * strip..(n + 1) * strip]);
+                }
+            },
+        );
+        self.stage = PendingStage::EwPosted;
+        Ok(())
+    }
+
+    /// Post the north/south leg. Runs after the zonal ghosts are fresh —
+    /// the row strips span the full padded width, which is how corners
+    /// propagate without diagonal messages. Self-folds complete here.
+    fn post_ns(&mut self) {
+        let h = self.h;
+        let comm = h.cart.comm();
+        let (nf, rows) = (self.fields.len(), self.plan.rows);
+        let fields = &self.fields;
+        if let Some(s) = self.plan.south {
+            h.send_strip(
+                comm,
+                s,
+                self.tag_base + T_SOUTH,
+                self.seq,
+                nf * rows,
+                |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        h.pack_rows_into(f, H, &mut buf[n * rows..(n + 1) * rows]);
+                    }
+                },
+            );
+        }
+        match self.plan.north {
+            NorthPath::Interior(nb) => {
+                h.send_strip(
+                    comm,
+                    nb,
+                    self.tag_base + T_NORTH,
+                    self.seq,
+                    nf * rows,
+                    |buf| {
+                        for (n, (f, _)) in fields.iter().enumerate() {
+                            h.pack_rows_into(f, h.ny, &mut buf[n * rows..(n + 1) * rows]);
+                        }
+                    },
+                );
+            }
+            NorthPath::FoldOther(p) => {
+                h.send_strip(
+                    comm,
+                    p,
+                    self.tag_base + T_FOLD,
+                    self.seq,
+                    nf * rows,
+                    |buf| {
+                        for (n, (f, _)) in fields.iter().enumerate() {
+                            h.pack_fold_into(f, &mut buf[n * rows..(n + 1) * rows]);
+                        }
+                    },
+                );
+            }
+            NorthPath::FoldSelf => {
+                let mut fb = Halo2D::scratch(&h.scratch_a, nf * rows);
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    h.pack_fold_into(f, &mut fb[n * rows..(n + 1) * rows]);
+                }
+                for (n, (f, kind)) in fields.iter().enumerate() {
+                    h.unpack_fold(f, &fb[n * rows..(n + 1) * rows], *kind, h.fold_partner_x0());
+                }
+            }
+            NorthPath::Closed => {}
+        }
+        // With no meridional receives outstanding the exchange is already
+        // complete (single-rank column with a self-fold or closed wall).
+        self.stage = if self.plan.south.is_none()
+            && matches!(self.plan.north, NorthPath::FoldSelf | NorthPath::Closed)
+        {
+            h.add_inflight(self.t0.elapsed().as_nanos() as u64);
+            PendingStage::Done
+        } else {
+            PendingStage::NsPosted
+        };
+    }
+
+    /// Have all receives the current stage is waiting on arrived? Probes
+    /// without consuming, so `poll` only commits to receives it can
+    /// satisfy immediately. Allocation-free (polls run in hot loops).
+    fn stage_ready(&self, comm: &Comm) -> bool {
+        match self.stage {
+            PendingStage::EwPosted => {
+                comm.has_message(self.plan.east, self.tag_base + T_WEST)
+                    && comm.has_message(self.plan.west, self.tag_base + T_EAST)
+            }
+            PendingStage::NsPosted => {
+                let north_ok = match self.plan.north {
+                    NorthPath::Interior(nb) => comm.has_message(nb, self.tag_base + T_SOUTH),
+                    NorthPath::FoldOther(p) => comm.has_message(p, self.tag_base + T_FOLD),
+                    NorthPath::FoldSelf | NorthPath::Closed => true,
+                };
+                let south_ok = self
+                    .plan
+                    .south
+                    .is_none_or(|s| comm.has_message(s, self.tag_base + T_NORTH));
+                north_ok && south_ok
+            }
+            PendingStage::Done => true,
+        }
+    }
+
+    fn advance(&mut self, blocking: bool) -> Result<bool, HaloError> {
+        let h = self.h;
+        let comm = h.cart.comm();
+        loop {
+            if self.stage == PendingStage::Done {
+                return Ok(true);
+            }
+            if !blocking && !self.stage_ready(comm) {
+                return Ok(false);
+            }
+            match self.stage {
+                PendingStage::EwPosted => {
+                    let (nf, strip) = (self.fields.len(), self.plan.strip);
+                    let fields = &self.fields;
+                    h.recv_strip(
+                        comm,
+                        self.plan.east,
+                        self.tag_base + T_WEST,
+                        self.seq,
+                        nf * strip,
+                        |buf| {
+                            for (n, (f, _)) in fields.iter().enumerate() {
+                                h.unpack_cols_from(f, H + h.nx, &buf[n * strip..(n + 1) * strip]);
+                            }
+                        },
+                    )?;
+                    h.recv_strip(
+                        comm,
+                        self.plan.west,
+                        self.tag_base + T_EAST,
+                        self.seq,
+                        nf * strip,
+                        |buf| {
+                            for (n, (f, _)) in fields.iter().enumerate() {
+                                h.unpack_cols_from(f, 0, &buf[n * strip..(n + 1) * strip]);
+                            }
+                        },
+                    )?;
+                    self.post_ns();
+                }
+                PendingStage::NsPosted => {
+                    let (nf, rows) = (self.fields.len(), self.plan.rows);
+                    let fields = &self.fields;
+                    match self.plan.north {
+                        NorthPath::Interior(nb) => {
+                            h.recv_strip(
+                                comm,
+                                nb,
+                                self.tag_base + T_SOUTH,
+                                self.seq,
+                                nf * rows,
+                                |buf| {
+                                    for (n, (f, _)) in fields.iter().enumerate() {
+                                        h.unpack_rows_from(
+                                            f,
+                                            H + h.ny,
+                                            &buf[n * rows..(n + 1) * rows],
+                                        );
+                                    }
+                                },
+                            )?;
+                        }
+                        NorthPath::FoldOther(p) => {
+                            h.recv_strip(
+                                comm,
+                                p,
+                                self.tag_base + T_FOLD,
+                                self.seq,
+                                nf * rows,
+                                |buf| {
+                                    for (n, (f, kind)) in fields.iter().enumerate() {
+                                        h.unpack_fold(
+                                            f,
+                                            &buf[n * rows..(n + 1) * rows],
+                                            *kind,
+                                            h.fold_partner_x0(),
+                                        );
+                                    }
+                                },
+                            )?;
+                        }
+                        NorthPath::FoldSelf | NorthPath::Closed => {}
+                    }
+                    if let Some(s) = self.plan.south {
+                        h.recv_strip(
+                            comm,
+                            s,
+                            self.tag_base + T_NORTH,
+                            self.seq,
+                            nf * rows,
+                            |buf| {
+                                for (n, (f, _)) in fields.iter().enumerate() {
+                                    h.unpack_rows_from(f, 0, &buf[n * rows..(n + 1) * rows]);
+                                }
+                            },
+                        )?;
+                    }
+                    self.stage = PendingStage::Done;
+                    h.add_inflight(self.t0.elapsed().as_nanos() as u64);
+                }
+                PendingStage::Done => {}
+            }
+        }
+    }
+
+    /// Non-blocking progress: consume whatever strips have arrived and
+    /// advance the protocol. Returns `Ok(true)` once the exchange is
+    /// complete. Never waits — if the next strip has not arrived, it
+    /// returns `Ok(false)` immediately.
+    pub fn poll(&mut self) -> Result<bool, HaloError> {
+        self.advance(false)
+    }
+
+    /// Block until the exchange completes.
+    pub fn finish(mut self) -> Result<(), HaloError> {
+        self.advance(true).map(|_| ())
+    }
+
+    /// True once every ghost cell is filled.
+    pub fn is_done(&self) -> bool {
+        self.stage == PendingStage::Done
     }
 }
 
@@ -811,6 +1247,64 @@ mod tests {
             });
             assert!(interior_ran);
             assert_eq!(a.to_vec(), b.to_vec(), "overlap must be bitwise equal");
+        });
+    }
+
+    #[test]
+    fn split_phase_batched_matches_blocking_per_field() {
+        for kind in [FoldKind::Scalar, FoldKind::Vector] {
+            World::run(4, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 2, true);
+                let h = Halo2D::new(&cart, 12, 10);
+                let (pj, pi) = h.padded();
+                let mk = |name: &str, salt: f64| {
+                    let f: View2<f64> = View::host(name, [pj, pi]);
+                    f.fill(0.0);
+                    fill_owned(&h, &f);
+                    for j in 0..h.ny {
+                        for i in 0..h.nx {
+                            f.set_at(H + j, H + i, f.at(H + j, H + i) + salt);
+                        }
+                    }
+                    f
+                };
+                let (a1, a2) = (mk("a1", 0.5), mk("a2", 7.0));
+                let (b1, b2) = (mk("b1", 0.5), mk("b2", 7.0));
+                h.exchange(&a1, kind, 0);
+                h.exchange(&a2, kind, 10);
+                let mut p = h
+                    .begin_exchange_many(&[(&b1, kind), (&b2, kind)], 40)
+                    .unwrap();
+                // Poll a few times (may or may not complete), then finish.
+                for _ in 0..3 {
+                    let _ = p.poll().unwrap();
+                }
+                p.finish().unwrap();
+                assert_eq!(a1.to_vec(), b1.to_vec(), "{kind:?} field 1");
+                assert_eq!(a2.to_vec(), b2.to_vec(), "{kind:?} field 2");
+            });
+        }
+    }
+
+    #[test]
+    fn split_phase_single_rank_self_paths() {
+        World::run(1, |comm| {
+            let cart = CartComm::new(comm.clone(), 1, 1, true);
+            let h = Halo2D::new(&cart, 12, 8);
+            let (pj, pi) = h.padded();
+            let a: View2<f64> = View::host("a", [pj, pi]);
+            let b: View2<f64> = View::host("b", [pj, pi]);
+            a.fill(0.0);
+            b.fill(0.0);
+            fill_owned(&h, &a);
+            fill_owned(&h, &b);
+            h.exchange(&a, FoldKind::Vector, 0);
+            let p = h
+                .begin_exchange_many(&[(&b, FoldKind::Vector)], 50)
+                .unwrap();
+            assert!(p.is_done(), "self paths complete at begin");
+            p.finish().unwrap();
+            assert_eq!(a.to_vec(), b.to_vec());
         });
     }
 

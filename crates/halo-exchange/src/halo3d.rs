@@ -35,10 +35,11 @@ use std::cell::{RefCell, RefMut};
 use kokkos_rs::{Space, View3};
 use mpi_sim::{Dir, Neighbor};
 
-use crate::halo2d::{FoldKind, Halo2D};
+use crate::halo2d::{FoldKind, Halo2D, NorthPath, PendingStage, StripPlan};
 use crate::integrity::{FrameSeq, HaloError, IntegrityConfig};
 use crate::strip;
 use crate::HALO as H;
+use std::time::Instant;
 
 const T_WEST: u64 = 10;
 const T_EAST: u64 = 11;
@@ -115,6 +116,11 @@ impl Halo3D {
     /// Cumulative halo receive-wait nanoseconds; see [`Halo2D::halo_wait_ns`].
     pub fn halo_wait_ns(&self) -> u64 {
         self.h2.halo_wait_ns()
+    }
+
+    /// Cumulative exchange-span nanoseconds; see [`Halo2D::halo_inflight_ns`].
+    pub fn halo_inflight_ns(&self) -> u64 {
+        self.h2.halo_inflight_ns()
     }
 
     /// The execution space pack/unpack kernels run on.
@@ -331,10 +337,13 @@ impl Halo3D {
         tag_base: u64,
     ) -> Result<(), HaloError> {
         let _r = kokkos_rs::profiling::region("halo:exchange3d");
+        let t0 = Instant::now();
         self.check(field);
         let seq = self.h2.next_seq();
         self.exchange_ew(field, tag_base, seq)?;
-        self.exchange_ns(field, kind, tag_base, seq)
+        let out = self.exchange_ns(field, kind, tag_base, seq);
+        self.h2.add_inflight(t0.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Overlapped variant: east/west messages fly while `interior` runs.
@@ -357,6 +366,7 @@ impl Halo3D {
         tag_base: u64,
         interior: impl FnOnce(),
     ) -> Result<(), HaloError> {
+        let t0 = Instant::now();
         self.check(field);
         let seq = self.h2.next_seq();
         let comm = self.h2.cart().comm();
@@ -369,7 +379,10 @@ impl Halo3D {
         let (ny, nx) = (self.h2.ny, self.h2.nx);
         if w == comm.rank() {
             self.exchange_ew(field, tag_base, seq)?;
-            interior();
+            {
+                let _c = kokkos_rs::profiling::region("halo:overlap-compute");
+                interior();
+            }
         } else {
             let strip = self.ew_len();
             self.h2
@@ -380,7 +393,10 @@ impl Halo3D {
                 .send_strip(comm, e, tag_base + T_EAST, seq, strip, |buf| {
                     self.pack_strip_into(field, H, ny, nx, H, buf);
                 });
-            interior();
+            {
+                let _c = kokkos_rs::profiling::region("halo:overlap-compute");
+                interior();
+            }
             self.h2
                 .recv_strip(comm, e, tag_base + T_WEST, seq, strip, |buf| {
                     self.unpack_strip_from(field, H, ny, H + nx, H, buf);
@@ -390,7 +406,9 @@ impl Halo3D {
                     self.unpack_strip_from(field, H, ny, 0, H, buf);
                 })?;
         }
-        self.exchange_ns(field, kind, tag_base, seq)
+        let out = self.exchange_ns(field, kind, tag_base, seq);
+        self.h2.add_inflight(t0.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Batched update: all `fields` share one message per direction
@@ -407,159 +425,62 @@ impl Halo3D {
             .unwrap_or_else(|e| panic!("halo exchange failed: {e}"));
     }
 
-    /// Fallible batched exchange; see [`Halo3D::try_exchange`].
+    /// Fallible batched exchange; see [`Halo3D::try_exchange`]. Implemented
+    /// as begin + finish of the split-phase path, so the blocking and
+    /// overlapped batched exchanges share one protocol by construction.
     pub fn try_exchange_many(
         &self,
         fields: &[(&View3<f64>, FoldKind)],
         tag_base: u64,
     ) -> Result<(), HaloError> {
         let _r = kokkos_rs::profiling::region("halo:exchange3d");
+        self.begin_exchange_many(fields, tag_base)?.finish()
+    }
+
+    /// Split-phase batched update: posts the east/west messages and
+    /// returns a [`Pending3`] that the caller drives with
+    /// [`Pending3::poll`] between compute launches and [`Pending3::finish`]
+    /// once the ghosts are needed. Field contents on completion are
+    /// bitwise identical to [`Halo3D::try_exchange_many`].
+    ///
+    /// At most one pending exchange may be outstanding per `tag_base`; the
+    /// caller must finish it within the same epoch it was begun.
+    pub fn begin_exchange_many(
+        &self,
+        fields: &[(&View3<f64>, FoldKind)],
+        tag_base: u64,
+    ) -> Result<Pending3<'_>, HaloError> {
         for (f, _) in fields {
             self.check(f);
         }
-        if fields.is_empty() {
-            return Ok(());
-        }
-        let seq = self.h2.next_seq();
-        let comm = self.h2.cart().comm();
-        let (ny, nx) = (self.h2.ny, self.h2.nx);
-        let (Neighbor::Interior(w), Neighbor::Interior(e)) = (
-            self.h2.cart().neighbor(Dir::West),
-            self.h2.cart().neighbor(Dir::East),
-        ) else {
-            unreachable!()
-        };
-        let nf = fields.len();
-        let strip = self.ew_len();
-        // E/W batched.
-        if w == comm.rank() {
-            let mut wb = Self::scratch(&self.scratch_a, nf * strip);
-            let mut eb = Self::scratch(&self.scratch_b, nf * strip);
-            for (n, (f, _)) in fields.iter().enumerate() {
-                self.pack_strip_into(f, H, ny, H, H, &mut wb[n * strip..(n + 1) * strip]);
-                self.pack_strip_into(f, H, ny, nx, H, &mut eb[n * strip..(n + 1) * strip]);
-            }
-            for (n, (f, _)) in fields.iter().enumerate() {
-                self.unpack_strip_from(f, H, ny, H + nx, H, &wb[n * strip..(n + 1) * strip]);
-            }
-            for (n, (f, _)) in fields.iter().enumerate() {
-                self.unpack_strip_from(f, H, ny, 0, H, &eb[n * strip..(n + 1) * strip]);
-            }
+        // An empty batch claims no frame ordinal, matching a zero-length
+        // run of per-field exchanges.
+        let seq = if fields.is_empty() {
+            None
         } else {
-            self.h2
-                .send_strip(comm, w, tag_base + T_WEST, seq, nf * strip, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.pack_strip_into(f, H, ny, H, H, &mut buf[n * strip..(n + 1) * strip]);
-                    }
-                });
-            self.h2
-                .send_strip(comm, e, tag_base + T_EAST, seq, nf * strip, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.pack_strip_into(f, H, ny, nx, H, &mut buf[n * strip..(n + 1) * strip]);
-                    }
-                });
-            self.h2
-                .recv_strip(comm, e, tag_base + T_WEST, seq, nf * strip, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.unpack_strip_from(
-                            f,
-                            H,
-                            ny,
-                            H + nx,
-                            H,
-                            &buf[n * strip..(n + 1) * strip],
-                        );
-                    }
-                })?;
-            self.h2
-                .recv_strip(comm, w, tag_base + T_EAST, seq, nf * strip, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.unpack_strip_from(f, H, ny, 0, H, &buf[n * strip..(n + 1) * strip]);
-                    }
-                })?;
-        }
-        // N/S + fold batched.
-        let (_, pi) = self.h2.padded();
-        let rows = self.ns_len();
-        if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
-            self.h2
-                .send_strip(comm, s, tag_base + T_SOUTH, seq, nf * rows, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.pack_strip_into(f, H, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
-                    }
-                });
-        }
-        match self.h2.cart().neighbor(Dir::North) {
-            Neighbor::Interior(nb) => {
-                self.h2
-                    .send_strip(comm, nb, tag_base + T_NORTH, seq, nf * rows, |buf| {
-                        for (n, (f, _)) in fields.iter().enumerate() {
-                            self.pack_strip_into(
-                                f,
-                                ny,
-                                H,
-                                0,
-                                pi,
-                                &mut buf[n * rows..(n + 1) * rows],
-                            );
-                        }
-                    });
-            }
-            Neighbor::Fold(p) if p != comm.rank() => {
-                self.h2
-                    .send_strip(comm, p, tag_base + T_FOLD, seq, nf * rows, |buf| {
-                        for (n, (f, _)) in fields.iter().enumerate() {
-                            self.pack_fold_into(f, &mut buf[n * rows..(n + 1) * rows]);
-                        }
-                    });
-            }
-            _ => {}
-        }
-        match self.h2.cart().neighbor(Dir::North) {
-            Neighbor::Interior(nb) => {
-                self.h2
-                    .recv_strip(comm, nb, tag_base + T_SOUTH, seq, nf * rows, |buf| {
-                        for (n, (f, _)) in fields.iter().enumerate() {
-                            self.unpack_strip_from(
-                                f,
-                                H + ny,
-                                H,
-                                0,
-                                pi,
-                                &buf[n * rows..(n + 1) * rows],
-                            );
-                        }
-                    })?;
-            }
-            Neighbor::Fold(p) => {
-                if p == comm.rank() {
-                    let mut fb = Self::scratch(&self.scratch_a, nf * rows);
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.pack_fold_into(f, &mut fb[n * rows..(n + 1) * rows]);
-                    }
-                    for (n, (f, kind)) in fields.iter().enumerate() {
-                        self.unpack_fold(f, &fb[n * rows..(n + 1) * rows], *kind);
-                    }
-                } else {
-                    self.h2
-                        .recv_strip(comm, p, tag_base + T_FOLD, seq, nf * rows, |buf| {
-                            for (n, (f, kind)) in fields.iter().enumerate() {
-                                self.unpack_fold(f, &buf[n * rows..(n + 1) * rows], *kind);
-                            }
-                        })?;
-                }
-            }
-            Neighbor::Closed => {}
-        }
-        if let Neighbor::Interior(s) = self.h2.cart().neighbor(Dir::South) {
-            self.h2
-                .recv_strip(comm, s, tag_base + T_NORTH, seq, nf * rows, |buf| {
-                    for (n, (f, _)) in fields.iter().enumerate() {
-                        self.unpack_strip_from(f, 0, H, 0, pi, &buf[n * rows..(n + 1) * rows]);
-                    }
-                })?;
-        }
-        Ok(())
+            self.h2.next_seq()
+        };
+        let mut p = Pending3 {
+            h: self,
+            fields: fields.iter().map(|(f, k)| ((*f).clone(), *k)).collect(),
+            tag_base,
+            seq,
+            plan: self.h2.plan(),
+            stage: PendingStage::EwPosted,
+            t0: Instant::now(),
+        };
+        p.post_ew()?;
+        Ok(p)
+    }
+
+    /// Split-phase single-field update (one-element batch).
+    pub fn begin_exchange(
+        &self,
+        field: &View3<f64>,
+        kind: FoldKind,
+        tag_base: u64,
+    ) -> Result<Pending3<'_>, HaloError> {
+        self.begin_exchange_many(&[(field, kind)], tag_base)
     }
 
     fn exchange_ew(
@@ -835,6 +756,324 @@ impl Halo3D {
     }
 }
 
+/// A batched 3-D halo exchange in flight (see
+/// [`Halo3D::begin_exchange_many`]). Holds clones of the field views —
+/// `View` is a shared handle — and borrows the context so frame
+/// sequencing stays collective. Drive with [`Pending3::poll`] between
+/// compute launches; [`Pending3::finish`] blocks for the remainder.
+pub struct Pending3<'a> {
+    h: &'a Halo3D,
+    fields: Vec<(View3<f64>, FoldKind)>,
+    tag_base: u64,
+    seq: Option<FrameSeq>,
+    plan: StripPlan,
+    stage: PendingStage,
+    t0: Instant,
+}
+
+impl Pending3<'_> {
+    /// Post the east/west leg (or run it locally when px == 1, in which
+    /// case the north/south leg is posted immediately too).
+    fn post_ew(&mut self) -> Result<(), HaloError> {
+        if self.fields.is_empty() {
+            self.stage = PendingStage::Done;
+            return Ok(());
+        }
+        let h = self.h;
+        let comm = h.h2.cart().comm();
+        let (ny, nx) = (h.h2.ny, h.h2.nx);
+        let (nf, strip) = (self.fields.len(), h.ew_len());
+        if self.plan.ew_self {
+            let mut wb = Halo3D::scratch(&h.scratch_a, nf * strip);
+            let mut eb = Halo3D::scratch(&h.scratch_b, nf * strip);
+            for (n, (f, _)) in self.fields.iter().enumerate() {
+                h.pack_strip_into(f, H, ny, H, H, &mut wb[n * strip..(n + 1) * strip]);
+                h.pack_strip_into(f, H, ny, nx, H, &mut eb[n * strip..(n + 1) * strip]);
+            }
+            for (n, (f, _)) in self.fields.iter().enumerate() {
+                h.unpack_strip_from(f, H, ny, H + nx, H, &wb[n * strip..(n + 1) * strip]);
+            }
+            for (n, (f, _)) in self.fields.iter().enumerate() {
+                h.unpack_strip_from(f, H, ny, 0, H, &eb[n * strip..(n + 1) * strip]);
+            }
+            drop((wb, eb));
+            self.post_ns();
+            return Ok(());
+        }
+        let fields = &self.fields;
+        h.h2.send_strip(
+            comm,
+            self.plan.west,
+            self.tag_base + T_WEST,
+            self.seq,
+            nf * strip,
+            |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    h.pack_strip_into(f, H, ny, H, H, &mut buf[n * strip..(n + 1) * strip]);
+                }
+            },
+        );
+        h.h2.send_strip(
+            comm,
+            self.plan.east,
+            self.tag_base + T_EAST,
+            self.seq,
+            nf * strip,
+            |buf| {
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    h.pack_strip_into(f, H, ny, nx, H, &mut buf[n * strip..(n + 1) * strip]);
+                }
+            },
+        );
+        self.stage = PendingStage::EwPosted;
+        Ok(())
+    }
+
+    /// Post the north/south leg. Runs after the zonal ghosts are fresh —
+    /// the row strips span the full padded width, which is how corners
+    /// propagate without diagonal messages. Self-folds complete here.
+    fn post_ns(&mut self) {
+        let h = self.h;
+        let comm = h.h2.cart().comm();
+        let (_, pi) = h.h2.padded();
+        let ny = h.h2.ny;
+        let (nf, rows) = (self.fields.len(), h.ns_len());
+        let fields = &self.fields;
+        if let Some(s) = self.plan.south {
+            h.h2.send_strip(
+                comm,
+                s,
+                self.tag_base + T_SOUTH,
+                self.seq,
+                nf * rows,
+                |buf| {
+                    for (n, (f, _)) in fields.iter().enumerate() {
+                        h.pack_strip_into(f, H, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
+                    }
+                },
+            );
+        }
+        match self.plan.north {
+            NorthPath::Interior(nb) => {
+                h.h2.send_strip(
+                    comm,
+                    nb,
+                    self.tag_base + T_NORTH,
+                    self.seq,
+                    nf * rows,
+                    |buf| {
+                        for (n, (f, _)) in fields.iter().enumerate() {
+                            h.pack_strip_into(f, ny, H, 0, pi, &mut buf[n * rows..(n + 1) * rows]);
+                        }
+                    },
+                );
+            }
+            NorthPath::FoldOther(p) => {
+                h.h2.send_strip(
+                    comm,
+                    p,
+                    self.tag_base + T_FOLD,
+                    self.seq,
+                    nf * rows,
+                    |buf| {
+                        for (n, (f, _)) in fields.iter().enumerate() {
+                            h.pack_fold_into(f, &mut buf[n * rows..(n + 1) * rows]);
+                        }
+                    },
+                );
+            }
+            NorthPath::FoldSelf => {
+                let mut fb = Halo3D::scratch(&h.scratch_a, nf * rows);
+                for (n, (f, _)) in fields.iter().enumerate() {
+                    h.pack_fold_into(f, &mut fb[n * rows..(n + 1) * rows]);
+                }
+                for (n, (f, kind)) in fields.iter().enumerate() {
+                    h.unpack_fold(f, &fb[n * rows..(n + 1) * rows], *kind);
+                }
+            }
+            NorthPath::Closed => {}
+        }
+        // With no meridional receives outstanding the exchange is already
+        // complete (single-rank column with a self-fold or closed wall).
+        self.stage = if self.plan.south.is_none()
+            && matches!(self.plan.north, NorthPath::FoldSelf | NorthPath::Closed)
+        {
+            h.h2.add_inflight(self.t0.elapsed().as_nanos() as u64);
+            PendingStage::Done
+        } else {
+            PendingStage::NsPosted
+        };
+    }
+
+    /// Have all receives the current stage is waiting on arrived? Probes
+    /// without consuming, so `poll` only commits to receives it can
+    /// satisfy immediately. Allocation-free (polls run in hot loops).
+    fn stage_ready(&self, comm: &mpi_sim::Comm) -> bool {
+        match self.stage {
+            PendingStage::EwPosted => {
+                comm.has_message(self.plan.east, self.tag_base + T_WEST)
+                    && comm.has_message(self.plan.west, self.tag_base + T_EAST)
+            }
+            PendingStage::NsPosted => {
+                let north_ok = match self.plan.north {
+                    NorthPath::Interior(nb) => comm.has_message(nb, self.tag_base + T_SOUTH),
+                    NorthPath::FoldOther(p) => comm.has_message(p, self.tag_base + T_FOLD),
+                    NorthPath::FoldSelf | NorthPath::Closed => true,
+                };
+                let south_ok = self
+                    .plan
+                    .south
+                    .is_none_or(|s| comm.has_message(s, self.tag_base + T_NORTH));
+                north_ok && south_ok
+            }
+            PendingStage::Done => true,
+        }
+    }
+
+    fn advance(&mut self, blocking: bool) -> Result<bool, HaloError> {
+        let h = self.h;
+        let comm = h.h2.cart().comm();
+        let (_, pi) = h.h2.padded();
+        let (ny, nx) = (h.h2.ny, h.h2.nx);
+        loop {
+            if self.stage == PendingStage::Done {
+                return Ok(true);
+            }
+            if !blocking && !self.stage_ready(comm) {
+                return Ok(false);
+            }
+            match self.stage {
+                PendingStage::EwPosted => {
+                    let (nf, strip) = (self.fields.len(), h.ew_len());
+                    let fields = &self.fields;
+                    h.h2.recv_strip(
+                        comm,
+                        self.plan.east,
+                        self.tag_base + T_WEST,
+                        self.seq,
+                        nf * strip,
+                        |buf| {
+                            for (n, (f, _)) in fields.iter().enumerate() {
+                                h.unpack_strip_from(
+                                    f,
+                                    H,
+                                    ny,
+                                    H + nx,
+                                    H,
+                                    &buf[n * strip..(n + 1) * strip],
+                                );
+                            }
+                        },
+                    )?;
+                    h.h2.recv_strip(
+                        comm,
+                        self.plan.west,
+                        self.tag_base + T_EAST,
+                        self.seq,
+                        nf * strip,
+                        |buf| {
+                            for (n, (f, _)) in fields.iter().enumerate() {
+                                h.unpack_strip_from(
+                                    f,
+                                    H,
+                                    ny,
+                                    0,
+                                    H,
+                                    &buf[n * strip..(n + 1) * strip],
+                                );
+                            }
+                        },
+                    )?;
+                    self.post_ns();
+                }
+                PendingStage::NsPosted => {
+                    let (nf, rows) = (self.fields.len(), h.ns_len());
+                    let fields = &self.fields;
+                    match self.plan.north {
+                        NorthPath::Interior(nb) => {
+                            h.h2.recv_strip(
+                                comm,
+                                nb,
+                                self.tag_base + T_SOUTH,
+                                self.seq,
+                                nf * rows,
+                                |buf| {
+                                    for (n, (f, _)) in fields.iter().enumerate() {
+                                        h.unpack_strip_from(
+                                            f,
+                                            H + ny,
+                                            H,
+                                            0,
+                                            pi,
+                                            &buf[n * rows..(n + 1) * rows],
+                                        );
+                                    }
+                                },
+                            )?;
+                        }
+                        NorthPath::FoldOther(p) => {
+                            h.h2.recv_strip(
+                                comm,
+                                p,
+                                self.tag_base + T_FOLD,
+                                self.seq,
+                                nf * rows,
+                                |buf| {
+                                    for (n, (f, kind)) in fields.iter().enumerate() {
+                                        h.unpack_fold(f, &buf[n * rows..(n + 1) * rows], *kind);
+                                    }
+                                },
+                            )?;
+                        }
+                        NorthPath::FoldSelf | NorthPath::Closed => {}
+                    }
+                    if let Some(s) = self.plan.south {
+                        h.h2.recv_strip(
+                            comm,
+                            s,
+                            self.tag_base + T_NORTH,
+                            self.seq,
+                            nf * rows,
+                            |buf| {
+                                for (n, (f, _)) in fields.iter().enumerate() {
+                                    h.unpack_strip_from(
+                                        f,
+                                        0,
+                                        H,
+                                        0,
+                                        pi,
+                                        &buf[n * rows..(n + 1) * rows],
+                                    );
+                                }
+                            },
+                        )?;
+                    }
+                    self.stage = PendingStage::Done;
+                    h.h2.add_inflight(self.t0.elapsed().as_nanos() as u64);
+                }
+                PendingStage::Done => {}
+            }
+        }
+    }
+
+    /// Non-blocking progress: consume whatever strips have arrived and
+    /// advance the protocol. Returns `Ok(true)` once the exchange is
+    /// complete; never waits.
+    pub fn poll(&mut self) -> Result<bool, HaloError> {
+        self.advance(false)
+    }
+
+    /// Block until the exchange completes.
+    pub fn finish(mut self) -> Result<(), HaloError> {
+        self.advance(true).map(|_| ())
+    }
+
+    /// True once every ghost cell is filled.
+    pub fn is_done(&self) -> bool {
+        self.stage == PendingStage::Done
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1077,6 +1316,41 @@ mod tests {
             t_sep.p2p_messages
         );
         assert_eq!(t_bat.p2p_bytes, t_sep.p2p_bytes, "same payload bytes");
+    }
+
+    #[test]
+    fn split_phase_batched_matches_blocking_3d() {
+        for strategy in [Strategy3D::HorizontalMajor, Strategy3D::Transpose] {
+            World::run(4, |comm| {
+                let cart = CartComm::new(comm.clone(), 2, 2, true);
+                let h = Halo3D::new(Halo2D::new(&cart, 12, 10), 4, strategy);
+                let mk = |name: &str, salt: f64| {
+                    let f: View3<f64> = View::host(name, h.shape());
+                    f.fill(0.0);
+                    fill_owned(&h, &f);
+                    for k in 0..h.nz {
+                        for j in 0..h.h2.ny {
+                            for i in 0..h.h2.nx {
+                                f.set_at(k, H + j, H + i, f.at(k, H + j, H + i) + salt);
+                            }
+                        }
+                    }
+                    f
+                };
+                let (au, av) = (mk("au", 0.0), mk("av", 3.5));
+                let (bu, bv) = (mk("bu", 0.0), mk("bv", 3.5));
+                h.exchange_many(&[(&au, FoldKind::Vector), (&av, FoldKind::Scalar)], 0);
+                let mut p = h
+                    .begin_exchange_many(&[(&bu, FoldKind::Vector), (&bv, FoldKind::Scalar)], 60)
+                    .unwrap();
+                for _ in 0..3 {
+                    let _ = p.poll().unwrap();
+                }
+                p.finish().unwrap();
+                assert_eq!(au.to_vec(), bu.to_vec(), "{strategy:?} u");
+                assert_eq!(av.to_vec(), bv.to_vec(), "{strategy:?} v");
+            });
+        }
     }
 
     #[test]

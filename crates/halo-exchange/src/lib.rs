@@ -17,7 +17,12 @@
 //!   **transpose** pipeline (Fig. 5: real halo → vertical-major → exchange
 //!   → ghost halo → horizontal-major), plus batched multi-field messages
 //!   (the "redundant packing" elimination);
-//! * [`transpose`] — the high-performance halo transpose operators.
+//! * [`transpose`] — the high-performance halo transpose operators;
+//! * [`stepgraph`] — a small per-step dependency DAG of compute and comm
+//!   tasks whose runner interleaves interior kernels with non-blocking
+//!   polls of split-phase exchanges ([`halo2d::PendingExchange2`],
+//!   [`halo3d::Pending3`]), so posting halos, computing interiors, and
+//!   finishing boundary passes overlap by construction.
 //!
 //! All variants are *bitwise equivalent*; they differ only in access
 //! pattern and message count, which the benches measure.
@@ -25,12 +30,14 @@
 pub mod halo2d;
 pub mod halo3d;
 pub mod integrity;
+pub mod stepgraph;
 pub(crate) mod strip;
 pub mod transpose;
 
-pub use halo2d::{FoldKind, Halo2D};
-pub use halo3d::{Halo3D, Strategy3D};
+pub use halo2d::{FoldKind, Halo2D, PendingExchange2};
+pub use halo3d::{Halo3D, Pending3, Strategy3D};
 pub use integrity::{FrameFault, FrameSeq, HaloError, IntegrityConfig};
+pub use stepgraph::{StepGraph, Task};
 
 /// Halo width (2 ghost + 2 real layers, fixed by LICOM's stencils).
 pub const HALO: usize = ocean_grid::decomp::HALO;

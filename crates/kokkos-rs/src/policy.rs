@@ -86,6 +86,11 @@ impl RangePolicy {
 pub struct MDRangePolicy2 {
     pub extent: [usize; 2],
     pub tile: [usize; 2],
+    /// Origin the iteration indices start from (Kokkos' lower-bound
+    /// `MDRangePolicy({b0,b1},{e0,e1})`): the functor sees indices
+    /// `offset[d] .. offset[d] + extent[d]`. Lets interior/rim sub-ranges
+    /// of one kernel reuse the registered dense launch path.
+    pub offset: [usize; 2],
 }
 
 impl MDRangePolicy2 {
@@ -93,12 +98,19 @@ impl MDRangePolicy2 {
         Self {
             extent,
             tile: [8, 64],
+            offset: [0, 0],
         }
     }
 
     pub fn with_tile(mut self, tile: [usize; 2]) -> Self {
         assert!(tile.iter().all(|&t| t > 0));
         self.tile = tile;
+        self
+    }
+
+    /// Shift the iteration origin; `extent` stays the iteration count.
+    pub fn with_offset(mut self, offset: [usize; 2]) -> Self {
+        self.offset = offset;
         self
     }
 
@@ -117,7 +129,8 @@ impl MDRangePolicy2 {
         ]
     }
 
-    /// Decode tile `t` into per-dim index ranges `[(lo,hi); 2]`.
+    /// Decode tile `t` into per-dim index ranges `[(lo,hi); 2]` (shifted
+    /// by `offset`, so every backend honors the origin for free).
     pub fn tile_bounds(&self, t: usize) -> [(usize, usize); 2] {
         let td = self.tiles_per_dim();
         let tj = t / td[1];
@@ -125,8 +138,14 @@ impl MDRangePolicy2 {
         let j0 = tj * self.tile[0];
         let i0 = ti * self.tile[1];
         [
-            (j0, (j0 + self.tile[0]).min(self.extent[0])),
-            (i0, (i0 + self.tile[1]).min(self.extent[1])),
+            (
+                self.offset[0] + j0,
+                self.offset[0] + (j0 + self.tile[0]).min(self.extent[0]),
+            ),
+            (
+                self.offset[1] + i0,
+                self.offset[1] + (i0 + self.tile[1]).min(self.extent[1]),
+            ),
         ]
     }
 }
@@ -137,6 +156,8 @@ impl MDRangePolicy2 {
 pub struct MDRangePolicy3 {
     pub extent: [usize; 3],
     pub tile: [usize; 3],
+    /// Iteration origin per dimension; see [`MDRangePolicy2::offset`].
+    pub offset: [usize; 3],
 }
 
 impl MDRangePolicy3 {
@@ -144,12 +165,19 @@ impl MDRangePolicy3 {
         Self {
             extent,
             tile: [1, 8, 64],
+            offset: [0, 0, 0],
         }
     }
 
     pub fn with_tile(mut self, tile: [usize; 3]) -> Self {
         assert!(tile.iter().all(|&t| t > 0));
         self.tile = tile;
+        self
+    }
+
+    /// Shift the iteration origin; `extent` stays the iteration count.
+    pub fn with_offset(mut self, offset: [usize; 3]) -> Self {
+        self.offset = offset;
         self
     }
 
@@ -168,7 +196,7 @@ impl MDRangePolicy3 {
         ]
     }
 
-    /// Decode tile `t` into per-dim index ranges.
+    /// Decode tile `t` into per-dim index ranges (shifted by `offset`).
     pub fn tile_bounds(&self, t: usize) -> [(usize, usize); 3] {
         let td = self.tiles_per_dim();
         let tk = t / (td[1] * td[2]);
@@ -179,9 +207,18 @@ impl MDRangePolicy3 {
         let j0 = tj * self.tile[1];
         let i0 = ti * self.tile[2];
         [
-            (k0, (k0 + self.tile[0]).min(self.extent[0])),
-            (j0, (j0 + self.tile[1]).min(self.extent[1])),
-            (i0, (i0 + self.tile[2]).min(self.extent[2])),
+            (
+                self.offset[0] + k0,
+                self.offset[0] + (k0 + self.tile[0]).min(self.extent[0]),
+            ),
+            (
+                self.offset[1] + j0,
+                self.offset[1] + (j0 + self.tile[1]).min(self.extent[1]),
+            ),
+            (
+                self.offset[2] + i0,
+                self.offset[2] + (i0 + self.tile[2]).min(self.extent[2]),
+            ),
         ]
     }
 }
@@ -423,6 +460,53 @@ mod tests {
             }
         }
         assert!(hit.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn offset_tile_bounds_cover_shifted_range_2d() {
+        let p = MDRangePolicy2::new([7, 13])
+            .with_tile([3, 5])
+            .with_offset([2, 4]);
+        let mut hit = vec![vec![0u32; 4 + 13]; 2 + 7];
+        for t in 0..p.total_tiles() {
+            let [(j0, j1), (i0, i1)] = p.tile_bounds(t);
+            assert!(j0 >= 2 && j1 <= 2 + 7 && i0 >= 4 && i1 <= 4 + 13);
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    hit[j][i] += 1;
+                }
+            }
+        }
+        for (j, row) in hit.iter().enumerate() {
+            for (i, &c) in row.iter().enumerate() {
+                let inside = (2..2 + 7).contains(&j) && (4..4 + 13).contains(&i);
+                assert_eq!(c, u32::from(inside), "({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_tile_bounds_cover_shifted_range_3d() {
+        let p = MDRangePolicy3::new([4, 7, 9])
+            .with_tile([2, 3, 4])
+            .with_offset([1, 2, 3]);
+        let (pk, pj, pi) = (1 + 4, 2 + 7, 3 + 9);
+        let mut hit = vec![0u32; pk * pj * pi];
+        for t in 0..p.total_tiles() {
+            let [(k0, k1), (j0, j1), (i0, i1)] = p.tile_bounds(t);
+            assert!(k0 >= 1 && k1 <= pk && j0 >= 2 && j1 <= pj && i0 >= 3 && i1 <= pi);
+            for k in k0..k1 {
+                for j in j0..j1 {
+                    for i in i0..i1 {
+                        hit[(k * pj + j) * pi + i] += 1;
+                    }
+                }
+            }
+        }
+        let covered: u32 = hit.iter().sum();
+        assert_eq!(covered as usize, 4 * 7 * 9);
+        assert!(hit.iter().all(|&c| c <= 1));
     }
 
     #[test]

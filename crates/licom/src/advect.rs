@@ -28,9 +28,23 @@ use kokkos_rs::{
     IterCost, ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View1, View2, View3,
 };
 
-use halo_exchange::{HaloError, HALO as H};
+use halo_exchange::{FoldKind, Halo3D, HaloError, StepGraph, HALO as H};
 
 use crate::localgrid::LocalGrid;
+
+/// How [`advect_tracer`] refreshes the intermediate field's halos between
+/// the x and y passes.
+pub enum TmpExchange<'a> {
+    /// Blocking refresh — the dense reference schedule.
+    Blocking(&'a dyn Fn(&View3<f64>) -> Result<(), HaloError>),
+    /// Split-phase refresh: post the exchange after the x pass, compute
+    /// the interior rows of the y-pass flux while messages are in flight
+    /// (driven by a [`StepGraph`]), then finish and sweep the boundary
+    /// rim rows. Bitwise identical to [`TmpExchange::Blocking`]: the rim
+    /// and interior partitions are disjoint and each flux cell's inputs
+    /// are the same in either schedule.
+    Overlap { halo: &'a Halo3D, tag_base: u64 },
+}
 
 /// Van Leer limiter φ(r); φ(r)·dq is evaluated safely for tiny dq.
 #[inline]
@@ -464,10 +478,11 @@ pub fn register() {
 /// Full dimension-split advection of tracer `q` over `dt`, writing
 /// `q_out`. `w` must already be diagnosed ([`FunctorDiagnoseW`]).
 /// Requires valid halos on `q`, `u`, `v`. Uses `tmp` as the intermediate
-/// field and `flux` as face-transport scratch. `exchange_tmp` refreshes
-/// the intermediate field's halos between the x and y passes (the
-/// y-stencil reads `tmp` at `j±2`, which the x-pass does not compute in
-/// the halo rows).
+/// field and `flux` as face-transport scratch. `exchange` refreshes the
+/// intermediate field's halos between the x and y passes (the y-stencil
+/// reads `tmp` at `j±2`, which the x-pass does not compute in the halo
+/// rows); with [`TmpExchange::Overlap`] that refresh overlaps the
+/// interior y-pass flux rows, which read no `tmp` ghost row.
 ///
 /// `wet_cols` (packed owned wet T columns) routes the column-local z pass
 /// through the active-set launch; the x/y passes stay dense because their
@@ -487,7 +502,7 @@ pub fn advect_tracer(
     dt: f64,
     limited: bool,
     wet_cols: Option<&ListPolicy>,
-    exchange_tmp: &dyn Fn(&View3<f64>) -> Result<(), HaloError>,
+    exchange: TmpExchange<'_>,
 ) -> Result<(), HaloError> {
     let (nx, ny, nz) = (g.nx, g.ny, g.nz);
     // X pass: q -> tmp.
@@ -515,25 +530,84 @@ pub fn advect_tracer(
         };
         parallel_for_3d(space, MDRangePolicy3::new([nz, ny, nx]), &ax);
     }
-    // Refresh the intermediate field's halos before the y pass.
-    {
-        let _r = kokkos_rs::profiling::region("adv:halo");
-        exchange_tmp(tmp)?;
+    // Refresh the intermediate field's halos, then the y pass. The flux
+    // stencil reads `tmp` rows `jl-1..=jl+2` (`jl = j + H - 1`) and no
+    // east/west ghost column, so flux rows `j ∈ [2, ny-2]` touch owned
+    // rows only — they are the interior partition that overlaps the
+    // exchange; rows `{0, 1, ny-1, ny}` are the rim swept after it
+    // finishes. Either schedule computes every flux cell from identical
+    // inputs, so the split is bitwise equal to the dense pass.
+    let fy = FunctorFluxY {
+        q: tmp.clone(),
+        v: v.clone(),
+        flux: flux.clone(),
+        kmt: g.kmt.clone(),
+        dxt: g.dxt.clone(),
+        dyt: g.dyt,
+        dt,
+        limited,
+    };
+    match exchange {
+        TmpExchange::Blocking(exchange_tmp) => {
+            {
+                let _r = kokkos_rs::profiling::region("adv:halo");
+                exchange_tmp(tmp)?;
+            }
+            let _r = kokkos_rs::profiling::region("adv:ypass");
+            parallel_for_3d(space, MDRangePolicy3::new([nz, ny + 1, nx]), &fy);
+        }
+        TmpExchange::Overlap { halo, tag_base } if ny >= 5 => {
+            let _r = kokkos_rs::profiling::region("adv:ypass-overlap");
+            let mut pend = Some(halo.begin_exchange(tmp, FoldKind::Scalar, tag_base)?);
+            let mut graph = StepGraph::new();
+            let comm = graph.comm(
+                |blocking| {
+                    if blocking {
+                        match pend.take() {
+                            Some(p) => p.finish().map(|()| true),
+                            None => Ok(true),
+                        }
+                    } else {
+                        pend.as_mut().map_or(Ok(true), |p| p.poll())
+                    }
+                },
+                &[],
+            );
+            let interior = graph.compute(
+                || {
+                    parallel_for_3d(
+                        space,
+                        MDRangePolicy3::new([nz, ny - 3, nx]).with_offset([0, 2, 0]),
+                        &fy,
+                    );
+                    Ok(())
+                },
+                &[],
+            );
+            graph.compute(
+                || {
+                    parallel_for_3d(space, MDRangePolicy3::new([nz, 2, nx]), &fy);
+                    parallel_for_3d(
+                        space,
+                        MDRangePolicy3::new([nz, 2, nx]).with_offset([0, ny - 1, 0]),
+                        &fy,
+                    );
+                    Ok(())
+                },
+                &[comm, interior],
+            );
+            graph.run()?;
+        }
+        TmpExchange::Overlap { halo, tag_base } => {
+            // Too narrow to carve an interior: finish, then dense pass.
+            halo.begin_exchange(tmp, FoldKind::Scalar, tag_base)?
+                .finish()?;
+            let _r = kokkos_rs::profiling::region("adv:ypass");
+            parallel_for_3d(space, MDRangePolicy3::new([nz, ny + 1, nx]), &fy);
+        }
     }
-    // Y pass: tmp -> q_out.
     {
         let _r = kokkos_rs::profiling::region("adv:ypass");
-        let fy = FunctorFluxY {
-            q: tmp.clone(),
-            v: v.clone(),
-            flux: flux.clone(),
-            kmt: g.kmt.clone(),
-            dxt: g.dxt.clone(),
-            dyt: g.dyt,
-            dt,
-            limited,
-        };
-        parallel_for_3d(space, MDRangePolicy3::new([nz, ny + 1, nx]), &fy);
         let ay = FunctorApplyY {
             q: tmp.clone(),
             q1: q_out.clone(),

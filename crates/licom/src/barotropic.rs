@@ -19,7 +19,7 @@ use kokkos_rs::{
 };
 use ocean_grid::GRAVITY;
 
-use halo_exchange::{FoldKind, Halo2D, HaloError, HALO as H};
+use halo_exchange::{FoldKind, Halo2D, HaloError, PendingExchange2, HALO as H};
 
 use crate::constants::ASSELIN;
 use crate::localgrid::LocalGrid;
@@ -355,6 +355,40 @@ pub fn register() {
     kernel_scale_assign_2d();
 }
 
+/// Add the previous substep's `[n]` values into the accumulators over the
+/// four **ghost rectangles** of the padded block. The dense schedule
+/// accumulates the full padded block right after its blocking exchange;
+/// the overlap pipeline accumulates owned cells immediately and settles
+/// this ghost "debt" once the deferred exchange finishes. Each acc cell
+/// still receives exactly one addition per substep, in substep order, so
+/// the result is bitwise identical.
+fn flush_ghost_debt(
+    space: &Space,
+    g: &LocalGrid,
+    accs: &[View2<f64>; 3],
+    debt: &mut Option<[View2<f64>; 3]>,
+) {
+    let Some(fields) = debt.take() else { return };
+    let rects = [
+        MDRangePolicy2::new([H, g.pi]),
+        MDRangePolicy2::new([H, g.pi]).with_offset([H + g.ny, 0]),
+        MDRangePolicy2::new([g.ny, H]).with_offset([H, 0]),
+        MDRangePolicy2::new([g.ny, H]).with_offset([H, H + g.nx]),
+    ];
+    for (acc, x) in accs.iter().zip(fields.iter()) {
+        for r in rects {
+            parallel_for_2d(
+                space,
+                r,
+                &FunctorAccum2D {
+                    acc: acc.clone(),
+                    x: x.clone(),
+                },
+            );
+        }
+    }
+}
+
 /// Integrate the barotropic system over one leapfrog window (`2 dt_c`),
 /// starting from `state.eta[cur]`, `state.ubt`, `state.vbt`, forced by
 /// the depth-mean tendencies `gu`, `gv`. On return `state.eta[new]`,
@@ -362,6 +396,15 @@ pub fn register() {
 /// `Err` means a per-substep halo update stayed unrecoverable after the
 /// integrity layer's retries; the barotropic work arrays are then in an
 /// undefined state and the caller must roll back.
+///
+/// With `overlap = false` every substep ends with blocking per-field halo
+/// updates — the dense reference schedule. With `overlap = true` the
+/// substeps form a software pipeline: the `[n]`-level exchange is posted
+/// as one batched split-phase message set and carried into the *next*
+/// substep, whose interior cells (reading no ghost) run while it is in
+/// flight; the boundary rim runs after `finish()`. The window
+/// accumulation follows with an owned-now/ghost-later split (see
+/// [`flush_ghost_debt`]). Both schedules are bitwise identical.
 #[allow(clippy::too_many_arguments)]
 pub fn integrate(
     space: &Space,
@@ -374,7 +417,10 @@ pub fn integrate(
     substeps: usize,
     filter_rows: &View1<i32>,
     filter_passes: usize,
+    overlap: bool,
 ) -> Result<(), HaloError> {
+    // The pipeline needs an interior to hide the exchange behind.
+    let overlap = overlap && g.ny >= 3 && g.nx >= 3;
     let policy = MDRangePolicy2::new([g.ny, g.nx]);
     let full = MDRangePolicy2::new([g.pj, g.pi]);
     // Working triple: indices into state.bt_* (old, cur, new roles).
@@ -419,45 +465,78 @@ pub fn integrate(
     acc_v.fill(0.0);
     drop(init_region);
 
+    // Pipeline state (overlap mode): the previous substep's `[n]`-level
+    // exchange still in flight, and the accumulator ghost rectangles owed
+    // the previous `[n]` values.
+    let mut pend: Option<PendingExchange2<'_>> = None;
+    let mut debt: Option<[View2<f64>; 3]> = None;
+
     for step in 0..substeps {
         let _substep = kokkos_rs::profiling::region("bt:substep");
         // First substep is forward Euler (old == cur at entry).
         let dt2 = if step == 0 { dtb } else { 2.0 * dtb };
-        parallel_for_2d(
-            space,
-            policy,
-            &FunctorBtEta {
-                eta_old: state.bt_eta[o].clone(),
-                eta_new: state.bt_eta[n].clone(),
-                ub: state.bt_u[c].clone(),
-                vb: state.bt_v[c].clone(),
-                depth: g.depth.clone(),
-                kmt: g.kmt.clone(),
-                dxt: g.dxt.clone(),
-                dyt: g.dyt,
-                dt2,
-            },
-        );
-        parallel_for_2d(
-            space,
-            policy,
-            &FunctorBtVel {
-                u_old: state.bt_u[o].clone(),
-                v_old: state.bt_v[o].clone(),
-                u_cur: state.bt_u[c].clone(),
-                v_cur: state.bt_v[c].clone(),
-                eta_cur: state.bt_eta[c].clone(),
-                u_new: state.bt_u[n].clone(),
-                v_new: state.bt_v[n].clone(),
-                gu: gu.clone(),
-                gv: gv.clone(),
-                fcor: g.fcor.clone(),
-                kmu: g.kmu.clone(),
-                dxt: g.dxt.clone(),
-                dyt: g.dyt,
-                dt2,
-            },
-        );
+        let f_eta = FunctorBtEta {
+            eta_old: state.bt_eta[o].clone(),
+            eta_new: state.bt_eta[n].clone(),
+            ub: state.bt_u[c].clone(),
+            vb: state.bt_v[c].clone(),
+            depth: g.depth.clone(),
+            kmt: g.kmt.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dt2,
+        };
+        let f_vel = FunctorBtVel {
+            u_old: state.bt_u[o].clone(),
+            v_old: state.bt_v[o].clone(),
+            u_cur: state.bt_u[c].clone(),
+            v_cur: state.bt_v[c].clone(),
+            eta_cur: state.bt_eta[c].clone(),
+            u_new: state.bt_u[n].clone(),
+            v_new: state.bt_v[n].clone(),
+            gu: gu.clone(),
+            gv: gv.clone(),
+            fcor: g.fcor.clone(),
+            kmu: g.kmu.clone(),
+            dxt: g.dxt.clone(),
+            dyt: g.dyt,
+            dt2,
+        };
+        match pend.take() {
+            Some(p) => {
+                // The exchange posted last substep covers this substep's
+                // `[c]` ghosts. Both stencils have radius 1, so cells at
+                // least one row/column inside the owned block read no
+                // ghost — run them while the messages are in flight.
+                let interior = MDRangePolicy2::new([g.ny - 2, g.nx - 2]).with_offset([1, 1]);
+                parallel_for_2d(space, interior, &f_eta);
+                parallel_for_2d(space, interior, &f_vel);
+                {
+                    let _r = kokkos_rs::profiling::region("bt:halo");
+                    p.finish()?;
+                }
+                flush_ghost_debt(
+                    space,
+                    g,
+                    &[acc_eta.clone(), acc_u.clone(), acc_v.clone()],
+                    &mut debt,
+                );
+                // Boundary rim: the one-cell band around the owned block.
+                for rp in [
+                    MDRangePolicy2::new([1, g.nx]),
+                    MDRangePolicy2::new([1, g.nx]).with_offset([g.ny - 1, 0]),
+                    MDRangePolicy2::new([g.ny - 2, 1]).with_offset([1, 0]),
+                    MDRangePolicy2::new([g.ny - 2, 1]).with_offset([1, g.nx - 1]),
+                ] {
+                    parallel_for_2d(space, rp, &f_eta);
+                    parallel_for_2d(space, rp, &f_vel);
+                }
+            }
+            None => {
+                parallel_for_2d(space, policy, &f_eta);
+                parallel_for_2d(space, policy, &f_vel);
+            }
+        }
         // Asselin on the middle level.
         parallel_for_2d(
             space,
@@ -486,73 +565,153 @@ pub fn integrate(
                 new: state.bt_v[n].clone(),
             },
         );
-        // Halo updates of the new level.
-        {
-            let _r = kokkos_rs::profiling::region("bt:halo");
-            halo.try_exchange(&state.bt_eta[n], FoldKind::Scalar, 500)?;
-            halo.try_exchange(&state.bt_u[n], FoldKind::Vector, 510)?;
-            halo.try_exchange(&state.bt_v[n], FoldKind::Vector, 520)?;
-        }
-        // Polar filter on the new level.
-        let filter_region = kokkos_rs::profiling::region("bt:filter");
-        for _ in 0..filter_passes {
-            for (field, kind, base) in [
-                (&state.bt_eta[n], FoldKind::Scalar, 530u64),
-                (&state.bt_u[n], FoldKind::Vector, 540),
-                (&state.bt_v[n], FoldKind::Vector, 550),
+        // Halo updates of the new level, then polar filter, then window
+        // accumulation. Overlap mode defers whichever exchange comes last
+        // (the bare `[n]` update, or the final filter pass's) into `pend`,
+        // and accumulates owned cells now / ghost rectangles at `finish`.
+        if overlap {
+            let batch = [
+                (&state.bt_eta[n], FoldKind::Scalar),
+                (&state.bt_u[n], FoldKind::Vector),
+                (&state.bt_v[n], FoldKind::Vector),
+            ];
+            if filter_passes == 0 {
+                let _r = kokkos_rs::profiling::region("bt:halo");
+                pend = Some(halo.begin_exchange_many(&batch, 500)?);
+            } else {
+                {
+                    let _r = kokkos_rs::profiling::region("bt:halo");
+                    halo.try_exchange_many(&batch, 500)?;
+                }
+                let filter_region = kokkos_rs::profiling::region("bt:filter");
+                for pass in 0..filter_passes {
+                    for field in [&state.bt_eta[n], &state.bt_u[n], &state.bt_v[n]] {
+                        parallel_for_2d(
+                            space,
+                            policy,
+                            &FunctorZonalFilter {
+                                src: field.clone(),
+                                dst: state.work.filter2.clone(),
+                                rows: filter_rows.clone(),
+                            },
+                        );
+                        parallel_for_2d(
+                            space,
+                            policy,
+                            &FunctorCopy2D {
+                                src: state.work.filter2.clone(),
+                                dst: field.clone(),
+                            },
+                        );
+                    }
+                    if pass + 1 == filter_passes {
+                        pend = Some(halo.begin_exchange_many(&batch, 530)?);
+                    } else {
+                        halo.try_exchange_many(&batch, 530)?;
+                    }
+                }
+                drop(filter_region);
+            }
+            let own = MDRangePolicy2::new([g.ny, g.nx]).with_offset([H, H]);
+            for (acc, x) in [
+                (&acc_eta, &state.bt_eta[n]),
+                (&acc_u, &state.bt_u[n]),
+                (&acc_v, &state.bt_v[n]),
             ] {
                 parallel_for_2d(
                     space,
-                    policy,
-                    &FunctorZonalFilter {
-                        src: field.clone(),
-                        dst: state.work.filter2.clone(),
-                        rows: filter_rows.clone(),
+                    own,
+                    &FunctorAccum2D {
+                        acc: acc.clone(),
+                        x: x.clone(),
                     },
                 );
-                parallel_for_2d(
-                    space,
-                    policy,
-                    &FunctorCopy2D {
-                        src: state.work.filter2.clone(),
-                        dst: field.clone(),
-                    },
-                );
-                halo.try_exchange(field, kind, base)?;
             }
+            debt = Some([
+                state.bt_eta[n].clone(),
+                state.bt_u[n].clone(),
+                state.bt_v[n].clone(),
+            ]);
+        } else {
+            {
+                let _r = kokkos_rs::profiling::region("bt:halo");
+                halo.try_exchange(&state.bt_eta[n], FoldKind::Scalar, 500)?;
+                halo.try_exchange(&state.bt_u[n], FoldKind::Vector, 510)?;
+                halo.try_exchange(&state.bt_v[n], FoldKind::Vector, 520)?;
+            }
+            // Polar filter on the new level.
+            let filter_region = kokkos_rs::profiling::region("bt:filter");
+            for _ in 0..filter_passes {
+                for (field, kind, base) in [
+                    (&state.bt_eta[n], FoldKind::Scalar, 530u64),
+                    (&state.bt_u[n], FoldKind::Vector, 540),
+                    (&state.bt_v[n], FoldKind::Vector, 550),
+                ] {
+                    parallel_for_2d(
+                        space,
+                        policy,
+                        &FunctorZonalFilter {
+                            src: field.clone(),
+                            dst: state.work.filter2.clone(),
+                            rows: filter_rows.clone(),
+                        },
+                    );
+                    parallel_for_2d(
+                        space,
+                        policy,
+                        &FunctorCopy2D {
+                            src: state.work.filter2.clone(),
+                            dst: field.clone(),
+                        },
+                    );
+                    halo.try_exchange(field, kind, base)?;
+                }
+            }
+            drop(filter_region);
+            // Accumulate window averages (full padded block: halos valid).
+            parallel_for_2d(
+                space,
+                full,
+                &FunctorAccum2D {
+                    acc: acc_eta.clone(),
+                    x: state.bt_eta[n].clone(),
+                },
+            );
+            parallel_for_2d(
+                space,
+                full,
+                &FunctorAccum2D {
+                    acc: acc_u.clone(),
+                    x: state.bt_u[n].clone(),
+                },
+            );
+            parallel_for_2d(
+                space,
+                full,
+                &FunctorAccum2D {
+                    acc: acc_v.clone(),
+                    x: state.bt_v[n].clone(),
+                },
+            );
         }
-        drop(filter_region);
-        // Accumulate window averages (full padded block: halos are valid).
-        parallel_for_2d(
-            space,
-            full,
-            &FunctorAccum2D {
-                acc: acc_eta.clone(),
-                x: state.bt_eta[n].clone(),
-            },
-        );
-        parallel_for_2d(
-            space,
-            full,
-            &FunctorAccum2D {
-                acc: acc_u.clone(),
-                x: state.bt_u[n].clone(),
-            },
-        );
-        parallel_for_2d(
-            space,
-            full,
-            &FunctorAccum2D {
-                acc: acc_v.clone(),
-                x: state.bt_v[n].clone(),
-            },
-        );
         // Rotate (old ← cur ← new ← old).
         let t = o;
         o = c;
         c = n;
         n = t;
     }
+    // Drain the pipeline: the final substep's exchange and its
+    // accumulator ghost debt.
+    if let Some(p) = pend.take() {
+        let _r = kokkos_rs::profiling::region("bt:halo");
+        p.finish()?;
+    }
+    flush_ghost_debt(
+        space,
+        g,
+        &[acc_eta.clone(), acc_u.clone(), acc_v.clone()],
+        &mut debt,
+    );
     let _average = kokkos_rs::profiling::region("bt:average");
     let scale = 1.0 / substeps as f64;
     let nl = state.new_lev();

@@ -493,6 +493,12 @@ impl Model {
         let mut since_ckpt: u64 = 0;
         let mut replaying_to: u64 = 0;
         while self.steps_taken() < target {
+            // Pin the step number being attempted *before* stepping: a
+            // rank whose own try_step succeeds (its carried exchanges
+            // completed before a peer aborted) has already advanced
+            // steps_taken when the vote fails, and using the advanced
+            // value would overcount its replay window by one.
+            let attempted = self.steps_taken() + 1;
             let res = self.try_step();
             let ok = match &res {
                 Ok(()) => true,
@@ -533,7 +539,7 @@ impl Model {
                         last: last_err,
                     });
                 }
-                replaying_to = replaying_to.max(self.steps_taken() + 1);
+                replaying_to = replaying_to.max(attempted);
                 mgr.restore_latest_collective(self)?;
                 since_ckpt = 0;
             }

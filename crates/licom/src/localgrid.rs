@@ -30,6 +30,15 @@ pub struct WetSets {
     pub cells3_own: ActiveSet3,
     /// Owned-interior 3-D wet velocity cells (`k < kmu`).
     pub ucells3_own: ActiveSet3,
+    /// `cells3_own` split into (interior, rim) with a 1-cell horizontal
+    /// rim: the interior depends only on locally-valid halo data, so
+    /// kernels can run it while an exchange is still in flight and sweep
+    /// the rim after. Interior ∪ rim = `cells3_own` exactly.
+    pub cells3_own_interior: ActiveSet3,
+    pub cells3_own_rim: ActiveSet3,
+    /// `ucells3_own` split the same way.
+    pub ucells3_own_interior: ActiveSet3,
+    pub ucells3_own_rim: ActiveSet3,
 }
 
 /// Grid slice owned by one rank, with 2-cell padding, as device-agnostic
@@ -158,6 +167,10 @@ impl LocalGrid {
 
         let kmt_at = |jl: usize, il: usize| kmt.at(jl, il).max(0) as u32;
         let kmu_at = |jl: usize, il: usize| kmu.at(jl, il).max(0) as u32;
+        let (cells3_own_interior, cells3_own_rim) =
+            ActiveSet3::build_cells_split(nz, pj, pi, H..H + ny, H..H + nx, 1, kmt_at);
+        let (ucells3_own_interior, ucells3_own_rim) =
+            ActiveSet3::build_cells_split(nz, pj, pi, H..H + ny, H..H + nx, 1, kmu_at);
         let wet_sets = WetSets {
             cols_pad: ActiveSet::build_columns(pi, 0..pj, 0..pi, kmt_at),
             cols_own: ActiveSet::build_columns(pi, H..H + ny, H..H + nx, kmt_at),
@@ -165,6 +178,10 @@ impl LocalGrid {
             cells3_pad: ActiveSet3::build_cells(nz, pj, pi, 0..pj, 0..pi, kmt_at),
             cells3_own: ActiveSet3::build_cells(nz, pj, pi, H..H + ny, H..H + nx, kmt_at),
             ucells3_own: ActiveSet3::build_cells(nz, pj, pi, H..H + ny, H..H + nx, kmu_at),
+            cells3_own_interior,
+            cells3_own_rim,
+            ucells3_own_interior,
+            ucells3_own_rim,
         };
 
         Self {
@@ -295,6 +312,40 @@ mod tests {
                 .filter(|&(j, i)| lg.kmu.at(j, i) > 0)
                 .count();
             assert_eq!(lg.wet.ucols_own.len(), wet_u);
+        });
+    }
+
+    #[test]
+    fn split_sets_partition_owned_sets() {
+        let global = GlobalGrid::build(24, 12, 6, &Bathymetry::earth_like(), false);
+        World::run(4, |comm| {
+            let cart = CartComm::new(comm.clone(), 2, 2, true);
+            let halo = Halo2D::new(&cart, 24, 12);
+            let lg = LocalGrid::build(&global, &halo);
+            for (dense, int, rim) in [
+                (
+                    &lg.wet.cells3_own,
+                    &lg.wet.cells3_own_interior,
+                    &lg.wet.cells3_own_rim,
+                ),
+                (
+                    &lg.wet.ucells3_own,
+                    &lg.wet.ucells3_own_interior,
+                    &lg.wet.ucells3_own_rim,
+                ),
+            ] {
+                assert_eq!(int.len() + rim.len(), dense.len());
+                let mut merged: Vec<u32> = int
+                    .indices
+                    .iter()
+                    .chain(rim.indices.iter())
+                    .copied()
+                    .collect();
+                merged.sort_unstable();
+                let mut want: Vec<u32> = dense.indices.to_vec();
+                want.sort_unstable();
+                assert_eq!(merged, want);
+            }
         });
     }
 

@@ -25,12 +25,14 @@
 
 use kokkos_rs::{
     parallel_for_2d, parallel_for_3d, parallel_for_list, Functor3D, FunctorList, IterCost,
-    ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View, View1, View2,
+    ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View, View1, View2, View3,
 };
 use mpi_sim::{CartComm, Comm, ReduceOp};
 use ocean_grid::{Bathymetry, GlobalGrid, ModelConfig, GRAVITY};
 
-use halo_exchange::{FoldKind, Halo2D, Halo3D, HaloError, IntegrityConfig, Strategy3D, HALO as H};
+use halo_exchange::{
+    FoldKind, Halo2D, Halo3D, HaloError, IntegrityConfig, Pending3, Strategy3D, HALO as H,
+};
 
 use crate::advect::{self, FunctorDiagnoseW, FunctorDiagnoseWList};
 use crate::baroclinic::{
@@ -260,6 +262,14 @@ struct WetPolicies {
     cells: ListPolicy,
     /// Owned wet velocity cells (`k < kmu`) — momentum tendency.
     ucells: ListPolicy,
+    /// Interior/rim split of `cells` (1-cell horizontal rim): overlap
+    /// mode launches the interior, drives pending exchanges, then sweeps
+    /// the rim. Disjoint union of the dense set — bitwise identical.
+    cells_interior: ListPolicy,
+    cells_rim: ListPolicy,
+    /// Interior/rim split of `ucells`.
+    ucells_interior: ListPolicy,
+    ucells_rim: ListPolicy,
 }
 
 impl WetPolicies {
@@ -275,6 +285,10 @@ impl WetPolicies {
                 .with_cost_prefix(w.ucols_own.cost_prefix.clone()),
             cells: ListPolicy::new(w.cells3_own.indices.clone()),
             ucells: ListPolicy::new(w.ucells3_own.indices.clone()),
+            cells_interior: ListPolicy::new(w.cells3_own_interior.indices.clone()),
+            cells_rim: ListPolicy::new(w.cells3_own_rim.indices.clone()),
+            ucells_interior: ListPolicy::new(w.ucells3_own_interior.indices.clone()),
+            ucells_rim: ListPolicy::new(w.ucells3_own_rim.indices.clone()),
         }
     }
 }
@@ -374,7 +388,11 @@ impl Model {
             filter_rows.set_at(jl, i32::from(flag));
             any |= flag;
         }
-        let filter_passes = usize::from(any);
+        // Agree globally on the pass count: filtering drives per-substep
+        // exchanges, and a rank that filters while its neighbour doesn't
+        // would deadlock on mismatched message ordinals.
+        let any_global = comm.allreduce_f64(f64::from(u8::from(any)), ReduceOp::Max);
+        let filter_passes = usize::from(any_global > 0.5);
 
         let gu: View2<f64> = View::host("gu", [grid.pj, grid.pi]);
         let gv: View2<f64> = View::host("gv", [grid.pj, grid.pi]);
@@ -487,8 +505,10 @@ impl Model {
         self.halo3.begin_step(epoch);
         let tr0 = self.comm.traffic();
         let step_t0 = std::time::Instant::now();
-        // halo2 and halo3 share one wait counter (halo3 wraps a clone).
+        // halo2 and halo3 share one wait counter (halo3 wraps a clone),
+        // and likewise one in-flight (overlap) counter.
         let hw0 = self.halo2.halo_wait_ns();
+        let hi0 = self.halo2.halo_inflight_ns();
         let g = &self.grid;
         let (o, c, n) = (self.state.old(), self.state.cur(), self.state.new_lev());
         let dt = self.cfg.dt_baroclinic;
@@ -562,9 +582,12 @@ impl Model {
         }
         self.timers.stop("canuto");
 
-        // 3. Momentum tendency + wind stress.
+        // 3. Momentum tendency + wind stress. (The pressure kernel above
+        // stays dense/unsplit on purpose: its halo inputs — T/S and thus
+        // rho — are already valid at step entry, so there is no exchange
+        // to hide behind an interior pass.)
         self.timers.start("momentum");
-        let f_tend = FunctorMomentumTend {
+        let mk_tend = || FunctorMomentumTend {
             u_cur: self.state.u[c].clone(),
             v_cur: self.state.v[c].clone(),
             u_old: self.state.u[o].clone(),
@@ -587,15 +610,31 @@ impl Model {
             dz0: g.dz.at(0),
         };
         if active {
-            parallel_for_list(
-                &space,
-                &self.wet.ucells,
-                &FunctorMomentumTendList {
-                    f: f_tend,
-                    pj: g.pj,
-                    pi: g.pi,
-                },
-            );
+            if self.opts.overlap {
+                // Interior/rim split: per-cell independent writes over a
+                // disjoint union of the dense set — bitwise identical.
+                for wet in [&self.wet.ucells_interior, &self.wet.ucells_rim] {
+                    parallel_for_list(
+                        &space,
+                        wet,
+                        &FunctorMomentumTendList {
+                            f: mk_tend(),
+                            pj: g.pj,
+                            pi: g.pi,
+                        },
+                    );
+                }
+            } else {
+                parallel_for_list(
+                    &space,
+                    &self.wet.ucells,
+                    &FunctorMomentumTendList {
+                        f: mk_tend(),
+                        pj: g.pj,
+                        pi: g.pi,
+                    },
+                );
+            }
             parallel_for_list(
                 &space,
                 &self.wet.ucols,
@@ -605,7 +644,7 @@ impl Model {
                 },
             );
         } else {
-            parallel_for_3d(&space, p3, &f_tend);
+            parallel_for_3d(&space, p3, &mk_tend());
             parallel_for_2d(&space, p2, &f_wind);
         }
         self.timers.stop("momentum");
@@ -646,6 +685,7 @@ impl Model {
                 substeps,
                 &filter_rows,
                 passes,
+                self.opts.overlap,
             )
         };
         self.timers.stop("barotropic");
@@ -712,19 +752,31 @@ impl Model {
             pi: g.pi,
         };
         let wet_t_cols = &self.wet.cols;
+        // Split-phase exchanges carried across the rest of the step
+        // (overlap mode). Nothing downstream reads the covered ghosts:
+        // u[n]/v[n] ghosts are first read next step, as are t[n]/s[n] and
+        // the Asselin-filtered u[c]/v[c]. All are drained in `halo_drain`
+        // before the step commits.
+        let mut pend_uv: Option<Pending3<'_>> = None;
+        let mut pend_ts: Option<Pending3<'_>> = None;
         let uv_res = if self.opts.overlap {
-            let sp = space.clone();
+            // Post the batched u/v exchange, diagnose w while it flies.
             self.halo3
-                .try_exchange_overlap(&self.state.u[n], FoldKind::Vector, 800, || {
+                .begin_exchange_many(
+                    &[
+                        (&self.state.u[n], FoldKind::Vector),
+                        (&self.state.v[n], FoldKind::Vector),
+                    ],
+                    800,
+                )
+                .map(|p| {
+                    let _c = kokkos_rs::profiling::region("halo:overlap-compute");
                     if active {
-                        parallel_for_list(&sp, wet_t_cols, &w_list);
+                        parallel_for_list(&space, wet_t_cols, &w_list);
                     } else {
-                        parallel_for_2d(&sp, p2, &w_functor);
+                        parallel_for_2d(&space, p2, &w_functor);
                     }
-                })
-                .and_then(|()| {
-                    self.halo3
-                        .try_exchange(&self.state.v[n], FoldKind::Vector, 810)
+                    pend_uv = Some(p);
                 })
         } else {
             if active {
@@ -757,6 +809,8 @@ impl Model {
         // implicit vertical mixing, surface restoring.
         self.timers.start("advection_tracer");
         let mut adv_res = Ok(());
+        let exchange_tmp_blocking =
+            |tmp: &View3<f64>| self.halo3.try_exchange(tmp, FoldKind::Scalar, 820);
         for (cur, new) in [
             (&self.state.t[c], &self.state.t[n]),
             (&self.state.s[c], &self.state.s[n]),
@@ -774,8 +828,20 @@ impl Model {
                 dt,
                 self.opts.limiter,
                 if active { Some(wet_t_cols) } else { None },
-                &|tmp| self.halo3.try_exchange(tmp, FoldKind::Scalar, 820),
+                if self.opts.overlap {
+                    advect::TmpExchange::Overlap {
+                        halo: &self.halo3,
+                        tag_base: 820,
+                    }
+                } else {
+                    advect::TmpExchange::Blocking(&exchange_tmp_blocking)
+                },
             );
+            // Drive the carried u/v exchange between tracers.
+            adv_res = adv_res.and_then(|()| match pend_uv.as_mut() {
+                Some(p) => p.poll().map(|_| ()),
+                None => Ok(()),
+            });
             if adv_res.is_err() {
                 break;
             }
@@ -783,11 +849,12 @@ impl Model {
         self.timers.stop("advection_tracer");
         adv_res?;
         self.timers.start("hdiff");
+        let mut hd_res: Result<(), HaloError> = Ok(());
         for (cur, new) in [
             (&self.state.t[c], &self.state.t[n]),
             (&self.state.s[c], &self.state.s[n]),
         ] {
-            let f_hd = FunctorTracerHDiff {
+            let mk_hd = || FunctorTracerHDiff {
                 q_cur: cur.clone(),
                 q_new: new.clone(),
                 kmt: g.kmt.clone(),
@@ -797,20 +864,48 @@ impl Model {
                 dt,
             };
             if active {
-                parallel_for_list(
-                    &space,
-                    &self.wet.cells,
-                    &FunctorTracerHDiffList {
-                        f: f_hd,
-                        pj: g.pj,
-                        pi: g.pi,
-                    },
-                );
+                if self.opts.overlap {
+                    // Interior/rim split (disjoint, per-cell independent
+                    // — bitwise identical to the dense list), with a poll
+                    // of the carried u/v exchange between the halves.
+                    parallel_for_list(
+                        &space,
+                        &self.wet.cells_interior,
+                        &FunctorTracerHDiffList {
+                            f: mk_hd(),
+                            pj: g.pj,
+                            pi: g.pi,
+                        },
+                    );
+                    if let Some(p) = pend_uv.as_mut() {
+                        hd_res = hd_res.and_then(|()| p.poll().map(|_| ()));
+                    }
+                    parallel_for_list(
+                        &space,
+                        &self.wet.cells_rim,
+                        &FunctorTracerHDiffList {
+                            f: mk_hd(),
+                            pj: g.pj,
+                            pi: g.pi,
+                        },
+                    );
+                } else {
+                    parallel_for_list(
+                        &space,
+                        &self.wet.cells,
+                        &FunctorTracerHDiffList {
+                            f: mk_hd(),
+                            pj: g.pj,
+                            pi: g.pi,
+                        },
+                    );
+                }
             } else {
-                parallel_for_3d(&space, p3, &f_hd);
+                parallel_for_3d(&space, p3, &mk_hd());
             }
         }
         self.timers.stop("hdiff");
+        hd_res?;
         self.timers.start("vmix_tracer");
         for field in [&self.state.t[n], &self.state.s[n]] {
             self.launch_vmix(&space, field, &self.state.kh, &g.kmt, dt, active);
@@ -840,7 +935,21 @@ impl Model {
 
         // 8. Tracer halo update + Asselin on the leapfrogged fields.
         self.timers.start("halo_ts");
-        let ts_res = if self.opts.batched_halo {
+        let ts_res = if self.opts.overlap {
+            // t[n]/s[n] ghosts are first read next step — carry the
+            // exchange through the Asselin section and drain at the end.
+            self.halo3
+                .begin_exchange_many(
+                    &[
+                        (&self.state.t[n], FoldKind::Scalar),
+                        (&self.state.s[n], FoldKind::Scalar),
+                    ],
+                    830,
+                )
+                .map(|p| {
+                    pend_ts = Some(p);
+                })
+        } else if self.opts.batched_halo {
             self.halo3.try_exchange_many(
                 &[
                     (&self.state.t[n], FoldKind::Scalar),
@@ -874,15 +983,50 @@ impl Model {
             );
         }
         // The filtered cur level needs fresh halos for the next step.
-        let as_res = self
-            .halo3
-            .try_exchange(&self.state.u[c], FoldKind::Vector, 850)
-            .and_then(|()| {
-                self.halo3
-                    .try_exchange(&self.state.v[c], FoldKind::Vector, 860)
-            });
+        let mut pend_asselin: Option<Pending3<'_>> = None;
+        let as_res = if self.opts.overlap {
+            self.halo3
+                .begin_exchange_many(
+                    &[
+                        (&self.state.u[c], FoldKind::Vector),
+                        (&self.state.v[c], FoldKind::Vector),
+                    ],
+                    850,
+                )
+                .map(|p| {
+                    pend_asselin = Some(p);
+                })
+        } else {
+            self.halo3
+                .try_exchange(&self.state.u[c], FoldKind::Vector, 850)
+                .and_then(|()| {
+                    self.halo3
+                        .try_exchange(&self.state.v[c], FoldKind::Vector, 860)
+                })
+        };
         self.timers.stop("asselin");
         as_res?;
+
+        // Drain every split-phase exchange still in flight: ghosts of
+        // u[n]/v[n], t[n]/s[n], and the filtered u[c]/v[c] all become
+        // valid here, before the step commits. The blocking tail of each
+        // pending is counted as halo wait; the time since its begin is
+        // counted as in-flight overlap.
+        self.timers.start("halo_drain");
+        let drain_res = (|| -> Result<(), HaloError> {
+            if let Some(p) = pend_uv.take() {
+                p.finish()?;
+            }
+            if let Some(p) = pend_ts.take() {
+                p.finish()?;
+            }
+            if let Some(p) = pend_asselin.take() {
+                p.finish()?;
+            }
+            Ok(())
+        })();
+        self.timers.stop("halo_drain");
+        drain_res?;
 
         // Physics guard: scan the freshly computed level for non-finite
         // values, runaway velocities, and out-of-bound tracers before the
@@ -930,6 +1074,10 @@ impl Model {
         );
         let halo_wait_delta = self.halo2.halo_wait_ns().saturating_sub(hw0);
         self.timers.add_count("halo_wait_ns", halo_wait_delta);
+        self.timers.add_count(
+            "halo_inflight_ns",
+            self.halo2.halo_inflight_ns().saturating_sub(hi0),
+        );
 
         // Streaming telemetry: fold this step's sample into the monitor,
         // under its own phase timer so the step stays fully attributed.
@@ -1093,6 +1241,13 @@ impl Model {
     /// the 2-D and 3-D halo engines).
     pub fn halo_wait_ns(&self) -> u64 {
         self.halo2.halo_wait_ns()
+    }
+
+    /// Cumulative nanoseconds exchanges spent in flight (begin → done)
+    /// on this rank — concurrent spans add, so this is "communication ·
+    /// seconds" available for overlap accounting.
+    pub fn halo_inflight_ns(&self) -> u64 {
+        self.halo2.halo_inflight_ns()
     }
 
     /// Steps taken so far.

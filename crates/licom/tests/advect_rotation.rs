@@ -144,10 +144,10 @@ fn revolve(limited: bool) -> (Vec<f64>, f64, f64, Vec<f64>) {
                 dt,
                 limited,
                 None,
-                &|t| {
+                licom::advect::TmpExchange::Blocking(&|t| {
                     s.halo.exchange(t, FoldKind::Scalar, 10);
                     Ok(())
-                },
+                }),
             )
             .unwrap();
             q.copy_from_slice(out.as_slice());

@@ -379,8 +379,28 @@ impl Comm {
         tag: u64,
         timeout: Duration,
     ) -> Result<Message, CommError> {
+        fn spare_cores() -> bool {
+            static SPARE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            *SPARE.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get() > 1)
+                    .unwrap_or(false)
+            })
+        }
         let mb = &self.shared.mailboxes[self.rank];
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
+        // Halo strips at step granularity arrive within microseconds of the
+        // first miss; a condvar sleep/wakeup costs far more than that, so
+        // spin briefly before parking — but only when spare cores exist.
+        // On a single hardware thread the spin *starves the sender* (it
+        // can only post the message once the scheduler preempts us), so
+        // there the condvar park is strictly better.
+        let spin_until = if spare_cores() {
+            start + Duration::from_micros(50)
+        } else {
+            start
+        };
         let mut q = mb.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
@@ -404,8 +424,52 @@ impl Comm {
                     waited: timeout,
                 });
             }
-            mb.cv.wait_for(&mut q, deadline - now);
+            if now < spin_until {
+                drop(q);
+                for _ in 0..64 {
+                    std::hint::spin_loop();
+                }
+                q = mb.queue.lock();
+            } else {
+                mb.cv.wait_for(&mut q, deadline - now);
+            }
         }
+    }
+
+    /// Non-blocking probe: is a message from `(src, tag)` already queued?
+    /// Does not consume the message or emit a traffic event.
+    pub fn has_message(&self, src: usize, tag: u64) -> bool {
+        let mb = &self.shared.mailboxes[self.rank];
+        let q = mb.queue.lock();
+        q.iter().any(|m| m.src == src && m.tag == tag)
+    }
+
+    /// Non-blocking pooled receive: if the `(src, tag)` message is already
+    /// queued, consume it exactly like [`Comm::recv_into`] and return
+    /// `Some`; otherwise return `None` immediately without waiting. This is
+    /// the polling primitive the split-phase halo exchanges use to drive
+    /// progress while interior compute runs.
+    pub fn try_recv_into<R>(
+        &self,
+        src: usize,
+        tag: u64,
+        consume: impl FnOnce(&[f64]) -> R,
+    ) -> Option<R> {
+        let mb = &self.shared.mailboxes[self.rank];
+        let msg = {
+            let mut q = mb.queue.lock();
+            let pos = q.iter().position(|m| m.src == src && m.tag == tag)?;
+            q.remove(pos)
+        };
+        let bytes = match &msg.payload {
+            Payload::PooledF64(b) => (b.len() * std::mem::size_of::<f64>()) as u64,
+            Payload::Boxed { .. } => 0,
+        };
+        self.tap_event(CommEventKind::Recv, src, tag, bytes);
+        let buf = self.decode_f64(src, tag, msg.payload);
+        let out = consume(&buf);
+        self.shared.pools[self.rank].release(buf);
+        Some(out)
     }
 
     /// Set this rank's epoch (the model's step counter). Fault rules with

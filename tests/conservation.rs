@@ -110,10 +110,10 @@ fn advection_conserves_and_preserves_bounds_in_closed_basin() {
                 cfg.dt_tracer,
                 true,
                 None,
-                &|tmp| {
+                licomkpp::model::advect::TmpExchange::Blocking(&|tmp| {
                     m.halo3().exchange(tmp, FoldKind::Scalar, 910);
                     Ok(())
-                },
+                }),
             )
             .unwrap();
             // Copy back.
