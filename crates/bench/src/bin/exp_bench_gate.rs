@@ -57,7 +57,7 @@ const SPLIT_BOUND: f64 = 0.02;
 
 fn space_for(name: &str) -> kokkos_rs::Space {
     if name == "SwAthread" {
-        kokkos_rs::Space::sw_athread_with(sunway_sim::CgConfig::test_small())
+        kokkos_rs::Space::sw_athread_with(sunway_sim::CgConfig::bench())
     } else {
         kokkos_rs::Space::from_name(name).expect("known space")
     }
@@ -77,6 +77,9 @@ struct RankResult {
     traffic: TrafficSnapshot,
     wet_cells: u64,
     monitor: String,
+    /// SwAthread only: core-group counter rollup
+    /// `[dma_bytes, dma_stall_cycles, cpe_busy_cycles, ldm_high_water]`.
+    cg: Option<[f64; 4]>,
 }
 
 struct SpaceSummary {
@@ -90,8 +93,27 @@ fn run_space(space_name: &'static str, cfg: &ocean_grid::ModelConfig) -> SpaceSu
     let run_cfg = cfg.clone();
     let results: Vec<RankResult> = World::run(RANKS, move |comm| {
         let space = space_for(space_name);
-        let mut m = Model::new(comm, run_cfg.clone(), space, ModelOptions::default());
+        let mut m = Model::new(
+            comm,
+            run_cfg.clone(),
+            space.clone(),
+            ModelOptions::default(),
+        );
         let stats = m.run_days(days);
+        // The model's space clone shares the simulated core group, so the
+        // counters here cover every kernel the run launched.
+        let cg = match &space {
+            kokkos_rs::Space::SwAthread(sw) => {
+                let c = sw.counters();
+                Some([
+                    (c.totals.dma_get_bytes + c.totals.dma_put_bytes) as f64,
+                    c.totals.dma_stall_cycles as f64,
+                    c.kernel_cycles_mean as f64 * sw.config().num_cpes as f64,
+                    c.totals.ldm_high_water as f64,
+                ])
+            }
+            _ => None,
+        };
         // Leaf phases only: the enclosing daily_loop/step timers contain
         // them and would double-count every second.
         let phases: Vec<(String, f64)> = m
@@ -117,6 +139,7 @@ fn run_space(space_name: &'static str, cfg: &ocean_grid::ModelConfig) -> SpaceSu
                 .collect(),
             traffic: m.comm().traffic(),
             wet_cells: m.grid.wet.cells3_own.indices.len() as u64,
+            cg,
             monitor: m
                 .telemetry()
                 .map(|t| t.render())
@@ -179,7 +202,7 @@ fn run_space(space_name: &'static str, cfg: &ocean_grid::ModelConfig) -> SpaceSu
             .map(|(_, v)| *v as f64)
             .unwrap_or(0.0)
     };
-    let metrics = vec![
+    let mut metrics = vec![
         (format!("{prefix}.sypd"), r0.stats.sypd),
         (
             format!("{prefix}.mean_step_seconds"),
@@ -217,6 +240,20 @@ fn run_space(space_name: &'static str, cfg: &ocean_grid::ModelConfig) -> SpaceSu
             count("drift_physics_trips"),
         ),
     ];
+    // SwAthread's simulated hardware counters: DMA traffic, residual
+    // Eq. 1/2 stall fraction, and LDM residency — the direct evidence
+    // for the LDM-tiling deliverables, gated direction-aware.
+    if let Some([dma_bytes, stall_cycles, busy_cycles, ldm_high]) = r0.cg {
+        metrics.push((
+            format!("{prefix}.cg_dma_bytes_per_step"),
+            dma_bytes / STEPS as f64,
+        ));
+        metrics.push((
+            format!("{prefix}.cg_dma_stall_fraction"),
+            stall_cycles / busy_cycles.max(1.0),
+        ));
+        metrics.push((format!("{prefix}.cg_ldm_high_water"), ldm_high));
+    }
 
     // Full text report for this space (CI uploads it as an artifact).
     let mut report = format!("## space: {space_name}\n\n");
@@ -340,6 +377,13 @@ fn main() -> ExitCode {
 
     let apply_injection = |raw: &BTreeMap<String, f64>| -> BTreeMap<String, f64> {
         let mut m = raw.clone();
+        // Derived headline metric: the SwAthread/Threads gap (1.0 =
+        // parity). Recomputed here so re-measured retries refresh it.
+        if let (Some(&t), Some(&s)) = (m.get("threads.sypd"), m.get("swathread.sypd")) {
+            if s > 0.0 && t > 0.0 {
+                m.insert("swathread.sypd_ratio_vs_threads".to_string(), t / s);
+            }
+        }
         if inject {
             for (name, v) in m.iter_mut() {
                 if name.ends_with(".mean_step_seconds") || name.ends_with(".halo_wait_seconds") {

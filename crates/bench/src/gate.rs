@@ -88,6 +88,41 @@ pub fn policy_for(name: &str) -> MetricPolicy {
             rel_tol: 0.25,
             abs_floor: 0.1,
         },
+        // Simulated CG DMA traffic per step is a function of the tile
+        // schedule, not of host timing — a growth means the LDM tiling
+        // regressed (smaller tiles, more transactions). Small drift is
+        // allowed for schedule changes that trade bytes for stalls.
+        "cg_dma_bytes_per_step" => MetricPolicy {
+            direction: Direction::LowerIsBetter,
+            rel_tol: 0.10,
+            abs_floor: 0.0,
+        },
+        // Fraction of aggregate CPE busy cycles stalled in dma_wait —
+        // the measured Eq. 1/2 residual. Rising past tolerance means
+        // tiles shrank below the crossover.
+        "cg_dma_stall_fraction" => MetricPolicy {
+            direction: Direction::LowerIsBetter,
+            rel_tol: 0.25,
+            abs_floor: 0.02,
+        },
+        // Peak LDM bytes resident: deeper tiles amortize DMA latency, so
+        // falling high-water marks mean the cost model stopped using the
+        // scratchpad.
+        "cg_ldm_high_water" => MetricPolicy {
+            direction: Direction::HigherIsBetter,
+            rel_tol: 0.25,
+            abs_floor: 0.0,
+        },
+        // The headline SwAthread gap: Threads SYPD over SwAthread SYPD
+        // (1.0 = parity). Wall-clock on both sides, so noise enters
+        // twice — the ratio swings ±0.3 run to run on a loaded host.
+        // The wide absolute floor keeps jitter out; the real ceiling is
+        // CI's --assert-below bound.
+        "sypd_ratio_vs_threads" => MetricPolicy {
+            direction: Direction::LowerIsBetter,
+            rel_tol: 0.5,
+            abs_floor: 0.5,
+        },
         "max_over_mean" => MetricPolicy {
             direction: Direction::Informational,
             rel_tol: 0.0,

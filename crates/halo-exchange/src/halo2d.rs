@@ -32,11 +32,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use kokkos_rs::View2;
+use kokkos_rs::{Space, View2};
 use mpi_sim::{CartComm, Comm, Dir, Neighbor};
 
 use crate::integrity::{self, FrameSeq, HaloError, IntegrityConfig};
+use crate::strip;
 use crate::HALO as H;
+
+/// Below this many elements a strip copy stays on the MPE: a kernel launch
+/// costs on the order of a microsecond, which a host `memcpy` at tens of
+/// GB/s spends moving a few thousand f64 — dispatching smaller strips to
+/// CPEs (or the thread pool) would pay more in overhead than the copy
+/// itself. Kilometer-scale blocks clear this easily; the coarse test grids
+/// fall back to the serial runs.
+const STRIP_DISPATCH_MIN: usize = 4096;
 
 /// Tag offsets by direction of travel.
 const T_WEST: u64 = 0;
@@ -105,6 +114,12 @@ pub struct Halo2D {
     pub y0: usize,
     pub nx: usize,
     pub ny: usize,
+    /// Execution space strip pack/unpack dispatches on (serial by
+    /// default; the model passes its own so staging runs on CPEs).
+    space: Space,
+    /// Minimum strip elements before pack/unpack leaves the MPE
+    /// ([`STRIP_DISPATCH_MIN`]; tests shrink it to force dispatch).
+    strip_dispatch_min: usize,
     /// Persistent scratch for self-sends / self-folds (two cells: the
     /// east/west self path needs both strips live at once). Grow-once.
     scratch_a: RefCell<Vec<f64>>,
@@ -155,6 +170,8 @@ impl Halo2D {
             y0,
             nx,
             ny,
+            space: Space::serial(),
+            strip_dispatch_min: STRIP_DISPATCH_MIN,
             scratch_a: RefCell::new(Vec::new()),
             scratch_b: RefCell::new(Vec::new()),
             integrity: None,
@@ -182,6 +199,27 @@ impl Halo2D {
 
     pub(crate) fn add_inflight(&self, ns: u64) {
         self.inflight_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Dispatch strip pack/unpack over `space` instead of serial MPE
+    /// loops (paper §V-D: halo staging runs on the CPEs so wide strips
+    /// stop round-tripping through MPE memory). Strips smaller than
+    /// [`STRIP_DISPATCH_MIN`] elements still take the serial fast path —
+    /// launch overhead would dominate the copy.
+    pub fn with_space(mut self, space: Space) -> Self {
+        strip::register_strip_copy_2d();
+        self.space = space;
+        self
+    }
+
+    /// The execution space strip staging dispatches on.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Whether a strip of `elems` elements is worth a kernel launch.
+    fn dispatch_strips(&self, elems: usize) -> bool {
+        elems >= self.strip_dispatch_min && !matches!(self.space, Space::Serial)
     }
 
     /// Enable CRC32 frame integrity + bounded retry on every networked
@@ -314,6 +352,10 @@ impl Halo2D {
 
     fn pack_cols_into(&self, f: &View2<f64>, c0: usize, out: &mut [f64]) {
         assert_eq!(out.len(), self.ny * H);
+        if self.dispatch_strips(out.len()) {
+            strip::pack_rect2_on(&self.space, f, H, false, self.ny, c0, H, out);
+            return;
+        }
         let fs = f.as_slice();
         for (jj, chunk) in out.chunks_exact_mut(H).enumerate() {
             let off = f.offset([H + jj, c0]);
@@ -333,6 +375,10 @@ impl Halo2D {
 
     fn unpack_cols_from(&self, f: &View2<f64>, c0: usize, buf: &[f64]) {
         assert_eq!(buf.len(), self.ny * H);
+        if self.dispatch_strips(buf.len()) {
+            strip::unpack_rect2_on(&self.space, f, H, false, self.ny, c0, H, buf);
+            return;
+        }
         for (jj, chunk) in buf.chunks_exact(H).enumerate() {
             let off = f.offset([H + jj, c0]);
             // SAFETY: serial writes into a root view's backing storage; the
@@ -358,6 +404,10 @@ impl Halo2D {
     fn pack_rows_into(&self, f: &View2<f64>, r0: usize, out: &mut [f64]) {
         let (_, pi) = self.padded();
         assert_eq!(out.len(), H * pi);
+        if self.dispatch_strips(out.len()) {
+            strip::pack_rect2_on(&self.space, f, r0, false, H, 0, pi, out);
+            return;
+        }
         let fs = f.as_slice();
         for (r, chunk) in out.chunks_exact_mut(pi).enumerate() {
             let off = f.offset([r0 + r, 0]);
@@ -379,6 +429,10 @@ impl Halo2D {
     fn unpack_rows_from(&self, f: &View2<f64>, r0: usize, buf: &[f64]) {
         let (_, pi) = self.padded();
         assert_eq!(buf.len(), H * pi);
+        if self.dispatch_strips(buf.len()) {
+            strip::unpack_rect2_on(&self.space, f, r0, false, H, 0, pi, buf);
+            return;
+        }
         for (r, chunk) in buf.chunks_exact(pi).enumerate() {
             let off = f.offset([r0 + r, 0]);
             // SAFETY: as in `unpack_cols_from` — serial, in-bounds run.
@@ -404,6 +458,10 @@ impl Halo2D {
     fn pack_fold_into(&self, f: &View2<f64>, out: &mut [f64]) {
         let (_, pi) = self.padded();
         assert_eq!(out.len(), H * pi);
+        if self.dispatch_strips(out.len()) {
+            strip::pack_rect2_on(&self.space, f, H + self.ny - 1, true, H, 0, pi, out);
+            return;
+        }
         let fs = f.as_slice();
         for (d, chunk) in out.chunks_exact_mut(pi).enumerate() {
             let off = f.offset([H + self.ny - 1 - d, 0]);
@@ -411,7 +469,10 @@ impl Halo2D {
         }
     }
 
-    /// Fold unpack into ghost rows `H+ny+d` with zonal mirroring.
+    /// Fold unpack into ghost rows `H+ny+d` with zonal mirroring. Stays
+    /// on the MPE: the mirror reverses element order, so there are no
+    /// contiguous runs to hand a strip kernel, and only `H` ghost rows
+    /// ever take this path.
     fn unpack_fold(&self, f: &View2<f64>, buf: &[f64], kind: FoldKind, partner_x0: usize) {
         let (_, pi) = self.padded();
         assert_eq!(buf.len(), H * pi);
@@ -1182,6 +1243,42 @@ mod tests {
     fn uneven_rows_ok_without_fold_constraint_violation() {
         // ny not divisible by py is fine; only nx % px matters for the fold.
         run_case(6, 2, 3, 8, 11, FoldKind::Scalar);
+    }
+
+    #[test]
+    fn cpe_dispatched_strips_match_serial_bitwise() {
+        // Force every strip through the execution-space path (threshold 0)
+        // and require bitwise identity with the serial helpers, fold and
+        // sign-flip included.
+        for space in [
+            Space::threads(),
+            Space::sw_athread_with(sunway_sim::CgConfig::test_small()),
+        ] {
+            for kind in [FoldKind::Scalar, FoldKind::Vector] {
+                World::run(4, |comm| {
+                    let cart = CartComm::new(comm.clone(), 2, 2, true);
+                    let serial = Halo2D::new(&cart, 12, 10);
+                    let mut cpe = Halo2D::new(&cart, 12, 10).with_space(space.clone());
+                    cpe.strip_dispatch_min = 0;
+                    let (pj, pi) = serial.padded();
+                    let a: View2<f64> = View::host("a", [pj, pi]);
+                    let b: View2<f64> = View::host("b", [pj, pi]);
+                    a.fill(-1e30);
+                    b.fill(-1e30);
+                    fill_owned(&serial, &a);
+                    fill_owned(&cpe, &b);
+                    serial.exchange(&a, kind, 0);
+                    cpe.exchange(&b, kind, 40);
+                    check_all(&cpe, &b, kind);
+                    assert_eq!(
+                        a.to_vec(),
+                        b.to_vec(),
+                        "serial vs {} strips, {kind:?}",
+                        space.name()
+                    );
+                });
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use kokkos_rs::functor::{Functor1D, IterCost};
 use kokkos_rs::parallel::parallel_for_1d;
 use kokkos_rs::policy::RangePolicy;
-use kokkos_rs::{Space, View3};
+use kokkos_rs::{Space, View2, View3};
 
 use crate::halo3d::Strategy3D;
 
@@ -140,6 +140,155 @@ impl Functor1D for StripCopy {
 }
 
 kokkos_rs::register_for_1d!(register_strip_copy, StripCopy);
+
+/// One 2-D halo-strip copy for [`crate::halo2d::Halo2D`]: `nruns` rows of
+/// `ni` consecutive elements each, against a row-major buffer. Run `r`
+/// maps to field row `j0 + r`, or `j0 - r` when `rev` is set (the
+/// tripolar fold packs rows in descending order). Same disjoint-run
+/// contract as [`StripCopy`].
+struct StripCopy2D {
+    field: *mut f64,
+    buf: *mut f64,
+    /// Elements per field row (`pi`).
+    row: usize,
+    j0: usize,
+    i0: usize,
+    ni: usize,
+    /// Field rows descend from `j0` (fold pack order).
+    rev: bool,
+    dir: CopyDir,
+}
+
+// SAFETY: as for `StripCopy` — live field and buffer for the synchronous
+// launch, disjoint runs per iteration.
+unsafe impl Send for StripCopy2D {}
+unsafe impl Sync for StripCopy2D {}
+
+impl Functor1D for StripCopy2D {
+    fn operator(&self, r: usize) {
+        let j = if self.rev { self.j0 - r } else { self.j0 + r };
+        let foff = j * self.row + self.i0;
+        let boff = r * self.ni;
+        unsafe {
+            match self.dir {
+                CopyDir::Pack => {
+                    let src =
+                        std::slice::from_raw_parts(self.field.add(foff) as *const f64, self.ni);
+                    std::slice::from_raw_parts_mut(self.buf.add(boff), self.ni)
+                        .copy_from_slice(src);
+                }
+                CopyDir::Unpack => {
+                    let src = std::slice::from_raw_parts(self.buf.add(boff) as *const f64, self.ni);
+                    std::slice::from_raw_parts_mut(self.field.add(foff), self.ni)
+                        .copy_from_slice(src);
+                }
+            }
+        }
+    }
+
+    fn cost(&self) -> IterCost {
+        IterCost {
+            flops: 0,
+            bytes: 16 * self.ni as u64,
+        }
+    }
+}
+
+kokkos_rs::register_for_1d!(register_strip_copy_2d, StripCopy2D);
+
+#[allow(clippy::too_many_arguments)]
+fn launch2(
+    space: &Space,
+    dir: CopyDir,
+    f: &View2<f64>,
+    j0: usize,
+    rev: bool,
+    nruns: usize,
+    i0: usize,
+    ni: usize,
+    buf: *mut f64,
+    buf_len: usize,
+) {
+    let [pj, pi] = f.dims();
+    assert_eq!(buf_len, nruns * ni, "strip buffer length mismatch");
+    if rev {
+        assert!(nruns <= j0 + 1 && j0 < pj, "strip rows out of bounds");
+    } else {
+        assert!(j0 + nruns <= pj, "strip rows out of bounds");
+    }
+    assert!(i0 + ni <= pi, "strip columns out of bounds");
+    assert!(
+        f.is_root_view() && f.layout() == kokkos_rs::Layout::Right,
+        "strip copy requires a root row-major field"
+    );
+    let func = StripCopy2D {
+        field: f.data_ptr(),
+        buf,
+        row: pi,
+        j0,
+        i0,
+        ni,
+        rev,
+        dir,
+    };
+    let tile = (nruns / 64).clamp(1, 256);
+    parallel_for_1d(space, RangePolicy::new(nruns).with_tile(tile), &func);
+}
+
+/// Pack `nruns` rows × `ni` columns of the 2-D field `f` into `out`
+/// (row-major), dispatched over `space`. `rev` walks field rows downward
+/// from `j0` — the fold pack order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_rect2_on(
+    space: &Space,
+    f: &View2<f64>,
+    j0: usize,
+    rev: bool,
+    nruns: usize,
+    i0: usize,
+    ni: usize,
+    out: &mut [f64],
+) {
+    launch2(
+        space,
+        CopyDir::Pack,
+        f,
+        j0,
+        rev,
+        nruns,
+        i0,
+        ni,
+        out.as_mut_ptr(),
+        out.len(),
+    );
+}
+
+/// Unpack `buf` into `nruns` rows × `ni` columns of `f`, inverse of
+/// [`pack_rect2_on`]. `buf` is only read.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn unpack_rect2_on(
+    space: &Space,
+    f: &View2<f64>,
+    j0: usize,
+    rev: bool,
+    nruns: usize,
+    i0: usize,
+    ni: usize,
+    buf: &[f64],
+) {
+    launch2(
+        space,
+        CopyDir::Unpack,
+        f,
+        j0,
+        rev,
+        nruns,
+        i0,
+        ni,
+        buf.as_ptr() as *mut f64,
+        buf.len(),
+    );
+}
 
 #[allow(clippy::too_many_arguments)]
 fn launch(
@@ -311,6 +460,46 @@ mod tests {
                         let inside = (j0..j0 + nj).contains(&j) && (i0..i0 + ni).contains(&i);
                         let want = if inside { src.at(k, j, i) } else { -1.0 };
                         assert_eq!(dst.at(k, j, i), want, "{order:?} k={k} j={j} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rect2_pack_unpack_on_all_spaces() {
+        let f2: View2<f64> = View::from_fn("f2", [9, 12], |[j, i]| (j * 100 + i) as f64 + 0.25);
+        // Reference: ascending and descending row-major packs.
+        let pack2_ref = |j0: usize, rev: bool, nruns: usize, i0: usize, ni: usize| {
+            let mut buf = Vec::new();
+            for r in 0..nruns {
+                let j = if rev { j0 - r } else { j0 + r };
+                for i in i0..i0 + ni {
+                    buf.push(f2.at(j, i));
+                }
+            }
+            buf
+        };
+        register_strip_copy_2d();
+        let spaces = [
+            Space::serial(),
+            Space::threads(),
+            Space::sw_athread_with(sunway_sim::CgConfig::test_small()),
+        ];
+        for space in &spaces {
+            for (j0, rev, nruns, i0, ni) in [(2, false, 5, 3, 2), (8, true, 2, 0, 12)] {
+                let want = pack2_ref(j0, rev, nruns, i0, ni);
+                let mut got = vec![0.0; want.len()];
+                pack_rect2_on(space, &f2, j0, rev, nruns, i0, ni, &mut got);
+                assert_eq!(got, want, "pack rev={rev} on {}", space.name());
+
+                let dst: View2<f64> = View::host("dst2", [9, 12]);
+                dst.fill(-1.0);
+                unpack_rect2_on(space, &dst, j0, rev, nruns, i0, ni, &want);
+                for r in 0..nruns {
+                    let j = if rev { j0 - r } else { j0 + r };
+                    for i in i0..i0 + ni {
+                        assert_eq!(dst.at(j, i), f2.at(j, i), "unpack j={j} i={i}");
                     }
                 }
             }

@@ -47,8 +47,8 @@ pub mod team;
 pub mod view;
 
 pub use functor::{
-    Functor1D, Functor2D, Functor3D, FunctorList, IterCost, ReduceFunctor1D, ReduceFunctor2D,
-    ReduceFunctor3D, ReduceFunctorList, Reducer,
+    Functor1D, Functor2D, Functor3D, FunctorList, FunctorPair2D, FunctorTriple2D, IterCost,
+    ReduceFunctor1D, ReduceFunctor2D, ReduceFunctor3D, ReduceFunctorList, Reducer,
 };
 pub use memspace::MemSpace;
 pub use parallel::fence;

@@ -15,6 +15,7 @@
 
 use rayon::prelude::*;
 
+use crate::functor::IterCost;
 use crate::functor::{
     Functor1D, Functor2D, Functor3D, FunctorList, ReduceFunctor1D, ReduceFunctor2D,
     ReduceFunctor3D, ReduceFunctorList, Reducer,
@@ -22,7 +23,8 @@ use crate::functor::{
 use crate::policy::{ListPolicy, MDRangePolicy2, MDRangePolicy3, RangePolicy};
 use crate::profiling::{self, PatternKind, PolicyKind};
 use crate::registry::{self, KernelKind};
-use crate::space::Space;
+use crate::space::{Space, SwSpace};
+use sunway_sim::pipeline::choose_tile_elems;
 
 fn not_registered<F>(kind: &str) -> ! {
     panic!(
@@ -121,6 +123,39 @@ fn collect_list_partials(
 }
 
 // ---------------------------------------------------------------------------
+// Cost-model-driven tile sizing (SwAthread dense for-launches only)
+// ---------------------------------------------------------------------------
+//
+// On the Sunway backend the tile is the DMA staging unit, so the dispatch
+// layer re-tiles dense *for* launches from the functor's `IterCost` and the
+// core group's LDM/bandwidth/latency parameters
+// ([`sunway_sim::pipeline::choose_tile_elems`]). For-loops write disjoint
+// elements, so retiling cannot change results. Reductions and list
+// launches keep the caller's tiles untouched: tile geometry is part of
+// the deterministic reduction contract (one partial per tile, joined in
+// tile order) and of the cost-prefix schedule respectively.
+
+fn sw_retile_1d(sw: &SwSpace, p: RangePolicy, cost: IterCost) -> RangePolicy {
+    let t = choose_tile_elems(sw.config(), cost.bytes, p.len());
+    p.with_tile(t.max(1))
+}
+
+fn sw_retile_2d(sw: &SwSpace, p: MDRangePolicy2, cost: IterCost) -> MDRangePolicy2 {
+    let t = choose_tile_elems(sw.config(), cost.bytes, p.extent[0] * p.extent[1]);
+    // Keep the caller's row blocking; widen/narrow the streaming (inner)
+    // dimension so the tile holds ~the chosen iteration count.
+    let w = (t / p.tile[0].max(1)).clamp(1, p.extent[1].max(1));
+    p.with_tile([p.tile[0], w])
+}
+
+fn sw_retile_3d(sw: &SwSpace, p: MDRangePolicy3, cost: IterCost) -> MDRangePolicy3 {
+    let total = p.extent[0] * p.extent[1] * p.extent[2];
+    let t = choose_tile_elems(sw.config(), cost.bytes, total);
+    let w = (t / (p.tile[0] * p.tile[1]).max(1)).clamp(1, p.extent[2].max(1));
+    p.with_tile([p.tile[0], p.tile[1], w])
+}
+
+// ---------------------------------------------------------------------------
 // parallel_for
 // ---------------------------------------------------------------------------
 
@@ -142,13 +177,15 @@ pub fn parallel_for_1d<F: Functor1D + 'static>(space: &Space, policy: RangePolic
     };
     match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For1D) else {
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::For1D)
+            else {
                 not_registered::<F>("register_for_1d");
             };
+            let cost = f.cost();
             let payload = registry::Payload1D {
                 functor: f as *const F as *const (),
-                policy,
-                cost: f.cost(),
+                policy: sw_retile_1d(sw, policy, cost),
+                cost,
             };
             sw.cg
                 .lock()
@@ -178,13 +215,15 @@ pub fn parallel_for_2d<F: Functor2D + 'static>(space: &Space, policy: MDRangePol
     };
     match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For2D) else {
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::For2D)
+            else {
                 not_registered::<F>("register_for_2d");
             };
+            let cost = f.cost();
             let payload = registry::Payload2D {
                 functor: f as *const F as *const (),
-                policy,
-                cost: f.cost(),
+                policy: sw_retile_2d(sw, policy, cost),
+                cost,
             };
             sw.cg
                 .lock()
@@ -216,13 +255,15 @@ pub fn parallel_for_3d<F: Functor3D + 'static>(space: &Space, policy: MDRangePol
     };
     match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::For3D) else {
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::For3D)
+            else {
                 not_registered::<F>("register_for_3d");
             };
+            let cost = f.cost();
             let payload = registry::Payload3D {
                 functor: f as *const F as *const (),
-                policy,
-                cost: f.cost(),
+                policy: sw_retile_3d(sw, policy, cost),
+                cost,
             };
             sw.cg
                 .lock()
@@ -253,7 +294,8 @@ pub fn parallel_for_list<F: FunctorList + 'static>(space: &Space, policy: &ListP
     };
     match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::ForList) else {
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::ForList)
+            else {
                 not_registered::<F>("register_for_list");
             };
             let payload = registry::PayloadList {
@@ -294,7 +336,8 @@ pub fn parallel_reduce_list<F: ReduceFunctorList + 'static>(
     };
     let partials: Vec<f64> = match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::ReduceList)
+            let Some(tramp) =
+                registry::lookup_simd(registry::key_of::<F>(), KernelKind::ReduceList)
             else {
                 not_registered::<F>("register_reduce_list");
             };
@@ -350,7 +393,7 @@ pub fn parallel_reduce_1d<F: ReduceFunctor1D + 'static>(
     };
     let partials: Vec<f64> = match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce1D)
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::Reduce1D)
             else {
                 not_registered::<F>("register_reduce_1d");
             };
@@ -399,7 +442,7 @@ pub fn parallel_reduce_2d<F: ReduceFunctor2D + 'static>(
     };
     let partials: Vec<f64> = match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce2D)
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::Reduce2D)
             else {
                 not_registered::<F>("register_reduce_2d");
             };
@@ -450,7 +493,7 @@ pub fn parallel_reduce_3d<F: ReduceFunctor3D + 'static>(
     };
     let partials: Vec<f64> = match space {
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Reduce3D)
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::Reduce3D)
             else {
                 not_registered::<F>("register_reduce_3d");
             };

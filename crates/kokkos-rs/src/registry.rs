@@ -251,16 +251,60 @@ pub struct PayloadReduce3D {
     pub identity: f64,
 }
 
+/// Split a tile's modeled `View` traffic into DMA-in and DMA-out bytes.
+/// Stencil/tendency kernels read more operands than they write (a 2:1
+/// split is representative of the licom hot loops); both directions flow
+/// through the double-buffered pipe.
 #[inline]
-fn charge(ctx: &mut CpeCtx, cost: IterCost, iters: u64) {
-    // One call per executed tile: dispatch accounting first, so per-CPE
-    // tile counts are visible even for zero-cost tiles.
-    ctx.account_tiles(1);
-    if iters == 0 {
+fn tile_bytes(cost: IterCost, iters: u64) -> (u64, u64) {
+    let total = cost.bytes * iters;
+    let put = total / 3;
+    (total - put, put)
+}
+
+/// Drive one CPE's contiguous tile range through the §V-C2 double-buffered
+/// DMA pipeline: `iters_of(t)` gives tile `t`'s iteration count (for the
+/// prefetch of `t+1`'s bytes), `body(ctx, t)` executes it. FLOP accounting
+/// happens here so every trampoline charges identically.
+#[inline]
+fn drive_pipelined(
+    ctx: &mut CpeCtx,
+    cost: IterCost,
+    tile_elems: usize,
+    t0: usize,
+    t1: usize,
+    iters_of: impl Fn(usize) -> u64,
+    mut body: impl FnMut(usize),
+) {
+    if t0 >= t1 {
         return;
     }
-    ctx.account_flops_simd(cost.flops * iters);
-    ctx.account_dma_traffic((cost.bytes * iters) as usize);
+    if t1 - t0 == 1 {
+        // Single tile: nothing to double-buffer against; take the cheap
+        // single-staged path (same cycle accounting, no pipe bookkeeping).
+        let iters = iters_of(t0);
+        let (in_b, out_b) = tile_bytes(cost, iters);
+        sunway_sim::pipeline::stream_single_tile(ctx, tile_elems, in_b, out_b, |ctx| {
+            body(t0);
+            ctx.account_flops_simd(cost.flops * iters);
+        });
+        return;
+    }
+    let mut pipe = sunway_sim::DmaPipe::begin(ctx, tile_elems);
+    for t in t0..t1 {
+        let iters = iters_of(t);
+        let (in_b, out_b) = tile_bytes(cost, iters);
+        let next_in = if t + 1 < t1 {
+            Some(tile_bytes(cost, iters_of(t + 1)).0)
+        } else {
+            None
+        };
+        pipe.tile(ctx, in_b, out_b, next_in, |ctx| {
+            body(t);
+            ctx.account_flops_simd(cost.flops * iters);
+        });
+    }
+    pipe.finish(ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -275,13 +319,17 @@ pub fn tramp_for_1d<F: Functor1D>(ctx: &mut CpeCtx, arg: usize) {
     let total = p.policy.total_tiles();
     let per = tiles_per_cpe(total, ctx.num_cpes());
     let first = ctx.cpe_id() * per;
-    for t in first..(first + per).min(total) {
+    let last = (first + per).min(total);
+    let iters = |t: usize| {
+        let (lo, hi) = p.policy.tile_range(t);
+        (hi - lo) as u64
+    };
+    drive_pipelined(ctx, p.cost, p.policy.tile, first, last, iters, |t| {
         let (lo, hi) = p.policy.tile_range(t);
         for i in lo..hi {
             f.operator(i);
         }
-        charge(ctx, p.cost, (hi - lo) as u64);
-    }
+    });
 }
 
 #[doc(hidden)]
@@ -291,15 +339,20 @@ pub fn tramp_for_2d<F: Functor2D>(ctx: &mut CpeCtx, arg: usize) {
     let total = p.policy.total_tiles();
     let per = tiles_per_cpe(total, ctx.num_cpes());
     let first = ctx.cpe_id() * per;
-    for t in first..(first + per).min(total) {
+    let last = (first + per).min(total);
+    let iters = |t: usize| {
+        let [(j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
+        ((j1 - j0) * (i1 - i0)) as u64
+    };
+    let tile_elems = p.policy.tile[0] * p.policy.tile[1];
+    drive_pipelined(ctx, p.cost, tile_elems, first, last, iters, |t| {
         let [(j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
         for j in j0..j1 {
             for i in i0..i1 {
                 f.operator(j, i);
             }
         }
-        charge(ctx, p.cost, ((j1 - j0) * (i1 - i0)) as u64);
-    }
+    });
 }
 
 #[doc(hidden)]
@@ -309,7 +362,13 @@ pub fn tramp_for_3d<F: Functor3D>(ctx: &mut CpeCtx, arg: usize) {
     let total = p.policy.total_tiles();
     let per = tiles_per_cpe(total, ctx.num_cpes());
     let first = ctx.cpe_id() * per;
-    for t in first..(first + per).min(total) {
+    let last = (first + per).min(total);
+    let iters = |t: usize| {
+        let [(k0, k1), (j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
+        ((k1 - k0) * (j1 - j0) * (i1 - i0)) as u64
+    };
+    let tile_elems = p.policy.tile[0] * p.policy.tile[1] * p.policy.tile[2];
+    drive_pipelined(ctx, p.cost, tile_elems, first, last, iters, |t| {
         let [(k0, k1), (j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
         for k in k0..k1 {
             for j in j0..j1 {
@@ -318,8 +377,7 @@ pub fn tramp_for_3d<F: Functor3D>(ctx: &mut CpeCtx, arg: usize) {
                 }
             }
         }
-        charge(ctx, p.cost, ((k1 - k0) * (j1 - j0) * (i1 - i0)) as u64);
-    }
+    });
 }
 
 #[doc(hidden)]
@@ -330,13 +388,16 @@ pub fn tramp_for_list<F: FunctorList>(ctx: &mut CpeCtx, arg: usize) {
     // Cost-weighted Eq. (2): each CPE takes the contiguous tile range whose
     // cumulative cost share is its own, not a fixed tile count.
     let (t0, t1) = policy.worker_tile_range(ctx.cpe_id(), ctx.num_cpes());
-    for t in t0..t1 {
+    let iters = |t: usize| {
+        let (lo, hi) = policy.tile_range(t);
+        (hi - lo) as u64
+    };
+    drive_pipelined(ctx, p.cost, policy.tile, t0, t1, iters, |t| {
         let (lo, hi) = policy.tile_range(t);
         for n in lo..hi {
             f.operator(n, policy.entry(n));
         }
-        charge(ctx, p.cost, (hi - lo) as u64);
-    }
+    });
 }
 
 #[doc(hidden)]
@@ -345,7 +406,11 @@ pub fn tramp_reduce_list<F: ReduceFunctorList>(ctx: &mut CpeCtx, arg: usize) {
     let f = unsafe { &*(p.functor as *const F) };
     let policy = unsafe { &*p.policy };
     let (t0, t1) = policy.worker_tile_range(ctx.cpe_id(), ctx.num_cpes());
-    for t in t0..t1 {
+    let iters = |t: usize| {
+        let (lo, hi) = policy.tile_range(t);
+        (hi - lo) as u64
+    };
+    drive_pipelined(ctx, p.cost, policy.tile, t0, t1, iters, |t| {
         let (lo, hi) = policy.tile_range(t);
         let mut acc = p.identity;
         for n in lo..hi {
@@ -353,8 +418,7 @@ pub fn tramp_reduce_list<F: ReduceFunctorList>(ctx: &mut CpeCtx, arg: usize) {
         }
         // SAFETY: worker tile ranges are disjoint; tile t has one owner.
         unsafe { *p.partials.add(t) = acc };
-        charge(ctx, p.cost, (hi - lo) as u64);
-    }
+    });
 }
 
 #[doc(hidden)]
@@ -364,7 +428,12 @@ pub fn tramp_reduce_1d<F: ReduceFunctor1D>(ctx: &mut CpeCtx, arg: usize) {
     let total = p.policy.total_tiles();
     let per = tiles_per_cpe(total, ctx.num_cpes());
     let first = ctx.cpe_id() * per;
-    for t in first..(first + per).min(total) {
+    let last = (first + per).min(total);
+    let iters = |t: usize| {
+        let (lo, hi) = p.policy.tile_range(t);
+        (hi - lo) as u64
+    };
+    drive_pipelined(ctx, p.cost, p.policy.tile, first, last, iters, |t| {
         let (lo, hi) = p.policy.tile_range(t);
         let mut acc = p.identity;
         for i in lo..hi {
@@ -372,8 +441,7 @@ pub fn tramp_reduce_1d<F: ReduceFunctor1D>(ctx: &mut CpeCtx, arg: usize) {
         }
         // SAFETY: each tile index t is owned by exactly one CPE.
         unsafe { *p.partials.add(t) = acc };
-        charge(ctx, p.cost, (hi - lo) as u64);
-    }
+    });
 }
 
 #[doc(hidden)]
@@ -383,7 +451,13 @@ pub fn tramp_reduce_2d<F: ReduceFunctor2D>(ctx: &mut CpeCtx, arg: usize) {
     let total = p.policy.total_tiles();
     let per = tiles_per_cpe(total, ctx.num_cpes());
     let first = ctx.cpe_id() * per;
-    for t in first..(first + per).min(total) {
+    let last = (first + per).min(total);
+    let iters = |t: usize| {
+        let [(j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
+        ((j1 - j0) * (i1 - i0)) as u64
+    };
+    let tile_elems = p.policy.tile[0] * p.policy.tile[1];
+    drive_pipelined(ctx, p.cost, tile_elems, first, last, iters, |t| {
         let [(j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
         let mut acc = p.identity;
         for j in j0..j1 {
@@ -392,8 +466,7 @@ pub fn tramp_reduce_2d<F: ReduceFunctor2D>(ctx: &mut CpeCtx, arg: usize) {
             }
         }
         unsafe { *p.partials.add(t) = acc };
-        charge(ctx, p.cost, ((j1 - j0) * (i1 - i0)) as u64);
-    }
+    });
 }
 
 #[doc(hidden)]
@@ -403,7 +476,13 @@ pub fn tramp_reduce_3d<F: ReduceFunctor3D>(ctx: &mut CpeCtx, arg: usize) {
     let total = p.policy.total_tiles();
     let per = tiles_per_cpe(total, ctx.num_cpes());
     let first = ctx.cpe_id() * per;
-    for t in first..(first + per).min(total) {
+    let last = (first + per).min(total);
+    let iters = |t: usize| {
+        let [(k0, k1), (j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
+        ((k1 - k0) * (j1 - j0) * (i1 - i0)) as u64
+    };
+    let tile_elems = p.policy.tile[0] * p.policy.tile[1] * p.policy.tile[2];
+    drive_pipelined(ctx, p.cost, tile_elems, first, last, iters, |t| {
         let [(k0, k1), (j0, j1), (i0, i1)] = p.policy.tile_bounds(t);
         let mut acc = p.identity;
         for k in k0..k1 {
@@ -414,8 +493,7 @@ pub fn tramp_reduce_3d<F: ReduceFunctor3D>(ctx: &mut CpeCtx, arg: usize) {
             }
         }
         unsafe { *p.partials.add(t) = acc };
-        charge(ctx, p.cost, ((k1 - k0) * (j1 - j0) * (i1 - i0)) as u64);
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------

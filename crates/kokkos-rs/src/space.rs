@@ -66,13 +66,23 @@ impl Default for DeviceSpace {
 #[derive(Clone)]
 pub struct SwSpace {
     pub(crate) cg: Arc<Mutex<CoreGroup>>,
+    /// Immutable copy of the CG's hardware description, kept outside the
+    /// mutex so per-launch tile sizing doesn't take the lock.
+    cfg: CgConfig,
 }
 
 impl SwSpace {
     pub fn new(cfg: CgConfig) -> Self {
         Self {
-            cg: Arc::new(Mutex::new(CoreGroup::new(cfg))),
+            cg: Arc::new(Mutex::new(CoreGroup::new(cfg.clone()))),
+            cfg,
         }
+    }
+
+    /// The core group's hardware configuration (for cost-model-driven
+    /// tile sizing at dispatch time).
+    pub fn config(&self) -> &CgConfig {
+        &self.cfg
     }
 
     /// Snapshot of the core group's aggregated counters.
@@ -87,7 +97,7 @@ impl SwSpace {
 
     /// CPE clock (Hz), for converting counters to simulated seconds.
     pub fn clock_hz(&self) -> f64 {
-        self.cg.lock().config().clock_hz
+        self.cfg.clock_hz
     }
 }
 

@@ -113,7 +113,8 @@ pub fn parallel_for_team<F: FunctorTeam + 'static>(space: &Space, policy: TeamPo
             });
         }
         Space::SwAthread(sw) => {
-            let Some(tramp) = registry::lookup(registry::key_of::<F>(), KernelKind::Team) else {
+            let Some(tramp) = registry::lookup_simd(registry::key_of::<F>(), KernelKind::Team)
+            else {
                 panic!(
                     "team functor `{}` not registered for SwAthread; add \
                      `register_team!(<name>, {});` and call `<name>()` at init",

@@ -15,7 +15,8 @@
 //! zonal **polar filter** smooths the fast fields on the offending rows.
 
 use kokkos_rs::{
-    parallel_for_2d, Functor2D, FunctorList, IterCost, MDRangePolicy2, Space, View1, View2,
+    parallel_for_2d, Functor2D, FunctorList, FunctorPair2D, FunctorTriple2D, IterCost,
+    MDRangePolicy2, Space, View1, View2,
 };
 use ocean_grid::GRAVITY;
 
@@ -342,6 +343,47 @@ impl Functor2D for FunctorScaleAssign2D {
 
 kokkos_rs::register_for_2d!(kernel_scale_assign_2d, FunctorScaleAssign2D);
 
+// Fused per-substep launches (kernel fusion): the substep loop issues many
+// small 2-D kernels over the same policy, and on the Sunway backend each
+// launch pays registry dispatch plus CPE spin-up. Fusing same-shaped
+// updates with disjoint write sets into one body keeps results bitwise
+// identical (per-cell arithmetic and per-array update order are unchanged)
+// while cutting the launch count of the barotropic loop by ~2.5x.
+
+/// η + (u,v) leapfrog updates of one substep in a single launch. Safe to
+/// fuse: `FunctorBtVel` reads the `[c]` η level, never the `[n]` level
+/// `FunctorBtEta` writes.
+type FunctorBtStep = FunctorPair2D<FunctorBtEta, FunctorBtVel>;
+/// The three window accumulators (η, u, v) in one launch.
+type FunctorAccum3 = FunctorTriple2D<FunctorAccum2D, FunctorAccum2D, FunctorAccum2D>;
+/// Asselin filter on all three fields in one launch.
+type FunctorAsselin3 = FunctorTriple2D<FunctorAsselin2D, FunctorAsselin2D, FunctorAsselin2D>;
+/// Three scaled copies (level init / window averaging) in one launch.
+type FunctorScaleAssign3 =
+    FunctorTriple2D<FunctorScaleAssign2D, FunctorScaleAssign2D, FunctorScaleAssign2D>;
+
+kokkos_rs::register_for_2d!(kernel_bt_step, FunctorBtStep);
+kokkos_rs::register_for_2d!(kernel_accum_3, FunctorAccum3);
+kokkos_rs::register_for_2d!(kernel_asselin_3, FunctorAsselin3);
+kokkos_rs::register_for_2d!(kernel_scale_assign_3, FunctorScaleAssign3);
+
+fn accum3(accs: &[View2<f64>; 3], xs: [&View2<f64>; 3]) -> FunctorAccum3 {
+    FunctorTriple2D {
+        a: FunctorAccum2D {
+            acc: accs[0].clone(),
+            x: xs[0].clone(),
+        },
+        b: FunctorAccum2D {
+            acc: accs[1].clone(),
+            x: xs[1].clone(),
+        },
+        c: FunctorAccum2D {
+            acc: accs[2].clone(),
+            x: xs[2].clone(),
+        },
+    }
+}
+
 /// Register this module's functors.
 pub fn register() {
     kernel_depth_mean();
@@ -353,6 +395,10 @@ pub fn register() {
     kernel_copy_2d();
     kernel_accum_2d();
     kernel_scale_assign_2d();
+    kernel_bt_step();
+    kernel_accum_3();
+    kernel_asselin_3();
+    kernel_scale_assign_3();
 }
 
 /// Add the previous substep's `[n]` values into the accumulators over the
@@ -375,17 +421,9 @@ fn flush_ghost_debt(
         MDRangePolicy2::new([g.ny, H]).with_offset([H, 0]),
         MDRangePolicy2::new([g.ny, H]).with_offset([H, H + g.nx]),
     ];
-    for (acc, x) in accs.iter().zip(fields.iter()) {
-        for r in rects {
-            parallel_for_2d(
-                space,
-                r,
-                &FunctorAccum2D {
-                    acc: acc.clone(),
-                    x: x.clone(),
-                },
-            );
-        }
+    let f = accum3(accs, [&fields[0], &fields[1], &fields[2]]);
+    for r in rects {
+        parallel_for_2d(space, r, &f);
     }
 }
 
@@ -430,28 +468,22 @@ pub fn integrate(
         parallel_for_2d(
             space,
             full,
-            &FunctorScaleAssign2D {
-                src: state.eta[state.cur()].clone(),
-                dst: state.bt_eta[lev].clone(),
-                scale: 1.0,
-            },
-        );
-        parallel_for_2d(
-            space,
-            full,
-            &FunctorScaleAssign2D {
-                src: state.ubt.clone(),
-                dst: state.bt_u[lev].clone(),
-                scale: 1.0,
-            },
-        );
-        parallel_for_2d(
-            space,
-            full,
-            &FunctorScaleAssign2D {
-                src: state.vbt.clone(),
-                dst: state.bt_v[lev].clone(),
-                scale: 1.0,
+            &FunctorTriple2D {
+                a: FunctorScaleAssign2D {
+                    src: state.eta[state.cur()].clone(),
+                    dst: state.bt_eta[lev].clone(),
+                    scale: 1.0,
+                },
+                b: FunctorScaleAssign2D {
+                    src: state.ubt.clone(),
+                    dst: state.bt_u[lev].clone(),
+                    scale: 1.0,
+                },
+                c: FunctorScaleAssign2D {
+                    src: state.vbt.clone(),
+                    dst: state.bt_v[lev].clone(),
+                    scale: 1.0,
+                },
             },
         );
     }
@@ -502,6 +534,8 @@ pub fn integrate(
             dyt: g.dyt,
             dt2,
         };
+        // Fused η+velocity substep (see `FunctorBtStep`).
+        let f_step = FunctorPair2D { a: f_eta, b: f_vel };
         match pend.take() {
             Some(p) => {
                 // The exchange posted last substep covers this substep's
@@ -509,8 +543,7 @@ pub fn integrate(
                 // least one row/column inside the owned block read no
                 // ghost — run them while the messages are in flight.
                 let interior = MDRangePolicy2::new([g.ny - 2, g.nx - 2]).with_offset([1, 1]);
-                parallel_for_2d(space, interior, &f_eta);
-                parallel_for_2d(space, interior, &f_vel);
+                parallel_for_2d(space, interior, &f_step);
                 {
                     let _r = kokkos_rs::profiling::region("bt:halo");
                     p.finish()?;
@@ -528,41 +561,33 @@ pub fn integrate(
                     MDRangePolicy2::new([g.ny - 2, 1]).with_offset([1, 0]),
                     MDRangePolicy2::new([g.ny - 2, 1]).with_offset([1, g.nx - 1]),
                 ] {
-                    parallel_for_2d(space, rp, &f_eta);
-                    parallel_for_2d(space, rp, &f_vel);
+                    parallel_for_2d(space, rp, &f_step);
                 }
             }
             None => {
-                parallel_for_2d(space, policy, &f_eta);
-                parallel_for_2d(space, policy, &f_vel);
+                parallel_for_2d(space, policy, &f_step);
             }
         }
-        // Asselin on the middle level.
+        // Asselin on the middle level, all three fields fused.
         parallel_for_2d(
             space,
             policy,
-            &FunctorAsselin2D {
-                old: state.bt_eta[o].clone(),
-                cur: state.bt_eta[c].clone(),
-                new: state.bt_eta[n].clone(),
-            },
-        );
-        parallel_for_2d(
-            space,
-            policy,
-            &FunctorAsselin2D {
-                old: state.bt_u[o].clone(),
-                cur: state.bt_u[c].clone(),
-                new: state.bt_u[n].clone(),
-            },
-        );
-        parallel_for_2d(
-            space,
-            policy,
-            &FunctorAsselin2D {
-                old: state.bt_v[o].clone(),
-                cur: state.bt_v[c].clone(),
-                new: state.bt_v[n].clone(),
+            &FunctorTriple2D {
+                a: FunctorAsselin2D {
+                    old: state.bt_eta[o].clone(),
+                    cur: state.bt_eta[c].clone(),
+                    new: state.bt_eta[n].clone(),
+                },
+                b: FunctorAsselin2D {
+                    old: state.bt_u[o].clone(),
+                    cur: state.bt_u[c].clone(),
+                    new: state.bt_u[n].clone(),
+                },
+                c: FunctorAsselin2D {
+                    old: state.bt_v[o].clone(),
+                    cur: state.bt_v[c].clone(),
+                    new: state.bt_v[n].clone(),
+                },
             },
         );
         // Halo updates of the new level, then polar filter, then window
@@ -613,20 +638,14 @@ pub fn integrate(
                 drop(filter_region);
             }
             let own = MDRangePolicy2::new([g.ny, g.nx]).with_offset([H, H]);
-            for (acc, x) in [
-                (&acc_eta, &state.bt_eta[n]),
-                (&acc_u, &state.bt_u[n]),
-                (&acc_v, &state.bt_v[n]),
-            ] {
-                parallel_for_2d(
-                    space,
-                    own,
-                    &FunctorAccum2D {
-                        acc: acc.clone(),
-                        x: x.clone(),
-                    },
-                );
-            }
+            parallel_for_2d(
+                space,
+                own,
+                &accum3(
+                    &[acc_eta.clone(), acc_u.clone(), acc_v.clone()],
+                    [&state.bt_eta[n], &state.bt_u[n], &state.bt_v[n]],
+                ),
+            );
             debt = Some([
                 state.bt_eta[n].clone(),
                 state.bt_u[n].clone(),
@@ -672,26 +691,10 @@ pub fn integrate(
             parallel_for_2d(
                 space,
                 full,
-                &FunctorAccum2D {
-                    acc: acc_eta.clone(),
-                    x: state.bt_eta[n].clone(),
-                },
-            );
-            parallel_for_2d(
-                space,
-                full,
-                &FunctorAccum2D {
-                    acc: acc_u.clone(),
-                    x: state.bt_u[n].clone(),
-                },
-            );
-            parallel_for_2d(
-                space,
-                full,
-                &FunctorAccum2D {
-                    acc: acc_v.clone(),
-                    x: state.bt_v[n].clone(),
-                },
+                &accum3(
+                    &[acc_eta.clone(), acc_u.clone(), acc_v.clone()],
+                    [&state.bt_eta[n], &state.bt_u[n], &state.bt_v[n]],
+                ),
             );
         }
         // Rotate (old ← cur ← new ← old).
@@ -718,28 +721,22 @@ pub fn integrate(
     parallel_for_2d(
         space,
         full,
-        &FunctorScaleAssign2D {
-            src: acc_eta,
-            dst: state.eta[nl].clone(),
-            scale,
-        },
-    );
-    parallel_for_2d(
-        space,
-        full,
-        &FunctorScaleAssign2D {
-            src: acc_u,
-            dst: state.ubt.clone(),
-            scale,
-        },
-    );
-    parallel_for_2d(
-        space,
-        full,
-        &FunctorScaleAssign2D {
-            src: acc_v,
-            dst: state.vbt.clone(),
-            scale,
+        &FunctorTriple2D {
+            a: FunctorScaleAssign2D {
+                src: acc_eta,
+                dst: state.eta[nl].clone(),
+                scale,
+            },
+            b: FunctorScaleAssign2D {
+                src: acc_u,
+                dst: state.ubt.clone(),
+                scale,
+            },
+            c: FunctorScaleAssign2D {
+                src: acc_v,
+                dst: state.vbt.clone(),
+                scale,
+            },
         },
     );
     Ok(())

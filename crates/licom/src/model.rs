@@ -356,7 +356,9 @@ impl Model {
         kokkos_profiling::set_thread_rank(comm.rank() as i64);
         let (px, py) = choose_dims(comm.size(), cfg.nx);
         let cart = CartComm::new(comm.clone(), px, py, true);
-        let mut halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny);
+        // Both halo contexts stage strips on the model's execution space
+        // (wide strips pack on CPEs instead of round-tripping the MPE).
+        let mut halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny).with_space(space.clone());
         if opts.integrity {
             halo2 = halo2.with_integrity(opts.integrity_cfg);
         }

@@ -1,0 +1,203 @@
+//! LDM tiling cost model — the analytic side of paper Eq. (1)/(2).
+//!
+//! The simulated Sunway backend (`sunway-sim`) sizes CPE tiles at
+//! dispatch time from the double-buffer crossover: a tile is big enough
+//! when its compute hides the DMA transfer behind it. This module states
+//! the same model analytically, from machine parameters instead of a live
+//! core group, so projections and calibration can predict
+//!
+//! * the crossover tile (iterations) past which DMA is hidden,
+//! * the tile the dispatcher will actually pick for a launch, and
+//! * the residual DMA stall fraction at that tile,
+//!
+//! and the test suite can hold the two implementations to identical
+//! arithmetic. The measured counterpart of `predicted_stall_fraction`
+//! is the `cg_dma_stall_fraction` metric the bench gate records.
+
+/// CPE-side machine parameters the tiling model needs — the analytic
+/// mirror of `sunway_sim::CgConfig` (same field meanings, same defaults
+/// for the SW26010 Pro).
+#[derive(Debug, Clone)]
+pub struct CpeParams {
+    /// CPEs per core group sharing the memory interface.
+    pub num_cpes: usize,
+    /// LDM bytes per CPE.
+    pub ldm_bytes: usize,
+    /// CPE clock, Hz.
+    pub clock_hz: f64,
+    /// Aggregate CG memory bandwidth, bytes/s.
+    pub mem_bw_bps: f64,
+    /// Fixed startup latency of one DMA transaction, CPE cycles.
+    pub dma_latency_cycles: u64,
+    /// SIMD width in f64 lanes.
+    pub simd_f64_lanes: usize,
+}
+
+impl CpeParams {
+    /// SW26010 Pro core group (Table II / §VI-A): 64 CPEs, 256 kB LDM,
+    /// 2.25 GHz, 51.2 GB/s, ~1 µs DMA startup, 512-bit vectors.
+    pub fn sw26010_pro() -> Self {
+        Self {
+            num_cpes: 64,
+            ldm_bytes: 256 * 1024,
+            clock_hz: 2.25e9,
+            mem_bw_bps: 51.2e9,
+            dma_latency_cycles: 2048,
+            simd_f64_lanes: 8,
+        }
+    }
+
+    /// LDM bytes one double-buffered stream may claim — a quarter of the
+    /// LDM, leaving room for the peer buffer, stack and spill space.
+    pub fn ldm_stream_budget(&self) -> usize {
+        (self.ldm_bytes / 4).max(256)
+    }
+
+    /// Compute cycles per iteration, SIMD-folded.
+    fn compute_cycles(&self, flops_per_iter: u64) -> f64 {
+        flops_per_iter as f64 / self.simd_f64_lanes.max(1) as f64
+    }
+
+    /// Transfer cycles per iteration at the contended per-CPE bandwidth
+    /// share (all CPEs streaming at once — the §VII-D bottleneck regime).
+    fn transfer_cycles(&self, bytes_per_iter: u64) -> f64 {
+        let per_cpe_bw = self.mem_bw_bps / self.num_cpes.max(1) as f64;
+        bytes_per_iter as f64 * self.clock_hz / per_cpe_bw
+    }
+
+    /// Paper Eq. 1/2 crossover: smallest tile (iterations) at which the
+    /// double-buffered pipeline hides DMA behind compute — `T ≥ L/(c−b)`
+    /// when compute-bound, else the latency-amortization point `T ≥ 8L/b`.
+    /// Arithmetic kept identical to `sunway_sim::pipeline::
+    /// dma_crossover_iters`, enforced by test.
+    pub fn dma_crossover_iters(&self, flops_per_iter: u64, bytes_per_iter: u64) -> u64 {
+        let c = self.compute_cycles(flops_per_iter);
+        let b = self.transfer_cycles(bytes_per_iter);
+        let l = self.dma_latency_cycles as f64;
+        let t = if c > b {
+            l / (c - b)
+        } else {
+            8.0 * l / b.max(1e-9)
+        };
+        (t.ceil() as u64).max(1)
+    }
+
+    /// The tile the dispatcher picks for a dense launch: largest tile
+    /// within the LDM stream budget, capped so every CPE gets at least
+    /// one tile. Mirrors `sunway_sim::pipeline::choose_tile_elems`.
+    pub fn choose_tile_elems(&self, bytes_per_iter: u64, total_iters: usize) -> usize {
+        if total_iters == 0 {
+            return 1;
+        }
+        let ldm_cap = (self.ldm_stream_budget() / bytes_per_iter.max(1) as usize).max(1);
+        let balance_cap = total_iters.div_ceil(self.num_cpes.max(1)).max(1);
+        ldm_cap.min(balance_cap)
+    }
+
+    /// Steady-state DMA stall fraction of the pipeline at tile size
+    /// `tile_iters`: per tile the transfer costs `L + b·T` cycles and the
+    /// compute `c·T`; the double buffer overlaps them, so only the excess
+    /// `max(0, (L + b·T) − c·T)` stalls the CPE. The fraction is stall
+    /// over total occupied cycles, `max(c·T, L + b·T)`.
+    ///
+    /// This is the analytic prediction for the measured
+    /// `cg_dma_stall_fraction`; it ignores ramp-up (first get) and drain
+    /// (last puts), so it underestimates slightly for few-tile launches.
+    pub fn predicted_stall_fraction(
+        &self,
+        flops_per_iter: u64,
+        bytes_per_iter: u64,
+        tile_iters: usize,
+    ) -> f64 {
+        let t = tile_iters.max(1) as f64;
+        let compute = self.compute_cycles(flops_per_iter) * t;
+        let transfer = self.dma_latency_cycles as f64 + self.transfer_cycles(bytes_per_iter) * t;
+        let stall = (transfer - compute).max(0.0);
+        stall / compute.max(transfer).max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunway_sim::CgConfig;
+
+    fn params_of(cfg: &CgConfig) -> CpeParams {
+        CpeParams {
+            num_cpes: cfg.num_cpes,
+            ldm_bytes: cfg.ldm_bytes,
+            clock_hz: cfg.clock_hz,
+            mem_bw_bps: cfg.mem_bandwidth_bps,
+            dma_latency_cycles: cfg.dma_latency_cycles,
+            simd_f64_lanes: cfg.simd_f64_lanes,
+        }
+    }
+
+    /// The analytic model and the simulator's dispatcher must agree
+    /// exactly — same crossover, same chosen tile — across configs and
+    /// kernel intensities, or predictions drift from what actually runs.
+    #[test]
+    fn mirrors_sunway_sim_dispatcher_exactly() {
+        let configs = [
+            CgConfig::default(),
+            CgConfig::bench(),
+            CgConfig::test_small(),
+        ];
+        let costs: [(u64, u64); 5] = [(20, 48), (2, 128), (400, 16), (0, 8), (64, 64)];
+        for cfg in &configs {
+            let p = params_of(cfg);
+            for &(flops, bytes) in &costs {
+                assert_eq!(
+                    p.dma_crossover_iters(flops, bytes),
+                    sunway_sim::pipeline::dma_crossover_iters(cfg, flops, bytes),
+                    "crossover mismatch: {flops} flops, {bytes} B on {} CPEs",
+                    cfg.num_cpes
+                );
+                for total in [1usize, 63, 64, 4096, 1_000_000] {
+                    assert_eq!(
+                        p.choose_tile_elems(bytes, total),
+                        sunway_sim::pipeline::choose_tile_elems(cfg, bytes, total),
+                        "tile mismatch: {bytes} B x {total} iters on {} CPEs",
+                        cfg.num_cpes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sw26010_defaults_match_simulator_defaults() {
+        let cfg = CgConfig::default();
+        let p = CpeParams::sw26010_pro();
+        assert_eq!(p.num_cpes, cfg.num_cpes);
+        assert_eq!(p.ldm_bytes, cfg.ldm_bytes);
+        assert_eq!(p.clock_hz, cfg.clock_hz);
+        assert_eq!(p.mem_bw_bps, cfg.mem_bandwidth_bps);
+        assert_eq!(p.dma_latency_cycles, cfg.dma_latency_cycles);
+        assert_eq!(p.simd_f64_lanes, cfg.simd_f64_lanes);
+    }
+
+    #[test]
+    fn stall_fraction_drops_past_crossover() {
+        // A compute-rich kernel: past the crossover tile the pipeline
+        // hides DMA entirely; well below it, latency dominates.
+        let p = CpeParams::sw26010_pro();
+        let (flops, bytes) = (400, 16);
+        let cross = p.dma_crossover_iters(flops, bytes) as usize;
+        assert_eq!(p.predicted_stall_fraction(flops, bytes, cross), 0.0);
+        assert!(p.predicted_stall_fraction(flops, bytes, cross.div_ceil(8)) > 0.0);
+        // A bandwidth-bound kernel can never fully hide DMA.
+        assert!(p.predicted_stall_fraction(2, 128, 1_000_000) > 0.5);
+    }
+
+    #[test]
+    fn stall_fraction_monotone_in_tile() {
+        let p = CpeParams::sw26010_pro();
+        let mut last = f64::INFINITY;
+        for tile in [1usize, 4, 16, 64, 256, 1024] {
+            let f = p.predicted_stall_fraction(20, 48, tile);
+            assert!(f <= last + 1e-12, "stall fraction rose at tile {tile}");
+            last = f;
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! where efficiency falls off — not absolute wall-clock.
 
 pub mod calibration;
+pub mod ldm;
 pub mod machine;
 pub mod project;
 pub mod workload;
@@ -34,6 +35,7 @@ pub use calibration::{
     compare_kernels, cost_multiplier, predicted_imbalance, predicted_kernel_times,
     predicted_shares, render_comparison, KernelComparison,
 };
+pub use ldm::CpeParams;
 pub use machine::Machine;
 pub use project::{project, strong_scaling, weak_scaling, Projection, SunwayVariant};
 pub use workload::ProblemSpec;

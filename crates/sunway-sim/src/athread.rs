@@ -12,6 +12,20 @@
 //! functors cannot cross it; the `kokkos-rs` Athread backend must register
 //! concrete trampolines ahead of time and smuggle the functor through the
 //! `usize` (exactly the registration + callback strategy of the paper).
+//!
+//! ## Host execution model
+//!
+//! Simulated cycles are deterministic regardless of how the logical CPEs
+//! are multiplexed onto OS threads, so the host scheduling is free to chase
+//! wall-clock. The MPE (launching thread) always executes its own share of
+//! the CPEs inline during `join()`, exactly like `athread_join` spinning on
+//! the CPE mailboxes; only `min(host_workers, available_parallelism) − 1`
+//! helper threads are spawned. On a single-core host that degenerates to a
+//! fully inline loop with zero channel traffic or context switches per
+//! launch — the difference between a kernel launch costing microseconds
+//! and costing scheduler round-trips. Per-CPE LDM allocators and the
+//! counters buffer persist across launches, so the steady state allocates
+//! nothing.
 
 use std::sync::mpsc;
 use std::thread::JoinHandle;
@@ -38,12 +52,21 @@ pub struct CpeCtx {
 }
 
 impl CpeCtx {
+    #[cfg(test)]
     fn new(cpe_id: usize, cfg: &CgConfig) -> Self {
+        Self::with_ldm(cpe_id, cfg, LdmAllocator::new(cfg.ldm_bytes))
+    }
+
+    /// Build a context around a persistent per-CPE LDM allocator. The
+    /// allocator's high-water window is rewound: this context accounts one
+    /// kernel launch.
+    fn with_ldm(cpe_id: usize, cfg: &CgConfig, ldm: LdmAllocator) -> Self {
+        ldm.begin_kernel_window();
         Self {
             cpe_id,
             num_cpes: cfg.num_cpes,
             cfg: cfg.clone(),
-            ldm: LdmAllocator::new(cfg.ldm_bytes),
+            ldm,
             counters: CpeCounters::default(),
         }
     }
@@ -61,6 +84,11 @@ impl CpeCtx {
     /// SIMD width in f64 lanes for vectorised accounting.
     pub fn simd_f64_lanes(&self) -> usize {
         self.cfg.simd_f64_lanes
+    }
+
+    /// The hardware configuration of the hosting core group.
+    pub fn config(&self) -> &CgConfig {
+        &self.cfg
     }
 
     /// The CPE's LDM scratchpad allocator. Returned by value (cheap clone
@@ -121,10 +149,6 @@ impl CpeCtx {
         } else {
             self.counters.dma_put_bytes += bytes as u64;
         }
-        self.counters.ldm_high_water = self
-            .counters
-            .ldm_high_water
-            .max(self.ldm.high_water() as u64);
     }
 
     /// Blocking DMA main-memory → LDM. The CPE stalls for the full transfer.
@@ -133,7 +157,9 @@ impl CpeCtx {
         dst.copy_from_slice(src);
         let bytes = std::mem::size_of_val(src);
         self.record_dma(true, bytes);
-        self.counters.cycles += self.transfer_cycles(bytes);
+        let t = self.transfer_cycles(bytes);
+        self.counters.dma_stall_cycles += t;
+        self.counters.cycles += t;
     }
 
     /// Blocking DMA LDM → main-memory.
@@ -142,7 +168,9 @@ impl CpeCtx {
         dst.copy_from_slice(src);
         let bytes = std::mem::size_of_val(src);
         self.record_dma(false, bytes);
-        self.counters.cycles += self.transfer_cycles(bytes);
+        let t = self.transfer_cycles(bytes);
+        self.counters.dma_stall_cycles += t;
+        self.counters.cycles += t;
     }
 
     /// Asynchronous DMA get: data is delivered immediately (deterministic
@@ -174,20 +202,65 @@ impl CpeCtx {
     }
 
     /// Wait for an asynchronous transfer: the CPE clock jumps to the
-    /// transfer's completion time if it hasn't been hidden by compute.
+    /// transfer's completion time if it hasn't been hidden by compute, and
+    /// the un-hidden remainder is recorded as DMA stall.
     pub fn dma_wait(&mut self, handle: DmaHandle) {
-        self.counters.cycles = self.counters.cycles.max(handle.ready_at);
+        if handle.ready_at > self.counters.cycles {
+            self.counters.dma_stall_cycles += handle.ready_at - self.counters.cycles;
+            self.counters.cycles = handle.ready_at;
+        }
     }
 
-    /// Charge the *time and traffic* of a DMA round-trip of `bytes` without
-    /// moving data. Used by the Kokkos Athread backend to model kernels
-    /// that, on hardware, would tile-stage `View` data through LDM: the
-    /// functor reads host memory directly (shared-space simulation), but
-    /// the simulated clock pays one transaction latency plus the streaming
-    /// time, exactly as `dma_get` would.
+    /// Model (accounting-only) asynchronous DMA get of `bytes`, split into
+    /// transactions of at most `chunk_bytes` (the LDM tile the data would
+    /// stream through on hardware). No data moves — the functor reads host
+    /// memory directly in the shared-space simulation — but traffic,
+    /// transaction latencies and bandwidth time are charged exactly as a
+    /// staged transfer would be. Compute issued before [`Self::dma_wait`]
+    /// on the returned handle overlaps the transfer.
+    pub fn dma_get_async_model(&mut self, bytes: u64, chunk_bytes: usize) -> DmaHandle {
+        self.dma_async_model(true, bytes, chunk_bytes)
+    }
+
+    /// Accounting-only asynchronous DMA put (see [`Self::dma_get_async_model`]).
+    pub fn dma_put_async_model(&mut self, bytes: u64, chunk_bytes: usize) -> DmaHandle {
+        self.dma_async_model(false, bytes, chunk_bytes)
+    }
+
+    fn dma_async_model(&mut self, get: bool, bytes: u64, chunk_bytes: usize) -> DmaHandle {
+        if bytes == 0 {
+            return DmaHandle {
+                ready_at: self.counters.cycles,
+                bytes: 0,
+            };
+        }
+        let chunks = bytes.div_ceil(chunk_bytes.max(1) as u64);
+        self.counters.dma_transactions += chunks;
+        if get {
+            self.counters.dma_get_bytes += bytes;
+        } else {
+            self.counters.dma_put_bytes += bytes;
+        }
+        self.counters.cycles += chunks * DMA_ISSUE_CYCLES;
+        // Each chunk pays the fixed engine latency; the payload streams at
+        // the contended per-CPE share of CG bandwidth.
+        let per_cpe_bw = self.cfg.mem_bandwidth_bps / self.num_cpes.max(1) as f64;
+        let stream = (bytes as f64 / per_cpe_bw * self.cfg.clock_hz).ceil() as u64;
+        DmaHandle {
+            ready_at: self.counters.cycles + chunks * self.cfg.dma_latency_cycles + stream,
+            bytes,
+        }
+    }
+
+    /// Charge the *time and traffic* of a blocking DMA round-trip of `bytes`
+    /// without moving data. The unpipelined baseline the double-buffered
+    /// drivers in [`crate::pipeline`] replace: one transaction latency plus
+    /// the full streaming time, all stalled.
     pub fn account_dma_traffic(&mut self, bytes: usize) {
         self.record_dma(true, bytes);
-        self.counters.cycles += self.transfer_cycles(bytes);
+        let t = self.transfer_cycles(bytes);
+        self.counters.dma_stall_cycles += t;
+        self.counters.cycles += t;
     }
 }
 
@@ -203,34 +276,79 @@ struct Worker {
 
 type KernelResult = Result<Vec<(usize, CpeCounters)>, String>;
 
-/// A simulated core group: a persistent pool of host threads executing the
-/// logical CPEs, plus aggregated performance counters.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    e.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "CPE kernel panicked".into())
+}
+
+/// Execute `kernel` on one logical CPE backed by a persistent allocator,
+/// returning its counters. Shared by the MPE inline path and the helper
+/// worker threads so accounting is identical regardless of placement.
+fn run_cpe(
+    cpe: usize,
+    cfg: &CgConfig,
+    ldm: &LdmAllocator,
+    kernel: CpeKernel,
+    arg: usize,
+) -> CpeCounters {
+    let mut ctx = CpeCtx::with_ldm(cpe, cfg, ldm.clone());
+    kernel(&mut ctx, arg);
+    // Capture the kernel-window LDM peak at the end of the kernel, so the
+    // high-water survives however many alloc/free cycles the
+    // double-buffered loop went through.
+    ctx.counters.ldm_high_water = ctx.counters.ldm_high_water.max(ldm.high_water() as u64);
+    ctx.counters
+}
+
+/// A simulated core group: the MPE thread plus a persistent pool of helper
+/// threads executing the logical CPEs, with aggregated performance counters.
 ///
 /// Mirrors the Athread lifecycle:
 /// `athread_init` → [`CoreGroup::new`], `athread_spawn` → [`CoreGroup::spawn`],
 /// `athread_join` → [`CoreGroup::join`], `athread_halt` → `Drop`.
 pub struct CoreGroup {
     cfg: CgConfig,
+    /// Execution slots including the MPE (slot 0). CPE `c` runs on slot
+    /// `c % slots`; helper `workers[i]` owns slot `i + 1`.
+    slots: usize,
     workers: Vec<Worker>,
     results_rx: mpsc::Receiver<KernelResult>,
-    pending: bool,
+    /// The MPE's share of an outstanding launch, executed in `join()`.
+    pending: Option<(CpeKernel, usize)>,
     counters: CgCounters,
+    /// Per-launch scratch, reused so the steady state allocates nothing.
+    per_cpe: Vec<CpeCounters>,
+    /// Persistent LDM allocators for the MPE-slot CPEs (`c % slots == 0`).
+    mpe_ldm: Vec<LdmAllocator>,
 }
 
 impl CoreGroup {
-    /// Boot a core group: start `cfg.host_workers` OS threads that will
-    /// multiplex the `cfg.num_cpes` logical CPEs.
+    /// Boot a core group. `cfg.host_workers` is an upper bound on host
+    /// threads; the effective count is additionally capped by the machine's
+    /// available parallelism, and the launching (MPE) thread always serves
+    /// as one of the slots, so only `slots − 1` helper threads are spawned.
     pub fn new(cfg: CgConfig) -> Self {
-        let nworkers = cfg.host_workers.clamp(1, cfg.num_cpes);
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let slots = cfg.host_workers.clamp(1, cfg.num_cpes).min(avail).max(1);
         let (results_tx, results_rx) = mpsc::channel::<KernelResult>();
-        let mut workers = Vec::with_capacity(nworkers);
-        for w in 0..nworkers {
+        let mut workers = Vec::with_capacity(slots - 1);
+        for slot in 1..slots {
             let (tx, rx) = mpsc::channel::<WorkerMsg>();
             let results_tx = results_tx.clone();
             let cfg = cfg.clone();
             let handle = std::thread::Builder::new()
-                .name(format!("cpe-worker-{w}"))
+                .name(format!("cpe-worker-{slot}"))
                 .spawn(move || {
+                    let my_cpes: Vec<usize> =
+                        (0..cfg.num_cpes).filter(|c| c % slots == slot).collect();
+                    let pools: Vec<LdmAllocator> = my_cpes
+                        .iter()
+                        .map(|_| LdmAllocator::new(cfg.ldm_bytes))
+                        .collect();
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             WorkerMsg::Launch { kernel, arg } => {
@@ -240,25 +358,17 @@ impl CoreGroup {
                                 // at synchronization.
                                 let run =
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        let mut out = Vec::new();
-                                        let mut cpe = w;
-                                        while cpe < cfg.num_cpes {
-                                            let mut ctx = CpeCtx::new(cpe, &cfg);
-                                            kernel(&mut ctx, arg);
-                                            out.push((cpe, ctx.counters));
-                                            cpe += nworkers;
-                                        }
-                                        out
+                                        my_cpes
+                                            .iter()
+                                            .zip(&pools)
+                                            .map(|(&cpe, ldm)| {
+                                                (cpe, run_cpe(cpe, &cfg, ldm, kernel, arg))
+                                            })
+                                            .collect::<Vec<_>>()
                                     }));
-                                let msg = run.map_err(|e| {
-                                    e.downcast_ref::<String>()
-                                        .cloned()
-                                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
-                                        .unwrap_or_else(|| "CPE kernel panicked".into())
-                                });
                                 // Receiver only disappears if the CG was
                                 // dropped mid-kernel; nothing to do then.
-                                let _ = results_tx.send(msg);
+                                let _ = results_tx.send(run.map_err(panic_message));
                             }
                             WorkerMsg::Shutdown => break,
                         }
@@ -270,12 +380,20 @@ impl CoreGroup {
                 handle: Some(handle),
             });
         }
+        let mpe_cpes = (0..cfg.num_cpes).filter(|c| c % slots == 0).count();
+        let mpe_ldm = (0..mpe_cpes)
+            .map(|_| LdmAllocator::new(cfg.ldm_bytes))
+            .collect();
+        let per_cpe = vec![CpeCounters::default(); cfg.num_cpes];
         Self {
             cfg,
+            slots,
             workers,
             results_rx,
-            pending: false,
+            pending: None,
             counters: CgCounters::default(),
+            per_cpe,
+            mpe_ldm,
         }
     }
 
@@ -288,30 +406,53 @@ impl CoreGroup {
     ///
     /// `arg` is the single pointer-sized opaque argument the real API
     /// allows. Only one kernel may be outstanding, as on hardware.
+    /// Helper threads start immediately; the MPE's own share runs when the
+    /// launching thread blocks in [`Self::join`].
     ///
     /// # Panics
     /// If a previous launch has not been joined.
     pub fn spawn(&mut self, kernel: CpeKernel, arg: usize) {
         assert!(
-            !self.pending,
+            self.pending.is_none(),
             "athread_spawn while a kernel is outstanding; call join() first"
         );
-        self.pending = true;
+        self.pending = Some((kernel, arg));
         for w in &self.workers {
             w.tx.send(WorkerMsg::Launch { kernel, arg })
                 .expect("CPE worker thread died");
         }
     }
 
-    /// `athread_join`: wait for the outstanding kernel on all CPEs and fold
-    /// its counters into the CG aggregate.
+    /// `athread_join`: execute the MPE's share of the outstanding kernel,
+    /// wait for the helper threads, and fold all counters into the CG
+    /// aggregate.
     ///
     /// # Panics
-    /// If no kernel is outstanding.
+    /// If no kernel is outstanding, or if the kernel panicked on any CPE.
     pub fn join(&mut self) {
-        assert!(self.pending, "athread_join without a pending kernel");
-        let mut per_cpe = vec![CpeCounters::default(); self.cfg.num_cpes];
+        let (kernel, arg) = self
+            .pending
+            .take()
+            .expect("athread_join without a pending kernel");
+        for c in self.per_cpe.iter_mut() {
+            *c = CpeCounters::default();
+        }
         let mut failure: Option<String> = None;
+        // MPE share: CPEs c with c % slots == 0, inline on this thread.
+        // One unwind guard covers the whole share; a panic (e.g. LDM
+        // overflow) abandons the remaining CPEs and surfaces below.
+        let slots = self.slots;
+        let cfg = &self.cfg;
+        let mpe_ldm = &self.mpe_ldm;
+        let per_cpe = &mut self.per_cpe;
+        if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for (i, ldm) in mpe_ldm.iter().enumerate() {
+                let cpe = i * slots;
+                per_cpe[cpe] = run_cpe(cpe, cfg, ldm, kernel, arg);
+            }
+        })) {
+            failure = Some(panic_message(e));
+        }
         for _ in 0..self.workers.len() {
             let chunk = self
                 .results_rx
@@ -320,17 +461,16 @@ impl CoreGroup {
             match chunk {
                 Ok(list) => {
                     for (cpe, counters) in list {
-                        per_cpe[cpe] = counters;
+                        self.per_cpe[cpe] = counters;
                     }
                 }
                 Err(e) => failure = Some(e),
             }
         }
-        self.pending = false;
         if let Some(e) = failure {
             panic!("CPE kernel failed: {e}");
         }
-        self.counters.record_kernel(&per_cpe);
+        self.counters.record_kernel(&self.per_cpe);
     }
 
     /// Convenience: `spawn` + `join`.
@@ -466,12 +606,97 @@ mod tests {
     }
 
     #[test]
+    fn stall_cycles_measure_unhidden_transfer_time() {
+        fn stalled(ctx: &mut CpeCtx, _: usize) {
+            let h = ctx.dma_get_async_model(1 << 16, 1 << 20);
+            // No compute issued: the whole transfer is a stall.
+            ctx.dma_wait(h);
+        }
+        fn hidden(ctx: &mut CpeCtx, _: usize) {
+            let h = ctx.dma_get_async_model(1 << 16, 1 << 20);
+            ctx.account_cycles(100_000_000);
+            ctx.dma_wait(h);
+        }
+        let mut cg = CoreGroup::new(CgConfig::test_small());
+        cg.run(stalled, 0);
+        assert!(cg.counters().totals.dma_stall_cycles > 0);
+        let mut cg2 = CoreGroup::new(CgConfig::test_small());
+        cg2.run(hidden, 0);
+        assert_eq!(cg2.counters().totals.dma_stall_cycles, 0);
+    }
+
+    #[test]
+    fn chunked_model_transfer_pays_latency_per_chunk() {
+        fn one_chunk(ctx: &mut CpeCtx, _: usize) {
+            let h = ctx.dma_get_async_model(64 * 1024, 64 * 1024);
+            ctx.dma_wait(h);
+        }
+        fn many_chunks(ctx: &mut CpeCtx, _: usize) {
+            let h = ctx.dma_get_async_model(64 * 1024, 4 * 1024);
+            ctx.dma_wait(h);
+        }
+        let mut a = CoreGroup::new(CgConfig::test_small());
+        a.run(one_chunk, 0);
+        let mut b = CoreGroup::new(CgConfig::test_small());
+        b.run(many_chunks, 0);
+        assert!(b.counters().totals.dma_transactions > a.counters().totals.dma_transactions);
+        assert!(b.counters().kernel_cycles > a.counters().kernel_cycles);
+        // Same traffic either way.
+        assert_eq!(
+            a.counters().totals.dma_get_bytes,
+            b.counters().totals.dma_get_bytes
+        );
+    }
+
+    #[test]
+    fn ldm_high_water_reported_without_dma() {
+        // The high-water must be captured at kernel end, not only when a
+        // DMA transaction happens to record it.
+        fn alloc_only(ctx: &mut CpeCtx, _: usize) {
+            let _buf = ctx.ldm().alloc::<f64>(128).unwrap();
+        }
+        let mut cg = CoreGroup::new(CgConfig::test_small());
+        cg.run(alloc_only, 0);
+        assert_eq!(cg.counters().totals.ldm_high_water, 1024);
+    }
+
+    #[test]
+    fn persistent_ldm_pools_reset_between_launches() {
+        fn big(ctx: &mut CpeCtx, _: usize) {
+            let _buf = ctx.ldm().alloc::<u8>(8 * 1024).unwrap();
+        }
+        fn small(ctx: &mut CpeCtx, _: usize) {
+            let _buf = ctx.ldm().alloc::<u8>(16).unwrap();
+        }
+        let mut cg = CoreGroup::new(CgConfig::test_small());
+        cg.run(big, 0);
+        let snap = cg.counters().clone();
+        cg.run(small, 0);
+        let window = cg.counters().delta(&snap);
+        // The second kernel's peak is its own, not the lifetime peak of the
+        // persistent allocator.
+        assert_eq!(window.totals.ldm_high_water, 8 * 1024);
+        assert_eq!(cg.counters().totals.ldm_high_water, 8 * 1024);
+    }
+
+    #[test]
     #[should_panic(expected = "athread_spawn while a kernel is outstanding")]
     fn double_spawn_panics() {
         let mut cg = CoreGroup::new(CgConfig::test_small());
         fn nop(_: &mut CpeCtx, _: usize) {}
         cg.spawn(nop, 0);
         cg.spawn(nop, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPE kernel failed")]
+    fn kernel_panic_surfaces_at_join() {
+        let mut cg = CoreGroup::new(CgConfig::test_small());
+        fn bad(ctx: &mut CpeCtx, _: usize) {
+            // Overflow the 16 kB test LDM on every CPE.
+            let _ = ctx.ldm().alloc::<u8>(1 << 20).unwrap();
+        }
+        cg.run(bad, 0);
     }
 
     #[test]

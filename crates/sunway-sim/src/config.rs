@@ -62,6 +62,17 @@ impl CgConfig {
         }
     }
 
+    /// Benchmark configuration: the realistic 256 kB LDM (so cost-model
+    /// tile sizing behaves as on hardware) but only 8 CPEs, keeping the
+    /// simulated-launch overhead small on CI hosts.
+    pub fn bench() -> Self {
+        Self {
+            num_cpes: 8,
+            host_workers: 4,
+            ..Self::default()
+        }
+    }
+
     /// Cycles needed to move `bytes` over DMA when `active_cpes` CPEs share
     /// the CG memory interface. The per-CPE share of bandwidth shrinks as
     /// more CPEs stream concurrently, which is exactly the "memory access

@@ -22,6 +22,11 @@ pub struct CpeCounters {
     pub dma_put_bytes: u64,
     /// Number of DMA transactions issued (each pays the fixed latency).
     pub dma_transactions: u64,
+    /// Cycles the CPE actually stalled in `dma_wait` — transfer time that
+    /// compute failed to hide. Zero stall means the double-buffer pipeline
+    /// is past the Eq. 1/2 crossover (compute-bound); the ratio of this to
+    /// `cycles` is the measured DMA-bound fraction.
+    pub dma_stall_cycles: u64,
     /// Bytes read/written within LDM (scratchpad traffic; cheap).
     pub ldm_bytes: u64,
     /// Peak LDM bytes allocated during the kernel.
@@ -39,6 +44,7 @@ impl CpeCounters {
         self.dma_get_bytes += other.dma_get_bytes;
         self.dma_put_bytes += other.dma_put_bytes;
         self.dma_transactions += other.dma_transactions;
+        self.dma_stall_cycles += other.dma_stall_cycles;
         self.ldm_bytes += other.ldm_bytes;
         self.ldm_high_water = self.ldm_high_water.max(other.ldm_high_water);
         self.tiles += other.tiles;
@@ -57,6 +63,9 @@ impl CpeCounters {
             dma_transactions: self
                 .dma_transactions
                 .saturating_sub(earlier.dma_transactions),
+            dma_stall_cycles: self
+                .dma_stall_cycles
+                .saturating_sub(earlier.dma_stall_cycles),
             ldm_bytes: self.ldm_bytes.saturating_sub(earlier.ldm_bytes),
             ldm_high_water: self.ldm_high_water,
             tiles: self.tiles.saturating_sub(earlier.tiles),

@@ -11,9 +11,26 @@
 //! The allocator is cheaply cloneable (shared bookkeeping) so buffers do not
 //! borrow the CPE context, letting kernels interleave allocations with
 //! `&mut`-taking DMA calls — the natural shape of a double-buffered loop.
+//!
+//! Two residency flavours exist:
+//!
+//! * [`LdmAllocator::alloc`] — a real, zero-initialised buffer
+//!   ([`LdmBuf`]) for kernels that stage data.
+//! * [`LdmAllocator::reserve`] — an accounting-only reservation
+//!   ([`LdmReservation`]) for the cycle-model pipelines in
+//!   [`crate::pipeline`]: the functor reads host memory directly
+//!   (shared-space simulation), but the simulated LDM pays the residency
+//!   of the double-buffered tiles it would hold on hardware, so
+//!   `high_water` and overflow behave exactly as if the data were staged.
+//!
+//! Allocators are persistent across kernel launches (the [`crate::CoreGroup`]
+//! keeps one per logical CPE); [`LdmAllocator::begin_kernel_window`] rewinds
+//! the high-water mark at each launch so `high_water()` reports the peak of
+//! the *current* kernel, surviving any number of free/realloc cycles of the
+//! double-buffer pattern within it.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Error returned when a kernel requests more LDM than remains.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +41,12 @@ pub struct LdmOverflow {
     pub available: usize,
     /// Total LDM capacity of the CPE.
     pub capacity: usize,
+    /// What the allocation was for (e.g. the pipeline's buffer role);
+    /// empty for plain `alloc` calls.
+    pub context: &'static str,
+    /// Tile length (elements) being staged when the overflow hit, if the
+    /// caller was tiling; 0 otherwise.
+    pub tile_elems: usize,
 }
 
 impl std::fmt::Display for LdmOverflow {
@@ -32,7 +55,14 @@ impl std::fmt::Display for LdmOverflow {
             f,
             "LDM overflow: requested {} B, only {} B of {} B free",
             self.requested, self.available, self.capacity
-        )
+        )?;
+        if !self.context.is_empty() {
+            write!(f, " ({})", self.context)?;
+        }
+        if self.tile_elems > 0 {
+            write!(f, " [tile of {} elems]", self.tile_elems)?;
+        }
+        Ok(())
     }
 }
 
@@ -41,27 +71,53 @@ impl std::error::Error for LdmOverflow {}
 #[derive(Debug)]
 struct LdmInner {
     capacity: usize,
-    used: Cell<usize>,
-    high_water: Cell<usize>,
+    used: AtomicUsize,
+    high_water: AtomicUsize,
 }
 
-/// Per-CPE scratchpad allocator. Single-threaded by construction (one per
-/// logical CPE); clones share the same bookkeeping.
+/// Per-CPE scratchpad allocator. Logically single-threaded (one per logical
+/// CPE, used by one kernel at a time); clones share the same bookkeeping.
+/// Atomics (relaxed) rather than `Cell` so allocators can live in the
+/// core group's persistent per-CPE pools and move across worker threads
+/// between launches.
 #[derive(Debug, Clone)]
 pub struct LdmAllocator {
-    inner: Rc<LdmInner>,
+    inner: Arc<LdmInner>,
 }
 
 impl LdmAllocator {
     /// Create an allocator with `capacity` bytes (256 kB on SW26010 Pro).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Rc::new(LdmInner {
+            inner: Arc::new(LdmInner {
                 capacity,
-                used: Cell::new(0),
-                high_water: Cell::new(0),
+                used: AtomicUsize::new(0),
+                high_water: AtomicUsize::new(0),
             }),
         }
+    }
+
+    fn take(
+        &self,
+        bytes: usize,
+        context: &'static str,
+        tile_elems: usize,
+    ) -> Result<(), LdmOverflow> {
+        let used = self.inner.used.load(Ordering::Relaxed);
+        if used + bytes > self.inner.capacity {
+            return Err(LdmOverflow {
+                requested: bytes,
+                available: self.inner.capacity - used,
+                capacity: self.inner.capacity,
+                context,
+                tile_elems,
+            });
+        }
+        self.inner.used.store(used + bytes, Ordering::Relaxed);
+        self.inner
+            .high_water
+            .fetch_max(used + bytes, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Allocate a zero-initialised buffer of `len` elements of `T`.
@@ -69,39 +125,66 @@ impl LdmAllocator {
     /// The buffer returns its bytes to the allocator when dropped, so
     /// double-buffering loops can reuse LDM across iterations.
     pub fn alloc<T: Default + Clone>(&self, len: usize) -> Result<LdmBuf<T>, LdmOverflow> {
+        self.alloc_ctx(len, "")
+    }
+
+    /// [`Self::alloc`] with an overflow-report context string.
+    pub fn alloc_ctx<T: Default + Clone>(
+        &self,
+        len: usize,
+        context: &'static str,
+    ) -> Result<LdmBuf<T>, LdmOverflow> {
         let bytes = len * std::mem::size_of::<T>();
-        let used = self.inner.used.get();
-        if used + bytes > self.inner.capacity {
-            return Err(LdmOverflow {
-                requested: bytes,
-                available: self.inner.capacity - used,
-                capacity: self.inner.capacity,
-            });
-        }
-        self.inner.used.set(used + bytes);
-        self.inner
-            .high_water
-            .set(self.inner.high_water.get().max(used + bytes));
+        self.take(bytes, context, len)?;
         Ok(LdmBuf {
             data: vec![T::default(); len],
             bytes,
-            owner: Rc::clone(&self.inner),
+            owner: Arc::clone(&self.inner),
         })
+    }
+
+    /// Reserve `bytes` of residency without a backing buffer — the
+    /// accounting-only twin of [`Self::alloc`] used by the cycle-model
+    /// DMA pipelines. Counts against capacity and the high-water mark;
+    /// released on drop.
+    pub fn reserve(
+        &self,
+        bytes: usize,
+        context: &'static str,
+        tile_elems: usize,
+    ) -> Result<LdmReservation, LdmOverflow> {
+        self.take(bytes, context, tile_elems)?;
+        Ok(LdmReservation {
+            bytes,
+            owner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Start a kernel's accounting window: rewind the high-water mark to
+    /// the current residency (normally zero between launches). Persistent
+    /// per-CPE allocators call this at every `athread_spawn` so
+    /// [`Self::high_water`] reports the peak of the running kernel rather
+    /// than the lifetime peak.
+    pub fn begin_kernel_window(&self) {
+        self.inner
+            .high_water
+            .store(self.inner.used.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Bytes currently allocated.
     pub fn used(&self) -> usize {
-        self.inner.used.get()
+        self.inner.used.load(Ordering::Relaxed)
     }
 
     /// Bytes still available.
     pub fn available(&self) -> usize {
-        self.inner.capacity - self.inner.used.get()
+        self.inner.capacity - self.used()
     }
 
-    /// Peak bytes ever allocated simultaneously.
+    /// Peak bytes allocated simultaneously since the last
+    /// [`Self::begin_kernel_window`] (or creation).
     pub fn high_water(&self) -> usize {
-        self.inner.high_water.get()
+        self.inner.high_water.load(Ordering::Relaxed)
     }
 
     /// Total capacity in bytes.
@@ -115,7 +198,7 @@ impl LdmAllocator {
 pub struct LdmBuf<T> {
     data: Vec<T>,
     bytes: usize,
-    owner: Rc<LdmInner>,
+    owner: Arc<LdmInner>,
 }
 
 impl<T> std::ops::Deref for LdmBuf<T> {
@@ -133,7 +216,27 @@ impl<T> std::ops::DerefMut for LdmBuf<T> {
 
 impl<T> Drop for LdmBuf<T> {
     fn drop(&mut self) {
-        self.owner.used.set(self.owner.used.get() - self.bytes);
+        self.owner.used.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// Accounting-only LDM residency (see [`LdmAllocator::reserve`]).
+#[derive(Debug)]
+pub struct LdmReservation {
+    bytes: usize,
+    owner: Arc<LdmInner>,
+}
+
+impl LdmReservation {
+    /// Reserved size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for LdmReservation {
+    fn drop(&mut self) {
+        self.owner.used.fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -167,6 +270,17 @@ mod tests {
     }
 
     #[test]
+    fn overflow_reports_context_and_tile() {
+        let ldm = LdmAllocator::new(100);
+        let err = ldm.reserve(256, "dma double-buffer tile", 32).unwrap_err();
+        assert_eq!(err.context, "dma double-buffer tile");
+        assert_eq!(err.tile_elems, 32);
+        let msg = err.to_string();
+        assert!(msg.contains("dma double-buffer tile"), "{msg}");
+        assert!(msg.contains("32 elems"), "{msg}");
+    }
+
+    #[test]
     fn buffers_are_zero_initialised() {
         let ldm = LdmAllocator::new(4096);
         let buf = ldm.alloc::<f64>(16).unwrap();
@@ -186,6 +300,45 @@ mod tests {
             drop(t1);
         }
         assert_eq!(ldm.high_water(), 800);
+    }
+
+    #[test]
+    fn high_water_survives_free_realloc_cycles_within_a_window() {
+        let ldm = LdmAllocator::new(1000);
+        ldm.begin_kernel_window();
+        let big = ldm.reserve(700, "", 0).unwrap();
+        drop(big);
+        // A smaller steady-state residency must not erase the peak.
+        let _small = ldm.reserve(100, "", 0).unwrap();
+        assert_eq!(ldm.high_water(), 700);
+        assert_eq!(ldm.used(), 100);
+    }
+
+    #[test]
+    fn kernel_window_rewinds_high_water() {
+        let ldm = LdmAllocator::new(1000);
+        {
+            let _a = ldm.alloc::<u8>(900).unwrap();
+        }
+        assert_eq!(ldm.high_water(), 900);
+        // Next kernel launch on the persistent allocator: window resets.
+        ldm.begin_kernel_window();
+        assert_eq!(ldm.high_water(), 0);
+        let _b = ldm.alloc::<u8>(300).unwrap();
+        assert_eq!(ldm.high_water(), 300);
+    }
+
+    #[test]
+    fn reservations_count_like_allocations() {
+        let ldm = LdmAllocator::new(1000);
+        let r = ldm.reserve(400, "pipe", 50).unwrap();
+        assert_eq!(r.bytes(), 400);
+        assert_eq!(ldm.used(), 400);
+        // A real buffer and a reservation share the same budget.
+        assert!(ldm.alloc::<u8>(700).is_err());
+        drop(r);
+        assert_eq!(ldm.used(), 0);
+        assert!(ldm.alloc::<u8>(700).is_ok());
     }
 
     #[test]

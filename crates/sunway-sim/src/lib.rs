@@ -38,7 +38,8 @@ pub use athread::{CoreGroup, CpeCtx, CpeKernel};
 pub use config::CgConfig;
 pub use counters::{CgCounters, CpeCounters};
 pub use dma::DmaHandle;
-pub use ldm::LdmAllocator;
+pub use ldm::{LdmAllocator, LdmOverflow, LdmReservation};
+pub use pipeline::DmaPipe;
 
 /// Number of CPEs per core group on SW26010 Pro (an 8 × 8 cluster).
 pub const CPES_PER_CG: usize = 64;

@@ -1,0 +1,146 @@
+//! Property tests for the LDM double-buffer pipeline (paper §V-C2).
+//!
+//! The `DmaPipe` schedule is the contract every SwAthread trampoline
+//! leans on: tiles complete in issue order, at most
+//! [`MAX_PUTS_IN_FLIGHT`] write-backs are airborne, and the simulated
+//! cycle accounting is a pure function of the tile sequence — overlap
+//! must change *when* transfers are charged, never *what* the kernel
+//! computes or how many bytes move.
+
+use proptest::prelude::*;
+use sunway_sim::pipeline::{self, MAX_PUTS_IN_FLIGHT};
+use sunway_sim::{CgConfig, CoreGroup, CpeCounters, CpeCtx, DmaPipe};
+
+/// One DmaPipe run on CPE 0: feeds `tiles` of (in_bytes, out_bytes)
+/// through the pipe with `compute_per_tile` cycles of work each, and
+/// records the tile completion order plus counters.
+struct PipeRun {
+    tiles: Vec<(u64, u64)>,
+    compute_per_tile: u64,
+    completed: Vec<usize>,
+    max_puts: usize,
+    counters: CpeCounters,
+}
+
+fn pipe_kernel(ctx: &mut CpeCtx, arg: usize) {
+    if ctx.cpe_id() != 0 {
+        return;
+    }
+    let run = unsafe { &mut *(arg as *mut PipeRun) };
+    let mut pipe = DmaPipe::begin(ctx, 256);
+    for (i, &(inb, outb)) in run.tiles.iter().enumerate() {
+        let next = run.tiles.get(i + 1).map(|&(nb, _)| nb);
+        let work = run.compute_per_tile;
+        pipe.tile(ctx, inb, outb, next, |ctx| ctx.account_cycles(work));
+        run.completed.push(i);
+    }
+    run.max_puts = pipe.max_puts_in_flight();
+    pipe.finish(ctx);
+    run.counters = ctx.counters.clone();
+}
+
+fn run_pipe(tiles: Vec<(u64, u64)>, compute_per_tile: u64) -> PipeRun {
+    let mut run = PipeRun {
+        tiles,
+        compute_per_tile,
+        completed: Vec::new(),
+        max_puts: 0,
+        counters: CpeCounters::default(),
+    };
+    let mut cg = CoreGroup::new(CgConfig::test_small());
+    cg.run(pipe_kernel, &mut run as *mut PipeRun as usize);
+    run
+}
+
+/// Random tile sequence from independent size vectors (zipped to the
+/// shorter): sizes span latency-bound scraps to multi-chunk streams,
+/// with occasional write-less (read-only) tiles.
+fn zip_tiles(ins: Vec<u64>, outs: Vec<u64>) -> Vec<(u64, u64)> {
+    ins.into_iter().zip(outs).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tiles complete strictly in issue order — the overlap schedule may
+    /// reorder *transfers*, never compute.
+    #[test]
+    fn prop_tiles_complete_in_order(
+        ins in proptest::collection::vec(1u64..6000, 0..24),
+        outs in proptest::collection::vec(0u64..6000, 0..24),
+        work in 0u64..2000,
+    ) {
+        let tiles = zip_tiles(ins, outs);
+        let n = tiles.len();
+        let run = run_pipe(tiles, work);
+        prop_assert_eq!(run.completed, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(run.counters.tiles, n as u64);
+    }
+
+    /// Never more than MAX_PUTS_IN_FLIGHT write-backs airborne, whatever
+    /// the tile mix.
+    #[test]
+    fn prop_puts_in_flight_bounded(
+        ins in proptest::collection::vec(1u64..6000, 0..24),
+        outs in proptest::collection::vec(0u64..6000, 0..24),
+        work in 0u64..2000,
+    ) {
+        let run = run_pipe(zip_tiles(ins, outs), work);
+        prop_assert!(
+            run.max_puts <= MAX_PUTS_IN_FLIGHT,
+            "{} puts in flight > cap {}", run.max_puts, MAX_PUTS_IN_FLIGHT
+        );
+    }
+
+    /// The overlapped schedule is deterministic (same counters twice) and
+    /// byte-preserving: it moves exactly the bytes the tile sequence
+    /// names, and never stalls longer than the blocking schedule's whole
+    /// transfer time would.
+    #[test]
+    fn prop_overlap_deterministic_and_byte_exact(
+        ins in proptest::collection::vec(1u64..6000, 0..24),
+        outs in proptest::collection::vec(0u64..6000, 0..24),
+        work in 0u64..2000,
+    ) {
+        let tiles = zip_tiles(ins, outs);
+        let a = run_pipe(tiles.clone(), work);
+        let b = run_pipe(tiles.clone(), work);
+        prop_assert_eq!(&a.counters, &b.counters, "cycle accounting must be deterministic");
+
+        let want_in: u64 = tiles.iter().map(|&(i, _)| i).sum();
+        let want_out: u64 = tiles.iter().map(|&(_, o)| o).sum();
+        prop_assert_eq!(a.counters.dma_get_bytes, want_in);
+        prop_assert_eq!(a.counters.dma_put_bytes, want_out);
+        // Stall (transfer time compute failed to hide) can only be a part
+        // of total cycles, and vanishes with no tiles.
+        prop_assert!(a.counters.dma_stall_cycles <= a.counters.cycles);
+        if tiles.is_empty() {
+            prop_assert_eq!(a.counters.dma_stall_cycles, 0);
+        }
+    }
+
+    /// Cost-model tiling invariants (Eq. 1/2): the chosen tile always fits
+    /// the LDM stream budget, never exceeds an even share per CPE, and the
+    /// crossover is monotone in compute intensity — more flops per byte
+    /// can only lower the tile needed to hide DMA.
+    #[test]
+    fn prop_tile_choice_within_budget(bytes in 1u64..4096, total in 1usize..2_000_000) {
+        for cfg in [CgConfig::default(), CgConfig::test_small(), CgConfig::bench()] {
+            let tile = pipeline::choose_tile_elems(&cfg, bytes, total);
+            prop_assert!(tile >= 1);
+            prop_assert!(
+                tile <= (pipeline::ldm_stream_budget(&cfg) / bytes as usize).max(1),
+                "tile {tile} over LDM budget"
+            );
+            prop_assert!(tile <= total.div_ceil(cfg.num_cpes.max(1)).max(1));
+        }
+    }
+
+    #[test]
+    fn prop_crossover_monotone_in_intensity(bytes in 8u64..512, f1 in 0u64..256, df in 1u64..256) {
+        let cfg = CgConfig::default();
+        let low = pipeline::dma_crossover_iters(&cfg, f1, bytes);
+        let high = pipeline::dma_crossover_iters(&cfg, f1 + df, bytes);
+        prop_assert!(high <= low, "crossover rose with intensity: {low} -> {high}");
+    }
+}
