@@ -9,13 +9,11 @@
 //! (it must).
 #![allow(clippy::field_reassign_with_default)]
 
-use std::time::Duration;
-
 use bench::banner;
-use halo_exchange::IntegrityConfig;
 use licom::checkpoint::{CheckpointManager, RecoveryPolicy, RecoveryStats};
 use licom::model::{Model, ModelOptions};
 use mpi_sim::stats::TrafficSnapshot;
+use mpi_sim::RetryPolicy;
 use mpi_sim::{FaultKind, FaultPlan, FaultRule, MatchSpec, World};
 use ocean_grid::Resolution;
 
@@ -24,12 +22,7 @@ const STEPS: u64 = 12;
 
 fn opts() -> ModelOptions {
     let mut o = ModelOptions::default();
-    o.integrity_cfg = IntegrityConfig {
-        max_retries: 3,
-        base_timeout: Duration::from_millis(25),
-        backoff: 2,
-        max_stale: 64,
-    };
+    o.retry = RetryPolicy::test_small();
     o
 }
 

@@ -128,12 +128,17 @@ pub fn policy_for(name: &str) -> MetricPolicy {
             rel_tol: 0.0,
             abs_floor: 0.0,
         },
+        // Recovery counters from the seeded rank-death scenario are
+        // fully deterministic (registry-backed detection, fixed fault
+        // seed): any drift means the elastic protocol changed behavior.
         "p2p_messages_total"
         | "p2p_bytes_total"
         | "wet_cells"
         | "steps"
         | "drift_perf_trips"
-        | "drift_physics_trips" => MetricPolicy {
+        | "drift_physics_trips"
+        | "rank_deaths_recovered"
+        | "recovery_replay_steps" => MetricPolicy {
             direction: Direction::Exact,
             rel_tol: 0.0,
             abs_floor: 0.0,

@@ -930,6 +930,32 @@ impl Pending3<'_> {
         }
     }
 
+    /// Is any strip the current stage waits on owed by a dead rank with
+    /// nothing queued? Mirrors `PendingExchange2::stage_dead_peer` —
+    /// queued pre-death strips still drain, only an unfillable wait
+    /// reports death.
+    fn stage_dead_peer(&self, comm: &mpi_sim::Comm) -> Option<(usize, u64)> {
+        let mut owed: [Option<(usize, u64)>; 2] = [None, None];
+        match self.stage {
+            PendingStage::EwPosted => {
+                owed[0] = Some((self.plan.east, self.tag_base + T_WEST));
+                owed[1] = Some((self.plan.west, self.tag_base + T_EAST));
+            }
+            PendingStage::NsPosted => {
+                owed[0] = match self.plan.north {
+                    NorthPath::Interior(nb) => Some((nb, self.tag_base + T_SOUTH)),
+                    NorthPath::FoldOther(p) => Some((p, self.tag_base + T_FOLD)),
+                    NorthPath::FoldSelf | NorthPath::Closed => None,
+                };
+                owed[1] = self.plan.south.map(|s| (s, self.tag_base + T_NORTH));
+            }
+            PendingStage::Done => {}
+        }
+        owed.into_iter()
+            .flatten()
+            .find(|&(src, tag)| !comm.is_alive(src) && !comm.has_message(src, tag))
+    }
+
     fn advance(&mut self, blocking: bool) -> Result<bool, HaloError> {
         let h = self.h;
         let comm = h.h2.cart().comm();
@@ -940,6 +966,11 @@ impl Pending3<'_> {
                 return Ok(true);
             }
             if !blocking && !self.stage_ready(comm) {
+                // A dead neighbor can never make the stage ready: surface
+                // the typed error instead of spinning on `Ok(false)`.
+                if let Some((src, tag)) = self.stage_dead_peer(comm) {
+                    return Err(HaloError::PeerDead { src, tag });
+                }
                 return Ok(false);
             }
             match self.stage {

@@ -26,13 +26,15 @@
 //! marks a *corrupt* frame; corrupt frames and receive timeouts trigger
 //! the bounded retry protocol: ask the transport's escrow for a
 //! retransmission ([`mpi_sim::Comm::fetch_resend`]), then wait again with
-//! an exponentially growing deadline, up to
-//! [`IntegrityConfig::max_retries`] attempts before surfacing a typed
+//! a capped-exponential, jittered deadline from the shared
+//! [`RetryPolicy`], up to its retry limit before surfacing a typed
 //! [`HaloError`] for the model's checkpoint/rollback layer to handle.
+//! A *dead* peer short-circuits all of that: the retry loop exists to
+//! outwait transient loss, and a fail-stop rank is not transient —
+//! [`HaloError::PeerDead`] surfaces on the first attempt so recovery can
+//! start immediately instead of burning the full retry budget.
 
-use std::time::Duration;
-
-use mpi_sim::{crc32c_f64, Comm, CommError};
+use mpi_sim::{crc32c_f64, Comm, CommError, RetryPolicy};
 
 /// Number of header words prepended to a framed payload.
 pub const HDR: usize = 4;
@@ -40,15 +42,13 @@ pub const HDR: usize = 4;
 /// Frame magic, XOR-folded with the message tag in word 0.
 const MAGIC: u64 = 0x4C49_434F_4D48_414C; // "LICOMHAL"
 
-/// Retry policy for integrity-checked receives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Retry policy for integrity-checked receives: the workspace-wide
+/// [`RetryPolicy`] schedule plus the one knob specific to framing.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntegrityConfig {
-    /// Receive attempts beyond the first before giving up.
-    pub max_retries: u32,
-    /// Deadline for the first receive attempt.
-    pub base_timeout: Duration,
-    /// Deadline multiplier per retry (exponential backoff).
-    pub backoff: u32,
+    /// Timeout/backoff/jitter schedule shared with every other
+    /// deadline-bounded wait in the stack.
+    pub retry: RetryPolicy,
     /// Stale frames tolerated per receive before giving up (guards
     /// against a flood of leftovers, not a realistic failure mode).
     pub max_stale: u32,
@@ -57,21 +57,33 @@ pub struct IntegrityConfig {
 impl Default for IntegrityConfig {
     fn default() -> Self {
         Self {
-            max_retries: 3,
-            base_timeout: Duration::from_millis(250),
-            backoff: 2,
+            retry: RetryPolicy::default(),
             max_stale: 64,
         }
     }
 }
 
 impl IntegrityConfig {
-    fn timeout_for(&self, attempt: u32) -> Duration {
-        self.base_timeout * self.backoff.pow(attempt.min(16))
+    /// Tight deadlines for fault-injection tests (see
+    /// [`RetryPolicy::test_small`]).
+    pub fn test_small() -> Self {
+        Self {
+            retry: RetryPolicy::test_small(),
+            max_stale: 64,
+        }
+    }
+
+    /// Build from an existing schedule (e.g. the one threaded through
+    /// `ModelOptions`).
+    pub fn with_retry(retry: RetryPolicy) -> Self {
+        Self {
+            retry,
+            ..Self::default()
+        }
     }
 }
 
-/// Typed halo-exchange failure: the retry protocol was exhausted.
+/// Typed halo-exchange failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HaloError {
     /// No verifiable frame for `(src, tag)` arrived within
@@ -82,6 +94,9 @@ pub enum HaloError {
         attempts: u32,
         last: FrameFault,
     },
+    /// The sending rank halted permanently: no number of retries can
+    /// produce the frame, so the retry loop is skipped entirely.
+    PeerDead { src: usize, tag: u64 },
 }
 
 impl std::fmt::Display for HaloError {
@@ -95,6 +110,10 @@ impl std::fmt::Display for HaloError {
             } => write!(
                 f,
                 "halo strip from rank {src} tag {tag} unrecoverable after {attempts} attempts (last: {last:?})"
+            ),
+            HaloError::PeerDead { src, tag } => write!(
+                f,
+                "halo strip from rank {src} tag {tag} can never arrive: peer is dead"
             ),
         }
     }
@@ -202,20 +221,20 @@ pub fn recv_framed(
     let mut attempt: u32 = 0;
     let mut stale: u32 = 0;
     let mut last;
+    // Per-(rank, peer, tag) jitter salt: after a shared stall, each wait
+    // draws a different deadline, so retries do not re-synchronize into
+    // a storm.
+    let salt = RetryPolicy::salt(comm.rank(), src, tag);
     loop {
-        let res =
-            comm.recv_into_deadline(
-                src,
-                tag,
-                cfg.timeout_for(attempt),
-                |buf| match verify_frame(buf, tag, seq, expect_len) {
-                    Ok(payload) => {
-                        unpack(payload);
-                        Ok(())
-                    }
-                    Err(fault) => Err(fault),
-                },
-            );
+        let res = comm.recv_into_deadline(src, tag, cfg.retry.timeout_for(attempt, salt), |buf| {
+            match verify_frame(buf, tag, seq, expect_len) {
+                Ok(payload) => {
+                    unpack(payload);
+                    Ok(())
+                }
+                Err(fault) => Err(fault),
+            }
+        });
         match res {
             Ok(Ok(())) => return Ok(()),
             Ok(Err(FrameFault::Stale)) => {
@@ -236,7 +255,12 @@ pub fn recv_framed(
                 comm.note_crc_failure();
                 last = fault;
             }
-            Err(CommError::Timeout { .. }) => {
+            Err(CommError::PeerDead { .. }) => {
+                // Fail-stop is permanent: no retry or escrow fetch can
+                // help, and burning the budget only delays recovery.
+                return Err(HaloError::PeerDead { src, tag });
+            }
+            Err(_) => {
                 last = FrameFault::Timeout;
             }
         }
@@ -251,7 +275,7 @@ pub fn recv_framed(
         }
         comm.note_halo_retry();
         attempt += 1;
-        if attempt > cfg.max_retries {
+        if attempt > cfg.retry.max_retries {
             return Err(HaloError::RetriesExhausted {
                 src,
                 tag,
@@ -335,14 +359,58 @@ mod tests {
     }
 
     #[test]
-    fn backoff_grows_exponentially() {
-        let cfg = IntegrityConfig {
-            base_timeout: Duration::from_millis(10),
-            backoff: 2,
-            ..Default::default()
-        };
-        assert_eq!(cfg.timeout_for(0), Duration::from_millis(10));
-        assert_eq!(cfg.timeout_for(1), Duration::from_millis(20));
-        assert_eq!(cfg.timeout_for(3), Duration::from_millis(80));
+    fn retry_schedule_comes_from_shared_policy() {
+        // The backoff constants live in RetryPolicy now; IntegrityConfig
+        // only adds the framing-specific stale tolerance.
+        let cfg = IntegrityConfig::test_small();
+        assert_eq!(cfg.retry, RetryPolicy::test_small());
+        assert_eq!(cfg.max_stale, 64);
+        let threaded = IntegrityConfig::with_retry(RetryPolicy::default());
+        assert_eq!(threaded.retry, RetryPolicy::default());
+    }
+
+    #[test]
+    fn peer_dead_error_formats_and_sources() {
+        let e = HaloError::PeerDead { src: 3, tag: 830 };
+        let msg = format!("{e}");
+        assert!(msg.contains("rank 3") && msg.contains("dead"), "{msg}");
+        use std::error::Error;
+        assert!(e.source().is_none());
+    }
+
+    /// Satellite coverage: a stale-epoch frame delivered *after* the
+    /// receiver's timeout-triggered re-request must be discarded — not
+    /// unpacked, not counted against the retry budget — and the fresh
+    /// frame behind it accepted.
+    #[test]
+    fn stale_frame_after_timeout_rerequest_is_discarded() {
+        use mpi_sim::World;
+        let cfg = IntegrityConfig::test_small();
+        World::run(2, move |comm| {
+            if comm.rank() == 0 {
+                // Outlast rank 1's first wait so it re-requests, then
+                // deliver a leftover frame from an aborted prior step
+                // followed by the real one.
+                std::thread::sleep(cfg.retry.base_timeout * 2);
+                let stale = FrameSeq {
+                    epoch: 6,
+                    ordinal: 3,
+                };
+                send_framed(comm, 1, 42, stale, 4, |b| b.fill(9.0));
+                send_framed(comm, 1, 42, SEQ, 4, |b| {
+                    b.copy_from_slice(&[1.0, 2.0, 3.0, 4.0])
+                });
+            } else {
+                let got = std::cell::RefCell::new(Vec::new());
+                let calls = std::cell::Cell::new(0u32);
+                recv_framed(comm, &cfg, 0, 42, SEQ, 4, |p| {
+                    calls.set(calls.get() + 1);
+                    *got.borrow_mut() = p.to_vec();
+                })
+                .expect("fresh frame must be accepted after the stale one");
+                assert_eq!(calls.get(), 1, "unpack must run once, on the fresh frame");
+                assert_eq!(got.into_inner(), vec![1.0, 2.0, 3.0, 4.0]);
+            }
+        });
     }
 }

@@ -132,8 +132,12 @@ fn unrecoverable_drop_surfaces_typed_error_on_every_rank() {
         MatchSpec::any(),
     ));
     let cfg = IntegrityConfig {
-        max_retries: 1,
-        base_timeout: Duration::from_millis(20),
+        retry: mpi_sim::RetryPolicy {
+            max_retries: 1,
+            base_timeout: Duration::from_millis(20),
+            jitter: 0.0,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let (results, t) = World::run_faulted(4, plan, |comm| {
@@ -152,7 +156,7 @@ fn unrecoverable_drop_surfaces_typed_error_on_every_rank() {
                 assert_eq!(*last, FrameFault::Timeout, "rank {rank}");
                 assert_eq!(*attempts, 2, "rank {rank}");
             }
-            Ok(()) => panic!("rank {rank} cannot complete when all strips drop"),
+            other => panic!("rank {rank} must exhaust retries, got {other:?}"),
         }
     }
     assert!(t.recv_timeouts >= 4);

@@ -40,8 +40,8 @@ pub use prometheus::{
 pub use stats::{CounterTable, Stat, StatsTable};
 pub use sypd::{bucket_of, hotspot_shares, is_enclosing, sypd, HotspotRow, SypdReporter, BUCKETS};
 pub use telemetry::{
-    gather_phases, CriticalPath, DriftBank, DriftDetector, DriftEvent, ImbalanceReport,
-    PhaseImbalance, PhaseProfile, RingBuffer, WaitComputeSplit,
+    gather_phases, try_gather_phases, CriticalPath, DriftBank, DriftDetector, DriftEvent,
+    ImbalanceReport, PartialPhases, PhaseImbalance, PhaseProfile, RingBuffer, WaitComputeSplit,
 };
 pub use trace::{ArgValue, TraceEvent, COMM_TRACK, COUNTER_TRACK};
 

@@ -21,6 +21,7 @@
 
 use mpi_sim::Comm;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// One rank's `(phase name, seconds)` profile, e.g.
 /// `licom::Timers::phase_seconds`.
@@ -31,6 +32,75 @@ pub type PhaseProfile = Vec<(String, f64)>;
 /// result is indexed by rank.
 pub fn gather_phases(comm: &Comm, local: PhaseProfile) -> Vec<PhaseProfile> {
     comm.allgather(local)
+}
+
+/// A phase gather that tolerated absent ranks: whatever arrived within
+/// the deadline, plus the list of ranks that did not report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialPhases {
+    /// Indexed by rank; `None` where a rank never reported.
+    pub profiles: Vec<Option<PhaseProfile>>,
+    /// Ranks that were dead or failed to report within the deadline.
+    pub missing: Vec<usize>,
+}
+
+impl PartialPhases {
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// Rank-indexed profiles with empty placeholders for missing ranks,
+    /// so [`ImbalanceReport::from_profiles`] keeps its rank indexing.
+    /// Missing ranks show as zero-second rows; consult [`Self::missing`]
+    /// before reading anything into those zeros.
+    pub fn profiles_or_empty(&self) -> Vec<PhaseProfile> {
+        self.profiles
+            .iter()
+            .map(|p| p.clone().unwrap_or_default())
+            .collect()
+    }
+}
+
+/// Tag namespace for [`try_gather_phases`]; the caller's `salt` (e.g.
+/// the step number) separates successive gathers so a profile a slow
+/// rank delivered after an earlier gather's deadline can never be
+/// mistaken for a fresh report.
+const PHASE_GATHER_TAG: u64 = 0x7E1E_0000_0000_0000;
+
+/// [`gather_phases`] hardened against dead or stalled ranks: exchanges
+/// profiles over point-to-point messages and bounds every receive by
+/// `per_rank_deadline`. A dead peer is detected immediately through the
+/// failure registry ([`mpi_sim::CommError::PeerDead`]) without consuming
+/// the deadline; a stalled-but-alive rank costs at most the deadline and
+/// is then reported missing. Telemetry must never take the model down
+/// with it — a partial report tagged with who is absent beats a hang.
+pub fn try_gather_phases(
+    comm: &Comm,
+    local: PhaseProfile,
+    salt: u64,
+    per_rank_deadline: Duration,
+) -> PartialPhases {
+    let n = comm.size();
+    let me = comm.rank();
+    let tag = PHASE_GATHER_TAG ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for r in 0..n {
+        if r != me {
+            comm.send(r, tag, local.clone());
+        }
+    }
+    let mut profiles: Vec<Option<PhaseProfile>> = vec![None; n];
+    profiles[me] = Some(local);
+    let mut missing = Vec::new();
+    for (r, slot) in profiles.iter_mut().enumerate() {
+        if r == me {
+            continue;
+        }
+        match comm.recv_deadline::<(String, f64)>(r, tag, per_rank_deadline) {
+            Ok(p) => *slot = Some(p),
+            Err(_) => missing.push(r),
+        }
+    }
+    PartialPhases { profiles, missing }
 }
 
 /// Per-phase cross-rank imbalance statistics.
@@ -571,6 +641,43 @@ mod tests {
                 assert_eq!(profile[0].0, format!("phase{r}"));
                 assert_eq!(profile[0].1, r as f64);
             }
+        });
+    }
+
+    #[test]
+    fn try_gather_phases_is_complete_on_a_healthy_world() {
+        World::run(3, |comm| {
+            let local = vec![(format!("phase{}", comm.rank()), comm.rank() as f64)];
+            let p = try_gather_phases(comm, local.clone(), 1, Duration::from_secs(5));
+            assert!(p.is_complete());
+            assert_eq!(p.profiles_or_empty(), gather_phases(comm, local));
+        });
+    }
+
+    #[test]
+    fn try_gather_phases_tags_a_dead_rank_as_missing() {
+        use mpi_sim::{FaultPlan, WorldConfig};
+        // Rank 1 dies before reporting; survivors must get a partial
+        // gather promptly (registry detection, not a burned deadline).
+        let plan = FaultPlan::new(0xFA11).kill(1, 1);
+        let cfg = WorldConfig::new(3).faults(plan);
+        World::run_cfg(cfg, |comm| {
+            comm.set_epoch(1);
+            if comm.self_failed() {
+                return;
+            }
+            let t0 = std::time::Instant::now();
+            let local = vec![("step".to_string(), 1.0 + comm.rank() as f64)];
+            let p = try_gather_phases(comm, local, 2, Duration::from_secs(30));
+            assert_eq!(p.missing, vec![1]);
+            assert!(p.profiles[0].is_some() || comm.rank() == 0);
+            assert!(p.profiles[2].is_some() || comm.rank() == 2);
+            assert!(p.profiles[1].is_none());
+            // Dead-rank detection must not consume the 30 s deadline.
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            // The report still works, rank-indexed, with a zero row.
+            let report = ImbalanceReport::from_profiles(&p.profiles_or_empty());
+            assert_eq!(report.ranks, 3);
         });
     }
 

@@ -29,6 +29,9 @@ fn synthetic_traffic() -> TrafficSnapshot {
         resends_served: 2,
         resend_bytes: 1_024,
         recv_timeouts: 0,
+        rank_deaths: 1,
+        peer_dead_errors: 3,
+        sends_suppressed: 5,
     }
 }
 

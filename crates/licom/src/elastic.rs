@@ -1,0 +1,450 @@
+//! Elastic rank-death recovery: survivor consensus, spare adoption, and
+//! restore from the checkpoint ring.
+//!
+//! [`crate::Model::run_steps_resilient`] survives *message* faults by
+//! rollback-and-replay, but its status vote is a blocking collective: a
+//! fail-stop rank would strand every survivor. This module is the
+//! ULFM-style driver above it. A world is launched with spare ranks
+//! ([`mpi_sim::WorldConfig::spares`]); the first `size - spares` world
+//! ranks take compute **roles** and spares idle in a wake-poll loop.
+//! Every wait is deadline-bounded by the one [`RetryPolicy`] threaded
+//! through [`ModelOptions`], so no blocking path can hang on a corpse.
+//!
+//! On a detected death (a step vote or halo wait returns a typed
+//! `PeerDead`), every live rank runs the same recovery round:
+//!
+//! 1. survivors WAKE every idle spare (control-plane `u8` messages,
+//!    exempt from `f64` fault injection);
+//! 2. all live ranks — survivors *and* spares — run
+//!    [`mpi_sim::Comm::agree_on_survivors`], converging on an identical
+//!    survivor set;
+//! 3. roles are reassigned deterministically: each dead role adopts the
+//!    lowest-numbered surviving spare, so every participant computes the
+//!    same mapping with no further communication;
+//! 4. the role holders re-form the compute group as a derived
+//!    communicator ([`mpi_sim::Comm::with_members`], salted by the
+//!    recovery round so stale wire traffic cannot cross rounds). A
+//!    spare's group rank *equals the dead rank's role*, so checkpoint
+//!    geometry and per-role file names match unchanged;
+//! 5. everyone rebuilds the model, restores the newest commonly-held
+//!    image from the PR-3 checkpoint ring (collective min-vote), and
+//!    replays. Replay is deterministic — group collectives fold in role
+//!    order exactly like the original world's — so the completed run is
+//!    bitwise identical to a failure-free one.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use kokkos_rs::Space;
+use mpi_sim::{Comm, CommError, RetryPolicy};
+use ocean_grid::ModelConfig;
+
+use crate::checkpoint::{CheckpointError, CheckpointManager, RecoveryPolicy};
+use crate::model::{Model, ModelOptions};
+
+/// Control-plane tags on the *world* communicator, far above the model's
+/// tag space and the failure-protocol bases in `mpi_sim::failure`.
+const WAKE: u64 = 0x7C57_0000_0000_0000;
+const DONE: u64 = 0x7C57_0000_0000_0001;
+
+/// How an elastic run is shaped.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Total model steps to reach.
+    pub target_steps: u64,
+    /// Checkpoint ring directory (shared by all ranks).
+    pub ckpt_dir: PathBuf,
+    /// Ring depth K (slots per role).
+    pub ring: usize,
+    /// Message-fault rollback policy (checkpoint cadence + budget).
+    pub recovery: RecoveryPolicy,
+}
+
+/// What an elastic run did, identical on every surviving role holder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElasticStats {
+    pub steps_completed: u64,
+    /// Fail-stop deaths detected and recovered from.
+    pub rank_deaths_recovered: u64,
+    /// Steps re-executed because a death forced a rollback (bounded by
+    /// the checkpoint interval per death).
+    pub recovery_replay_steps: u64,
+    /// Message-fault rollbacks (the PR-3 path, still active underneath).
+    pub rollbacks: u32,
+    /// Wall-clock from entering the fatal step to the typed PeerDead
+    /// observation, summed over deaths (detection latency).
+    pub detection_ns: u64,
+    /// Wall-clock from PeerDead to the restored, replay-ready model,
+    /// summed over deaths (MTTR minus replay).
+    pub recovery_wall_ns: u64,
+}
+
+/// How this rank's participation ended.
+pub enum ElasticOutcome {
+    /// Held a role at the end; carries the final model and stats.
+    Completed {
+        model: Box<Model>,
+        stats: ElasticStats,
+    },
+    /// Served as a spare and was never elected (or was retired by DONE).
+    Spared,
+    /// This rank was the seeded fatality.
+    Died,
+}
+
+/// An elastic run that could not reach its target.
+#[derive(Debug)]
+pub enum ElasticError {
+    /// More deaths than available spares.
+    SparesExhausted { role: usize },
+    /// The step vote failed for a reason other than a peer death (e.g. a
+    /// stalled-but-alive rank outlasting the vote deadline).
+    Vote(CommError),
+    /// Message-fault rollback budget exhausted.
+    RollbackBudgetExhausted,
+    /// Checkpoint restore failed.
+    Checkpoint(CheckpointError),
+}
+
+impl From<CheckpointError> for ElasticError {
+    fn from(e: CheckpointError) -> Self {
+        ElasticError::Checkpoint(e)
+    }
+}
+
+impl std::fmt::Display for ElasticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElasticError::SparesExhausted { role } => {
+                write!(f, "no spare left to adopt dead role {role}")
+            }
+            ElasticError::Vote(e) => write!(f, "step vote failed: {e}"),
+            ElasticError::RollbackBudgetExhausted => write!(f, "rollback budget exhausted"),
+            ElasticError::Checkpoint(e) => write!(f, "elastic recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ElasticError {}
+
+/// Deterministic role reassignment: every dead role adopts the
+/// lowest-numbered survivor not already holding a role. Pure function of
+/// `(roles, survivors)`, so all participants compute the identical map.
+fn reassign(roles: &[usize], survivors: &[usize]) -> Result<Vec<usize>, ElasticError> {
+    let live: HashSet<usize> = survivors.iter().copied().collect();
+    let held: HashSet<usize> = roles.iter().copied().collect();
+    let mut avail = survivors.iter().filter(|r| !held.contains(r)).copied();
+    roles
+        .iter()
+        .enumerate()
+        .map(|(role, &wr)| {
+            if live.contains(&wr) {
+                Ok(wr)
+            } else {
+                avail.next().ok_or(ElasticError::SparesExhausted { role })
+            }
+        })
+        .collect()
+}
+
+fn wake_payload(round: u64, dead_at_step: u64) -> Vec<u8> {
+    let mut p = round.to_le_bytes().to_vec();
+    p.extend_from_slice(&dead_at_step.to_le_bytes());
+    p
+}
+
+fn parse_wake(p: &[u8]) -> (u64, u64) {
+    let r = u64::from_le_bytes(p[0..8].try_into().unwrap());
+    let s = u64::from_le_bytes(p[8..16].try_into().unwrap());
+    (r, s)
+}
+
+/// World ranks currently idle and believed alive (spare pool).
+fn idle_spares(world: &Comm, roles: &[usize]) -> Vec<usize> {
+    let held: HashSet<usize> = roles.iter().copied().collect();
+    (0..world.size())
+        .filter(|r| !held.contains(r) && world.is_alive(*r))
+        .collect()
+}
+
+enum Drive {
+    /// Reached the target; model is current.
+    Done,
+    /// A group member died mid-run; `attempted` is the step being voted.
+    PeerDead {
+        attempted: u64,
+        detect_ns: u64,
+    },
+    /// This rank is the seeded fatality.
+    SelfDead,
+    Fail(ElasticError),
+}
+
+/// Step the group to the target with a failure-aware vote after every
+/// step. Votes travel as `u8` allgathers (control plane: exempt from
+/// `f64` fault injection) with the step number as tag salt, and commit
+/// only if every role finished cleanly — the same all-or-nothing rule as
+/// [`Model::run_steps_resilient`], minus the ability to hang.
+fn drive(
+    model: &mut Model,
+    mgr: &mut CheckpointManager,
+    ecfg: &ElasticConfig,
+    retry: &RetryPolicy,
+    stats: &mut ElasticStats,
+    mut replaying_to: u64,
+) -> Drive {
+    // Generous vote deadline: a full retry budget on top of whatever the
+    // slowest rank's halo retries may already have consumed.
+    let vote_timeout = retry.budget() * 4;
+    const VOTE_SALT: u64 = 0x7C56_0000_0000_0000;
+    if model.steps_taken() < ecfg.target_steps {
+        if let Err(e) = mgr.save(model) {
+            return Drive::Fail(e.into());
+        }
+    }
+    let mut since_ckpt: u64 = 0;
+    while model.steps_taken() < ecfg.target_steps {
+        let attempted = model.steps_taken() + 1;
+        let t_step = Instant::now();
+        let ok = model.try_step().is_ok();
+        if model.comm().self_failed() {
+            return Drive::SelfDead;
+        }
+        let vote =
+            model
+                .comm()
+                .try_allgather(VOTE_SALT ^ attempted, vec![u8::from(ok)], vote_timeout);
+        match vote {
+            Ok(votes) => {
+                if votes.iter().all(|v| v[0] == 1) {
+                    if model.steps_taken() <= replaying_to {
+                        stats.recovery_replay_steps += 1;
+                    }
+                    stats.steps_completed += 1;
+                    since_ckpt += 1;
+                    if since_ckpt >= ecfg.recovery.checkpoint_every
+                        && model.steps_taken() < ecfg.target_steps
+                    {
+                        if let Err(e) = mgr.save(model) {
+                            return Drive::Fail(e.into());
+                        }
+                        since_ckpt = 0;
+                    }
+                } else {
+                    // Message-fault path: all roles alive, some step
+                    // failed — rollback and replay within the group.
+                    stats.rollbacks += 1;
+                    if stats.rollbacks > ecfg.recovery.max_rollbacks {
+                        return Drive::Fail(ElasticError::RollbackBudgetExhausted);
+                    }
+                    replaying_to = replaying_to.max(attempted - 1);
+                    if let Err(e) = mgr.restore_latest_collective(model) {
+                        return Drive::Fail(e.into());
+                    }
+                    since_ckpt = 0;
+                }
+            }
+            Err(CommError::PeerDead { peer, .. }) if peer == model.comm().rank() => {
+                return Drive::SelfDead;
+            }
+            Err(CommError::PeerDead { .. }) => {
+                return Drive::PeerDead {
+                    attempted,
+                    detect_ns: t_step.elapsed().as_nanos() as u64,
+                };
+            }
+            Err(e) => return Drive::Fail(ElasticError::Vote(e)),
+        }
+    }
+    Drive::Done
+}
+
+/// Run the model elastically on a world with spare ranks. **Every** world
+/// rank calls this — compute ranks and spares alike; the function sorts
+/// out who does what. Returns this rank's [`ElasticOutcome`]; the gate
+/// counters (`rank_deaths_recovered`, `recovery_replay_steps`) come out
+/// identical on every rank holding a role at the end — a late-elected
+/// spare learns the replay mark from the WAKE payload — and are also
+/// published to the final model's timers for the bench gate.
+/// `steps_completed` counts this rank's own committed steps.
+pub fn run_elastic(
+    world: &Comm,
+    cfg: ModelConfig,
+    space: Space,
+    opts: ModelOptions,
+    ecfg: &ElasticConfig,
+) -> Result<ElasticOutcome, ElasticError> {
+    assert!(
+        !world.has_view(),
+        "run_elastic drives the world communicator itself"
+    );
+    let retry = opts.retry;
+    let me = world.rank();
+    let n_compute = world.size() - world.spares();
+    assert!(n_compute >= 1, "need at least one compute rank");
+    let mut roles: Vec<usize> = (0..n_compute).collect();
+    let mut round: u64 = 0;
+    let mut stats = ElasticStats::default();
+    // Steps the group had attempted when the last death hit; committed
+    // steps at-or-below this mark count as replay. Spares learn it from
+    // the WAKE payload, survivors from the failed vote — identically.
+    let mut replaying_to: u64 = 0;
+
+    loop {
+        if !roles.contains(&me) {
+            // ---- spare: poll for WAKE / DONE, deadline-free by design —
+            // an idle spare holds no resources a corpse could strand.
+            match spare_wait(world, round) {
+                SpareWake::Done => return Ok(ElasticOutcome::Spared),
+                SpareWake::SelfDead => return Ok(ElasticOutcome::Died),
+                SpareWake::Wake {
+                    round: r,
+                    dead_at_step,
+                } => {
+                    let t_recover = Instant::now();
+                    round = r;
+                    // The WAKE payload carries the step the group was
+                    // attempting, so the spare's replay accounting and
+                    // death counter match the survivors' exactly.
+                    replaying_to = dead_at_step.saturating_sub(1);
+                    stats.rank_deaths_recovered += 1;
+                    let survivors = match world.agree_on_survivors(round, &retry) {
+                        Ok(s) => s,
+                        Err(_) => return Ok(ElasticOutcome::Died),
+                    };
+                    roles = reassign(&roles, &survivors)?;
+                    stats.recovery_wall_ns += t_recover.elapsed().as_nanos() as u64;
+                    continue; // elected → compute branch; else keep waiting
+                }
+            }
+        }
+
+        // ---- role holder: form the group, build or restore, drive.
+        let group = world.with_members(&roles, round);
+        let mut model = Model::new(&group, cfg.clone(), space.clone(), opts.clone());
+        let mut mgr = CheckpointManager::new(&ecfg.ckpt_dir, ecfg.ring);
+        let t_recover = Instant::now();
+        if round > 0 {
+            mgr.restore_latest_collective(&mut model)?;
+            stats.recovery_wall_ns += t_recover.elapsed().as_nanos() as u64;
+        }
+        match drive(&mut model, &mut mgr, ecfg, &retry, &mut stats, replaying_to) {
+            Drive::Done => {
+                // Retire the unused spares. Every role holder sends DONE
+                // (duplicates are harmless; a lone sender could die).
+                for s in idle_spares(world, &roles) {
+                    world.send(s, DONE, vec![1u8]);
+                }
+                model
+                    .timers
+                    .add_count("rank_deaths_recovered", stats.rank_deaths_recovered);
+                model
+                    .timers
+                    .add_count("recovery_replay_steps", stats.recovery_replay_steps);
+                model
+                    .timers
+                    .add_count("elastic_rollbacks", u64::from(stats.rollbacks));
+                return Ok(ElasticOutcome::Completed {
+                    model: Box::new(model),
+                    stats,
+                });
+            }
+            Drive::SelfDead => return Ok(ElasticOutcome::Died),
+            Drive::Fail(e) => return Err(e),
+            Drive::PeerDead {
+                attempted,
+                detect_ns,
+            } => {
+                let t_recover = Instant::now();
+                round += 1;
+                stats.rank_deaths_recovered += 1;
+                stats.detection_ns += detect_ns;
+                replaying_to = attempted - 1;
+                // 1. Wake every idle spare so it joins the consensus.
+                for s in idle_spares(world, &roles) {
+                    world.send(s, WAKE, wake_payload(round, attempted));
+                }
+                // 2. Identical survivor set on every live rank.
+                let survivors = match world.agree_on_survivors(round, &retry) {
+                    Ok(s) => s,
+                    Err(_) => return Ok(ElasticOutcome::Died),
+                };
+                // 3. Deterministic spare election.
+                roles = reassign(&roles, &survivors)?;
+                stats.recovery_wall_ns += t_recover.elapsed().as_nanos() as u64;
+                // 4–5. happen at the top of the loop: re-form, restore,
+                // replay. A survivor always keeps its role.
+            }
+        }
+    }
+}
+
+enum SpareWake {
+    Wake { round: u64, dead_at_step: u64 },
+    Done,
+    SelfDead,
+}
+
+/// Idle-spare loop: poll the world mailboxes for control messages.
+/// Duplicate WAKEs (every survivor sends one) and WAKEs for rounds this
+/// spare already processed are drained and dropped.
+fn spare_wait(world: &Comm, last_round: u64) -> SpareWake {
+    loop {
+        if world.self_failed() {
+            return SpareWake::SelfDead;
+        }
+        for src in 0..world.size() {
+            if world.has_message(src, DONE) {
+                let _: Vec<u8> = world.recv(src, DONE);
+                return SpareWake::Done;
+            }
+            if world.has_message(src, WAKE) {
+                let p: Vec<u8> = world.recv(src, WAKE);
+                let (round, dead_at_step) = parse_wake(&p);
+                if round > last_round {
+                    return SpareWake::Wake {
+                        round,
+                        dead_at_step,
+                    };
+                }
+                // Duplicate from an already-processed round: drop.
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassign_is_deterministic_and_minimal() {
+        // Roles 0..3 on world ranks [0,1,2,3]; rank 1 and 3 die; spares
+        // 4,5,6 survive. Dead roles adopt the lowest spares in order.
+        let roles = vec![0, 1, 2, 3];
+        let survivors = vec![0, 2, 4, 5, 6];
+        let next = reassign(&roles, &survivors).unwrap();
+        assert_eq!(next, vec![0, 4, 2, 5]);
+        // Survivor roles never move.
+        assert_eq!(next[0], 0);
+        assert_eq!(next[2], 2);
+    }
+
+    #[test]
+    fn reassign_exhaustion_is_typed() {
+        let roles = vec![0, 1];
+        let survivors = vec![0]; // rank 1 dead, no spare
+        match reassign(&roles, &survivors) {
+            Err(ElasticError::SparesExhausted { role }) => assert_eq!(role, 1),
+            other => panic!("expected SparesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wake_payload_roundtrips() {
+        let p = wake_payload(7, 1234);
+        assert_eq!(parse_wake(&p), (7, 1234));
+    }
+}

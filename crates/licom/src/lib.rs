@@ -28,6 +28,7 @@ pub mod barotropic;
 pub mod canuto;
 pub mod checkpoint;
 pub mod diag;
+pub mod elastic;
 pub mod eos;
 pub mod forcing;
 pub mod guard;
@@ -44,6 +45,7 @@ pub mod vmix;
 pub use checkpoint::{
     CheckpointError, CheckpointManager, RecoveryError, RecoveryPolicy, RecoveryStats,
 };
+pub use elastic::{run_elastic, ElasticConfig, ElasticError, ElasticOutcome, ElasticStats};
 pub use guard::{GuardConfig, GuardViolation};
 pub use model::{Model, ModelOptions, StepError, StepStats};
 pub use state::State;

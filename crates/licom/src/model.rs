@@ -27,7 +27,7 @@ use kokkos_rs::{
     parallel_for_2d, parallel_for_3d, parallel_for_list, Functor3D, FunctorList, IterCost,
     ListPolicy, MDRangePolicy2, MDRangePolicy3, Space, View, View1, View2, View3,
 };
-use mpi_sim::{CartComm, Comm, ReduceOp};
+use mpi_sim::{CartComm, Comm, ReduceOp, RetryPolicy};
 use ocean_grid::{Bathymetry, GlobalGrid, ModelConfig, GRAVITY};
 
 use halo_exchange::{
@@ -92,9 +92,12 @@ pub struct ModelOptions {
     /// corrupted/dropped strips through bounded retry (§ robustness).
     /// Bitwise identical on a clean network; adds 4 words per message.
     pub integrity: bool,
-    /// Retry/timeout policy used when `integrity` is on. Tests shrink the
-    /// timeouts so unrecoverable-loss paths fail fast.
-    pub integrity_cfg: IntegrityConfig,
+    /// The one timeout/backoff/jitter schedule for every deadline-bounded
+    /// wait in the model: halo escrow retries, step-status votes, and the
+    /// elastic-recovery consensus all derive their deadlines from it.
+    /// Tests shrink it ([`RetryPolicy::test_small`]) so unrecoverable
+    /// paths fail fast.
+    pub retry: RetryPolicy,
     /// Per-step physics guard (NaN/velocity/tracer-bound scan over the
     /// owned wet sets). `None` disables the scan.
     pub guard: Option<crate::guard::GuardConfig>,
@@ -117,7 +120,7 @@ impl Default for ModelOptions {
             vmix_team: false,
             active_set: true,
             integrity: true,
-            integrity_cfg: IntegrityConfig::default(),
+            retry: RetryPolicy::default(),
             guard: Some(crate::guard::GuardConfig::default()),
             telemetry: Some(TelemetryConfig::default()),
         }
@@ -360,7 +363,7 @@ impl Model {
         // (wide strips pack on CPEs instead of round-tripping the MPE).
         let mut halo2 = Halo2D::new(&cart, cfg.nx, cfg.ny).with_space(space.clone());
         if opts.integrity {
-            halo2 = halo2.with_integrity(opts.integrity_cfg);
+            halo2 = halo2.with_integrity(IntegrityConfig::with_retry(opts.retry));
         }
         let global = GlobalGrid::build(cfg.nx, cfg.ny, cfg.nz, &opts.bathymetry, cfg.full_depth);
         let grid = LocalGrid::build(&global, &halo2);

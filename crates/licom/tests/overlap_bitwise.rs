@@ -5,11 +5,9 @@
 //! rollback-and-replay recovery.
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
-use std::time::Duration;
-
-use halo_exchange::IntegrityConfig;
 use licom::checkpoint::{CheckpointManager, RecoveryPolicy};
 use licom::model::{Model, ModelOptions};
+use mpi_sim::RetryPolicy;
 use mpi_sim::{FaultKind, FaultPlan, FaultRule, MatchSpec, World};
 use ocean_grid::Resolution;
 use proptest::prelude::*;
@@ -118,12 +116,7 @@ fn overlap_survives_faults_bitwise() {
             move |comm| {
                 let mut opts = ModelOptions::default();
                 opts.overlap = overlap;
-                opts.integrity_cfg = IntegrityConfig {
-                    max_retries: 3,
-                    base_timeout: Duration::from_millis(25),
-                    backoff: 2,
-                    max_stale: 64,
-                };
+                opts.retry = RetryPolicy::test_small();
                 let mut mgr = CheckpointManager::new(&dir, 3);
                 let mut m = Model::new(comm, cfg(), kokkos_rs::Space::serial(), opts);
                 let policy = RecoveryPolicy {

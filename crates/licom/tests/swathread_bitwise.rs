@@ -7,11 +7,9 @@
 //! knob.
 #![allow(clippy::field_reassign_with_default)]
 
-use std::time::Duration;
-
-use halo_exchange::IntegrityConfig;
 use licom::checkpoint::{CheckpointManager, RecoveryPolicy};
 use licom::model::{Model, ModelOptions};
+use mpi_sim::RetryPolicy;
 use mpi_sim::{FaultKind, FaultPlan, FaultRule, MatchSpec, World};
 use ocean_grid::Resolution;
 use proptest::prelude::*;
@@ -105,12 +103,7 @@ fn swathread_rollback_replay_matches_serial() {
             let dir = dir.clone();
             move |comm| {
                 let mut opts = ModelOptions::default();
-                opts.integrity_cfg = IntegrityConfig {
-                    max_retries: 3,
-                    base_timeout: Duration::from_millis(25),
-                    backoff: 2,
-                    max_stale: 64,
-                };
+                opts.retry = RetryPolicy::test_small();
                 let mut mgr = CheckpointManager::new(&dir, 3);
                 let mut m = Model::new(comm, cfg(), space.clone(), opts);
                 let policy = RecoveryPolicy {

@@ -10,6 +10,7 @@
 //! entered by all ranks in the same program order — the usual MPI contract.
 
 use std::any::Any;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -74,21 +75,39 @@ impl CollectiveState {
         }
     }
 
+    /// Wake every rank parked in the rendezvous so it re-checks liveness.
+    /// Called by the death registry when a rank is marked dead.
+    pub(crate) fn notify_all(&self) {
+        let _guard = self.inner.lock();
+        self.cv.notify_all();
+    }
+
     /// Core exchange: deposit this rank's contribution, wait for all ranks,
     /// map the full slot table through `read`, then synchronize departure
     /// so the table can be reused. Doubles as a barrier.
+    ///
+    /// `dead` inspects the slot table and returns a rank that can never
+    /// arrive (dead without a deposited contribution). When it fires, the
+    /// waiter withdraws its own contribution — leaving the table clean for
+    /// the other survivors to bail the same way — and returns the dead
+    /// rank as the error. A rank that already deposited before dying does
+    /// not wedge the exchange, so this only triggers on truly lost
+    /// participants.
     fn exchange<T, R>(
         &self,
         rank: usize,
         value: T,
         read: impl FnOnce(&[Option<Box<dyn Any + Send>>]) -> R,
-    ) -> R
+        dead: impl Fn(&[Option<Box<dyn Any + Send>>]) -> Option<usize>,
+    ) -> Result<R, usize>
     where
         T: Send + 'static,
     {
         let mut inner = self.inner.lock();
         let gen = inner.generation;
-        // If the previous collective is still draining, wait for it.
+        // If the previous collective is still draining, wait for it. Every
+        // rank that deposited in it will depart (departure never blocks on
+        // a third party), so this wait always clears.
         while inner.generation == gen && inner.departed != 0 {
             self.cv.wait(&mut inner);
         }
@@ -102,8 +121,20 @@ impl CollectiveState {
             inner.ready = true;
             self.cv.notify_all();
         } else {
-            while !(inner.ready && inner.generation == gen) {
-                self.cv.wait(&mut inner);
+            loop {
+                if inner.ready && inner.generation == gen {
+                    break;
+                }
+                if let Some(d) = dead(&inner.slots) {
+                    // Withdraw and bail: the exchange can never complete.
+                    inner.slots[rank] = None;
+                    inner.arrived -= 1;
+                    self.cv.notify_all();
+                    return Err(d);
+                }
+                // Timed wait as a backstop: the death notification wakes
+                // us promptly, but a tick bounds the window regardless.
+                self.cv.wait_for(&mut inner, Duration::from_millis(50));
             }
         }
         let result = read(&inner.slots);
@@ -118,27 +149,84 @@ impl CollectiveState {
             inner.generation += 1;
             self.cv.notify_all();
         } else {
-            // Wait until cleanup so no rank re-enters a stale table.
+            // Wait until cleanup so no rank re-enters a stale table. All n
+            // ranks arrived to get here, so all n will depart.
             while inner.generation == gen {
                 self.cv.wait(&mut inner);
             }
         }
-        result
+        Ok(result)
     }
 }
 
 impl Comm {
+    /// Slot-table death check: a world rank that died without depositing
+    /// its contribution can never arrive, so the exchange is wedged.
+    fn coll_dead(&self, slots: &[Option<Box<dyn Any + Send>>]) -> Option<usize> {
+        let sh = self.shared();
+        (0..slots.len()).find(|&r| sh.is_dead(r) && slots[r].is_none())
+    }
+
+    /// Root-staged gather + broadcast over point-to-point messages; the
+    /// collective path of derived communicators ([`Comm::with_members`]),
+    /// whose member set is a subset of the world and therefore cannot use
+    /// the world-sized slot table. Deterministic: contributions are
+    /// gathered and folded in member order, exactly like the slot table,
+    /// so reductions stay bitwise identical across both paths.
+    fn view_allgather<T: Clone + Send + 'static>(&self, value: Vec<T>) -> Vec<Vec<T>> {
+        const GATHER: u64 = 0x5F47_0000_0000_1000;
+        const BCAST: u64 = 0x5F42_0000_0000_1000;
+        let n = self.size();
+        if n == 1 {
+            return vec![value];
+        }
+        if self.rank() == 0 {
+            let mut all = vec![value];
+            for r in 1..n {
+                all.push(self.recv::<T>(r, GATHER + r as u64));
+            }
+            for r in 1..n {
+                for (i, part) in all.iter().enumerate() {
+                    self.send(r, BCAST + (i as u64) * 0x10000 + r as u64, part.clone());
+                }
+            }
+            all
+        } else {
+            self.send(0, GATHER + self.rank() as u64, value);
+            (0..n)
+                .map(|i| self.recv::<T>(0, BCAST + (i as u64) * 0x10000 + self.rank() as u64))
+                .collect()
+        }
+    }
+
     /// Block until every rank has entered the barrier.
+    ///
+    /// # Panics
+    /// Fail-fast if a participant died: blocking collectives abort with a
+    /// diagnostic instead of hanging. Failure-aware callers use
+    /// [`Comm::try_barrier`].
     pub fn barrier(&self) {
         let sh = self.shared();
         if self.rank() == 0 {
             sh.traffic.record_barrier();
         }
-        sh.coll.exchange(self.rank(), (), |_| ());
+        if self.has_view() {
+            let _ = self.view_allgather(vec![0u8]);
+            return;
+        }
+        sh.coll
+            .exchange(self.rank(), (), |_| (), |slots| self.coll_dead(slots))
+            .unwrap_or_else(|d| {
+                panic!("barrier aborted: rank {d} died (use try_barrier to handle failure)")
+            });
     }
 
     /// Gather one `Vec<T>` from each rank; every rank receives all
     /// contributions indexed by rank.
+    ///
+    /// # Panics
+    /// Fail-fast if a participant died (see [`Comm::barrier`]);
+    /// failure-aware callers use [`Comm::try_allgather`].
     pub fn allgather<T: Clone + Send + 'static>(&self, value: Vec<T>) -> Vec<Vec<T>> {
         let sh = self.shared();
         sh.traffic
@@ -146,18 +234,30 @@ impl Comm {
         if self.rank() == 0 {
             sh.traffic.record_collective_op();
         }
-        sh.coll.exchange(self.rank(), value, |slots| {
-            slots
-                .iter()
-                .map(|s| {
-                    s.as_ref()
-                        .expect("slot missing in allgather")
-                        .downcast_ref::<Vec<T>>()
-                        .expect("allgather type mismatch between ranks")
-                        .clone()
-                })
-                .collect()
-        })
+        if self.has_view() {
+            return self.view_allgather(value);
+        }
+        sh.coll
+            .exchange(
+                self.rank(),
+                value,
+                |slots| {
+                    slots
+                        .iter()
+                        .map(|s| {
+                            s.as_ref()
+                                .expect("slot missing in allgather")
+                                .downcast_ref::<Vec<T>>()
+                                .expect("allgather type mismatch between ranks")
+                                .clone()
+                        })
+                        .collect()
+                },
+                |slots| self.coll_dead(slots),
+            )
+            .unwrap_or_else(|d| {
+                panic!("allgather aborted: rank {d} died (use try_allgather to handle failure)")
+            })
     }
 
     /// Deterministic scalar allreduce: identical result on every rank,

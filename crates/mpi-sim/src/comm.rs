@@ -46,6 +46,12 @@ pub enum CommError {
         tag: u64,
         waited: Duration,
     },
+    /// The awaited peer halted permanently (a seeded
+    /// [`crate::fault::RankFailure`] fired) and its mailbox held no
+    /// matching message — the wait can never complete. Queued messages
+    /// the peer sent *before* dying are still delivered first, so the
+    /// error is raised only once the channel is truly drained.
+    PeerDead { peer: usize, tag: u64 },
 }
 
 impl std::fmt::Display for CommError {
@@ -55,6 +61,12 @@ impl std::fmt::Display for CommError {
                 f,
                 "receive from rank {src} tag {tag} timed out after {waited:?}"
             ),
+            CommError::PeerDead { peer, tag } => {
+                write!(
+                    f,
+                    "peer rank {peer} died; receive on tag {tag} can never complete"
+                )
+            }
         }
     }
 }
@@ -97,17 +109,63 @@ pub(crate) struct WorldShared {
     /// Installed fault plan, if any (see [`WorldConfig::faults`]).
     faults: Option<FaultState>,
     /// Per-rank epoch (model step) used by fault rules' step windows.
+    /// Doubles as the liveness heartbeat: a rank that stops advancing
+    /// its epoch is stalled, one whose death slot is set is gone.
     epochs: Vec<AtomicU64>,
+    /// Per-rank death epoch; `u64::MAX` = alive. Set once (fail-stop)
+    /// by [`Comm::set_epoch`] when a seeded [`crate::fault::RankFailure`]
+    /// fires, then never cleared.
+    pub(crate) deaths: Vec<AtomicU64>,
+    /// Trailing ranks reserved as recovery spares (metadata for the
+    /// elastic layer; the transport treats them like any other rank).
+    spares: usize,
     /// Upper bound a plain blocking receive waits before aborting with a
     /// deadlock diagnostic.
     recv_timeout: Duration,
 }
 
+impl WorldShared {
+    pub(crate) fn is_dead(&self, world_rank: usize) -> bool {
+        self.deaths[world_rank].load(Ordering::Relaxed) != u64::MAX
+    }
+
+    /// Fail-stop transition: record the death, then wake every parked
+    /// waiter in the world (mailbox condvars and the collective
+    /// rendezvous) so blocked receives re-check liveness and return
+    /// [`CommError::PeerDead`] instead of sleeping out their deadline.
+    pub(crate) fn mark_dead(&self, world_rank: usize, epoch: u64) {
+        if self.deaths[world_rank]
+            .compare_exchange(u64::MAX, epoch, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.traffic.record_rank_death();
+            for mb in &self.mailboxes {
+                mb.cv.notify_all();
+            }
+            self.coll.notify_all();
+        }
+    }
+}
+
+/// Rank-to-world mapping of a derived communicator: member `i` of the
+/// group is world rank `members[i]`, and every tag is namespaced by
+/// `key` so traffic of different groups (e.g. the pre- and post-recovery
+/// worlds) never cross-matches.
+#[derive(Clone)]
+struct CommView {
+    members: Arc<Vec<usize>>,
+    key: u64,
+}
+
 /// A communicator handle owned by one rank. Cheap to clone.
 #[derive(Clone)]
 pub struct Comm {
+    /// Rank within this communicator (== world rank when `view` is None).
     rank: usize,
+    /// Rank within the root world (mailbox/pool/epoch index).
+    world_rank: usize,
     shared: Arc<WorldShared>,
+    view: Option<CommView>,
 }
 
 /// Handle for a posted non-blocking receive; resolve with [`RecvReq::wait`].
@@ -124,15 +182,110 @@ impl Comm {
         self.rank
     }
 
-    /// Number of ranks in the world.
+    /// Number of ranks in this communicator (the world, or the member
+    /// count of a derived view).
     pub fn size(&self) -> usize {
+        match &self.view {
+            Some(v) => v.members.len(),
+            None => self.shared.n,
+        }
+    }
+
+    /// This rank's id in the root world (== `rank()` for the world comm).
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Total rank count of the root world, spares included.
+    pub fn world_size(&self) -> usize {
         self.shared.n
     }
 
+    /// Trailing world ranks reserved as recovery spares (see
+    /// [`WorldConfig::spares`]).
+    pub fn spares(&self) -> usize {
+        self.shared.spares
+    }
+
+    /// Translate a communicator rank to its world rank.
+    #[inline]
+    fn wr(&self, r: usize) -> usize {
+        match &self.view {
+            Some(v) => v.members[r],
+            None => r,
+        }
+    }
+
+    /// Namespace a logical tag into this communicator's wire-tag space.
+    #[inline]
+    fn wt(&self, tag: u64) -> u64 {
+        match &self.view {
+            Some(v) => v.key.rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            None => tag,
+        }
+    }
+
+    /// Rewrite a wire-level error back into this communicator's rank/tag
+    /// coordinates so callers see the peers they addressed.
+    fn localize(&self, e: CommError, src: usize, tag: u64) -> CommError {
+        match e {
+            CommError::Timeout { waited, .. } => CommError::Timeout { src, tag, waited },
+            CommError::PeerDead { peer, .. } => {
+                let peer = if peer == self.world_rank {
+                    self.rank
+                } else {
+                    src
+                };
+                CommError::PeerDead { peer, tag }
+            }
+        }
+    }
+
+    /// Derive a communicator over `members` (world ranks, this rank
+    /// included) without a world collective: every member constructs the
+    /// same view locally from the same agreed member list — the
+    /// ULFM-shrink analogue the elastic recovery layer uses to re-form
+    /// the compute group around survivors and adopted spares. `key_salt`
+    /// (e.g. the recovery round) keeps traffic of successive groups with
+    /// identical membership from cross-matching.
+    pub fn with_members(&self, members: &[usize], key_salt: u64) -> Comm {
+        assert!(
+            self.view.is_none(),
+            "derive views from the world communicator"
+        );
+        let rank = members
+            .iter()
+            .position(|&m| m == self.world_rank)
+            .expect("caller must be a member of its own derived communicator");
+        let mut key = 0xcbf2_9ce4_8422_2325u64 ^ key_salt.wrapping_mul(0x0100_0000_01b3);
+        for &m in members {
+            assert!(m < self.shared.n, "member {m} outside the world");
+            key ^= m as u64 + 1;
+            key = key.wrapping_mul(0x0100_0000_01b3);
+        }
+        Comm {
+            rank,
+            world_rank: self.world_rank,
+            shared: Arc::clone(&self.shared),
+            view: Some(CommView {
+                members: Arc::new(members.to_vec()),
+                key,
+            }),
+        }
+    }
+
     /// Buffered typed send: enqueue `data` at `dst`'s mailbox and return
-    /// immediately.
+    /// immediately. Sends from or to a dead rank are suppressed (counted,
+    /// not delivered): a halted rank goes silent, and traffic addressed
+    /// to it stops accumulating.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
-        assert!(dst < self.shared.n, "send to invalid rank {dst}");
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        let dst = self.wr(dst);
+        let tag = self.wt(tag);
+        if self.shared.is_dead(self.world_rank) || self.shared.is_dead(dst) {
+            self.shared.traffic.record_send_suppressed();
+            return;
+        }
         let bytes = data.len() * std::mem::size_of::<T>();
         self.shared.traffic.record_p2p(bytes);
         self.tap_event(CommEventKind::Send, dst, tag, bytes as u64);
@@ -151,10 +304,17 @@ impl Comm {
     /// it at `dst`. The matching [`Comm::recv_into`] returns the storage to
     /// the receiver's pool, so in steady state this path performs no heap
     /// allocation ([`crate::stats::TrafficSnapshot::pool_allocations`]
-    /// counts misses).
+    /// counts misses). Suppressed like [`Comm::send`] when either end is
+    /// dead.
     pub fn send_into(&self, dst: usize, tag: u64, len: usize, fill: impl FnOnce(&mut [f64])) {
-        assert!(dst < self.shared.n, "send to invalid rank {dst}");
-        let mut buf = self.shared.pools[self.rank].acquire(len, &self.shared.traffic);
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        let dst = self.wr(dst);
+        let tag = self.wt(tag);
+        if self.shared.is_dead(self.world_rank) || self.shared.is_dead(dst) {
+            self.shared.traffic.record_send_suppressed();
+            return;
+        }
+        let mut buf = self.shared.pools[self.world_rank].acquire(len, &self.shared.traffic);
         fill(&mut buf);
         let bytes = len * std::mem::size_of::<f64>();
         self.shared.traffic.record_p2p(bytes);
@@ -165,6 +325,7 @@ impl Comm {
 
     /// Single delivery funnel for `send` and `send_into`; fault injection
     /// happens here so pooled and allocating sends are both exercised.
+    /// Operates in world coordinates (callers translate first).
     fn deliver(&self, dst: usize, tag: u64, payload: Payload) {
         let Some(fs) = self.shared.faults.as_ref() else {
             self.push_message(dst, tag, payload);
@@ -183,15 +344,15 @@ impl Comm {
                 }
             },
         };
-        let epoch = self.shared.epochs[self.rank].load(Ordering::Relaxed);
+        let epoch = self.shared.epochs[self.world_rank].load(Ordering::Relaxed);
         let t = &self.shared.traffic;
-        match fs.decide(self.rank, dst, tag, epoch) {
+        match fs.decide(self.world_rank, dst, tag, epoch) {
             None => self.push_message(dst, tag, Payload::PooledF64(data)),
             Some(Action::Drop { recoverable }) => {
                 t.record_fault_dropped();
                 self.tap_event(CommEventKind::FaultDropped, dst, tag, 0);
                 if recoverable {
-                    fs.park(self.rank, dst, tag, data);
+                    fs.park(self.world_rank, dst, tag, data);
                 }
             }
             Some(Action::Duplicate) => {
@@ -205,15 +366,15 @@ impl Comm {
                 self.tap_event(CommEventKind::FaultDelayed, dst, tag, 0);
                 // Escrow a pristine copy too: if the receiver gives up
                 // before the delayed frame lands, it can still resync.
-                fs.park(self.rank, dst, tag, data.clone());
-                fs.defer(self.rank, dst, tag, data, sends);
+                fs.park(self.world_rank, dst, tag, data.clone());
+                fs.defer(self.world_rank, dst, tag, data, sends);
             }
             Some(Action::BitFlip { word_hash, bit }) => {
                 let mut data = data;
                 if !data.is_empty() {
                     t.record_fault_bitflipped();
                     self.tap_event(CommEventKind::FaultBitflipped, dst, tag, 0);
-                    fs.park(self.rank, dst, tag, data.clone());
+                    fs.park(self.world_rank, dst, tag, data.clone());
                     let w = (word_hash % data.len() as u64) as usize;
                     data[w] = f64::from_bits(data[w].to_bits() ^ (1u64 << bit));
                 }
@@ -222,7 +383,7 @@ impl Comm {
             Some(Action::Truncate { drop_words }) => {
                 t.record_fault_truncated();
                 self.tap_event(CommEventKind::FaultTruncated, dst, tag, 0);
-                fs.park(self.rank, dst, tag, data.clone());
+                fs.park(self.world_rank, dst, tag, data.clone());
                 let mut data = data;
                 let keep = data.len().saturating_sub(drop_words);
                 data.truncate(keep);
@@ -237,17 +398,18 @@ impl Comm {
     /// sender's subsequent traffic. (A sender that never sends again keeps
     /// its frame parked — receivers recover via the escrowed copy.)
     fn flush_delayed(&self, fs: &FaultState) {
-        for (dst, tag, data) in fs.tick_delayed(self.rank) {
+        for (dst, tag, data) in fs.tick_delayed(self.world_rank) {
             self.push_message(dst, tag, Payload::PooledF64(data));
         }
     }
 
     /// Forward one event to the installed traffic tap (no-op without one).
+    /// Coordinates are world ranks and wire tags.
     #[inline]
     fn tap_event(&self, kind: CommEventKind, peer: usize, tag: u64, bytes: u64) {
         tap::emit(CommEvent {
             kind,
-            rank: self.rank,
+            rank: self.world_rank,
             peer,
             tag,
             bytes,
@@ -257,7 +419,7 @@ impl Comm {
     fn push_message(&self, dst: usize, tag: u64, payload: Payload) {
         let mb = &self.shared.mailboxes[dst];
         mb.queue.lock().push(Message {
-            src: self.rank,
+            src: self.world_rank,
             tag,
             payload,
         });
@@ -271,21 +433,34 @@ impl Comm {
     /// [`Comm::recv_deadline`] to handle the timeout as a value.
     ///
     /// # Panics
-    /// If the matched message was sent with a different element type, or
-    /// no message arrives within the world's `recv_timeout`.
+    /// If the matched message was sent with a different element type, no
+    /// message arrives within the world's `recv_timeout`, or the peer is
+    /// dead with an empty channel. Failure-aware callers use the
+    /// `*_deadline` variants, which surface those as typed errors.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        self.decode(src, tag, self.take_message(src, tag).payload)
+        match self.take_message_for(self.wr(src), self.wt(tag), self.shared.recv_timeout) {
+            Ok(m) => self.decode(src, tag, m.payload),
+            Err(e) => panic!(
+                "rank {}: blocking receive aborted (would deadlock): {}",
+                self.rank,
+                self.localize(e, src, tag)
+            ),
+        }
     }
 
     /// Bounded typed receive: like [`Comm::recv`] but returns a typed
-    /// [`CommError::Timeout`] if no matching message arrives in `timeout`.
+    /// [`CommError`] — [`CommError::Timeout`] if no matching message
+    /// arrives in `timeout`, [`CommError::PeerDead`] immediately if the
+    /// sender died with nothing queued.
     pub fn recv_deadline<T: Send + 'static>(
         &self,
         src: usize,
         tag: u64,
         timeout: Duration,
     ) -> Result<Vec<T>, CommError> {
-        let msg = self.take_message_for(src, tag, timeout)?;
+        let msg = self
+            .take_message_for(self.wr(src), self.wt(tag), timeout)
+            .map_err(|e| self.localize(e, src, tag))?;
         Ok(self.decode(src, tag, msg.payload))
     }
 
@@ -326,14 +501,25 @@ impl Comm {
     /// the pool the same way. Bounded by the world's `recv_timeout` (see
     /// [`Comm::recv`]).
     pub fn recv_into<R>(&self, src: usize, tag: u64, consume: impl FnOnce(&[f64]) -> R) -> R {
-        let buf = self.decode_f64(src, tag, self.take_message(src, tag).payload);
+        let msg = match self.take_message_for(self.wr(src), self.wt(tag), self.shared.recv_timeout)
+        {
+            Ok(m) => m,
+            Err(e) => panic!(
+                "rank {}: blocking receive aborted (would deadlock): {}",
+                self.rank,
+                self.localize(e, src, tag)
+            ),
+        };
+        let buf = self.decode_f64(src, tag, msg.payload);
         let out = consume(&buf);
-        self.shared.pools[self.rank].release(buf);
+        self.shared.pools[self.world_rank].release(buf);
         out
     }
 
     /// Bounded pooled receive: like [`Comm::recv_into`] but returns a typed
-    /// [`CommError::Timeout`] if no matching message arrives in `timeout`.
+    /// [`CommError`] — [`CommError::Timeout`] on expiry,
+    /// [`CommError::PeerDead`] immediately for a dead sender with an
+    /// empty channel.
     pub fn recv_into_deadline<R>(
         &self,
         src: usize,
@@ -341,10 +527,12 @@ impl Comm {
         timeout: Duration,
         consume: impl FnOnce(&[f64]) -> R,
     ) -> Result<R, CommError> {
-        let msg = self.take_message_for(src, tag, timeout)?;
+        let msg = self
+            .take_message_for(self.wr(src), self.wt(tag), timeout)
+            .map_err(|e| self.localize(e, src, tag))?;
         let buf = self.decode_f64(src, tag, msg.payload);
         let out = consume(&buf);
-        self.shared.pools[self.rank].release(buf);
+        self.shared.pools[self.world_rank].release(buf);
         Ok(out)
     }
 
@@ -360,19 +548,11 @@ impl Comm {
         }
     }
 
-    fn take_message(&self, src: usize, tag: u64) -> Message {
-        match self.take_message_for(src, tag, self.shared.recv_timeout) {
-            Ok(m) => m,
-            // A lost message used to deadlock the world here; now it aborts
-            // with a diagnostic. Callers that want to recover use the
-            // `*_deadline` APIs.
-            Err(e) => panic!(
-                "rank {}: blocking receive aborted (would deadlock): {e}",
-                self.rank
-            ),
-        }
-    }
-
+    /// Core bounded wait in world coordinates (`src` is a world rank,
+    /// `tag` a wire tag). Drain-first on death: a queued message from a
+    /// now-dead peer is still delivered; only an empty channel raises
+    /// [`CommError::PeerDead`] — immediately, not after the timeout,
+    /// because [`WorldShared::mark_dead`] wakes every parked waiter.
     fn take_message_for(
         &self,
         src: usize,
@@ -387,7 +567,7 @@ impl Comm {
                     .unwrap_or(false)
             })
         }
-        let mb = &self.shared.mailboxes[self.rank];
+        let mb = &self.shared.mailboxes[self.world_rank];
         let start = Instant::now();
         let deadline = start + timeout;
         // Halo strips at step granularity arrive within microseconds of the
@@ -414,6 +594,18 @@ impl Comm {
                 self.tap_event(CommEventKind::Recv, src, tag, bytes);
                 return Ok(msg);
             }
+            if self.shared.is_dead(src) {
+                self.shared.traffic.record_peer_dead_error();
+                return Err(CommError::PeerDead { peer: src, tag });
+            }
+            if self.shared.is_dead(self.world_rank) {
+                // A dead rank's own receives fail too: whatever driver is
+                // still running on its thread must stop making progress.
+                return Err(CommError::PeerDead {
+                    peer: self.world_rank,
+                    tag,
+                });
+            }
             let now = Instant::now();
             if now >= deadline {
                 self.shared.traffic.record_recv_timeout();
@@ -439,7 +631,8 @@ impl Comm {
     /// Non-blocking probe: is a message from `(src, tag)` already queued?
     /// Does not consume the message or emit a traffic event.
     pub fn has_message(&self, src: usize, tag: u64) -> bool {
-        let mb = &self.shared.mailboxes[self.rank];
+        let (src, tag) = (self.wr(src), self.wt(tag));
+        let mb = &self.shared.mailboxes[self.world_rank];
         let q = mb.queue.lock();
         q.iter().any(|m| m.src == src && m.tag == tag)
     }
@@ -455,7 +648,8 @@ impl Comm {
         tag: u64,
         consume: impl FnOnce(&[f64]) -> R,
     ) -> Option<R> {
-        let mb = &self.shared.mailboxes[self.rank];
+        let (src, tag) = (self.wr(src), self.wt(tag));
+        let mb = &self.shared.mailboxes[self.world_rank];
         let msg = {
             let mut q = mb.queue.lock();
             let pos = q.iter().position(|m| m.src == src && m.tag == tag)?;
@@ -468,16 +662,22 @@ impl Comm {
         self.tap_event(CommEventKind::Recv, src, tag, bytes);
         let buf = self.decode_f64(src, tag, msg.payload);
         let out = consume(&buf);
-        self.shared.pools[self.rank].release(buf);
+        self.shared.pools[self.world_rank].release(buf);
         Some(out)
     }
 
     /// Set this rank's epoch (the model's step counter). Fault rules with
-    /// step windows match against it, and rank-stall rules trigger here.
+    /// step windows match against it, rank-stall rules trigger here, and a
+    /// seeded [`crate::fault::RankFailure`] whose step has come marks this
+    /// rank dead — permanently — before any of the step's traffic moves.
     pub fn set_epoch(&self, epoch: u64) {
-        self.shared.epochs[self.rank].store(epoch, Ordering::Relaxed);
+        self.shared.epochs[self.world_rank].store(epoch, Ordering::Relaxed);
         if let Some(fs) = self.shared.faults.as_ref() {
-            if let Some(millis) = fs.stall_for(self.rank, epoch) {
+            if fs.kill_for(self.world_rank, epoch).is_some() {
+                self.shared.mark_dead(self.world_rank, epoch);
+                return; // the dead don't stall
+            }
+            if let Some(millis) = fs.stall_for(self.world_rank, epoch) {
                 self.shared.traffic.record_rank_stall();
                 std::thread::sleep(Duration::from_millis(millis));
             }
@@ -486,7 +686,30 @@ impl Comm {
 
     /// This rank's current epoch.
     pub fn epoch(&self) -> u64 {
-        self.shared.epochs[self.rank].load(Ordering::Relaxed)
+        self.shared.epochs[self.world_rank].load(Ordering::Relaxed)
+    }
+
+    /// Last epoch `rank` (in this communicator's numbering) published via
+    /// [`Comm::set_epoch`] — the heartbeat read liveness tracking uses.
+    pub fn peer_epoch(&self, rank: usize) -> u64 {
+        self.shared.epochs[self.wr(rank)].load(Ordering::Relaxed)
+    }
+
+    /// Is `rank` (in this communicator's numbering) still alive?
+    pub fn is_alive(&self, rank: usize) -> bool {
+        !self.shared.is_dead(self.wr(rank))
+    }
+
+    /// Has this rank itself been killed by a seeded failure? Drivers
+    /// check this after a failed step to halt the dead rank's thread.
+    pub fn self_failed(&self) -> bool {
+        self.shared.is_dead(self.world_rank)
+    }
+
+    /// Epoch at which `rank` (communicator numbering) died, if it has.
+    pub fn death_epoch(&self, rank: usize) -> Option<u64> {
+        let e = self.shared.deaths[self.wr(rank)].load(Ordering::Relaxed);
+        (e != u64::MAX).then_some(e)
     }
 
     /// Ask the fault layer's escrow for the pristine payload of an injected
@@ -495,7 +718,8 @@ impl Comm {
     /// `None` when no fault plan is installed or nothing is parked.
     pub fn fetch_resend(&self, src: usize, tag: u64) -> Option<Vec<f64>> {
         let fs = self.shared.faults.as_ref()?;
-        let data = fs.take_escrow(src, self.rank, tag)?;
+        let (src, tag) = (self.wr(src), self.wt(tag));
+        let data = fs.take_escrow(src, self.world_rank, tag)?;
         let bytes = data.len() * std::mem::size_of::<f64>();
         self.shared.traffic.record_resend_served(bytes);
         self.tap_event(CommEventKind::ResendServed, src, tag, bytes as u64);
@@ -546,6 +770,12 @@ impl Comm {
     pub(crate) fn shared(&self) -> &WorldShared {
         &self.shared
     }
+
+    /// Is this a derived (member-subset) communicator rather than the
+    /// world? Collectives route over point-to-point messages when so.
+    pub fn has_view(&self) -> bool {
+        self.view.is_some()
+    }
 }
 
 impl RecvReq {
@@ -561,6 +791,7 @@ pub struct WorldConfig {
     n: usize,
     faults: Option<FaultPlan>,
     recv_timeout: Duration,
+    spares: usize,
 }
 
 impl WorldConfig {
@@ -569,6 +800,7 @@ impl WorldConfig {
             n,
             faults: None,
             recv_timeout: Duration::from_secs(60),
+            spares: 0,
         }
     }
 
@@ -583,6 +815,17 @@ impl WorldConfig {
     /// Upper bound a plain blocking receive waits before aborting.
     pub fn recv_timeout(mut self, d: Duration) -> Self {
         self.recv_timeout = d;
+        self
+    }
+
+    /// Reserve the trailing `k` ranks of the world as recovery spares:
+    /// they idle until the elastic layer recruits one to adopt a dead
+    /// rank's subdomain. Pure metadata at the transport level
+    /// ([`Comm::spares`] reads it back); the first `n - k` ranks are the
+    /// active compute group.
+    pub fn spares(mut self, k: usize) -> Self {
+        assert!(k < self.n, "at least one active rank is required");
+        self.spares = k;
         self
     }
 }
@@ -637,6 +880,8 @@ impl World {
             pools: (0..n).map(|_| BufferPool::default()).collect(),
             faults: cfg.faults.map(|p| FaultState::new(p, n)),
             epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            deaths: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            spares: cfg.spares,
             recv_timeout: cfg.recv_timeout,
         });
         let f = &f;
@@ -645,7 +890,9 @@ impl World {
                 .map(|rank| {
                     let comm = Comm {
                         rank,
+                        world_rank: rank,
                         shared: Arc::clone(&shared),
+                        view: None,
                     };
                     std::thread::Builder::new()
                         .name(format!("rank-{rank}"))
@@ -1042,5 +1289,219 @@ mod tests {
             }
         });
         assert_eq!(t.faults_bitflipped, 0);
+    }
+
+    #[test]
+    fn seeded_kill_marks_rank_dead_at_epoch() {
+        let cfg = WorldConfig::new(2).faults(FaultPlan::new(0).kill(1, 3));
+        let (_, t) = World::run_cfg(cfg, |comm| {
+            comm.set_epoch(2);
+            assert!(comm.is_alive(1), "not dead before the seeded epoch");
+            comm.set_epoch(3);
+            if comm.rank() == 1 {
+                assert!(comm.self_failed());
+                return;
+            }
+            // Registry-backed detection: the survivor observes the death
+            // without exchanging a single message.
+            while comm.is_alive(1) {
+                std::thread::yield_now();
+            }
+            assert_eq!(comm.death_epoch(1), Some(3));
+        });
+        assert_eq!(t.rank_deaths, 1);
+    }
+
+    #[test]
+    fn recv_from_dead_peer_returns_peer_dead_not_timeout() {
+        let cfg = WorldConfig::new(2).faults(FaultPlan::new(0).kill(1, 1));
+        let (_, t) = World::run_cfg(cfg, |comm| {
+            comm.set_epoch(1);
+            if comm.self_failed() {
+                return;
+            }
+            // A generous deadline must NOT be consumed: the death registry
+            // short-circuits the wait immediately.
+            let t0 = Instant::now();
+            let err = comm
+                .recv_deadline::<f64>(1, 42, Duration::from_secs(30))
+                .unwrap_err();
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            assert_eq!(err, CommError::PeerDead { peer: 1, tag: 42 });
+        });
+        assert_eq!(t.peer_dead_errors, 1);
+    }
+
+    #[test]
+    fn queued_messages_drain_before_peer_dead_surfaces() {
+        // A message sent before death must still be delivered: drain-first
+        // semantics mean no in-flight data is lost to the failure.
+        let cfg = WorldConfig::new(2).faults(FaultPlan::new(0).kill(0, 2));
+        World::run_cfg(cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.set_epoch(1);
+                comm.send(1, 9, vec![5i64]);
+                comm.set_epoch(2); // dies here
+            } else {
+                comm.set_epoch(1);
+                assert_eq!(comm.recv::<i64>(0, 9), vec![5]);
+                let err = comm
+                    .recv_deadline::<i64>(0, 9, Duration::from_secs(30))
+                    .unwrap_err();
+                assert_eq!(err, CommError::PeerDead { peer: 0, tag: 9 });
+            }
+        });
+    }
+
+    #[test]
+    fn sends_to_and_from_dead_ranks_are_suppressed() {
+        let cfg = WorldConfig::new(2).faults(FaultPlan::new(0).kill(1, 1));
+        let (_, t) = World::run_cfg(cfg, |comm| {
+            comm.set_epoch(1);
+            if comm.rank() == 0 {
+                while comm.is_alive(1) {
+                    std::thread::yield_now();
+                }
+                comm.send(1, 0, vec![1.0f64]); // into the void, no panic
+            }
+        });
+        assert_eq!(t.sends_suppressed, 1);
+    }
+
+    #[test]
+    fn view_comm_renumbers_ranks_and_isolates_tags() {
+        // World of 3; ranks 0 and 2 form a derived group where 2 takes
+        // view-rank 1. Tags are namespaced, so view traffic on tag 7
+        // cannot cross-match world traffic on tag 7.
+        World::run(3, |comm| {
+            if comm.rank() == 1 {
+                return;
+            }
+            let sub = comm.with_members(&[0, 2], 99);
+            assert_eq!(sub.size(), 2);
+            assert_eq!(sub.world_size(), 3);
+            if comm.rank() == 0 {
+                assert_eq!(sub.rank(), 0);
+                assert_eq!(sub.world_rank(), 0);
+                sub.send(1, 7, vec![41u32]);
+                assert_eq!(sub.recv::<u32>(1, 7), vec![42]);
+            } else {
+                assert_eq!(sub.rank(), 1);
+                assert_eq!(sub.world_rank(), 2);
+                assert_eq!(sub.recv::<u32>(0, 7), vec![41]);
+                sub.send(0, 7, vec![42u32]);
+            }
+        });
+    }
+
+    #[test]
+    fn view_collectives_fold_in_member_order() {
+        // The derived-comm allgather/allreduce must fold in view-rank
+        // order — the property that makes post-recovery groups bitwise
+        // identical to the original world's collectives.
+        let results = World::run(4, |comm| {
+            if comm.rank() == 3 {
+                return None; // simulated spare sitting out
+            }
+            let sub = comm.with_members(&[0, 1, 2], 7);
+            let x = 0.1 * (sub.rank() as f64 + 1.0);
+            Some((
+                sub.allgather(vec![sub.rank() as u64]),
+                sub.allreduce_f64(x, crate::collective::ReduceOp::Sum),
+            ))
+        });
+        let expect_sum = 0.1f64.mul_add(1.0, 0.0) + 0.1 * 2.0 + 0.1 * 3.0;
+        for r in results.into_iter().flatten() {
+            assert_eq!(r.0, vec![vec![0], vec![1], vec![2]]);
+            assert_eq!(r.1.to_bits(), expect_sum.to_bits());
+        }
+    }
+
+    #[test]
+    fn spares_are_counted_and_excluded_by_config() {
+        let cfg = WorldConfig::new(4).spares(1);
+        World::run_cfg(cfg, |comm| {
+            assert_eq!(comm.spares(), 1);
+            assert_eq!(comm.size(), 4);
+        });
+    }
+
+    /// Satellite coverage: `recv_into_deadline` with a zero timeout is a
+    /// poll — an already-queued message is delivered, an empty mailbox
+    /// returns `Timeout` immediately instead of parking.
+    #[test]
+    fn recv_into_deadline_zero_timeout_is_a_poll() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                let t0 = Instant::now();
+                // Nothing queued on tag 9: immediate typed timeout.
+                match comm.recv_into_deadline(1, 9, Duration::ZERO, |b| b.len()) {
+                    Err(CommError::Timeout { src: 1, tag: 9, .. }) => {}
+                    other => panic!("expected immediate timeout, got {other:?}"),
+                }
+                assert!(t0.elapsed() < Duration::from_secs(1));
+                // Tag 7 was sent before the barrier, so it is queued:
+                // zero timeout must still deliver it.
+                let got = comm
+                    .recv_into_deadline(1, 7, Duration::ZERO, |b| b.to_vec())
+                    .expect("queued message must be delivered by a poll");
+                assert_eq!(got, vec![4.0, 5.0]);
+            } else {
+                comm.send(0, 7, vec![4.0f64, 5.0]);
+                comm.barrier();
+            }
+        });
+    }
+
+    /// A message racing the deadline must never be lost: whichever side
+    /// wins, either this call returns it or a follow-up receive does.
+    #[test]
+    fn recv_into_deadline_race_with_arrival_never_loses_the_message() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let deadline = Duration::from_millis(20);
+                match comm.recv_into_deadline(1, 3, deadline, |b| b[0]) {
+                    Ok(v) => assert_eq!(v, 8.5),
+                    Err(CommError::Timeout { .. }) => {
+                        // Arrived after expiry: it must still be waiting.
+                        let v = comm
+                            .recv_into_deadline(1, 3, Duration::from_secs(30), |b| b[0])
+                            .expect("late message must not be dropped");
+                        assert_eq!(v, 8.5);
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            } else {
+                // Land as close to the 20 ms expiry as the OS allows.
+                std::thread::sleep(Duration::from_millis(20));
+                comm.send(0, 3, vec![8.5f64]);
+            }
+        });
+    }
+
+    /// `CommError` is a real `std::error::Error`: Display names the
+    /// peer/tag, `source()` is the chain terminus, and both variants
+    /// survive a round-trip through `Box<dyn Error>`.
+    #[test]
+    fn comm_error_display_and_source_roundtrip() {
+        let t = CommError::Timeout {
+            src: 3,
+            tag: 42,
+            waited: Duration::from_millis(250),
+        };
+        let d = CommError::PeerDead { peer: 7, tag: 9 };
+        let td = t.to_string();
+        assert!(td.contains("rank 3") && td.contains("tag 42"), "{td}");
+        let dd = d.to_string();
+        assert!(dd.contains("rank 7") && dd.contains("tag 9"), "{dd}");
+        for e in [t, d] {
+            assert!(std::error::Error::source(&e).is_none());
+            let boxed: Box<dyn std::error::Error> = Box::new(e);
+            let back = boxed
+                .downcast_ref::<CommError>()
+                .expect("downcast must recover the typed error");
+            assert_eq!(*back, e);
+        }
     }
 }

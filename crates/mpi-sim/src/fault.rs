@@ -148,12 +148,25 @@ pub struct StallRule {
     pub max_hits: u64,
 }
 
+/// Rank-death rule: `rank` halts permanently when it enters `at_epoch`
+/// (its `set_epoch` call marks it dead before any of that step's
+/// traffic). From then on the rank's sends are suppressed, its receives
+/// fail, and every peer waiting on it gets
+/// [`crate::CommError::PeerDead`] instead of hanging — the fail-stop
+/// model ULFM assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankFailure {
+    pub rank: usize,
+    pub at_epoch: u64,
+}
+
 /// A seeded, deterministic schedule of message faults and rank stalls.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
     stalls: Vec<StallRule>,
+    kills: Vec<RankFailure>,
 }
 
 impl FaultPlan {
@@ -162,6 +175,7 @@ impl FaultPlan {
             seed,
             rules: Vec::new(),
             stalls: Vec::new(),
+            kills: Vec::new(),
         }
     }
 
@@ -182,8 +196,15 @@ impl FaultPlan {
         self
     }
 
+    /// Kill `rank` permanently when it enters `at_epoch` (see
+    /// [`RankFailure`]).
+    pub fn kill(mut self, rank: usize, at_epoch: u64) -> Self {
+        self.kills.push(RankFailure { rank, at_epoch });
+        self
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty() && self.stalls.is_empty()
+        self.rules.is_empty() && self.stalls.is_empty() && self.kills.is_empty()
     }
 }
 
@@ -235,6 +256,7 @@ pub(crate) struct FaultState {
     seed: u64,
     rules: Vec<FaultRule>,
     stalls: Vec<StallRule>,
+    kills: Vec<RankFailure>,
     /// Per rule, per sender rank: how many messages matched (drives the
     /// probabilistic hash) and how many actually fired (drives max_hits).
     matches: Vec<Vec<AtomicU64>>,
@@ -260,6 +282,7 @@ impl FaultState {
             stall_hits: counters(plan.stalls.len()),
             rules: plan.rules,
             stalls: plan.stalls,
+            kills: plan.kills,
             escrow: Mutex::new(Vec::new()),
             delayed: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
         }
@@ -299,6 +322,17 @@ impl FaultState {
             });
         }
         None
+    }
+
+    /// Should `rank` die entering `epoch`? Returns the seeded failure,
+    /// if one matches (the earliest `at_epoch` ≤ `epoch` wins, so a
+    /// rank that skips epochs still dies).
+    pub(crate) fn kill_for(&self, rank: usize, epoch: u64) -> Option<RankFailure> {
+        self.kills
+            .iter()
+            .filter(|k| k.rank == rank && k.at_epoch <= epoch)
+            .min_by_key(|k| k.at_epoch)
+            .copied()
     }
 
     /// Millis to stall `rank` entering `epoch`, if a stall rule matches.

@@ -25,8 +25,10 @@ pub mod cart;
 pub mod collective;
 pub mod comm;
 pub mod crc;
+pub mod failure;
 pub mod fault;
 pub(crate) mod pool;
+pub mod retry;
 pub mod stats;
 pub mod subcomm;
 pub mod tap;
@@ -35,7 +37,9 @@ pub use cart::{CartComm, Dir, Neighbor};
 pub use collective::ReduceOp;
 pub use comm::{Comm, CommError, RecvReq, World, WorldConfig};
 pub use crc::{crc32, crc32_f64, crc32c, crc32c_f64, Crc32};
-pub use fault::{FaultKind, FaultPlan, FaultRule, MatchSpec};
+pub use failure::LivenessView;
+pub use fault::{FaultKind, FaultPlan, FaultRule, MatchSpec, RankFailure};
+pub use retry::RetryPolicy;
 pub use stats::{Traffic, TrafficSnapshot};
 pub use subcomm::SubComm;
 pub use tap::{clear_tap, set_tap, CommEvent, CommEventKind, CommTap};

@@ -1,0 +1,167 @@
+//! Unified retry/backoff policy for every deadline-bounded wait.
+//!
+//! Before this module, the timeout/backoff constants lived in three
+//! places: the halo escrow-resend loop (`IntegrityConfig`), ad-hoc
+//! `recv_into_deadline` call sites, and the split-phase drain loops in
+//! `licom`. A shared stall then made every rank compute the *same*
+//! retry schedule — a synchronized retry storm. [`RetryPolicy`]
+//! consolidates the constants and fixes the schedule:
+//!
+//! * **capped exponential**: `base_timeout * backoff^attempt`, clamped
+//!   to `max_timeout`, so one slow peer cannot inflate a wait
+//!   unboundedly;
+//! * **deterministic seeded jitter**: each `(policy seed, salt,
+//!   attempt)` triple hashes to a multiplier in `[1, 1+jitter)` through
+//!   SplitMix64, desynchronizing ranks after a shared stall while
+//!   keeping every run bitwise reproducible — the same inputs always
+//!   produce the same schedule.
+
+use std::time::Duration;
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Shared timeout/backoff/jitter schedule for deadline-bounded waits:
+/// halo escrow re-requests, recovery votes, survivor consensus and
+/// telemetry gathers all derive their deadlines from one instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Receive attempts before the caller gives up (a first try plus
+    /// `max_retries` retries).
+    pub max_retries: u32,
+    /// Timeout of the first attempt.
+    pub base_timeout: Duration,
+    /// Multiplier applied per attempt (`2` doubles every retry).
+    pub backoff: u32,
+    /// Hard ceiling on a single attempt's timeout — the "capped" part
+    /// of capped-exponential.
+    pub max_timeout: Duration,
+    /// Jitter amplitude as a fraction of the capped timeout: attempt
+    /// timeouts are scaled by a deterministic factor in `[1, 1+jitter)`.
+    pub jitter: f64,
+    /// Seed for the jitter hash. Combine with a per-wait `salt` (rank,
+    /// peer, tag) so different ranks draw different schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_timeout: Duration::from_millis(200),
+            backoff: 2,
+            max_timeout: Duration::from_secs(2),
+            jitter: 0.25,
+            seed: 0x5EED_5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Tight schedule for tests: fault-injection suites want failures
+    /// detected in milliseconds, not the production-lenient defaults.
+    pub fn test_small() -> Self {
+        Self {
+            max_retries: 3,
+            base_timeout: Duration::from_millis(25),
+            backoff: 2,
+            max_timeout: Duration::from_millis(200),
+            jitter: 0.25,
+            seed: 0x5EED_5EED,
+        }
+    }
+
+    /// Timeout for `attempt` (0-based), salted so concurrent waits on
+    /// different `(rank, peer, tag)` triples desynchronize. Capped
+    /// exponential with deterministic jitter; exponent growth is
+    /// clamped so `backoff.pow` cannot overflow.
+    pub fn timeout_for(&self, attempt: u32, salt: u64) -> Duration {
+        let factor = u64::from(self.backoff.max(1)).saturating_pow(attempt.min(16));
+        let raw = self
+            .base_timeout
+            .saturating_mul(u32::try_from(factor.min(u64::from(u32::MAX))).unwrap_or(u32::MAX));
+        let capped = raw.min(self.max_timeout);
+        if self.jitter <= 0.0 {
+            return capped;
+        }
+        let h = splitmix64(self.seed ^ salt.rotate_left(23) ^ (u64::from(attempt) << 48));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        capped.mul_f64(1.0 + self.jitter * unit)
+    }
+
+    /// Upper bound on the total wall-clock a full retry loop can spend
+    /// waiting (all attempts at maximum jitter). Used as the overall
+    /// deadline for composite waits: recovery votes, survivor
+    /// consensus, telemetry gathers.
+    pub fn budget(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 0..=self.max_retries {
+            let factor = u64::from(self.backoff.max(1)).saturating_pow(attempt.min(16));
+            let raw = self
+                .base_timeout
+                .saturating_mul(u32::try_from(factor.min(u64::from(u32::MAX))).unwrap_or(u32::MAX));
+            total += raw
+                .min(self.max_timeout)
+                .mul_f64(1.0 + self.jitter.max(0.0));
+        }
+        total
+    }
+
+    /// Salt for a `(rank, peer, tag)` wait — the canonical way call
+    /// sites derive the jitter salt.
+    pub fn salt(rank: usize, peer: usize, tag: u64) -> u64 {
+        splitmix64((rank as u64) << 32 ^ (peer as u64) ^ tag.rotate_left(17))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_capped_exponential() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.timeout_for(0, 0), Duration::from_millis(200));
+        assert_eq!(p.timeout_for(1, 0), Duration::from_millis(400));
+        assert_eq!(p.timeout_for(2, 0), Duration::from_millis(800));
+        // Attempt 4 would be 3.2 s uncapped; the ceiling holds at 2 s.
+        assert_eq!(p.timeout_for(4, 0), Duration::from_secs(2));
+        assert_eq!(p.timeout_for(30, 0), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let a = p.timeout_for(3, 7);
+        let b = p.timeout_for(3, 7);
+        assert_eq!(a, b, "same inputs, same schedule");
+        let base = RetryPolicy { jitter: 0.0, ..p }.timeout_for(3, 7);
+        assert!(a >= base && a < base.mul_f64(1.0 + p.jitter + 1e-9));
+    }
+
+    #[test]
+    fn salts_desynchronize_ranks() {
+        // The retry-storm fix: after a shared stall, ranks waiting on
+        // different peers/tags must not draw identical timeouts.
+        let p = RetryPolicy::default();
+        let schedules: Vec<Duration> = (0..8)
+            .map(|rank| p.timeout_for(1, RetryPolicy::salt(rank, 0, 830)))
+            .collect();
+        let distinct: std::collections::HashSet<_> = schedules.iter().collect();
+        assert!(distinct.len() > 1, "all ranks drew the same timeout");
+    }
+
+    #[test]
+    fn budget_bounds_every_attempt_sum() {
+        let p = RetryPolicy::test_small();
+        let worst: Duration = (0..=p.max_retries).map(|a| p.timeout_for(a, 12345)).sum();
+        assert!(p.budget() >= worst);
+    }
+}

@@ -55,6 +55,13 @@ pub struct Traffic {
     pub resend_bytes: AtomicU64,
     /// Bounded receives that expired without a matching message.
     pub recv_timeouts: AtomicU64,
+    // -- rank failure (fail-stop deaths and their fallout) ------------------
+    /// Ranks that halted permanently (fail-stop, counted once per death).
+    pub rank_deaths: AtomicU64,
+    /// Receives that returned `PeerDead` instead of blocking forever.
+    pub peer_dead_errors: AtomicU64,
+    /// Sends silently suppressed because an endpoint was dead.
+    pub sends_suppressed: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Traffic`].
@@ -79,13 +86,16 @@ pub struct TrafficSnapshot {
     pub resends_served: u64,
     pub resend_bytes: u64,
     pub recv_timeouts: u64,
+    pub rank_deaths: u64,
+    pub peer_dead_errors: u64,
+    pub sends_suppressed: u64,
 }
 
 impl TrafficSnapshot {
     /// Every counter as a `(name, value)` pair in declaration order — the
     /// stable enumeration the exporters (Prometheus text exposition,
     /// bench-gate JSON) walk so new counters flow through automatically.
-    pub fn fields(&self) -> [(&'static str, u64); 19] {
+    pub fn fields(&self) -> [(&'static str, u64); 22] {
         [
             ("p2p_messages", self.p2p_messages),
             ("p2p_bytes", self.p2p_bytes),
@@ -106,6 +116,9 @@ impl TrafficSnapshot {
             ("resends_served", self.resends_served),
             ("resend_bytes", self.resend_bytes),
             ("recv_timeouts", self.recv_timeouts),
+            ("rank_deaths", self.rank_deaths),
+            ("peer_dead_errors", self.peer_dead_errors),
+            ("sends_suppressed", self.sends_suppressed),
         ]
     }
 
@@ -153,6 +166,13 @@ impl TrafficSnapshot {
             resends_served: self.resends_served.saturating_sub(earlier.resends_served),
             resend_bytes: self.resend_bytes.saturating_sub(earlier.resend_bytes),
             recv_timeouts: self.recv_timeouts.saturating_sub(earlier.recv_timeouts),
+            rank_deaths: self.rank_deaths.saturating_sub(earlier.rank_deaths),
+            peer_dead_errors: self
+                .peer_dead_errors
+                .saturating_sub(earlier.peer_dead_errors),
+            sends_suppressed: self
+                .sends_suppressed
+                .saturating_sub(earlier.sends_suppressed),
         }
     }
 }
@@ -229,6 +249,18 @@ impl Traffic {
         self.recv_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_rank_death(&self) {
+        self.rank_deaths.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_peer_dead_error(&self) {
+        self.peer_dead_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_send_suppressed(&self) {
+        self.sends_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the counters out.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
@@ -251,6 +283,9 @@ impl Traffic {
             resends_served: self.resends_served.load(Ordering::Relaxed),
             resend_bytes: self.resend_bytes.load(Ordering::Relaxed),
             recv_timeouts: self.recv_timeouts.load(Ordering::Relaxed),
+            rank_deaths: self.rank_deaths.load(Ordering::Relaxed),
+            peer_dead_errors: self.peer_dead_errors.load(Ordering::Relaxed),
+            sends_suppressed: self.sends_suppressed.load(Ordering::Relaxed),
         }
     }
 }
@@ -290,15 +325,16 @@ mod tests {
         t.record_recv_timeout();
         let s = t.snapshot();
         let fields = s.fields();
-        assert_eq!(fields.len(), 19);
+        assert_eq!(fields.len(), 22);
         assert_eq!(fields[0], ("p2p_messages", 1));
         assert_eq!(fields[1], ("p2p_bytes", 100));
         assert_eq!(fields[18], ("recv_timeouts", 1));
+        assert_eq!(fields[21], ("sends_suppressed", 0));
         // Names are unique — an exporter can key on them.
         let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 22);
     }
 
     #[test]

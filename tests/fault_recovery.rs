@@ -7,13 +7,11 @@
 //! execution spaces.
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
-use std::time::Duration;
-
 use licomkpp::grid::Resolution;
-use licomkpp::halo::IntegrityConfig;
 use licomkpp::kokkos::Space;
 use licomkpp::model::checkpoint::CheckpointManager;
 use licomkpp::model::{Model, ModelOptions, RecoveryPolicy, RecoveryStats};
+use licomkpp::mpi::RetryPolicy;
 use licomkpp::mpi::{FaultKind, FaultPlan, FaultRule, MatchSpec, World};
 
 const RANKS: usize = 3;
@@ -29,12 +27,7 @@ fn cfg() -> licomkpp::grid::ModelConfig {
 /// perturb the clean reference run.
 fn opts() -> ModelOptions {
     let mut o = ModelOptions::default();
-    o.integrity_cfg = IntegrityConfig {
-        max_retries: 3,
-        base_timeout: Duration::from_millis(25),
-        backoff: 2,
-        max_stale: 64,
-    };
+    o.retry = RetryPolicy::test_small();
     o
 }
 
