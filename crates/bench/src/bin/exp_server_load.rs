@@ -1,0 +1,235 @@
+//! Ensemble-serving load test — the acceptance run for `licom-server`.
+//!
+//! Drives the serving engine with the seeded `traffic-gen` workload
+//! (bursty Poisson arrivals, mixed grid sizes, mixed priorities, a slice
+//! of checkpointing jobs) at ≥256 concurrent instances on the shared
+//! Threads pool, then reports:
+//!
+//! - job accounting (submitted = completed + cancelled + failed — the
+//!   zero-lost / zero-duplicated contract),
+//! - aggregate throughput in model steps per wall second,
+//! - p50/p95/p99 step latency from the serving histogram,
+//! - fair-share error between the two saturated equal-priority probe
+//!   tenants (must be ≤ 10%),
+//! - a Prometheus scrape written next to the run for CI artifacts.
+//!
+//! ```text
+//! exp_server_load                 # 256 jobs, 6 workers
+//! exp_server_load --jobs 64 --workers 4
+//! exp_server_load --scrape out.prom --p99-below-ms 500
+//! ```
+//!
+//! Exit codes: 0 pass, 1 contract violation, 2 usage error.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::banner;
+use licom_server::{generate, JobSpec, Priority, Server, ServerConfig, SubmitError, TrafficConfig};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("exp_server_load: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut jobs = 256usize;
+    let mut workers = 6usize;
+    let mut scrape_path: Option<std::path::PathBuf> = None;
+    let mut p99_below_ms: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = v,
+                None => return fail("--jobs needs a number"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return fail("--workers needs a number"),
+            },
+            "--scrape" => match args.next() {
+                Some(p) => scrape_path = Some(p.into()),
+                None => return fail("--scrape needs a path"),
+            },
+            "--p99-below-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => p99_below_ms = Some(v),
+                None => return fail("--p99-below-ms needs a number"),
+            },
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    banner(&format!(
+        "serving load test: {jobs} bursty jobs over {workers} workers (Threads pool)"
+    ));
+
+    let dir = std::env::temp_dir().join(format!("licom_server_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServerConfig {
+        workers,
+        ckpt_base: dir.clone(),
+        ..ServerConfig::default()
+    });
+
+    // The bursty mixed-everything backlog.
+    let traffic = TrafficConfig {
+        jobs,
+        steps: (3, 6),
+        ..TrafficConfig::default()
+    };
+    let arrivals = generate(&traffic);
+
+    // Two equal-priority probe tenants with identical backlogs measure
+    // fair share under the full mixed load.
+    let probe_jobs = (jobs / 8).max(4);
+    let probe_steps = 6u64;
+    let mk_probe = |tenant: &str| JobSpec {
+        priority: Priority::Normal,
+        ..JobSpec::small(tenant, kokkos_rs::Space::threads(), probe_steps)
+    };
+
+    let t0 = Instant::now();
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut handles = Vec::new();
+    for a in arrivals {
+        match server.submit(a.spec) {
+            Ok(h) => {
+                submitted += 1;
+                handles.push(h);
+            }
+            Err(SubmitError::Backpressure { .. }) | Err(SubmitError::QuotaExceeded { .. }) => {
+                rejected += 1;
+            }
+            Err(e) => return fail(&format!("unexpected submit error: {e}")),
+        }
+    }
+    for _ in 0..probe_jobs {
+        for t in ["probe_x", "probe_y"] {
+            match server.submit(mk_probe(t)) {
+                Ok(h) => {
+                    submitted += 1;
+                    handles.push(h);
+                }
+                Err(e) => return fail(&format!("probe submit rejected: {e}")),
+            }
+        }
+    }
+
+    // Sample fair share while both probes still hold backlog.
+    let probe_total = 2 * probe_jobs as u64 * probe_steps;
+    let mut fair_err = 0.0f64;
+    let mut sampled = false;
+    loop {
+        let snap = server.tenant_steps();
+        let x = snap.iter().find(|(n, _)| n == "probe_x").map_or(0, |p| p.1);
+        let y = snap.iter().find(|(n, _)| n == "probe_y").map_or(0, |p| p.1);
+        if x + y >= probe_total / 2 {
+            fair_err = (x as f64 - y as f64).abs() / (x.max(y).max(1) as f64);
+            sampled = true;
+            println!("fair-share probe at half-way: x={x} y={y} err={fair_err:.3}");
+            break;
+        }
+        if x + y >= probe_total || t0.elapsed().as_secs() > 600 {
+            break; // probes finished before we could sample — tiny runs
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    let scrape = server.render_prometheus();
+    let snap = server.join();
+    let wall = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(path) = &scrape_path {
+        if let Err(e) = std::fs::write(path, &scrape) {
+            return fail(&format!("writing {}: {e}", path.display()));
+        }
+        println!("wrote scrape {}", path.display());
+    }
+
+    banner("results");
+    let steps_per_sec = snap.steps_total as f64 / wall.max(1e-9);
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| concurrent instances (jobs) | {submitted} |");
+    println!("| rejected (backpressure/quota) | {rejected} |");
+    println!("| jobs completed | {} |", snap.jobs_completed);
+    println!("| jobs cancelled | {} |", snap.jobs_cancelled);
+    println!("| jobs failed | {} |", snap.jobs_failed);
+    println!("| model steps served | {} |", snap.steps_total);
+    println!("| wall seconds | {wall:.3} |");
+    println!("| throughput (steps/s) | {steps_per_sec:.1} |");
+    println!(
+        "| p50 step latency | {:.3} ms |",
+        snap.p50_step_ns as f64 * 1e-6
+    );
+    println!(
+        "| p95 step latency | {:.3} ms |",
+        snap.p95_step_ns as f64 * 1e-6
+    );
+    println!(
+        "| p99 step latency | {:.3} ms |",
+        snap.p99_step_ns as f64 * 1e-6
+    );
+    if sampled {
+        println!(
+            "| fair-share error (equal-priority probes) | {:.1}% |",
+            fair_err * 100.0
+        );
+    }
+
+    // Contract checks.
+    let mut ok = true;
+    let terminal = snap.jobs_completed + snap.jobs_cancelled + snap.jobs_failed;
+    if terminal != submitted {
+        eprintln!("LOST/DUPLICATED JOBS: {submitted} submitted, {terminal} terminal");
+        ok = false;
+    }
+    if snap.jobs_failed != 0 {
+        eprintln!("{} jobs failed", snap.jobs_failed);
+        ok = false;
+    }
+    let mut terminal_events = 0u64;
+    for h in &handles {
+        terminal_events += h
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    licom_server::JobEvent::Completed { .. }
+                        | licom_server::JobEvent::Cancelled { .. }
+                        | licom_server::JobEvent::Failed { .. }
+                )
+            })
+            .count() as u64;
+    }
+    if terminal_events != submitted {
+        eprintln!("event streams: {terminal_events} terminal events for {submitted} jobs");
+        ok = false;
+    }
+    if sampled && fair_err > 0.10 {
+        eprintln!("fair-share error {:.1}% > 10%", fair_err * 100.0);
+        ok = false;
+    }
+    if let Some(bound) = p99_below_ms {
+        let p99_ms = snap.p99_step_ns as f64 * 1e-6;
+        if p99_ms >= bound {
+            eprintln!("p99 step latency {p99_ms:.3} ms >= {bound} ms ceiling");
+            ok = false;
+        } else {
+            println!("p99 {p99_ms:.3} ms < {bound} ms ceiling (ok)");
+        }
+    }
+
+    if ok {
+        println!("\nserver load test: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nserver load test: FAIL");
+        ExitCode::FAILURE
+    }
+}

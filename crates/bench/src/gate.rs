@@ -123,6 +123,24 @@ pub fn policy_for(name: &str) -> MetricPolicy {
             rel_tol: 0.5,
             abs_floor: 0.5,
         },
+        // Serving throughput of the ensemble engine (aggregate model
+        // steps per wall second across all concurrent instances). Wall
+        // clock under a many-worker load test is noisy; gate only on a
+        // halving-scale collapse.
+        "steps_per_sec" => MetricPolicy {
+            direction: Direction::HigherIsBetter,
+            rel_tol: 0.5,
+            abs_floor: 0.0,
+        },
+        // Tail step latency under the serving load. The p99 is a bucket
+        // upper bound from a fixed histogram, so small shifts quantize;
+        // the band plus a 1 ms floor keeps scheduling jitter out while a
+        // genuine tail blow-up (lock convoy, pool starvation) gates.
+        "p99_step_latency_ns" => MetricPolicy {
+            direction: Direction::LowerIsBetter,
+            rel_tol: 1.0,
+            abs_floor: 1.0e6,
+        },
         "max_over_mean" => MetricPolicy {
             direction: Direction::Informational,
             rel_tol: 0.0,
@@ -138,7 +156,12 @@ pub fn policy_for(name: &str) -> MetricPolicy {
         | "drift_perf_trips"
         | "drift_physics_trips"
         | "rank_deaths_recovered"
-        | "recovery_replay_steps" => MetricPolicy {
+        | "recovery_replay_steps"
+        // Serving scenario: the seeded traffic plan admits a fixed job
+        // set and the server completes every one (no cancels, no
+        // faults), so the job and step totals are deterministic.
+        | "jobs_completed"
+        | "steps_total" => MetricPolicy {
             direction: Direction::Exact,
             rel_tol: 0.0,
             abs_floor: 0.0,

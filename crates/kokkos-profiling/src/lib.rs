@@ -33,9 +33,13 @@ pub use json::{
     parse as parse_json, render as render_json, render_pretty as render_json_pretty,
     validate_chrome_trace, Json, TraceSummary,
 };
-pub use profiler::{attach, detach, set_thread_rank, KernelKey, Profiler};
+pub use profiler::{
+    attach, attach_instance, detach, detach_instance, set_thread_rank, KernelKey, Profiler,
+};
 pub use prometheus::{
-    render_named_counters, render_phase_seconds, render_prometheus, render_traffic,
+    render_named_counters, render_named_counters_labeled, render_phase_seconds,
+    render_phase_seconds_labeled, render_prometheus, render_prometheus_labeled, render_traffic,
+    render_traffic_labeled,
 };
 pub use stats::{CounterTable, Stat, StatsTable};
 pub use sypd::{bucket_of, hotspot_shares, is_enclosing, sypd, HotspotRow, SypdReporter, BUCKETS};
@@ -47,6 +51,7 @@ pub use trace::{ArgValue, TraceEvent, COMM_TRACK, COUNTER_TRACK};
 
 /// Re-export of the hook side so consumers need only this crate.
 pub use kokkos_rs::profiling::{
-    enabled, region, test_registry_lock, DeepCopyInfo, KernelId, KernelInfo, PatternKind,
-    PolicyKind, ProfilingHooks,
+    current_instance, enabled, enter_instance, next_instance_key, region, test_registry_lock,
+    DeepCopyInfo, InstanceKey, InstanceScope, KernelId, KernelInfo, PatternKind, PolicyKind,
+    ProfilingHooks,
 };

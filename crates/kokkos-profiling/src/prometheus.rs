@@ -24,16 +24,65 @@ fn escape_label(s: &str) -> String {
     out
 }
 
+/// Render a base label set (`instance="m17",tenant="a"`) plus one
+/// optional trailing label into the `{...}` sample suffix. Empty base
+/// and no trailing label renders as no braces at all.
+fn label_suffix(base: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = base
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
 /// Render an `mpi-sim` [`TrafficSnapshot`] as one counter family per
-/// field: `mpi_traffic_<field>_total <value>`.
-pub fn render_traffic(t: &TrafficSnapshot) -> String {
+/// field, every sample carrying `base` labels:
+/// `mpi_traffic_<field>_total{instance="m17",tenant="a"} <value>`.
+/// Per-instance serving uses this so each instance's private world
+/// traffic stays distinguishable in one scrape.
+pub fn render_traffic_labeled(t: &TrafficSnapshot, base: &[(&str, &str)]) -> String {
+    let suffix = label_suffix(base, None);
     let mut out = String::new();
     for (name, value) in t.fields() {
         out.push_str(&format!(
             "# HELP mpi_traffic_{name}_total Cumulative mpi-sim {} counter.\n\
              # TYPE mpi_traffic_{name}_total counter\n\
-             mpi_traffic_{name}_total {value}\n",
+             mpi_traffic_{name}_total{suffix} {value}\n",
             name.replace('_', " ")
+        ));
+    }
+    out
+}
+
+/// Render an `mpi-sim` [`TrafficSnapshot`] as one counter family per
+/// field: `mpi_traffic_<field>_total <value>`.
+pub fn render_traffic(t: &TrafficSnapshot) -> String {
+    render_traffic_labeled(t, &[])
+}
+
+/// Render a named counter table (e.g. `Timers::counters`) as one family
+/// with `base` labels plus a `name` label. Entries are sorted by name
+/// for stable output.
+pub fn render_named_counters_labeled(
+    family: &str,
+    help: &str,
+    base: &[(&str, &str)],
+    entries: &[(&str, u64)],
+) -> String {
+    let mut sorted: Vec<&(&str, u64)> = entries.iter().collect();
+    sorted.sort_by_key(|(n, _)| *n);
+    let mut out = format!("# HELP {family} {help}\n# TYPE {family} counter\n");
+    for (name, value) in sorted {
+        out.push_str(&format!(
+            "{family}{} {value}\n",
+            label_suffix(base, Some(("name", name)))
         ));
     }
     out
@@ -42,31 +91,60 @@ pub fn render_traffic(t: &TrafficSnapshot) -> String {
 /// Render a named counter table (e.g. `Timers::counters`) as one family
 /// with a `name` label. Entries are sorted by name for stable output.
 pub fn render_named_counters(family: &str, help: &str, entries: &[(&str, u64)]) -> String {
-    let mut sorted: Vec<&(&str, u64)> = entries.iter().collect();
+    render_named_counters_labeled(family, help, &[], entries)
+}
+
+/// Render a phase/kernel seconds table as a gauge family with `base`
+/// labels plus a `name` label, in fixed 9-decimal notation so output
+/// never depends on float shortest-representation quirks.
+pub fn render_phase_seconds_labeled(
+    family: &str,
+    help: &str,
+    base: &[(&str, &str)],
+    entries: &[(&str, f64)],
+) -> String {
+    let mut sorted: Vec<&(&str, f64)> = entries.iter().collect();
     sorted.sort_by_key(|(n, _)| *n);
-    let mut out = format!("# HELP {family} {help}\n# TYPE {family} counter\n");
-    for (name, value) in sorted {
+    let mut out = format!("# HELP {family} {help}\n# TYPE {family} gauge\n");
+    for (name, secs) in sorted {
         out.push_str(&format!(
-            "{family}{{name=\"{}\"}} {value}\n",
-            escape_label(name)
+            "{family}{} {secs:.9}\n",
+            label_suffix(base, Some(("name", name)))
         ));
     }
     out
 }
 
 /// Render a phase/kernel seconds table as a gauge family with a `name`
-/// label, in fixed 9-decimal notation so output never depends on float
-/// shortest-representation quirks.
+/// label.
 pub fn render_phase_seconds(family: &str, help: &str, entries: &[(&str, f64)]) -> String {
-    let mut sorted: Vec<&(&str, f64)> = entries.iter().collect();
-    sorted.sort_by_key(|(n, _)| *n);
-    let mut out = format!("# HELP {family} {help}\n# TYPE {family} gauge\n");
-    for (name, secs) in sorted {
-        out.push_str(&format!(
-            "{family}{{name=\"{}\"}} {secs:.9}\n",
-            escape_label(name)
-        ));
-    }
+    render_phase_seconds_labeled(family, help, &[], entries)
+}
+
+/// One-call exposition of a run's counter surfaces — traffic, named
+/// event counters, and phase seconds — with every sample tagged by
+/// `base` labels (e.g. `[("instance", "m17"), ("tenant", "a")]`). The
+/// ensemble server scrapes one of these per instance and concatenates;
+/// label disjointness keeps the families merge-safe.
+pub fn render_prometheus_labeled(
+    traffic: &TrafficSnapshot,
+    counters: &[(&str, u64)],
+    phases: &[(&str, f64)],
+    base: &[(&str, &str)],
+) -> String {
+    let mut out = render_traffic_labeled(traffic, base);
+    out.push_str(&render_named_counters_labeled(
+        "model_counter_total",
+        "Named model event counters (licom::Timers).",
+        base,
+        counters,
+    ));
+    out.push_str(&render_phase_seconds_labeled(
+        "model_phase_seconds",
+        "Accumulated wall seconds per model phase timer.",
+        base,
+        phases,
+    ));
     out
 }
 
@@ -77,18 +155,7 @@ pub fn render_prometheus(
     counters: &[(&str, u64)],
     phases: &[(&str, f64)],
 ) -> String {
-    let mut out = render_traffic(traffic);
-    out.push_str(&render_named_counters(
-        "model_counter_total",
-        "Named model event counters (licom::Timers).",
-        counters,
-    ));
-    out.push_str(&render_phase_seconds(
-        "model_phase_seconds",
-        "Accumulated wall seconds per model phase timer.",
-        phases,
-    ));
-    out
+    render_prometheus_labeled(traffic, counters, phases, &[])
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! regenerate after an intentional format change:
 //! `BLESS=1 cargo test -p kokkos-profiling --test prometheus_golden`.
 
-use kokkos_profiling::render_prometheus;
+use kokkos_profiling::{render_prometheus, render_prometheus_labeled};
 use mpi_sim::TrafficSnapshot;
 
 fn synthetic_traffic() -> TrafficSnapshot {
@@ -54,5 +54,42 @@ fn exposition_matches_golden_file() {
     assert_eq!(
         rendered, golden,
         "exposition drifted from golden file; rerun with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn labeled_exposition_matches_golden_file() {
+    let counters: &[(&str, u64)] = &[("step", 17), ("rollbacks", 1)];
+    let phases: &[(&str, f64)] = &[("readyc", 0.25)];
+    let rendered = render_prometheus_labeled(
+        &synthetic_traffic(),
+        counters,
+        phases,
+        &[("instance", "m17"), ("tenant", "a")],
+    );
+
+    // Every sample line carries the base labels first.
+    for line in rendered.lines().filter(|l| !l.starts_with('#')) {
+        assert!(
+            line.contains("instance=\"m17\",tenant=\"a\""),
+            "sample missing base labels: {line}"
+        );
+    }
+    assert!(
+        rendered.contains("model_counter_total{instance=\"m17\",tenant=\"a\",name=\"step\"} 17")
+    );
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/prometheus_labeled.txt"
+    );
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(golden_path, &rendered).unwrap();
+    }
+    let golden =
+        std::fs::read_to_string(golden_path).expect("golden file missing — run with BLESS=1");
+    assert_eq!(
+        rendered, golden,
+        "labeled exposition drifted from golden file; rerun with BLESS=1 if intentional"
     );
 }

@@ -57,7 +57,9 @@ pub use parallel::{
     parallel_reduce_2d, parallel_reduce_3d, parallel_reduce_list,
 };
 pub use policy::{ListPolicy, MDRangePolicy2, MDRangePolicy3, RangePolicy};
-pub use profiling::{DeepCopyInfo, KernelId, KernelInfo, PatternKind, PolicyKind, ProfilingHooks};
+pub use profiling::{
+    DeepCopyInfo, InstanceKey, KernelId, KernelInfo, PatternKind, PolicyKind, ProfilingHooks,
+};
 pub use space::Space;
 pub use team::{parallel_for_team, FunctorTeam, TeamPolicy};
 pub use view::{deep_copy, Layout, View, View1, View2, View3, View4};

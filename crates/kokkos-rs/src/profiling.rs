@@ -135,16 +135,105 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_KERNEL_ID: AtomicU64 = AtomicU64::new(0);
 static HOOKS: Mutex<Option<Arc<dyn ProfilingHooks>>> = Mutex::new(None);
 
+/// Identifies one model instance's profiling consumer in the keyed
+/// registry. `0` is reserved for "no instance" (the process-global tool).
+pub type InstanceKey = u64;
+
+static NEXT_INSTANCE_KEY: AtomicU64 = AtomicU64::new(1);
+static INSTANCE_HOOKS: Mutex<
+    Option<std::collections::HashMap<InstanceKey, Arc<dyn ProfilingHooks>>>,
+> = Mutex::new(None);
+/// Registered instance-hook count, mirrored outside the map's lock so
+/// enable/disable transitions can maintain the single `ENABLED` flag.
+static INSTANCE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    /// The instance whose hooks receive events dispatched from this
+    /// thread (0 = none; fall through to the process-global tool). Set
+    /// by [`enter_instance`] around each scheduling slice, so a serving
+    /// layer stepping many `Model`s on shared worker threads attributes
+    /// every kernel to the instance that launched it.
+    static CURRENT_INSTANCE: std::cell::Cell<InstanceKey> = const { std::cell::Cell::new(0) };
+}
+
+fn refresh_enabled() {
+    let any = INSTANCE_COUNT.load(Ordering::Relaxed) > 0 || HOOKS.lock().is_some();
+    ENABLED.store(any, Ordering::Release);
+}
+
 /// Install a process-global profiling tool. Replaces any previous tool.
+/// Dispatches from threads inside an [`enter_instance`] scope with
+/// registered instance hooks do NOT reach the global tool — per-instance
+/// consumers shadow it, which is the isolation multi-instance serving
+/// needs.
 pub fn set_hooks(hooks: Arc<dyn ProfilingHooks>) {
     *HOOKS.lock() = Some(hooks);
     ENABLED.store(true, Ordering::Release);
 }
 
-/// Remove the installed tool; dispatch returns to the zero-overhead path.
+/// Remove the installed tool; dispatch returns to the zero-overhead path
+/// (unless per-instance hooks remain registered).
 pub fn clear_hooks() {
-    ENABLED.store(false, Ordering::Release);
     *HOOKS.lock() = None;
+    refresh_enabled();
+}
+
+/// Allocate a fresh, process-unique instance key (never 0).
+pub fn next_instance_key() -> InstanceKey {
+    NEXT_INSTANCE_KEY.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Register a per-instance profiling consumer under `key`. While a
+/// thread is inside [`enter_instance`]`(key)`, every kernel span, region
+/// and fence it dispatches is delivered to these hooks *instead of* the
+/// process-global tool — two `Model`s stepping in one process never
+/// cross-attribute kernels.
+pub fn register_instance_hooks(key: InstanceKey, hooks: Arc<dyn ProfilingHooks>) {
+    assert_ne!(key, 0, "instance key 0 is reserved");
+    let mut map = INSTANCE_HOOKS.lock();
+    let map = map.get_or_insert_with(Default::default);
+    if map.insert(key, hooks).is_none() {
+        INSTANCE_COUNT.fetch_add(1, Ordering::Relaxed);
+    }
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove the consumer registered under `key` (no-op if absent).
+pub fn unregister_instance_hooks(key: InstanceKey) {
+    let mut guard = INSTANCE_HOOKS.lock();
+    if let Some(map) = guard.as_mut() {
+        if map.remove(&key).is_some() {
+            INSTANCE_COUNT.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    drop(guard);
+    refresh_enabled();
+}
+
+/// RAII scope marking this thread's dispatches as belonging to one
+/// instance; restores the previous instance (scopes nest) on drop.
+pub struct InstanceScope {
+    prev: InstanceKey,
+}
+
+/// Enter an instance scope on this thread: until the returned guard
+/// drops, kernel/region/fence events dispatched from this thread route
+/// to the hooks registered under `key` (falling through to the global
+/// tool if none are).
+pub fn enter_instance(key: InstanceKey) -> InstanceScope {
+    let prev = CURRENT_INSTANCE.with(|c| c.replace(key));
+    InstanceScope { prev }
+}
+
+impl Drop for InstanceScope {
+    fn drop(&mut self) {
+        CURRENT_INSTANCE.with(|c| c.set(self.prev));
+    }
+}
+
+/// The instance key active on this thread (0 = none).
+pub fn current_instance() -> InstanceKey {
+    CURRENT_INSTANCE.with(|c| c.get())
 }
 
 /// Whether a tool is currently attached.
@@ -161,6 +250,17 @@ pub fn kernel_ids_assigned() -> u64 {
 fn current_hooks() -> Option<Arc<dyn ProfilingHooks>> {
     if !enabled() {
         return None;
+    }
+    let key = CURRENT_INSTANCE.with(|c| c.get());
+    if key != 0 && INSTANCE_COUNT.load(Ordering::Relaxed) > 0 {
+        if let Some(h) = INSTANCE_HOOKS
+            .lock()
+            .as_ref()
+            .and_then(|m| m.get(&key))
+            .cloned()
+        {
+            return Some(h);
+        }
     }
     HOOKS.lock().clone()
 }
@@ -391,6 +491,93 @@ mod tests {
             .cloned()
             .collect();
         assert_eq!(log, vec!["push phase", "inside", "pop phase"]);
+    }
+
+    #[test]
+    fn instance_hooks_shadow_global_and_never_cross_attribute() {
+        let _serial = test_registry_lock();
+        let global = Arc::new(Recorder::default());
+        let a = Arc::new(Recorder::default());
+        let b = Arc::new(Recorder::default());
+        set_hooks(global.clone());
+        let (ka, kb) = (next_instance_key(), next_instance_key());
+        assert_ne!(ka, kb);
+        register_instance_hooks(ka, a.clone());
+        register_instance_hooks(kb, b.clone());
+
+        let launch = |name: &'static str| {
+            let _s = begin_kernel(
+                &Space::serial(),
+                PatternKind::ParallelFor,
+                name,
+                PolicyKind::Range,
+                1,
+            );
+        };
+        {
+            let _scope = enter_instance(ka);
+            assert_eq!(current_instance(), ka);
+            launch("InstA");
+            {
+                // Scopes nest and restore.
+                let _inner = enter_instance(kb);
+                launch("InstB");
+            }
+            assert_eq!(current_instance(), ka);
+        }
+        assert_eq!(current_instance(), 0);
+        launch("GlobalK");
+
+        unregister_instance_hooks(ka);
+        unregister_instance_hooks(kb);
+        clear_hooks();
+
+        let has = |rec: &Recorder, what: &str| rec.log.lock().iter().any(|l| l.contains(what));
+        assert!(has(&a, "InstA") && !has(&a, "InstB") && !has(&a, "GlobalK"));
+        assert!(has(&b, "InstB") && !has(&b, "InstA"));
+        assert!(has(&global, "GlobalK") && !has(&global, "InstA") && !has(&global, "InstB"));
+    }
+
+    #[test]
+    fn scoped_dispatch_without_registration_falls_back_to_global() {
+        let _serial = test_registry_lock();
+        let global = Arc::new(Recorder::default());
+        set_hooks(global.clone());
+        let key = next_instance_key();
+        {
+            let _scope = enter_instance(key);
+            let _s = begin_kernel(
+                &Space::serial(),
+                PatternKind::ParallelFor,
+                "FallbackK",
+                PolicyKind::Range,
+                1,
+            );
+        }
+        clear_hooks();
+        assert!(global.log.lock().iter().any(|l| l.contains("FallbackK")));
+    }
+
+    #[test]
+    fn instance_registry_alone_enables_dispatch() {
+        let _serial = test_registry_lock();
+        clear_hooks();
+        let rec = Arc::new(Recorder::default());
+        let key = next_instance_key();
+        register_instance_hooks(key, rec.clone());
+        assert!(enabled());
+        {
+            let _scope = enter_instance(key);
+            let _s = begin_kernel(
+                &Space::serial(),
+                PatternKind::ParallelFor,
+                "OnlyInstance",
+                PolicyKind::Range,
+                1,
+            );
+        }
+        unregister_instance_hooks(key);
+        assert!(rec.log.lock().iter().any(|l| l.contains("OnlyInstance")));
     }
 
     #[test]

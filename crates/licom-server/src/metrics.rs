@@ -1,0 +1,186 @@
+//! Serving metrics: lock-free aggregate counters, a fixed-bucket
+//! step-latency histogram with quantile readout, and Prometheus text
+//! exposition (aggregate families plus per-instance labeled shards).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Geometric latency buckets: `BASE_NS * RATIO^i` upper bounds. 56
+/// buckets at ratio 1.5 starting from 1 µs span ~1 µs to ~80 min —
+/// far beyond any step latency this repo can produce — with ≤50%
+/// quantile resolution error, which is plenty for p50/p95/p99 gates.
+const BUCKETS: usize = 56;
+const BASE_NS: f64 = 1_000.0;
+const RATIO: f64 = 1.5;
+
+fn bucket_of(ns: u64) -> usize {
+    let mut bound = BASE_NS;
+    for i in 0..BUCKETS - 1 {
+        if (ns as f64) <= bound {
+            return i;
+        }
+        bound *= RATIO;
+    }
+    BUCKETS - 1
+}
+
+/// Concurrent fixed-bucket histogram. Recording is one atomic add; the
+/// quantile readout walks 56 counters. Quantiles are reported as the
+/// bucket's upper bound (conservative: never under-reports a p99).
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, ns: u64) {
+        self.counts[bucket_of(ns)].fetch_add(1, Relaxed);
+        self.total.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total.load(Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`). Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut bound = BASE_NS;
+        for i in 0..BUCKETS {
+            seen += self.counts[i].load(Relaxed);
+            if seen >= target {
+                return bound as u64;
+            }
+            if i < BUCKETS - 1 {
+                bound *= RATIO;
+            }
+        }
+        bound as u64
+    }
+}
+
+/// Aggregate serving counters, all monotone, all updated lock-free from
+/// worker and submission paths.
+#[derive(Default)]
+pub struct ServerMetrics {
+    pub jobs_submitted: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    pub jobs_cancelled: AtomicU64,
+    pub jobs_failed: AtomicU64,
+    pub rejected_quota: AtomicU64,
+    pub rejected_backpressure: AtomicU64,
+    pub steps_total: AtomicU64,
+    pub slices_total: AtomicU64,
+    pub checkpoints_total: AtomicU64,
+    pub rollbacks_total: AtomicU64,
+    pub step_latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter table for `render_named_counters` — one stable name per
+    /// aggregate counter.
+    pub fn counter_table(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("jobs_submitted", self.jobs_submitted.load(Relaxed)),
+            ("jobs_completed", self.jobs_completed.load(Relaxed)),
+            ("jobs_cancelled", self.jobs_cancelled.load(Relaxed)),
+            ("jobs_failed", self.jobs_failed.load(Relaxed)),
+            ("rejected_quota", self.rejected_quota.load(Relaxed)),
+            (
+                "rejected_backpressure",
+                self.rejected_backpressure.load(Relaxed),
+            ),
+            ("steps_total", self.steps_total.load(Relaxed)),
+            ("slices_total", self.slices_total.load(Relaxed)),
+            ("checkpoints_total", self.checkpoints_total.load(Relaxed)),
+            ("rollbacks_total", self.rollbacks_total.load(Relaxed)),
+        ]
+    }
+
+    /// The three published step-latency percentiles, in nanoseconds:
+    /// `(p50, p95, p99)`.
+    pub fn latency_percentiles_ns(&self) -> (u64, u64, u64) {
+        let h = &self.step_latency;
+        (
+            h.quantile_ns(0.50),
+            h.quantile_ns(0.95),
+            h.quantile_ns(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_monotone_and_bounded() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1_000), 0);
+        assert!(bucket_of(1_001) >= 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let mut prev = 0;
+        for ns in [1u64, 10, 100, 1_000, 10_000, 1_000_000, 10_000_000_000] {
+            let b = bucket_of(ns);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quantiles_conservative() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000); // bucket 0, bound 1 µs
+        }
+        h.record(1_000_000_000); // one 1 s outlier
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ns(0.50), 1_000);
+        // p99 is the 99th sample — still in the fast bucket.
+        assert_eq!(h.quantile_ns(0.99), 1_000);
+        // p100 lands in the outlier's bucket; upper bound ≥ the sample.
+        assert!(h.quantile_ns(1.0) >= 1_000_000_000);
+        assert!(h.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+}

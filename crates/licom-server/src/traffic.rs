@@ -1,0 +1,204 @@
+//! `traffic-gen`: a deterministic bursty load generator for the serving
+//! engine.
+//!
+//! Arrivals are a Poisson process (exponential inter-arrival gaps drawn
+//! from a seeded xorshift generator) whose rate switches between a base
+//! and a burst level on a fixed cadence — the classic on/off bursty
+//! model. Each arrival draws a tenant, a priority, and one of three grid
+//! sizes. Everything is a pure function of the seed, so a load test is
+//! reproducible run to run.
+
+use crate::job::{CheckpointPolicy, JobSpec, Priority};
+use kokkos_rs::Space;
+use ocean_grid::Resolution;
+
+/// Deterministic xorshift64* generator — no external RNG dependency.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `(0, 1]` (never 0, so `ln` is safe).
+    pub fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Exponential with mean `mean`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        -mean * self.uniform().ln()
+    }
+
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next_u64() % items.len() as u64) as usize]
+    }
+}
+
+/// Load-shape knobs.
+#[derive(Clone)]
+pub struct TrafficConfig {
+    pub seed: u64,
+    /// Total jobs to generate.
+    pub jobs: usize,
+    /// Mean arrivals per simulated second outside bursts.
+    pub base_rate: f64,
+    /// Rate multiplier during a burst.
+    pub burst_factor: f64,
+    /// Burst cadence: every `burst_period` simulated seconds, the first
+    /// `burst_fraction` of the period is bursty.
+    pub burst_period: f64,
+    pub burst_fraction: f64,
+    /// Tenant names to draw from (uniformly).
+    pub tenants: Vec<String>,
+    /// Steps per job, drawn uniformly from this inclusive range.
+    pub steps: (u64, u64),
+    /// Execution space for generated jobs.
+    pub space: Space,
+    /// Fraction of jobs (in 1/256ths) that carry a checkpoint ring.
+    pub checkpoint_per_256: u8,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 0x5eed_1ab5,
+            jobs: 64,
+            base_rate: 200.0,
+            burst_factor: 8.0,
+            burst_period: 1.0,
+            burst_fraction: 0.25,
+            tenants: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            steps: (4, 10),
+            space: Space::threads(),
+            checkpoint_per_256: 32,
+        }
+    }
+}
+
+/// One generated arrival: when (seconds from start, for pacing) and what.
+pub struct Arrival {
+    pub at_seconds: f64,
+    pub spec: JobSpec,
+}
+
+/// The three mixed grid sizes: small/medium/large laptop-scale cuts of
+/// the Table III coarse configuration.
+pub fn grid_mix() -> Vec<ocean_grid::ModelConfig> {
+    vec![
+        Resolution::Coarse100km.config().scaled_down(24, 2), // 15×9×2
+        Resolution::Coarse100km.config().scaled_down(20, 2), // 18×10×2
+        Resolution::Coarse100km.config().scaled_down(15, 3), // 24×14×3
+    ]
+}
+
+/// Generate the full arrival schedule for `cfg`, sorted by time.
+pub fn generate(cfg: &TrafficConfig) -> Vec<Arrival> {
+    let mut rng = Rng::new(cfg.seed);
+    let grids = grid_mix();
+    let priorities = [Priority::Low, Priority::Normal, Priority::High];
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(cfg.jobs);
+    for _ in 0..cfg.jobs {
+        // Rate depends on where we are in the burst cadence.
+        let phase = (t / cfg.burst_period).fract();
+        let rate = if phase < cfg.burst_fraction {
+            cfg.base_rate * cfg.burst_factor
+        } else {
+            cfg.base_rate
+        };
+        t += rng.exponential(1.0 / rate);
+        let steps_span = cfg.steps.1 - cfg.steps.0 + 1;
+        let steps = cfg.steps.0 + rng.next_u64() % steps_span;
+        let checkpoint = if (rng.next_u64() % 256) < u64::from(cfg.checkpoint_per_256) {
+            Some(CheckpointPolicy {
+                every_steps: 2,
+                ring: 2,
+                rollback_at: None,
+            })
+        } else {
+            None
+        };
+        out.push(Arrival {
+            at_seconds: t,
+            spec: JobSpec {
+                tenant: rng.pick(&cfg.tenants).clone(),
+                priority: *rng.pick(&priorities),
+                cfg: rng.pick(&grids).clone(),
+                space: cfg.space.clone(),
+                steps,
+                checkpoint,
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TrafficConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_seconds.to_bits(), y.at_seconds.to_bits());
+            assert_eq!(x.spec.tenant, y.spec.tenant);
+            assert_eq!(x.spec.steps, y.spec.steps);
+            assert_eq!(x.spec.cfg.nx, y.spec.cfg.nx);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_mixed() {
+        let cfg = TrafficConfig {
+            jobs: 200,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&cfg);
+        assert!(arrivals
+            .windows(2)
+            .all(|w| w[0].at_seconds <= w[1].at_seconds));
+        let tenants: std::collections::HashSet<_> =
+            arrivals.iter().map(|a| a.spec.tenant.clone()).collect();
+        assert_eq!(tenants.len(), 4, "all tenants drawn");
+        let grids: std::collections::HashSet<_> = arrivals.iter().map(|a| a.spec.cfg.nx).collect();
+        assert_eq!(grids.len(), 3, "all grid sizes drawn");
+        assert!(arrivals.iter().any(|a| a.spec.checkpoint.is_some()));
+        assert!(arrivals
+            .iter()
+            .all(|a| (cfg.steps.0..=cfg.steps.1).contains(&a.spec.steps)));
+    }
+
+    #[test]
+    fn bursts_cluster_arrivals() {
+        let cfg = TrafficConfig {
+            jobs: 2000,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&cfg);
+        // The bursty quarter of each period must hold well over a
+        // quarter of the arrivals (8× rate ⇒ expect ~73%).
+        let in_burst = arrivals
+            .iter()
+            .filter(|a| (a.at_seconds / cfg.burst_period).fract() < cfg.burst_fraction)
+            .count();
+        assert!(
+            in_burst as f64 > 0.5 * arrivals.len() as f64,
+            "{in_burst}/{} arrivals in burst windows",
+            arrivals.len()
+        );
+    }
+}

@@ -864,15 +864,33 @@ impl World {
         Self::run_cfg(WorldConfig::new(n).faults(plan), f)
     }
 
-    /// Fully configured run; see [`WorldConfig`].
-    pub fn run_cfg<R, F>(cfg: WorldConfig, f: F) -> (Vec<R>, TrafficSnapshot)
-    where
-        R: Send,
-        F: Fn(&Comm) -> R + Send + Sync,
-    {
+    /// A standalone single-rank communicator, not bound to any thread
+    /// scope: the caller owns it and may move it across threads freely.
+    /// This is what the ensemble-serving layer hands each model instance
+    /// — every instance gets its own private world (mailboxes, buffer
+    /// pool, collective state), so instances can never observe each
+    /// other's traffic. Collectives over one rank complete immediately;
+    /// self-sends round-trip through the instance's own mailbox.
+    pub fn solo() -> Comm {
+        Self::solo_cfg(WorldConfig::new(1))
+    }
+
+    /// [`World::solo`] with explicit world configuration (fault plans
+    /// and receive timeouts apply to the instance's private world).
+    pub fn solo_cfg(cfg: WorldConfig) -> Comm {
+        assert_eq!(cfg.n, 1, "a solo world has exactly one rank");
+        Comm {
+            rank: 0,
+            world_rank: 0,
+            shared: Self::build_shared(cfg),
+            view: None,
+        }
+    }
+
+    fn build_shared(cfg: WorldConfig) -> Arc<WorldShared> {
         let n = cfg.n;
         assert!(n > 0, "world must have at least one rank");
-        let shared = Arc::new(WorldShared {
+        Arc::new(WorldShared {
             n,
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             traffic: Traffic::default(),
@@ -883,7 +901,17 @@ impl World {
             deaths: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
             spares: cfg.spares,
             recv_timeout: cfg.recv_timeout,
-        });
+        })
+    }
+
+    /// Fully configured run; see [`WorldConfig`].
+    pub fn run_cfg<R, F>(cfg: WorldConfig, f: F) -> (Vec<R>, TrafficSnapshot)
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        let n = cfg.n;
+        let shared = Self::build_shared(cfg);
         let f = &f;
         let results: Vec<R> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
@@ -916,6 +944,25 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn solo_comm_is_self_contained() {
+        let comm = World::solo();
+        assert_eq!((comm.rank(), comm.size()), (0, 1));
+        // Collectives complete immediately; self-sends round-trip.
+        assert_eq!(comm.allreduce_f64(3.5, crate::ReduceOp::Sum), 3.5);
+        comm.send(0, 9, vec![1.0f64, 2.0]);
+        assert_eq!(comm.recv::<f64>(0, 9), vec![1.0, 2.0]);
+        // Two solo worlds never share traffic counters.
+        let other = World::solo();
+        assert_eq!(other.traffic().p2p_messages, 0);
+        assert!(comm.traffic().p2p_messages > 0);
+        // Movable across threads (not tied to a scope).
+        let moved = std::thread::spawn(move || comm.allreduce_f64(1.0, crate::ReduceOp::Max))
+            .join()
+            .unwrap();
+        assert_eq!(moved, 1.0);
+    }
 
     #[test]
     fn ping_pong() {
