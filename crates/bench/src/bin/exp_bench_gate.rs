@@ -399,6 +399,60 @@ fn run_server_scenario() -> Vec<(String, f64)> {
     ]
 }
 
+/// Flight-recorder scenario. Two measurements:
+///
+/// * `flight.record_ns_per_event` — armed per-event recording cost over
+///   a large batch (seqlock ring write + Lamport tick), band-gated and
+///   additionally pinned by CI's `--assert-below` ceiling;
+///   `flight.disabled_ns_per_event` rides along informationally (the
+///   disabled path is one relaxed atomic load).
+/// * `flight.dump_events_total` — a fixed event sequence recorded into a
+///   fixed-capacity ring and dumped through the post-mortem path; the
+///   read-back bundle's event count is deterministic (exact-gated).
+fn run_flight_scenario() -> Vec<(String, f64)> {
+    use mpi_sim::flight::{self, FlightEventKind};
+
+    const N: u64 = 200_000;
+    let timings = World::run(1, |comm| {
+        // Disabled path first: no scope armed anywhere, so each call is
+        // the single-atomic-load bail-out.
+        let t0 = std::time::Instant::now();
+        for i in 0..N {
+            flight::record(FlightEventKind::KernelBegin, i, 0, 0);
+        }
+        let disabled_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+
+        let _scope = kokkos_profiling::flight::arm(comm, 4096);
+        let t0 = std::time::Instant::now();
+        for i in 0..N {
+            flight::record(FlightEventKind::KernelBegin, i, 0, 0);
+        }
+        let armed_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+        (armed_ns, disabled_ns)
+    });
+    let (armed_ns, disabled_ns) = timings[0];
+
+    let dir = std::env::temp_dir().join("licom_bench_gate_flight");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dump_dir = dir.clone();
+    let counts = World::run(1, move |comm| {
+        let _scope = kokkos_profiling::flight::arm(comm, 512);
+        for i in 0..300u64 {
+            flight::record(FlightEventKind::StepBegin, i, 0, 0);
+        }
+        let path = kokkos_profiling::dump_on_failure(&dump_dir, "bench-gate", comm)
+            .expect("first dump of a fresh world claims");
+        let bundle = kokkos_profiling::read_bundle(&path).expect("bundle is schema-valid");
+        bundle.events.len() as f64
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    vec![
+        ("flight.record_ns_per_event".to_string(), armed_ns),
+        ("flight.disabled_ns_per_event".to_string(), disabled_ns),
+        ("flight.dump_events_total".to_string(), counts[0]),
+    ]
+}
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("exp_bench_gate: {msg}");
     ExitCode::from(2)
@@ -495,6 +549,12 @@ fn main() -> ExitCode {
 
     banner("ensemble-serving scenario (48 jobs over the shared pool)");
     for (k, v) in run_server_scenario() {
+        println!("  {k:<34} {v:.6}");
+        raw.insert(k, v);
+    }
+
+    banner("flight-recorder scenario (armed record cost + deterministic dump)");
+    for (k, v) in run_flight_scenario() {
         println!("  {k:<34} {v:.6}");
         raw.insert(k, v);
     }
@@ -596,6 +656,14 @@ fn main() -> ExitCode {
             {
                 banner("re-measuring serving scenario");
                 let b: BTreeMap<String, f64> = run_server_scenario().into_iter().collect();
+                raw = merge_best(&raw, &b);
+            }
+            if diffs
+                .iter()
+                .any(|d| timing_only(d) && d.name.starts_with("flight."))
+            {
+                banner("re-measuring flight scenario");
+                let b: BTreeMap<String, f64> = run_flight_scenario().into_iter().collect();
                 raw = merge_best(&raw, &b);
             }
             metrics = apply_injection(&raw);

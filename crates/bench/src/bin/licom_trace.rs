@@ -1,0 +1,224 @@
+//! licom-trace — post-mortem flight-bundle analysis.
+//!
+//! Reads a black-box bundle written by the flight recorder on a failure
+//! edge, schema-validates it, merges the per-rank rings into the single
+//! cross-rank causal order (they are stored merged; the tool re-checks
+//! the invariant), and prints the "last N events before failure" report.
+//! Optionally re-exports the bundle as a chrome trace for Perfetto.
+//!
+//! ```text
+//! licom-trace <bundle.json> [--last N] [--trace OUT.json]
+//! licom-trace --smoke OUT.json     # CI: seeded rank-death run → bundle
+//! ```
+//!
+//! `--smoke` runs the seeded rank-death scenario (4 ranks, 1 spare,
+//! rank 1 killed attempting step 4), locates the post-mortem bundle the
+//! elastic driver dumped, asserts it contains the dying rank's last
+//! step, the `RankDeath` fault event and every survivor's `PeerDead`
+//! observation, then copies it to `OUT.json` for artifact upload.
+//!
+//! Exit codes: 0 ok, 1 failed smoke assertion, 2 usage/IO/schema error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use kokkos_profiling::flight::bundle_to_trace_events;
+use kokkos_profiling::{parse_json, read_bundle, render_last_events, validate_bundle};
+use mpi_sim::flight::FlightEventKind;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("licom-trace: {msg}");
+    ExitCode::from(2)
+}
+
+fn analyze(path: &Path, last: usize, trace_out: Option<&Path>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {}: {e}", path.display())),
+    };
+    let doc = match parse_json(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("parsing {}: {e}", path.display())),
+    };
+    let summary = match validate_bundle(&doc) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{} is not a valid bundle: {e}", path.display())),
+    };
+    let bundle = match read_bundle(path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+
+    println!("bundle   {}", path.display());
+    println!("reason   {}", summary.reason);
+    println!("ranks    {}", summary.ranks);
+    println!("events   {}", summary.events);
+    println!("by kind:");
+    for (kind, n) in &summary.by_kind {
+        println!("  {kind:<18} {n}");
+    }
+    println!();
+    print!(
+        "{}",
+        render_last_events(&bundle.events, &bundle.kernel_names, last)
+    );
+
+    if let Some(out) = trace_out {
+        let events = bundle_to_trace_events(&bundle.events, &bundle.kernel_names);
+        match kokkos_profiling::trace::write_atomic(out, &events) {
+            Ok(()) => println!("\nwrote chrome trace {}", out.display()),
+            Err(e) => return fail(&format!("writing {}: {e}", out.display())),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The seeded rank-death scenario from the bench gate, driven end to
+/// end through the flight recorder: the elastic driver's post-consensus
+/// dump must produce a bundle with the full causal story of the death.
+fn smoke(out: &Path) -> ExitCode {
+    use licom::checkpoint::RecoveryPolicy;
+    use licom::elastic::{run_elastic, ElasticConfig, ElasticOutcome};
+    use licom::model::ModelOptions;
+    use mpi_sim::{FaultPlan, RetryPolicy, World, WorldConfig};
+    use ocean_grid::Resolution;
+
+    const VICTIM: i64 = 1;
+    const DEATH_EPOCH: u64 = 3;
+
+    let cfg = Resolution::Coarse100km.config().scaled_down(8, 6);
+    let base = std::env::temp_dir().join(format!("licom_trace_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let ckpt_dir = base.join("ckpt");
+    let flight_dir = base.join("flight");
+    let ecfg = ElasticConfig {
+        target_steps: 6,
+        ckpt_dir,
+        ring: 3,
+        recovery: RecoveryPolicy {
+            checkpoint_every: 2,
+            max_rollbacks: 8,
+        },
+    };
+    let wc = WorldConfig::new(4)
+        .spares(1)
+        .faults(FaultPlan::new(0xDEAD_0001).kill(VICTIM as usize, DEATH_EPOCH));
+    let fdir = flight_dir.clone();
+    let outcomes = World::run_cfg(wc, move |comm| {
+        let opts = ModelOptions {
+            overlap: true,
+            retry: RetryPolicy::test_small(),
+            flight_dir: Some(fdir.clone()),
+            ..Default::default()
+        };
+        let out = run_elastic(comm, cfg.clone(), kokkos_rs::Space::serial(), opts, &ecfg)
+            .expect("smoke scenario must recover");
+        matches!(out, ElasticOutcome::Completed { .. })
+    })
+    .0;
+    if outcomes.iter().filter(|c| **c).count() != 3 {
+        eprintln!("licom-trace: smoke run did not complete on all three roles");
+        return ExitCode::FAILURE;
+    }
+
+    // Exactly one bundle: the claim is once-per-world.
+    let bundles: Vec<PathBuf> = match std::fs::read_dir(&flight_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => return fail(&format!("reading {}: {e}", flight_dir.display())),
+    };
+    if bundles.len() != 1 {
+        eprintln!(
+            "licom-trace: expected exactly one bundle, found {}",
+            bundles.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let bundle_path = &bundles[0];
+    let bundle = match read_bundle(bundle_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("smoke bundle invalid: {e}")),
+    };
+
+    // The seeded fault event and its causal context must all be there.
+    let mut checks: Vec<(&str, bool)> = Vec::new();
+    checks.push(("reason is rank-death", bundle.reason == "rank-death"));
+    checks.push((
+        "RankDeath event from the victim",
+        bundle
+            .events
+            .iter()
+            .any(|e| e.kind == FlightEventKind::RankDeath && e.a == VICTIM as u64),
+    ));
+    let victim_last_step = bundle
+        .events
+        .iter()
+        .rfind(|e| e.rank == VICTIM && e.kind == FlightEventKind::StepBegin);
+    checks.push((
+        "victim's last StepBegin is the death epoch",
+        victim_last_step.is_some_and(|e| e.a == DEATH_EPOCH),
+    ));
+    for survivor in [0i64, 2] {
+        let seen = bundle
+            .events
+            .iter()
+            .any(|e| e.rank == survivor && e.kind == FlightEventKind::PeerDead);
+        checks.push(("survivor observed PeerDead", seen));
+    }
+    let ok = checks.iter().all(|(_, ok)| *ok);
+    for (what, passed) in &checks {
+        println!("{} {what}", if *passed { "ok  " } else { "FAIL" });
+    }
+    if !ok {
+        let _ = std::fs::remove_dir_all(&base);
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::copy(bundle_path, out) {
+        return fail(&format!("copying bundle to {}: {e}", out.display()));
+    }
+    println!("smoke bundle -> {}", out.display());
+    let code = analyze(out, 20, None);
+    let _ = std::fs::remove_dir_all(&base);
+    code
+}
+
+fn main() -> ExitCode {
+    let mut bundle: Option<PathBuf> = None;
+    let mut last = 40usize;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut smoke_out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--last" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => last = n,
+                None => return fail("--last needs a count"),
+            },
+            "--trace" => match args.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => return fail("--trace needs a path"),
+            },
+            "--smoke" => match args.next() {
+                Some(p) => smoke_out = Some(PathBuf::from(p)),
+                None => return fail("--smoke needs an output path"),
+            },
+            other if bundle.is_none() && !other.starts_with("--") => {
+                bundle = Some(PathBuf::from(other));
+            }
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    match (smoke_out, bundle) {
+        (Some(out), None) => smoke(&out),
+        (None, Some(path)) => analyze(&path, last, trace_out.as_deref()),
+        _ => fail("usage: licom-trace <bundle.json> [--last N] [--trace OUT.json] | licom-trace --smoke OUT.json"),
+    }
+}

@@ -146,6 +146,16 @@ pub fn policy_for(name: &str) -> MetricPolicy {
             rel_tol: 0.0,
             abs_floor: 0.0,
         },
+        // Armed flight-recorder cost per recorded event. Nanosecond-scale
+        // wall timing quantizes hard on shared runners, so the band is
+        // wide and the floor generous — the hard ceiling is CI's
+        // --assert-below bound; the gate only catches a blow-up (a lock
+        // or allocation sneaking onto the record path).
+        "record_ns_per_event" => MetricPolicy {
+            direction: Direction::LowerIsBetter,
+            rel_tol: 1.0,
+            abs_floor: 50.0,
+        },
         // Recovery counters from the seeded rank-death scenario are
         // fully deterministic (registry-backed detection, fixed fault
         // seed): any drift means the elastic protocol changed behavior.
@@ -161,7 +171,10 @@ pub fn policy_for(name: &str) -> MetricPolicy {
         // set and the server completes every one (no cancels, no
         // faults), so the job and step totals are deterministic.
         | "jobs_completed"
-        | "steps_total" => MetricPolicy {
+        | "steps_total"
+        // Flight scenario: a fixed event sequence recorded into a fixed
+        // ring and dumped — the bundle's event count is deterministic.
+        | "dump_events_total" => MetricPolicy {
             direction: Direction::Exact,
             rel_tol: 0.0,
             abs_floor: 0.0,

@@ -34,6 +34,7 @@
 //! [`HaloError::PeerDead`] surfaces on the first attempt so recovery can
 //! start immediately instead of burning the full retry budget.
 
+use mpi_sim::flight::{self, FlightEventKind};
 use mpi_sim::{crc32c_f64, Comm, CommError, RetryPolicy};
 
 /// Number of header words prepended to a framed payload.
@@ -205,6 +206,12 @@ pub fn send_framed(
         fill(&mut buf[HDR..]);
         seal_frame(buf, tag, seq);
     });
+    flight::record(
+        FlightEventKind::HaloSend,
+        seq.packed(),
+        dst as u64,
+        len as u64,
+    );
 }
 
 /// Receive and verify an integrity frame from `src`, retrying per `cfg`.
@@ -236,7 +243,15 @@ pub fn recv_framed(
             }
         });
         match res {
-            Ok(Ok(())) => return Ok(()),
+            Ok(Ok(())) => {
+                flight::record(
+                    FlightEventKind::HaloRecv,
+                    seq.packed(),
+                    src as u64,
+                    expect_len as u64,
+                );
+                return Ok(());
+            }
             Ok(Err(FrameFault::Stale)) => {
                 // Leftover traffic from an aborted step: discard and keep
                 // waiting on the same attempt's budget.
@@ -253,6 +268,7 @@ pub fn recv_framed(
             }
             Ok(Err(fault)) => {
                 comm.note_crc_failure();
+                flight::record(FlightEventKind::CrcFailure, seq.packed(), src as u64, 0);
                 last = fault;
             }
             Err(CommError::PeerDead { .. }) => {
@@ -269,11 +285,23 @@ pub fn recv_framed(
         if let Some(frame) = comm.fetch_resend(src, tag) {
             if let Ok(payload) = verify_frame(&frame, tag, seq, expect_len) {
                 unpack(payload);
+                flight::record(
+                    FlightEventKind::HaloRecv,
+                    seq.packed(),
+                    src as u64,
+                    expect_len as u64,
+                );
                 return Ok(());
             }
             // A stale or unrelated escrow entry: fall through to retry.
         }
         comm.note_halo_retry();
+        flight::record(
+            FlightEventKind::IntegrityRetry,
+            seq.packed(),
+            src as u64,
+            attempt as u64 + 1,
+        );
         attempt += 1;
         if attempt > cfg.retry.max_retries {
             return Err(HaloError::RetriesExhausted {

@@ -2,24 +2,15 @@
 //!
 //! Chrome-trace timestamps must come from one common epoch so kernel
 //! spans, comm events and counter samples from different threads line up
-//! on the same timeline. The epoch is the first call to [`now_ns`] in the
-//! process (lazily pinned with a `OnceLock`), which keeps raw timestamp
-//! values small enough that microsecond rendering never loses precision.
-
-use std::sync::OnceLock;
-use std::time::Instant;
-
-static EPOCH: OnceLock<Instant> = OnceLock::new();
-
-/// The process-wide trace epoch. First caller pins it.
-pub fn epoch() -> Instant {
-    *EPOCH.get_or_init(Instant::now)
-}
+//! on the same timeline. The epoch lives in `mpi_sim::flight` (first
+//! caller pins it) so flight-recorder events and profiler spans share a
+//! single timeline — a post-mortem bundle's chrome-trace export overlays
+//! directly on a profiler trace of the same run.
 
 /// Nanoseconds elapsed since the trace epoch.
 #[inline]
 pub fn now_ns() -> u64 {
-    epoch().elapsed().as_nanos() as u64
+    mpi_sim::flight::now_ns()
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 //! dispatch — the model's zero-allocation steady state is untouched.
 
 pub mod clock;
+pub mod flight;
 pub mod json;
 pub mod profiler;
 pub mod prometheus;
@@ -29,6 +30,10 @@ pub mod telemetry;
 pub mod trace;
 
 pub use clock::now_ns;
+pub use flight::{
+    dump_on_failure, read_bundle, render_last_events, validate_bundle, Bundle, BundleSummary,
+    FlightCtx, FlightEvent, FlightEventKind, FlightRing, FLIGHT_SCHEMA,
+};
 pub use json::{
     parse as parse_json, render as render_json, render_pretty as render_json_pretty,
     validate_chrome_trace, Json, TraceSummary,
@@ -37,9 +42,9 @@ pub use profiler::{
     attach, attach_instance, detach, detach_instance, set_thread_rank, KernelKey, Profiler,
 };
 pub use prometheus::{
-    render_named_counters, render_named_counters_labeled, render_phase_seconds,
-    render_phase_seconds_labeled, render_prometheus, render_prometheus_labeled, render_traffic,
-    render_traffic_labeled,
+    render_gauge, render_named_counters, render_named_counters_labeled, render_named_gauges,
+    render_named_gauges_labeled, render_phase_seconds, render_phase_seconds_labeled,
+    render_prometheus, render_prometheus_labeled, render_traffic, render_traffic_labeled,
 };
 pub use stats::{CounterTable, Stat, StatsTable};
 pub use sypd::{bucket_of, hotspot_shares, is_enclosing, sypd, HotspotRow, SypdReporter, BUCKETS};

@@ -94,6 +94,46 @@ pub fn render_named_counters(family: &str, help: &str, entries: &[(&str, u64)]) 
     render_named_counters_labeled(family, help, &[], entries)
 }
 
+/// Render an integer gauge table as one family with `base` labels plus
+/// one per-entry label whose key is `label_key` (e.g. `tenant`):
+/// `family{base...,tenant="a"} 3`. Entries are sorted by label value
+/// for stable output. Gauges, unlike the counter families above, may
+/// legitimately go down between scrapes (queue depths, occupancy).
+pub fn render_named_gauges_labeled(
+    family: &str,
+    help: &str,
+    base: &[(&str, &str)],
+    label_key: &str,
+    entries: &[(&str, u64)],
+) -> String {
+    let mut sorted: Vec<&(&str, u64)> = entries.iter().collect();
+    sorted.sort_by_key(|(n, _)| *n);
+    let mut out = format!("# HELP {family} {help}\n# TYPE {family} gauge\n");
+    for (name, value) in sorted {
+        out.push_str(&format!(
+            "{family}{} {value}\n",
+            label_suffix(base, Some((label_key, name)))
+        ));
+    }
+    out
+}
+
+/// Render an integer gauge table keyed by one label (see
+/// [`render_named_gauges_labeled`]).
+pub fn render_named_gauges(
+    family: &str,
+    help: &str,
+    label_key: &str,
+    entries: &[(&str, u64)],
+) -> String {
+    render_named_gauges_labeled(family, help, &[], label_key, entries)
+}
+
+/// Render a single unlabeled integer gauge sample.
+pub fn render_gauge(family: &str, help: &str, value: u64) -> String {
+    format!("# HELP {family} {help}\n# TYPE {family} gauge\n{family} {value}\n")
+}
+
 /// Render a phase/kernel seconds table as a gauge family with `base`
 /// labels plus a `name` label, in fixed 9-decimal notation so output
 /// never depends on float shortest-representation quirks.
@@ -198,5 +238,16 @@ mod tests {
     fn phase_seconds_fixed_notation() {
         let text = render_phase_seconds("p_seconds", "h", &[("eos", 0.5)]);
         assert!(text.contains("p_seconds{name=\"eos\"} 0.500000000"));
+    }
+
+    #[test]
+    fn gauges_use_caller_label_key() {
+        let text = render_named_gauges("q_depth", "h", "tenant", &[("b", 2), ("a", 7)]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "# TYPE q_depth gauge");
+        assert_eq!(lines[2], "q_depth{tenant=\"a\"} 7");
+        assert_eq!(lines[3], "q_depth{tenant=\"b\"} 2");
+        let single = render_gauge("busy", "h", 3);
+        assert!(single.ends_with("busy 3\n"));
     }
 }

@@ -5,7 +5,9 @@
 //! regenerate after an intentional format change:
 //! `BLESS=1 cargo test -p kokkos-profiling --test prometheus_golden`.
 
-use kokkos_profiling::{render_prometheus, render_prometheus_labeled};
+use kokkos_profiling::{
+    render_gauge, render_named_gauges, render_prometheus, render_prometheus_labeled,
+};
 use mpi_sim::TrafficSnapshot;
 
 fn synthetic_traffic() -> TrafficSnapshot {
@@ -61,20 +63,44 @@ fn exposition_matches_golden_file() {
 fn labeled_exposition_matches_golden_file() {
     let counters: &[(&str, u64)] = &[("step", 17), ("rollbacks", 1)];
     let phases: &[(&str, f64)] = &[("readyc", 0.25)];
-    let rendered = render_prometheus_labeled(
+    let mut rendered = render_prometheus_labeled(
         &synthetic_traffic(),
         counters,
         phases,
         &[("instance", "m17"), ("tenant", "a")],
     );
 
-    // Every sample line carries the base labels first.
+    // Every sample line carries the base labels first (the scheduler
+    // gauges appended below use their own label set by design).
     for line in rendered.lines().filter(|l| !l.starts_with('#')) {
         assert!(
             line.contains("instance=\"m17\",tenant=\"a\""),
             "sample missing base labels: {line}"
         );
     }
+
+    // The scheduler-side gauge families the serving engine appends to
+    // its exposition: per-tenant queue depth / running jobs and the
+    // worker-occupancy sample.
+    rendered.push_str(&render_named_gauges(
+        "licom_sched_queue_depth",
+        "Jobs queued for a slice, per tenant.",
+        "tenant",
+        &[("a", 3), ("b", 1)],
+    ));
+    rendered.push_str(&render_named_gauges(
+        "licom_tenant_running",
+        "Jobs claimed or stepping (admitted minus queued), per tenant.",
+        "tenant",
+        &[("a", 2), ("b", 0)],
+    ));
+    rendered.push_str(&render_gauge(
+        "licom_workers_busy",
+        "Workers currently stepping a claimed batch.",
+        2,
+    ));
+    assert!(rendered.contains("licom_sched_queue_depth{tenant=\"a\"} 3"));
+    assert!(rendered.contains("licom_workers_busy 2"));
     assert!(
         rendered.contains("model_counter_total{instance=\"m17\",tenant=\"a\",name=\"step\"} 17")
     );

@@ -37,7 +37,7 @@
 //! with the profiler's event stream.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -130,6 +130,47 @@ pub trait ProfilingHooks: Send + Sync {
 /// The null tool: inherits every default no-op body.
 pub struct NullHooks;
 impl ProfilingHooks for NullHooks {}
+
+/// Minimal kernel-event consumer for the flight recorder. Unlike
+/// [`ProfilingHooks`] (a full Kokkos-Tools surface with per-instance
+/// keying), a flight sink sees only the span edges the black box needs,
+/// and its process-wide armed flag ([`set_flight_armed`]) is maintained
+/// by the recorder's own thread-scope machinery — this crate stays free
+/// of any dependency on the transport where the rings live.
+pub trait FlightSink: Send + Sync {
+    fn kernel_begin(&self, kid: KernelId, name: &'static str, space: &'static str, work_items: u64);
+    fn kernel_end(&self, kid: KernelId);
+}
+
+static FLIGHT_SINK: OnceLock<Arc<dyn FlightSink>> = OnceLock::new();
+/// Mirrors "any thread has an armed flight scope" into this crate so the
+/// dispatch chokepoint can skip flight work with one relaxed load.
+static FLIGHT_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Install the process-wide flight sink (first install wins; the
+/// recorder installs a single bridge once).
+pub fn install_flight_sink(sink: Arc<dyn FlightSink>) {
+    let _ = FLIGHT_SINK.set(sink);
+}
+
+/// Mirror the recorder's armed state (called from its arm observer on
+/// the 0→1 / 1→0 armed-thread transitions).
+pub fn set_flight_armed(armed: bool) {
+    FLIGHT_ARMED.store(armed, Ordering::Release);
+}
+
+/// Is any flight scope armed in the process?
+#[inline(always)]
+pub fn flight_armed() -> bool {
+    FLIGHT_ARMED.load(Ordering::Relaxed)
+}
+
+fn current_flight_sink() -> Option<&'static Arc<dyn FlightSink>> {
+    if !flight_armed() {
+        return None;
+    }
+    FLIGHT_SINK.get()
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_KERNEL_ID: AtomicU64 = AtomicU64::new(0);
@@ -282,6 +323,7 @@ pub fn short_type_name(full: &'static str) -> &'static str {
 /// `end_*` fired from `Drop` (so it also fires during unwinding).
 pub struct KernelSpan {
     armed: Option<(Arc<dyn ProfilingHooks>, KernelId, PatternKind)>,
+    flight: Option<(&'static Arc<dyn FlightSink>, KernelId)>,
 }
 
 /// Open a kernel span. This is the single chokepoint every dispatch in
@@ -298,23 +340,36 @@ pub(crate) fn begin_kernel(
     if let Space::DeviceSim(d) = space {
         d.record_launch();
     }
-    let Some(hooks) = current_hooks() else {
-        return KernelSpan { armed: None };
-    };
-    let kid = NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed);
-    let info = KernelInfo {
-        name: short_type_name(functor_type),
-        space: space.name(),
-        pattern,
-        policy,
-        work_items,
-    };
-    match pattern {
-        PatternKind::ParallelReduce => hooks.begin_parallel_reduce(kid, &info),
-        _ => hooks.begin_parallel_for(kid, &info),
+    let hooks = current_hooks();
+    let flight = current_flight_sink();
+    if hooks.is_none() && flight.is_none() {
+        return KernelSpan {
+            armed: None,
+            flight: None,
+        };
     }
+    let kid = NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed);
+    let name = short_type_name(functor_type);
+    if let Some(sink) = flight {
+        sink.kernel_begin(kid, name, space.name(), work_items);
+    }
+    let armed = hooks.map(|hooks| {
+        let info = KernelInfo {
+            name,
+            space: space.name(),
+            pattern,
+            policy,
+            work_items,
+        };
+        match pattern {
+            PatternKind::ParallelReduce => hooks.begin_parallel_reduce(kid, &info),
+            _ => hooks.begin_parallel_for(kid, &info),
+        }
+        (hooks, kid, pattern)
+    });
     KernelSpan {
-        armed: Some((hooks, kid, pattern)),
+        armed,
+        flight: flight.map(|sink| (sink, kid)),
     }
 }
 
@@ -325,6 +380,9 @@ impl Drop for KernelSpan {
                 PatternKind::ParallelReduce => hooks.end_parallel_reduce(kid),
                 _ => hooks.end_parallel_for(kid),
             }
+        }
+        if let Some((sink, kid)) = self.flight.take() {
+            sink.kernel_end(kid);
         }
     }
 }

@@ -52,12 +52,12 @@ impl Instance {
     /// thread, not at submission.
     pub fn build(name: String, spec: &JobSpec, ckpt_base: &std::path::Path) -> Instance {
         let comm = World::solo();
-        let model = Model::new(
-            &comm,
-            spec.cfg.clone(),
-            spec.space.clone(),
-            spec.model_options(),
-        );
+        // Post-mortem bundles from every instance land next to the
+        // checkpoint rings (one `_flight` dir per server; bundle names
+        // are unique), not in the global temp fallback.
+        let mut opts = spec.model_options();
+        opts.flight_dir = Some(ckpt_base.join("_flight"));
+        let model = Model::new(&comm, spec.cfg.clone(), spec.space.clone(), opts);
         let (ckpt, ckpt_every, rollback_at, ckpt_dir) = match &spec.checkpoint {
             None => (None, 0, None, None),
             Some(p) => {
@@ -105,6 +105,18 @@ impl Instance {
     /// This instance's private-world traffic counters.
     pub fn traffic(&self) -> mpi_sim::TrafficSnapshot {
         self.model.comm().traffic()
+    }
+
+    /// Record a flight-recorder event into this instance's private
+    /// ring (the solo world keeps black boxes per-instance).
+    pub fn flight_note(&self, kind: mpi_sim::flight::FlightEventKind, a: u64, b: u64, c: u64) {
+        self.model.flight_note(kind, a, b, c);
+    }
+
+    /// Snapshot this instance's black box into a post-mortem bundle
+    /// (once per instance; see [`licom::Model::dump_flight`]).
+    pub fn dump_flight(&self, reason: &str) -> Option<PathBuf> {
+        self.model.dump_flight(reason)
     }
 
     /// Advance one step (or roll back, if the spec injected a rollback

@@ -103,6 +103,10 @@ pub struct ServerMetrics {
     pub slices_total: AtomicU64,
     pub checkpoints_total: AtomicU64,
     pub rollbacks_total: AtomicU64,
+    /// Occupancy gauge (not a counter): workers currently stepping a
+    /// claimed batch. Raised after a claim, lowered when the batch is
+    /// handed back — the difference from `cfg.workers` is idle capacity.
+    pub workers_busy: AtomicU64,
     pub step_latency: LatencyHistogram,
 }
 

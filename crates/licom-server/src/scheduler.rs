@@ -125,6 +125,22 @@ impl Scheduler {
             .map(|(n, t)| (n.clone(), t.steps_done))
             .collect()
     }
+
+    /// Per-tenant occupancy gauges, sorted by tenant name:
+    /// `(tenant, queued, running)` where `queued` is this tenant's
+    /// slice-queue depth and `running` its claimed-or-stepping jobs
+    /// (admitted minus queued). Retired tenants linger at zero — stable
+    /// label sets scrape better than vanishing ones.
+    pub fn tenant_gauges(&self) -> Vec<(String, u64, u64)> {
+        self.tenants
+            .iter()
+            .map(|(n, t)| {
+                let queued = t.queue.len() as u64;
+                let running = (t.in_flight as u64).saturating_sub(queued);
+                (n.clone(), queued, running)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -248,6 +248,30 @@ impl Server {
                 "licom_step_total{{instance=\"{name}\",tenant=\"{tenant}\"}} {steps}\n"
             ));
         }
+        // Scheduler occupancy gauges: queue depth and running jobs per
+        // tenant, plus worker occupancy — the saturation signals that
+        // make the fairness counters above interpretable.
+        let gauges = st.sched.tenant_gauges();
+        let depth: Vec<(&str, u64)> = gauges.iter().map(|(n, q, _)| (n.as_str(), *q)).collect();
+        let running: Vec<(&str, u64)> = gauges.iter().map(|(n, _, r)| (n.as_str(), *r)).collect();
+        drop(st);
+        out.push_str(&kokkos_profiling::render_named_gauges(
+            "licom_sched_queue_depth",
+            "Jobs queued for a slice, per tenant.",
+            "tenant",
+            &depth,
+        ));
+        out.push_str(&kokkos_profiling::render_named_gauges(
+            "licom_tenant_running",
+            "Jobs claimed or stepping (admitted minus queued), per tenant.",
+            "tenant",
+            &running,
+        ));
+        out.push_str(&kokkos_profiling::render_gauge(
+            "licom_workers_busy",
+            "Workers currently stepping a claimed batch.",
+            self.shared.metrics.workers_busy.load(Relaxed),
+        ));
         out
     }
 
@@ -381,8 +405,10 @@ fn worker_loop(shared: &Shared) {
             }
         }
 
+        shared.metrics.workers_busy.fetch_add(1, Relaxed);
         for (id, spec, instance, steps_before, cancel, tx) in claimed {
-            let (instance, end) = step_slice(shared, &spec, instance, steps_before, &cancel, &tx);
+            let (instance, end) =
+                step_slice(shared, id, &spec, instance, steps_before, &cancel, &tx);
 
             let mut st = shared.state.lock();
             let steps_now = instance.as_ref().map_or(steps_before, |i| i.steps_taken());
@@ -449,6 +475,7 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         }
+        shared.metrics.workers_busy.fetch_sub(1, Relaxed);
     }
 }
 
@@ -456,6 +483,7 @@ fn worker_loop(shared: &Shared) {
 /// instance and the slice verdict. Runs without the scheduler lock.
 fn step_slice(
     shared: &Shared,
+    id: JobId,
     spec: &JobSpec,
     instance: Option<Box<Instance>>,
     steps_before: u64,
@@ -486,6 +514,14 @@ fn step_slice(
             built
         }
     };
+    // The black box records why this instance is running now: which job
+    // the scheduler picked and where it stood when the slice began.
+    inst.flight_note(
+        mpi_sim::flight::FlightEventKind::SchedDecision,
+        id,
+        inst.steps_taken(),
+        0,
+    );
 
     for _ in 0..shared.cfg.slice_steps {
         if inst.steps_taken() >= spec.steps {
@@ -514,6 +550,16 @@ fn step_slice(
                 }
             }
             Err(reason) => {
+                // Job failure is a dump trigger: the guard/drift edge
+                // inside try_step may already have claimed this
+                // instance's bundle, in which case this is a no-op.
+                inst.flight_note(
+                    mpi_sim::flight::FlightEventKind::JobFail,
+                    id,
+                    inst.steps_taken(),
+                    0,
+                );
+                inst.dump_flight("job-fail");
                 return (Some(inst), SliceEnd::Failed { reason });
             }
         }

@@ -260,8 +260,13 @@ fn traffic_gen_smoke_64_instances_threads() {
     let t0 = Instant::now();
     loop {
         let scrape = server.render_prometheus();
+        // Occupancy gauges are in every scrape, live instance or not.
+        assert!(scrape.contains("# TYPE licom_sched_queue_depth gauge"));
+        assert!(scrape.contains("# TYPE licom_tenant_running gauge"));
+        assert!(scrape.contains("licom_workers_busy "));
         if scrape.contains("licom_step_total{instance=\"m") {
             assert!(scrape.contains("tenant=\""));
+            assert!(scrape.contains("licom_sched_queue_depth{tenant=\""));
             break;
         }
         if t0.elapsed() > Duration::from_secs(60) {

@@ -328,6 +328,12 @@ impl CheckpointManager {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;
+        m.flight_note(
+            mpi_sim::flight::FlightEventKind::CheckpointSave,
+            m.steps_taken(),
+            self.next_slot as u64,
+            bytes.len() as u64,
+        );
         self.next_slot = (self.next_slot + 1) % self.ring;
         self.written += 1;
         Ok(())
@@ -379,6 +385,12 @@ impl CheckpointManager {
         apply(m, &ck)?;
         m.reset_transients();
         m.set_steps_taken(step);
+        m.flight_note(
+            mpi_sim::flight::FlightEventKind::CheckpointRestore,
+            step,
+            0,
+            0,
+        );
         Ok(step)
     }
 }
@@ -530,7 +542,18 @@ impl Model {
                 }
             } else {
                 stats.rollbacks += 1;
+                // The flight recorder black-boxes both rollback exits:
+                // budget exhaustion is a terminal failure edge, and even
+                // a recoverable rollback is worth a bundle (claim-once
+                // per world means only the first incident writes).
+                self.flight_note(
+                    mpi_sim::flight::FlightEventKind::Rollback,
+                    attempted,
+                    u64::from(stats.rollbacks),
+                    0,
+                );
                 if stats.rollbacks > policy.max_rollbacks {
+                    self.dump_flight("rollback-budget-exhausted");
                     stats.checkpoints_written = mgr.checkpoints_written() - ckpt0;
                     publish(&mut self.timers, &stats);
                     self.fold_traffic_window(&t0);
@@ -539,6 +562,7 @@ impl Model {
                         last: last_err,
                     });
                 }
+                self.dump_flight("rollback");
                 replaying_to = replaying_to.max(attempted);
                 mgr.restore_latest_collective(self)?;
                 since_ckpt = 0;

@@ -248,7 +248,16 @@ fn drive(
             Err(CommError::PeerDead { peer, .. }) if peer == model.comm().rank() => {
                 return Drive::SelfDead;
             }
-            Err(CommError::PeerDead { .. }) => {
+            Err(CommError::PeerDead { peer, .. }) => {
+                // Every survivor's vote fails the same way, so every
+                // survivor's ring carries its own PeerDead observation —
+                // what the post-mortem acceptance check looks for.
+                model.flight_note(
+                    mpi_sim::flight::FlightEventKind::PeerDead,
+                    peer as u64,
+                    attempted,
+                    0,
+                );
                 return Drive::PeerDead {
                     attempted,
                     detect_ns: t_step.elapsed().as_nanos() as u64,
@@ -370,6 +379,18 @@ pub fn run_elastic(
                     Ok(s) => s,
                     Err(_) => return Ok(ElasticOutcome::Died),
                 };
+                // Black-box the death *after* consensus: the consensus
+                // messages give happens-before from every survivor's
+                // PeerDead observation to this snapshot, so the single
+                // claimed bundle contains all of them plus the dying
+                // rank's last recorded step.
+                model.flight_note(
+                    mpi_sim::flight::FlightEventKind::ConsensusRound,
+                    round,
+                    survivors.len() as u64,
+                    attempted,
+                );
+                model.dump_flight("rank-death");
                 // 3. Deterministic spare election.
                 roles = reassign(&roles, &survivors)?;
                 stats.recovery_wall_ns += t_recover.elapsed().as_nanos() as u64;

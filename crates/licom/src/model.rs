@@ -105,6 +105,17 @@ pub struct ModelOptions {
     /// `None` disables it. Escalation of physics drift to the rollback
     /// path is a separate switch inside the config.
     pub telemetry: Option<TelemetryConfig>,
+    /// Always-on flight recorder: per-rank lock-free event rings with a
+    /// Lamport clock piggybacked on every message, snapshotted into a
+    /// post-mortem bundle on any failure edge. Recording costs tens of
+    /// nanoseconds per event; disabling reduces the hot path to a single
+    /// atomic load.
+    pub flight: bool,
+    /// Events retained per rank before the ring wraps (oldest evicted).
+    pub flight_capacity: usize,
+    /// Where post-mortem bundles land; `None` uses
+    /// `std::env::temp_dir()/licom_flight`.
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ModelOptions {
@@ -123,6 +134,9 @@ impl Default for ModelOptions {
             retry: RetryPolicy::default(),
             guard: Some(crate::guard::GuardConfig::default()),
             telemetry: Some(TelemetryConfig::default()),
+            flight: true,
+            flight_capacity: mpi_sim::flight::DEFAULT_CAPACITY,
+            flight_dir: None,
         }
     }
 }
@@ -331,6 +345,8 @@ pub struct Model {
     guard_limit: f64,
     step_count: u64,
     monitor: Option<StepMonitor>,
+    flight: Option<mpi_sim::flight::FlightCtx>,
+    flight_dir: std::path::PathBuf,
 }
 
 /// Pick `px × py = n` with `px ≥ py` and `nxg % px == 0` (required by the
@@ -405,6 +421,14 @@ impl Model {
         let wet = WetPolicies::build(&grid);
 
         let monitor = opts.telemetry.map(StepMonitor::new);
+        let flight = opts.flight.then(|| {
+            kokkos_profiling::flight::init_bridge();
+            comm.flight_ctx(opts.flight_capacity)
+        });
+        let flight_dir = opts
+            .flight_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("licom_flight"));
         let mut model = Self {
             cfg,
             space,
@@ -426,9 +450,40 @@ impl Model {
             guard_limit,
             step_count: 0,
             monitor,
+            flight,
+            flight_dir,
         };
         model.exchange_all_initial();
         model
+    }
+
+    /// Arm the flight recorder on this thread: comm-layer events (message
+    /// sends/recvs, halo frames, retries) and kernel spans record into
+    /// this rank's ring for the lifetime of the returned scope. No-op
+    /// guard when the recorder is disabled.
+    pub fn flight_scope(&self) -> Option<mpi_sim::flight::FlightScope> {
+        self.flight.clone().map(mpi_sim::flight::enter)
+    }
+
+    /// Record one event into this rank's flight ring, bypassing the
+    /// thread-local scope (safe from any thread that holds the model).
+    pub fn flight_note(&self, kind: mpi_sim::flight::FlightEventKind, a: u64, b: u64, c: u64) {
+        if let Some(ctx) = &self.flight {
+            ctx.ring.record(&ctx.clock, kind, a, b, c);
+        }
+    }
+
+    /// Snapshot every reachable rank ring into an atomic post-mortem
+    /// bundle. At most one bundle is written per world per incident; the
+    /// path of the written bundle is returned to the claiming rank.
+    pub fn dump_flight(&self, reason: &str) -> Option<std::path::PathBuf> {
+        self.flight.as_ref()?;
+        kokkos_profiling::flight::dump_on_failure(&self.flight_dir, reason, &self.comm)
+    }
+
+    /// Where this model's post-mortem bundles land.
+    pub fn flight_dir(&self) -> &std::path::Path {
+        &self.flight_dir
     }
 
     fn exchange_all_initial(&mut self) {
@@ -504,7 +559,12 @@ impl Model {
     /// are either bit-identical to the replay's (deterministic traffic)
     /// or discarded as stale.
     pub fn try_step(&mut self) -> Result<(), StepError> {
+        let _flight = self.flight_scope();
         let epoch = self.step_count;
+        // Record the attempted step before `set_epoch`: a seeded fault
+        // plan kills this rank inside `set_epoch`, and the post-mortem
+        // must still show what the dying rank was about to do.
+        self.flight_note(mpi_sim::flight::FlightEventKind::StepBegin, epoch, 0, 0);
         self.comm.set_epoch(epoch);
         self.halo2.begin_step(epoch);
         self.halo3.begin_step(epoch);
@@ -1050,6 +1110,11 @@ impl Model {
             let verdict = report.violation(&gcfg, self.guard_limit);
             self.timers.stop("guard");
             if let Some(v) = verdict {
+                // A guard trip is a local failure edge: snapshot the
+                // black box now, before the caller unwinds into the
+                // rollback vote.
+                self.flight_note(mpi_sim::flight::FlightEventKind::GuardTrip, epoch, 0, 0);
+                self.dump_flight("guard-trip");
                 return Err(StepError::Guard(v));
             }
         }
@@ -1110,6 +1175,8 @@ impl Model {
             self.timers.stop("telemetry");
             if escalate {
                 if let Some(trip) = obs.physics_trip {
+                    self.flight_note(mpi_sim::flight::FlightEventKind::Drift, epoch, 0, 0);
+                    self.dump_flight("drift");
                     return Err(StepError::Drift(trip));
                 }
             }
@@ -1120,6 +1187,7 @@ impl Model {
         // attached profiler derives the same numbers from the event
         // stream (see `Profiler::kernels` work_items per List dispatch).
 
+        self.flight_note(mpi_sim::flight::FlightEventKind::StepEnd, epoch, 0, 0);
         self.step_count += 1;
         self.state.rotate();
         Ok(())

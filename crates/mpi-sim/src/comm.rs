@@ -33,6 +33,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::collective::CollectiveState;
 use crate::fault::{Action, FaultPlan, FaultState};
+use crate::flight::{self, FlightCtx, FlightEventKind, FlightRing, FlightScope, FlightWorld};
 use crate::pool::BufferPool;
 use crate::stats::{Traffic, TrafficSnapshot};
 use crate::tap::{self, CommEvent, CommEventKind};
@@ -86,6 +87,10 @@ enum Payload {
 struct Message {
     src: usize,
     tag: u64,
+    /// Sender's Lamport timestamp at send time. Receives merge it into
+    /// the receiver's clock ([`crate::flight::LamportClock::observe`]),
+    /// which is what lets the flight recorder order events across ranks.
+    lamport: u64,
     payload: Payload,
 }
 
@@ -122,6 +127,10 @@ pub(crate) struct WorldShared {
     /// Upper bound a plain blocking receive waits before aborting with a
     /// deadlock diagnostic.
     recv_timeout: Duration,
+    /// Flight-recorder state: one Lamport clock per rank (always ticking
+    /// through the message path) plus the ring registry post-mortem
+    /// dumps snapshot.
+    pub(crate) flight: crate::flight::FlightWorld,
 }
 
 impl WorldShared {
@@ -139,6 +148,16 @@ impl WorldShared {
             .is_ok()
         {
             self.traffic.record_rank_death();
+            // Black-box the death itself. Registry-direct: this runs on
+            // whichever thread noticed the fault firing, with no
+            // thread-local scope guaranteed.
+            self.flight.record_direct(
+                world_rank,
+                FlightEventKind::RankDeath,
+                world_rank as u64,
+                epoch,
+                0,
+            );
             for mb in &self.mailboxes {
                 mb.cv.notify_all();
             }
@@ -417,10 +436,23 @@ impl Comm {
     }
 
     fn push_message(&self, dst: usize, tag: u64, payload: Payload) {
+        // Lamport stamping is unconditional (one relaxed fetch_add): the
+        // clock must keep ticking even while no ring is armed, or events
+        // recorded after a late arming could not be causally ordered.
+        // The wire stamp and the MsgSend event share one tick.
+        let lamport = self.shared.flight.clock(self.world_rank).tick();
+        if flight::any_armed() {
+            let words = match &payload {
+                Payload::PooledF64(b) => b.len() as u64,
+                Payload::Boxed { .. } => 0,
+            };
+            flight::record_stamped(FlightEventKind::MsgSend, lamport, dst as u64, tag, words);
+        }
         let mb = &self.shared.mailboxes[dst];
         mb.queue.lock().push(Message {
             src: self.world_rank,
             tag,
+            lamport,
             payload,
         });
         mb.cv.notify_all();
@@ -592,15 +624,18 @@ impl Comm {
                     Payload::Boxed { .. } => 0,
                 };
                 self.tap_event(CommEventKind::Recv, src, tag, bytes);
+                self.observe_recv(&msg, bytes / 8);
                 return Ok(msg);
             }
             if self.shared.is_dead(src) {
                 self.shared.traffic.record_peer_dead_error();
+                flight::record(FlightEventKind::PeerDead, src as u64, tag, 0);
                 return Err(CommError::PeerDead { peer: src, tag });
             }
             if self.shared.is_dead(self.world_rank) {
                 // A dead rank's own receives fail too: whatever driver is
                 // still running on its thread must stop making progress.
+                flight::record(FlightEventKind::PeerDead, self.world_rank as u64, tag, 0);
                 return Err(CommError::PeerDead {
                     peer: self.world_rank,
                     tag,
@@ -660,10 +695,31 @@ impl Comm {
             Payload::Boxed { .. } => 0,
         };
         self.tap_event(CommEventKind::Recv, src, tag, bytes);
+        self.observe_recv(&msg, bytes / 8);
         let buf = self.decode_f64(src, tag, msg.payload);
         let out = consume(&buf);
         self.shared.pools[self.world_rank].release(buf);
         Some(out)
+    }
+
+    /// Merge an incoming message's Lamport stamp into this rank's clock
+    /// (always) and record the receive if this thread is armed.
+    #[inline]
+    fn observe_recv(&self, msg: &Message, words: u64) {
+        let merged = self
+            .shared
+            .flight
+            .clock(self.world_rank)
+            .observe(msg.lamport);
+        if flight::any_armed() {
+            flight::record_stamped(
+                FlightEventKind::MsgRecv,
+                merged,
+                msg.src as u64,
+                msg.tag,
+                words,
+            );
+        }
     }
 
     /// Set this rank's epoch (the model's step counter). Fault rules with
@@ -723,6 +779,12 @@ impl Comm {
         let bytes = data.len() * std::mem::size_of::<f64>();
         self.shared.traffic.record_resend_served(bytes);
         self.tap_event(CommEventKind::ResendServed, src, tag, bytes as u64);
+        flight::record(
+            FlightEventKind::EscrowResend,
+            src as u64,
+            tag,
+            data.len() as u64,
+        );
         Some(data)
     }
 
@@ -769,6 +831,46 @@ impl Comm {
 
     pub(crate) fn shared(&self) -> &WorldShared {
         &self.shared
+    }
+
+    /// This rank's flight-recorder context: its event ring (created on
+    /// first use with `capacity`, reused afterwards — including across
+    /// elastic re-formation, so pre-failure history survives) and the
+    /// world-shared Lamport clock.
+    pub fn flight_ctx(&self, capacity: usize) -> FlightCtx {
+        FlightCtx {
+            ring: self.shared.flight.ring_or_create(self.world_rank, capacity),
+            clock: Arc::clone(self.shared.flight.clock(self.world_rank)),
+        }
+    }
+
+    /// Arm flight recording for this rank on the current thread; events
+    /// recorded until the guard drops land in this rank's ring.
+    pub fn arm_flight(&self, capacity: usize) -> FlightScope {
+        flight::enter(self.flight_ctx(capacity))
+    }
+
+    /// This rank's ring, if one has been created.
+    pub fn flight_ring(&self) -> Option<Arc<FlightRing>> {
+        self.shared.flight.ring(self.world_rank)
+    }
+
+    /// Every flight ring registered in this world — "all reachable
+    /// rings" for a post-mortem snapshot.
+    pub fn flight_rings(&self) -> Vec<Arc<FlightRing>> {
+        self.shared.flight.all_rings()
+    }
+
+    /// Claim the world's single post-mortem dump (first failure edge
+    /// wins; later edges of the same incident get `false`).
+    pub fn flight_claim_dump(&self) -> bool {
+        self.shared.flight.claim_dump()
+    }
+
+    /// The world-level flight registry (clock + ring access by world
+    /// rank, for emission sites that run outside any thread scope).
+    pub fn flight_world(&self) -> &FlightWorld {
+        &self.shared.flight
     }
 
     /// Is this a derived (member-subset) communicator rather than the
@@ -901,6 +1003,7 @@ impl World {
             deaths: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
             spares: cfg.spares,
             recv_timeout: cfg.recv_timeout,
+            flight: FlightWorld::new(n),
         })
     }
 

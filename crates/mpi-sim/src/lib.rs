@@ -27,6 +27,7 @@ pub mod comm;
 pub mod crc;
 pub mod failure;
 pub mod fault;
+pub mod flight;
 pub(crate) mod pool;
 pub mod retry;
 pub mod stats;
@@ -39,6 +40,9 @@ pub use comm::{Comm, CommError, RecvReq, World, WorldConfig};
 pub use crc::{crc32, crc32_f64, crc32c, crc32c_f64, Crc32};
 pub use failure::LivenessView;
 pub use fault::{FaultKind, FaultPlan, FaultRule, MatchSpec, RankFailure};
+pub use flight::{
+    FlightCtx, FlightEvent, FlightEventKind, FlightRing, FlightScope, LamportClock, FLIGHT_SCHEMA,
+};
 pub use retry::RetryPolicy;
 pub use stats::{Traffic, TrafficSnapshot};
 pub use subcomm::SubComm;

@@ -1,0 +1,169 @@
+//! Property tests for the flight-recorder primitives (`pipeline_props.rs`
+//! style): the ring's overwrite-oldest eviction and the Lamport clock's
+//! causal-order guarantee under arbitrary message reordering.
+//!
+//! The ring contract the post-mortem bundle leans on: a single-threaded
+//! writer never tears, `snapshot()` returns exactly the newest
+//! `min(n, capacity)` events oldest-first, and `total_recorded()` counts
+//! evicted events too. The clock contract the causal merge leans on:
+//! every receive stamp strictly exceeds its send stamp, and each rank's
+//! stamps are strictly increasing — whatever order deliveries happen in.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use mpi_sim::flight::{FlightEventKind, FlightRing, LamportClock};
+
+/// Record `n` distinguishable events (payload `a` = index) into a fresh
+/// ring of the given capacity and snapshot it.
+fn fill_ring(capacity: usize, n: usize) -> (Arc<FlightRing>, Vec<mpi_sim::flight::FlightEvent>) {
+    let ring = FlightRing::new(7, capacity);
+    let clock = LamportClock::default();
+    for i in 0..n {
+        ring.record(
+            &clock,
+            FlightEventKind::KernelBegin,
+            i as u64,
+            i as u64 * 2,
+            i as u64 * 3,
+        );
+    }
+    let snap = ring.snapshot();
+    (ring, snap)
+}
+
+/// One step of a simulated N-rank exchange: either a local event on one
+/// rank, or a message from one rank to another. Sends are stamped when
+/// issued; deliveries are replayed later in an arbitrary order.
+#[derive(Debug, Clone)]
+enum Step {
+    Local { rank: usize },
+    Send { from: usize, to: usize },
+}
+
+/// Build a script from three independently drawn vectors (zipped to the
+/// shortest): an opcode selecting local-vs-send, and the two rank
+/// operands, folded into range with `%` so any rank count works.
+fn zip_script(ops: Vec<u8>, froms: Vec<usize>, tos: Vec<usize>, ranks: usize) -> Vec<Step> {
+    ops.into_iter()
+        .zip(froms.into_iter().zip(tos))
+        .map(|(op, (from, to))| {
+            if op & 1 == 0 {
+                Step::Local { rank: from % ranks }
+            } else {
+                Step::Send {
+                    from: from % ranks,
+                    to: to % ranks,
+                }
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Wraparound: the snapshot holds exactly the newest
+    /// `min(n, capacity)` events, oldest first, with the original
+    /// payloads intact — eviction drops only from the front.
+    #[test]
+    fn prop_ring_evicts_oldest(
+        capacity in 2usize..64,
+        n in 0usize..300,
+    ) {
+        let (ring, snap) = fill_ring(capacity, n);
+        // `FlightRing::new` rounds tiny capacities up to 2.
+        let cap = ring.capacity();
+        prop_assert_eq!(ring.total_recorded(), n as u64);
+        prop_assert_eq!(snap.len(), n.min(cap));
+        let first_kept = n - snap.len();
+        for (k, ev) in snap.iter().enumerate() {
+            let i = (first_kept + k) as u64;
+            prop_assert_eq!(ev.a, i, "payload a survives eviction in order");
+            prop_assert_eq!(ev.b, i * 2);
+            prop_assert_eq!(ev.c, i * 3);
+            prop_assert_eq!(ev.rank, 7);
+            prop_assert_eq!(ev.kind, FlightEventKind::KernelBegin);
+            // One writer, one clock: stamps are the 1-based event index.
+            prop_assert_eq!(ev.lamport, i + 1);
+        }
+    }
+
+    /// Capacity-exact sequences: writing exactly `capacity` events loses
+    /// nothing, and one more evicts exactly the first.
+    #[test]
+    fn prop_ring_capacity_exact(capacity in 2usize..64) {
+        let (_, full) = fill_ring(capacity, capacity);
+        prop_assert_eq!(full.len(), capacity);
+        prop_assert_eq!(full.first().map(|e| e.a), Some(0));
+        prop_assert_eq!(full.last().map(|e| e.a), Some(capacity as u64 - 1));
+
+        let (_, lapped) = fill_ring(capacity, capacity + 1);
+        prop_assert_eq!(lapped.len(), capacity);
+        prop_assert_eq!(lapped.first().map(|e| e.a), Some(1), "oldest event evicted");
+        prop_assert_eq!(lapped.last().map(|e| e.a), Some(capacity as u64));
+    }
+
+    /// Lamport monotonicity under message reordering: run a random
+    /// script of local ticks and sends (stamped in program order), then
+    /// deliver the sends in a proptest-chosen permutation. Every receive
+    /// stamp must strictly exceed its send stamp, and each rank's stamp
+    /// sequence must be strictly increasing regardless of the delivery
+    /// order — exactly the invariant `read_bundle` checks on merged
+    /// post-mortem streams.
+    #[test]
+    fn prop_lamport_orders_send_before_recv(
+        ranks in 2usize..5,
+        ops in proptest::collection::vec(0u8..2, 1..60),
+        froms in proptest::collection::vec(0usize..5, 1..60),
+        tos in proptest::collection::vec(0usize..5, 1..60),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let script = zip_script(ops, froms, tos, ranks);
+        let clocks: Vec<LamportClock> =
+            (0..ranks).map(|_| LamportClock::default()).collect();
+        let mut per_rank_stamps: Vec<Vec<u64>> = vec![Vec::new(); ranks];
+        let mut in_flight: Vec<(usize, u64)> = Vec::new(); // (to, send_stamp)
+
+        for step in &script {
+            match *step {
+                Step::Local { rank } => {
+                    per_rank_stamps[rank].push(clocks[rank].tick());
+                }
+                Step::Send { from, to } => {
+                    let stamp = clocks[from].tick();
+                    per_rank_stamps[from].push(stamp);
+                    in_flight.push((to, stamp));
+                }
+            }
+        }
+
+        // Deterministic pseudo-shuffle of delivery order: repeatedly pick
+        // an index from a seeded LCG — messages arrive in an order that
+        // need not resemble the send order.
+        let mut rng = shuffle_seed;
+        while !in_flight.is_empty() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (rng >> 33) as usize % in_flight.len();
+            let (to, send_stamp) = in_flight.swap_remove(pick);
+            let recv_stamp = clocks[to].observe(send_stamp);
+            prop_assert!(
+                recv_stamp > send_stamp,
+                "recv stamp {recv_stamp} must exceed send stamp {send_stamp}"
+            );
+            per_rank_stamps[to].push(recv_stamp);
+        }
+
+        for (rank, stamps) in per_rank_stamps.iter().enumerate() {
+            prop_assert!(
+                stamps.windows(2).all(|w| w[0] < w[1]),
+                "rank {rank} stamps must be strictly increasing: {stamps:?}"
+            );
+            prop_assert_eq!(
+                stamps.last().copied().unwrap_or(0),
+                clocks[rank].current(),
+                "clock ends at the rank's newest stamp"
+            );
+        }
+    }
+}
